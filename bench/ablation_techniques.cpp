@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation study (beyond the paper's figures, supporting its design
+ * claims): MioDB with each core technique disabled in turn --
+ * one-piece flushing -> node-by-node copy, zero-copy merge -> copying
+ * merge, parallel compaction -> single thread, bloom filters off.
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 16u << 20;
+    if (!flags.has("value_size"))
+        base.value_size = 1024;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 512 << 10;
+
+    printExperimentHeader("Ablation",
+                          "MioDB with each technique disabled");
+
+    struct Variant {
+        const char *label;
+        void (*apply)(BenchConfig *);
+    };
+    const Variant variants[] = {
+        {"MioDB (full)", [](BenchConfig *) {}},
+        {"- one-piece flush",
+         [](BenchConfig *c) { c->one_piece_flush = false; }},
+        {"- zero-copy merge",
+         [](BenchConfig *c) { c->zero_copy = false; }},
+        {"- parallel compaction",
+         [](BenchConfig *c) { c->parallel_compaction = false; }},
+        {"- bloom filters",
+         [](BenchConfig *c) { c->bits_per_key = 0; }},
+    };
+
+    TableReporter tbl("Ablation: fillrandom + readrandom",
+                      {"variant", "write KIOPS", "flush ms", "ser ms",
+                       "WA", "read KIOPS", "bloom skips"});
+    for (const auto &variant : variants) {
+        BenchConfig config = base;
+        variant.apply(&config);
+        StoreBundle bundle = makeStore(config);
+        DbBench bench(&bundle, config);
+        PhaseResult w = bench.fillRandom();
+        bench.waitIdle();
+        uint64_t device = bundle.deviceBytesWritten();
+        double wa = static_cast<double>(device) /
+                    static_cast<double>(
+                        w.stats_delta.user_bytes_written);
+        PhaseResult r = bench.readRandom(config.num_reads);
+        tbl.addRow(
+            {variant.label, TableReporter::num(w.kiops(), 1),
+             TableReporter::num(w.stats_delta.flush_ns / 1e6, 1),
+             TableReporter::num(
+                 w.stats_delta.serialization_ns / 1e6, 1),
+             TableReporter::num(wa) + "x",
+             TableReporter::num(r.kiops(), 1),
+             std::to_string(r.stats_delta.bloom_filter_skips)});
+    }
+    tbl.print();
+
+    printf("\nExpected shape (robust signals): node-by-node flushing "
+           "pays serialization time that one-piece flushing avoids "
+           "entirely; copying merges inflate WA ~3x; disabling blooms "
+           "drops read throughput and zeroes the skip counter. Write "
+           "KIOPS is noisy on small hosts (background threads share "
+           "the cores); see bench/micro_core for isolated per-"
+           "technique costs.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 6(c)/(d) reproduction: random and sequential read throughput
+ * and latency vs value size after loading the dataset (in-memory mode).
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 16u << 20;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 512 << 10;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 4u << 20;
+
+    printExperimentHeader("Figure 6(c)/(d)",
+                          "Read micro-benchmarks vs value size "
+                          "(in-memory mode)");
+
+    const std::vector<size_t> value_sizes = {1024, 4096, 16384, 65536};
+
+    TableReporter rnd("Fig 6(c): random reads (readrandom)",
+                      {"store", "value", "KIOPS", "avg us", "p99 us"});
+    TableReporter seq("Fig 6(d): sequential reads (readseq)",
+                      {"store", "value", "KIOPS", "avg us"});
+
+    for (const char *store : {"miodb", "matrixkv", "novelsm"}) {
+        for (size_t vs : value_sizes) {
+            BenchConfig config = base;
+            config.store = store;
+            config.value_size = vs;
+            StoreBundle bundle = makeStore(config);
+            DbBench bench(&bundle, config);
+            bench.fillRandom();
+            bench.waitIdle();
+
+            uint64_t reads =
+                std::min<uint64_t>(config.num_reads,
+                                   config.numKeys() * 4);
+            PhaseResult rr = bench.readRandom(reads);
+            rnd.addRow({bundle.store->name(),
+                        std::to_string(vs / 1024) + "KB",
+                        TableReporter::num(rr.kiops(), 1),
+                        TableReporter::num(rr.latency_us.average(), 1),
+                        TableReporter::num(
+                            rr.latency_us.percentile(99), 1)});
+
+            PhaseResult rs = bench.readSeq(reads);
+            seq.addRow({bundle.store->name(),
+                        std::to_string(vs / 1024) + "KB",
+                        TableReporter::num(rs.kiops(), 1),
+                        TableReporter::num(rs.latency_us.average(),
+                                           2)});
+        }
+    }
+    rnd.print();
+    seq.print();
+
+    printf("\nPaper reference: MioDB improves random reads 1.3x / 4.4x "
+           "and sequential reads 6.7x / 3.3x over MatrixKV / NoveLSM "
+           "on average; its read latency grows only slightly with "
+           "value size because there is no deserialization.\n");
+    return 0;
+}

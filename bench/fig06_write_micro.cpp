@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 6(a)/(b) reproduction: random and sequential write throughput
+ * and latency vs value size (1 KB - 64 KB) for MioDB, MatrixKV, and
+ * NoveLSM in in-memory mode (db_bench fillrandom / fillseq).
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 16u << 20;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 512 << 10;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 4u << 20;
+
+    printExperimentHeader("Figure 6(a)/(b)",
+                          "Write micro-benchmarks vs value size "
+                          "(in-memory mode)");
+
+    const std::vector<size_t> value_sizes = {1024, 4096, 16384, 65536};
+
+    for (bool random : {true, false}) {
+        TableReporter tbl(
+            random ? "Fig 6(a): random writes (fillrandom)"
+                   : "Fig 6(b): sequential writes (fillseq)",
+            {"store", "value", "KIOPS", "MB/s", "avg us", "p99 us"});
+        for (const char *store : {"miodb", "matrixkv", "novelsm"}) {
+            for (size_t vs : value_sizes) {
+                BenchConfig config = base;
+                config.store = store;
+                config.value_size = vs;
+                StoreBundle bundle = makeStore(config);
+                DbBench bench(&bundle, config);
+                PhaseResult r =
+                    random ? bench.fillRandom() : bench.fillSeq();
+                tbl.addRow(
+                    {bundle.store->name(),
+                     std::to_string(vs / 1024) + "KB",
+                     TableReporter::num(r.kiops(), 1),
+                     TableReporter::num(r.mbps(vs), 1),
+                     TableReporter::num(r.latency_us.average(), 1),
+                     TableReporter::num(r.latency_us.percentile(99),
+                                        1)});
+            }
+        }
+        tbl.print();
+    }
+
+    printf("\nPaper reference: MioDB improves random write throughput "
+           "2.5x over MatrixKV and 8.3x over NoveLSM on average "
+           "(up to 3.1x / 11.6x), sequential writes 1.5x / 2.8x; "
+           "MioDB random ~= sequential because writes never stall.\n");
+    return 0;
+}

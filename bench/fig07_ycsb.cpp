@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 7 reproduction: YCSB Load + workloads A-F throughput (KIOPS)
+ * for NoveLSM, MatrixKV, NoveLSM-NoSST, and MioDB at 1 KB and 4 KB
+ * values, in-memory mode (paper Sec. 5.2).
+ */
+#include <cstdio>
+
+#include "benchutil/store_factory.h"
+#include "benchutil/reporter.h"
+#include "ycsb/runner.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 16u << 20;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 512 << 10;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 4u << 20;
+    uint64_t ops = flags.getInt("ops", 20000);
+
+    printExperimentHeader("Figure 7",
+                          "YCSB Load + A-F throughput, in-memory mode");
+
+    for (size_t value_size : {size_t(1024), size_t(4096)}) {
+        TableReporter tbl(
+            "Fig 7: YCSB throughput (KIOPS), " +
+                std::to_string(value_size / 1024) + "KB values",
+            {"store", "Load", "A", "B", "C", "D", "E", "F"});
+        for (const char *store :
+             {"novelsm", "matrixkv", "novelsm-nosst", "miodb"}) {
+            BenchConfig config = base;
+            config.store = store;
+            config.value_size = value_size;
+            StoreBundle bundle = makeStore(config);
+            ycsb::Runner runner(bundle.store.get(), value_size,
+                                config.seed);
+
+            uint64_t records = config.numKeys();
+            std::vector<std::string> cells;
+            cells.push_back(bundle.store->name());
+            auto load = runner.load(records);
+            cells.push_back(TableReporter::num(load.kiops(), 1));
+            // Workload E follows the load immediately (paper notes the
+            // buffer is still compacting then); others follow suit.
+            for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+                uint64_t n = (w == 'E') ? ops / 10 : ops;
+                auto r = runner.run(ycsb::WorkloadSpec::byName(w),
+                                    records, n);
+                cells.push_back(TableReporter::num(r.kiops(), 1));
+            }
+            tbl.addRow(cells);
+        }
+        tbl.print();
+    }
+
+    printf("\nPaper reference (4KB): MioDB Load ~12.1x NoveLSM, ~2.8x "
+           "MatrixKV, ~2.2x NoveLSM-NoSST; A/F up to 2.3x/5.2x; "
+           "B/C/D up to 5.1x; E is NoveLSM-NoSST's best (single big "
+           "sorted skip list) with MioDB still compacting. Gains grow "
+           "at 1KB values.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 9 reproduction: MioDB performance vs the number of elastic
+ * buffer levels (== compaction threads). 9(a): random write latency
+ * and throughput (with MatrixKV at its compaction-thread settings for
+ * contrast); 9(b): random read throughput vs levels, showing the knee
+ * where bloom-filter saturation outweighs big-table benefits.
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 24u << 20;
+    if (!flags.has("value_size"))
+        base.value_size = 1024;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 256 << 10;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 4u << 20;
+
+    printExperimentHeader(
+        "Figure 9", "MioDB performance vs number of levels "
+                    "(= compaction threads)");
+
+    TableReporter wtbl("Fig 9(a): random writes vs levels",
+                       {"store", "levels", "KIOPS", "avg us"});
+    TableReporter rtbl("Fig 9(b): random reads vs levels",
+                       {"store", "levels", "KIOPS", "avg us",
+                        "bloom skips"});
+
+    for (int levels : {2, 4, 6, 8, 10}) {
+        BenchConfig config = base;
+        config.store = "miodb";
+        config.miodb_levels = levels;
+        StoreBundle bundle = makeStore(config);
+        DbBench bench(&bundle, config);
+
+        PhaseResult w = bench.fillRandom();
+        wtbl.addRow({"MioDB", std::to_string(levels),
+                     TableReporter::num(w.kiops(), 1),
+                     TableReporter::num(w.latency_us.average(), 1)});
+
+        bench.waitIdle();
+        PhaseResult r = bench.readRandom(config.num_reads);
+        rtbl.addRow(
+            {"MioDB", std::to_string(levels),
+             TableReporter::num(r.kiops(), 1),
+             TableReporter::num(r.latency_us.average(), 1),
+             std::to_string(r.stats_delta.bloom_filter_skips)});
+    }
+
+    // MatrixKV contrast for 9(a): its compaction parallelism is
+    // limited by cross-level data dependence.
+    for (int threads : {1, 2, 4, 8}) {
+        BenchConfig config = base;
+        config.store = "matrixkv";
+        StoreBundle bundle;
+        {
+            // Build MatrixKV with an explicit thread count.
+            bundle.nvm = std::make_unique<sim::NvmDevice>(
+                config.perf_model
+                    ? sim::MemoryPerfModel::optaneDefault()
+                    : sim::MemoryPerfModel::none());
+            bundle.ssd = std::make_unique<sim::SsdDevice>();
+            bundle.sstable_medium =
+                std::make_unique<sim::NvmMedium>(bundle.nvm.get());
+            matrixkv::MatrixkvOptions o;
+            o.memtable_size = config.memtable_size;
+            o.matrix_capacity = config.nvm_buffer_bytes;
+            o.column_budget = config.nvm_buffer_bytes / 4;
+            o.lsm = scaledLsmOptions(config);
+            o.lsm.compaction_threads = threads;
+            bundle.store = std::make_unique<matrixkv::MatrixKV>(
+                o, bundle.nvm.get(), bundle.sstable_medium.get());
+        }
+        DbBench bench(&bundle, config);
+        PhaseResult w = bench.fillRandom();
+        wtbl.addRow({"MatrixKV(t=" + std::to_string(threads) + ")",
+                     "-", TableReporter::num(w.kiops(), 1),
+                     TableReporter::num(w.latency_us.average(), 1)});
+    }
+
+    wtbl.print();
+    rtbl.print();
+
+    printf("\nPaper reference: MioDB's write performance is level-count "
+           "insensitive (flush-bound, never stalled); its read "
+           "throughput improves with depth up to 8 levels and then "
+           "declines as bloom filters saturate. MatrixKV needs ~4 "
+           "threads for its best write performance and stays below "
+           "MioDB throughout.\n");
+    return 0;
+}

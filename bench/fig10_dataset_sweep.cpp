@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 10 reproduction: random write/read throughput vs dataset
+ * size (paper: 40-200 GB; scaled 1:2500 to 16-80 MB by default) for
+ * MioDB, MatrixKV, and NoveLSM.
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("value_size"))
+        base.value_size = 1024;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 512 << 10;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 4u << 20;
+    uint64_t unit = flags.getSize("sweep_unit", 16u << 20);
+
+    printExperimentHeader("Figure 10",
+                          "Random write/read throughput vs dataset "
+                          "size (scaled from 40-200 GB)");
+
+    TableReporter wtbl("Fig 10(a): random write KIOPS vs dataset",
+                       {"dataset", "MioDB", "MatrixKV", "NoveLSM"});
+    TableReporter rtbl("Fig 10(b): random read KIOPS vs dataset",
+                       {"dataset", "MioDB", "MatrixKV", "NoveLSM"});
+
+    for (int mult : {1, 2, 3, 4, 5}) {
+        uint64_t bytes = unit * mult;
+        std::vector<std::string> wrow = {
+            std::to_string(bytes >> 20) + "MB"};
+        std::vector<std::string> rrow = wrow;
+        for (const char *store : {"miodb", "matrixkv", "novelsm"}) {
+            BenchConfig config = base;
+            config.store = store;
+            config.dataset_bytes = bytes;
+            StoreBundle bundle = makeStore(config);
+            DbBench bench(&bundle, config);
+            PhaseResult w = bench.fillRandom();
+            wrow.push_back(TableReporter::num(w.kiops(), 1));
+            bench.waitIdle();
+            PhaseResult r = bench.readRandom(config.num_reads);
+            rrow.push_back(TableReporter::num(r.kiops(), 1));
+        }
+        wtbl.addRow(wrow);
+        rtbl.addRow(rrow);
+    }
+    wtbl.print();
+    rtbl.print();
+
+    printf("\nPaper reference: from 40 GB to 200 GB the baselines' "
+           "write and read throughput fall sharply (stalls + WA grow "
+           "with depth), while MioDB's write throughput dips only "
+           "slightly and its read throughput drops ~33%% over a 5x "
+           "capacity growth.\n");
+    return 0;
+}

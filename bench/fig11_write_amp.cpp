@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 11 reproduction: write amplification vs dataset size for
+ * MioDB (theoretical bound 3: WAL + one-piece flush + lazy copy),
+ * MatrixKV, and NoveLSM.
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("value_size"))
+        base.value_size = 1024;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 512 << 10;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 4u << 20;
+    uint64_t unit = flags.getSize("sweep_unit", 16u << 20);
+
+    printExperimentHeader("Figure 11",
+                          "Write amplification vs dataset size");
+
+    TableReporter tbl("Fig 11: WA ratio (device traffic / user bytes)",
+                      {"dataset", "MioDB", "MatrixKV", "NoveLSM"});
+
+    for (int mult : {1, 2, 3, 4, 5}) {
+        uint64_t bytes = unit * mult;
+        std::vector<std::string> row = {
+            std::to_string(bytes >> 20) + "MB"};
+        for (const char *store : {"miodb", "matrixkv", "novelsm"}) {
+            BenchConfig config = base;
+            config.store = store;
+            config.dataset_bytes = bytes;
+            StoreBundle bundle = makeStore(config);
+            DbBench bench(&bundle, config);
+            PhaseResult w = bench.fillRandom();
+            bench.waitIdle();
+            // Account compaction work that completed after the write
+            // phase ended.
+            uint64_t device = bundle.deviceBytesWritten();
+            double wa = static_cast<double>(device) /
+                        static_cast<double>(
+                            w.stats_delta.user_bytes_written);
+            row.push_back(TableReporter::num(wa) + "x");
+        }
+        tbl.addRow(row);
+    }
+    tbl.print();
+
+    printf("\nPaper reference: MioDB holds ~2.9x at every dataset size "
+           "(bound 3x); NoveLSM and MatrixKV grow toward 6.6x/5.6x, "
+           "and at 200 GB MioDB's WA is up to 5x/4.9x lower.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 12 reproduction: MemTable-size sensitivity. 12(a): average
+ * and total MemTable flush latency per store; 12(b): random write and
+ * read throughput vs MemTable size.
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 16u << 20;
+    if (!flags.has("value_size"))
+        base.value_size = 1024;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 4u << 20;
+
+    printExperimentHeader("Figure 12",
+                          "MemTable-size sensitivity (flush latency, "
+                          "R/W throughput)");
+
+    TableReporter ftbl("Fig 12(a): MemTable flushing",
+                       {"store", "memtable", "flushes",
+                        "avg flush ms", "total flush s"});
+    TableReporter ttbl("Fig 12(b): throughput vs MemTable size",
+                       {"store", "memtable", "write KIOPS",
+                        "read KIOPS"});
+
+    for (const char *store : {"miodb", "matrixkv", "novelsm"}) {
+        for (size_t mt : {128u << 10, 256u << 10, 512u << 10,
+                          1024u << 10}) {
+            BenchConfig config = base;
+            config.store = store;
+            config.memtable_size = mt;
+            StoreBundle bundle = makeStore(config);
+            DbBench bench(&bundle, config);
+
+            PhaseResult w = bench.fillRandom();
+            bench.waitIdle();
+            uint64_t flushes = w.stats_delta.flush_count;
+            double total_flush_s = w.stats_delta.flush_ns / 1e9;
+            double avg_ms = flushes
+                                ? total_flush_s * 1000.0 / flushes
+                                : 0.0;
+            ftbl.addRow({bundle.store->name(),
+                         std::to_string(mt >> 10) + "KB",
+                         std::to_string(flushes),
+                         TableReporter::num(avg_ms, 2),
+                         TableReporter::num(total_flush_s, 2)});
+
+            PhaseResult r = bench.readRandom(config.num_reads);
+            ttbl.addRow({bundle.store->name(),
+                         std::to_string(mt >> 10) + "KB",
+                         TableReporter::num(w.kiops(), 1),
+                         TableReporter::num(r.kiops(), 1)});
+        }
+    }
+    ftbl.print();
+    ttbl.print();
+
+    printf("\nPaper reference: MioDB's average flush latency is "
+           "11.9x/37.6x shorter than MatrixKV/NoveLSM (one-piece "
+           "flushing, a single bulk copy); total flushing time and "
+           "R/W throughput vary only mildly with MemTable size for "
+           "every store.\n");
+    return 0;
+}

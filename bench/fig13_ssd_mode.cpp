@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 13 reproduction: the DRAM-NVM-SSD hierarchy. 13(a)/(b):
+ * db_bench random write/read; 13(c): YCSB Load + A-F. SSTables (and
+ * MioDB's data repository) live on the simulated SSD; the elastic NVM
+ * buffer absorbs bursts.
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+#include "ycsb/runner.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    base.ssd_mode = true;
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 12u << 20;
+    if (!flags.has("value_size"))
+        base.value_size = 4096;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 512 << 10;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 4u << 20;
+    uint64_t ops = flags.getInt("ops", 8000);
+
+    printExperimentHeader("Figure 13",
+                          "DRAM-NVM-SSD mode: db_bench + YCSB");
+
+    TableReporter micro("Fig 13(a)/(b): db_bench, SSD mode",
+                        {"store", "write KIOPS", "read KIOPS",
+                         "NVM peak MB"});
+    for (const char *store : {"miodb", "matrixkv", "novelsm"}) {
+        BenchConfig config = base;
+        config.store = store;
+        StoreBundle bundle = makeStore(config);
+        DbBench bench(&bundle, config);
+        PhaseResult w = bench.fillRandom();
+        bench.waitIdle();
+        PhaseResult r = bench.readRandom(config.num_reads / 2);
+        micro.addRow(
+            {bundle.store->name(), TableReporter::num(w.kiops(), 1),
+             TableReporter::num(r.kiops(), 1),
+             TableReporter::num(bundle.nvmPeakBytes() / 1048576.0,
+                                1)});
+    }
+    micro.print();
+
+    TableReporter ytbl("Fig 13(c): YCSB KIOPS, SSD mode, 4KB values",
+                       {"store", "Load", "A", "B", "C", "D", "E",
+                        "F"});
+    for (const char *store : {"novelsm", "matrixkv", "miodb"}) {
+        BenchConfig config = base;
+        config.store = store;
+        StoreBundle bundle = makeStore(config);
+        ycsb::Runner runner(bundle.store.get(), config.value_size,
+                            config.seed);
+        uint64_t records = config.numKeys();
+        std::vector<std::string> cells = {bundle.store->name()};
+        auto load = runner.load(records);
+        cells.push_back(TableReporter::num(load.kiops(), 1));
+        for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+            uint64_t n = (w == 'E') ? ops / 10 : ops;
+            auto r = runner.run(ycsb::WorkloadSpec::byName(w),
+                                records, n);
+            cells.push_back(TableReporter::num(r.kiops(), 1));
+        }
+        ytbl.addRow(cells);
+    }
+    ytbl.print();
+
+    printf("\nPaper reference: in SSD mode MioDB improves random "
+           "writes 10.5x/11.2x and YCSB Load 11.8x/12.1x over "
+           "MatrixKV/NoveLSM; reads improve up to 5.7x/6.3x because "
+           "most KVs are served from the elastic NVM buffer. MioDB's "
+           "NVM use is elastic (peaks under bursts, modest on "
+           "average).\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 14 reproduction: random write/read throughput vs NVM buffer
+ * size in the DRAM-NVM-SSD hierarchy. The baselines get a fixed NVM
+ * buffer (NoveLSM's big MemTable / MatrixKV's matrix container) of
+ * growing size; MioDB's elastic buffer is capped at the largest size.
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    base.ssd_mode = true;
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 12u << 20;
+    if (!flags.has("value_size"))
+        base.value_size = 4096;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 512 << 10;
+    uint64_t unit = flags.getSize("sweep_unit", 1u << 20);
+
+    printExperimentHeader("Figure 14",
+                          "Throughput vs NVM buffer size, SSD mode "
+                          "(scaled from 8-64 GB)");
+
+    TableReporter wtbl("Fig 14(a): random write KIOPS vs buffer",
+                       {"buffer", "MioDB", "MatrixKV", "NoveLSM"});
+    TableReporter rtbl("Fig 14(b): random read KIOPS vs buffer",
+                       {"buffer", "MioDB", "MatrixKV", "NoveLSM"});
+
+    for (int mult : {1, 2, 4, 8}) {
+        uint64_t buf = unit * mult;
+        std::vector<std::string> wrow = {
+            std::to_string(buf >> 20) + "MB"};
+        std::vector<std::string> rrow = wrow;
+        for (const char *store : {"miodb", "matrixkv", "novelsm"}) {
+            BenchConfig config = base;
+            config.store = store;
+            config.nvm_buffer_bytes = buf;
+            // The paper caps MioDB's elastic buffer at the sweep's
+            // largest size (64 GB there); scaled here.
+            config.miodb_buffer_cap = unit * 8;
+            StoreBundle bundle = makeStore(config);
+            DbBench bench(&bundle, config);
+            PhaseResult w = bench.fillRandom();
+            wrow.push_back(TableReporter::num(w.kiops(), 1));
+            bench.waitIdle();
+            PhaseResult r = bench.readRandom(config.num_reads / 2);
+            rrow.push_back(TableReporter::num(r.kiops(), 1));
+        }
+        wtbl.addRow(wrow);
+        rtbl.addRow(rrow);
+    }
+    wtbl.print();
+    rtbl.print();
+
+    printf("\nPaper reference: larger buffers help the baselines only "
+           "moderately (NoveLSM's big-skip-list lookups and MatrixKV's "
+           "column indexing costs offset the gain; both can even "
+           "decline). At 64 GB buffers MioDB still writes 2.3x/4.9x "
+           "faster -- the win comes from the multi-level design, not "
+           "buffer size.\n");
+    return 0;
+}

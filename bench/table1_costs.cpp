@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table 1 reproduction: cost analysis of MioDB, MatrixKV, and NoveLSM
+ * -- interval stalls, cumulative stalls, deserialization time,
+ * flushing time, and write amplification over one fillrandom dataset
+ * plus a read phase (paper Sec. 5.1).
+ */
+#include <cstdio>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 24u << 20;
+    if (!flags.has("value_size"))
+        base.value_size = 4096;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 512 << 10;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 4u << 20;
+
+    printExperimentHeader("Table 1",
+                          "Cost analysis: stalls, deserialization, "
+                          "flushing, WA (in-memory mode)");
+
+    TableReporter tbl("Table 1: costs per store",
+                      {"cost", "MioDB", "MatrixKV", "NoveLSM"});
+
+    struct Row {
+        double interval, cumulative, deser, flush, wa;
+    };
+    std::vector<Row> rows;
+    std::vector<std::string> names;
+
+    for (const char *store : {"miodb", "matrixkv", "novelsm"}) {
+        BenchConfig config = base;
+        config.store = store;
+        StoreBundle bundle = makeStore(config);
+        DbBench bench(&bundle, config);
+
+        PhaseResult write = bench.fillRandom();
+        bench.waitIdle();
+        PhaseResult read = bench.readRandom(config.numKeys());
+
+        Row r;
+        r.interval = write.stats_delta.interval_stall_ns / 1e6;
+        r.cumulative = write.stats_delta.cumulative_stall_ns / 1e6;
+        r.deser = read.stats_delta.deserialization_ns / 1e6;
+        r.flush = write.stats_delta.flush_ns / 1e6;
+        r.wa = write.writeAmplification();
+        rows.push_back(r);
+        names.push_back(bundle.store->name());
+    }
+
+    auto row3 = [&](const char *label, auto get, const char *suffix) {
+        tbl.addRow({label, TableReporter::num(get(rows[0])) + suffix,
+                    TableReporter::num(get(rows[1])) + suffix,
+                    TableReporter::num(get(rows[2])) + suffix});
+    };
+    row3("Interval Stalls (ms)",
+         [](const Row &r) { return r.interval; }, "");
+    row3("Cumulative Stalls (ms)",
+         [](const Row &r) { return r.cumulative; }, "");
+    row3("Deserialization (ms)", [](const Row &r) { return r.deser; },
+         "");
+    row3("Flushing (ms)", [](const Row &r) { return r.flush; }, "");
+    row3("Write Amplification", [](const Row &r) { return r.wa; }, "x");
+    tbl.print();
+
+    printf("\nPaper reference (80 GB): MioDB 0 / 28.1s / 0 / 13.6s / "
+           "2.9x; MatrixKV 0 / 731.3s / 74.3s / 191.0s / 5.6x; "
+           "NoveLSM 496.9s / 1071.3s / 82.3s / 511.8s / 6.6x.\n"
+           "Shape to verify: MioDB has (near-)zero stalls, zero "
+           "deserialization, the fastest flushing, and WA below 3.\n");
+    return 0;
+}

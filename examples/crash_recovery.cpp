@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Crash recovery walkthrough (paper Sec. 4.7): write data, simulate a
+ * power failure, reopen from the surviving NVM image + WAL, and
+ * verify nothing durable was lost -- including a zero-copy merge that
+ * was interrupted mid-flight and resumes from its insertion mark.
+ *
+ *   ./examples/crash_recovery
+ */
+#include <cstdio>
+
+#include "miodb/miodb.h"
+#include "miodb/one_piece_flush.h"
+#include "miodb/zero_copy_merge.h"
+#include "util/random.h"
+
+using namespace mio;
+using namespace mio::miodb;
+
+int
+main()
+{
+    sim::NvmDevice nvm;
+    wal::WalRegistry wal_registry;  // models the persistent NVM log
+    std::shared_ptr<NvmState> nvm_image;
+
+    MioOptions options;
+    options.memtable_size = 64 << 10;
+    options.elastic_levels = 3;
+
+    // ---- Phase 1: write, then crash without a clean shutdown. ----
+    {
+        MioDB db(options, &nvm, nullptr, &wal_registry);
+        nvm_image = db.nvmState();  // "the NVM DIMM" surviving power loss
+        for (int i = 0; i < 5000; i++)
+            db.put(makeKey(i), "durable-" + std::to_string(i));
+        printf("phase 1: wrote 5000 keys; WAL segments alive: %zu, "
+               "buffer tables: %zu\n",
+               wal_registry.list().size(), db.levels().totalTables());
+        db.simulateCrash();
+        printf("phase 1: simulated power failure (no clean flush)\n");
+    }
+
+    // ---- Phase 2: reopen. WAL replays the DRAM-buffered tail; the
+    //      PMTables and repository are adopted from the NVM image. ----
+    {
+        MioDB db(options, &nvm, nullptr, &wal_registry, nvm_image);
+        std::string v;
+        int recovered = 0;
+        for (int i = 0; i < 5000; i++) {
+            if (db.get(makeKey(i), &v).isOk() &&
+                v == "durable-" + std::to_string(i)) {
+                recovered++;
+            }
+        }
+        printf("phase 2: recovered %d / 5000 keys\n", recovered);
+        db.simulateCrash();  // keep the image for phase 3
+    }
+
+    // ---- Phase 3: an interrupted zero-copy compaction resumes from
+    //      the insertion mark (the Sec. 4.7 protocol), standalone. ----
+    {
+        StatsCounters stats;
+        auto make_table = [&](int lo, int hi, uint64_t seq,
+                              uint64_t id) {
+            lsm::MemTable mem(1 << 16, id);
+            for (int i = lo; i < hi; i++) {
+                mem.add(makeKey(i), seq + i, EntryType::kValue,
+                        "merge-" + std::to_string(i));
+            }
+            return onePieceFlush(&mem, &nvm, &stats, 16, id);
+        };
+        auto op = std::make_shared<MergeOp>();
+        op->oldt = make_table(0, 50, 1, 1);
+        op->newt = make_table(25, 75, 1000, 2);
+
+        // Crash after 10 nodes: the 11th sits only in the mark.
+        bool done = zeroCopyMerge(op.get(), &nvm, &stats,
+                                  [](uint64_t moved) {
+                                      return moved < 10;
+                                  });
+        printf("phase 3: merge interrupted (completed=%s), mark=%s\n",
+               done ? "yes" : "no",
+               op->mark.load() ? "set" : "clear");
+
+        resumeZeroCopyMerge(op.get(), &nvm, &stats);
+        std::string v;
+        EntryType t;
+        int present = 0;
+        for (int i = 0; i < 75; i++) {
+            if (op->oldt->list().get(makeKey(i), &v, &t))
+                present++;
+        }
+        printf("phase 3: after resume, merged table holds %d / 75 "
+               "keys (done=%s)\n",
+               present, op->done.load() ? "yes" : "no");
+    }
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * db_bench-style command-line driver: pick a store, a benchmark list,
+ * and sizes, like the LevelDB tool the paper's Sec. 5.1 uses.
+ *
+ *   ./examples/db_bench_cli --store=miodb \
+ *       --benchmarks=fillrandom,readrandom,readseq,ycsb-a \
+ *       --dataset_bytes=32m --value_size=1024 --memtable_size=512k
+ *
+ * Stores: miodb | matrixkv | novelsm | novelsm-hier | novelsm-nosst
+ * Benchmarks: fillseq fillrandom readrandom readseq overwrite
+ *             ycsb-a..ycsb-f stats
+ */
+#include <cstdio>
+#include <sstream>
+
+#include "benchutil/db_bench.h"
+#include "benchutil/reporter.h"
+#include "miodb/miodb.h"
+#include "ycsb/runner.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+void
+printPhase(const BenchConfig &config, const PhaseResult &r)
+{
+    printf("%-12s : %9.1f KIOPS  %8.1f MB/s  avg %7.1f us  "
+           "p99 %8.1f us  (%llu ops in %.2fs)\n",
+           r.phase.c_str(), r.kiops(), r.mbps(config.value_size),
+           r.latency_us.average(), r.latency_us.percentile(99),
+           static_cast<unsigned long long>(r.operations), r.seconds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig config = BenchConfig::fromFlags(flags);
+    std::string benchmarks = flags.getString(
+        "benchmarks", "fillrandom,readrandom,readseq,stats");
+
+    printf("db_bench_cli: store=%s dataset=%llu MB value=%zu B "
+           "memtable=%zu KB%s\n\n",
+           config.store.c_str(),
+           static_cast<unsigned long long>(config.dataset_bytes >> 20),
+           config.value_size, config.memtable_size >> 10,
+           config.ssd_mode ? " [SSD mode]" : "");
+
+    StoreBundle bundle = makeStore(config);
+    DbBench bench(&bundle, config);
+    bool loaded = false;
+
+    for (const std::string &name : splitList(benchmarks)) {
+        if (name == "fillseq") {
+            printPhase(config, bench.fillSeq());
+            loaded = true;
+        } else if (name == "fillrandom" || name == "overwrite") {
+            printPhase(config, bench.fillRandom());
+            loaded = true;
+        } else if (name == "readrandom" || name == "readseq") {
+            if (!loaded) {
+                bench.fillRandom();
+                bench.waitIdle();
+                loaded = true;
+            }
+            printPhase(config, name == "readrandom"
+                                   ? bench.readRandom(config.num_reads)
+                                   : bench.readSeq(config.num_reads));
+        } else if (name.rfind("ycsb-", 0) == 0 && name.size() == 6) {
+            ycsb::Runner runner(bundle.store.get(), config.value_size,
+                                config.seed);
+            uint64_t records = config.numKeys();
+            if (!loaded) {
+                auto load = runner.load(records);
+                printf("%-12s : %9.1f KIOPS\n", "ycsb-load",
+                       load.kiops());
+                loaded = true;
+            }
+            auto spec = ycsb::WorkloadSpec::byName(name[5]);
+            auto r = runner.run(spec, records, config.num_reads);
+            printf("%-12s : %9.1f KIOPS  avg %7.1f us  p99 %8.1f us  "
+                   "p99.9 %8.1f us\n",
+                   name.c_str(), r.kiops(), r.latency_us.average(),
+                   r.latency_us.percentile(99),
+                   r.latency_us.percentile(99.9));
+        } else if (name == "stats") {
+            bundle.store->waitIdle();
+            auto s = snapshotOf(bundle.store->stats());
+            printf("\n%s\n", s.toString().c_str());
+            printf("device writes: NVM %.1f MB (peak alloc %.1f MB)"
+                   "%s\n",
+                   bundle.nvm->meters().bytes_written / 1048576.0,
+                   bundle.nvm->meters().peak_allocated / 1048576.0,
+                   config.ssd_mode ? "" : ", SSD unused");
+            if (auto *mio_db = dynamic_cast<miodb::MioDB *>(
+                    bundle.store.get())) {
+                printf("\n%s\n", mio_db->debugString().c_str());
+            }
+        } else {
+            printf("unknown benchmark: %s (skipped)\n", name.c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * YCSB shootout: run the same YCSB mix against MioDB, MatrixKV, and
+ * NoveLSM side by side and print a comparison -- a compact version of
+ * the paper's Fig. 7 experiment usable as an API example.
+ *
+ *   ./examples/ycsb_shootout [--records=20000] [--ops=10000]
+ *                            [--workload=A] [--value_size=256]
+ */
+#include <cstdio>
+
+#include "benchutil/store_factory.h"
+#include "ycsb/runner.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    uint64_t records = flags.getInt("records", 20000);
+    uint64_t ops = flags.getInt("ops", 10000);
+    std::string workload = flags.getString("workload", "A");
+    size_t value_size = flags.getSize("value_size", 256);
+
+    BenchConfig config;
+    config.memtable_size = 256 << 10;
+    config.value_size = value_size;
+    config.dataset_bytes = records * (value_size + 16);
+    config.nvm_buffer_bytes = 2u << 20;
+
+    printf("YCSB workload %s: %llu records, %llu ops, %zu B values\n\n",
+           workload.c_str(), static_cast<unsigned long long>(records),
+           static_cast<unsigned long long>(ops), value_size);
+    printf("%-16s %10s %10s %10s %10s %10s\n", "store", "load KIOPS",
+           "run KIOPS", "avg us", "p99 us", "p99.9 us");
+
+    for (const char *store : {"miodb", "matrixkv", "novelsm"}) {
+        config.store = store;
+        StoreBundle bundle = makeStore(config);
+        ycsb::Runner runner(bundle.store.get(), value_size);
+        auto load = runner.load(records);
+        auto spec = ycsb::WorkloadSpec::byName(workload[0]);
+        auto run = runner.run(spec, records, ops);
+        printf("%-16s %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+               bundle.store->name().c_str(), load.kiops(),
+               run.kiops(), run.latency_us.average(),
+               run.latency_us.percentile(99),
+               run.latency_us.percentile(99.9));
+    }
+    printf("\nTry --workload=E for scans or --value_size=4096 for the "
+           "paper's default.\n");
+    return 0;
+}

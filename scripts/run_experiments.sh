@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation.
+#
+# Usage:
+#   scripts/run_experiments.sh [results_dir] [extra bench flags...]
+#
+# Each bench binary writes its report to <results_dir>/<name>.txt.
+# Pass e.g. --dataset_bytes=1g --memtable_size=64m to approach the
+# paper's absolute configuration (needs correspondingly more RAM/time).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+RESULTS="${1:-results}"
+shift || true
+
+if [ ! -d build/bench ]; then
+    echo "building first..."
+    cmake -B build -G Ninja
+    cmake --build build
+fi
+
+mkdir -p "$RESULTS"
+total_start=$(date +%s)
+for bench in build/bench/*; do
+    name=$(basename "$bench")
+    echo "=== $name"
+    start=$(date +%s)
+    "$bench" "$@" | tee "$RESULTS/$name.txt"
+    echo "    ($(( $(date +%s) - start ))s)"
+done
+echo "all experiments done in $(( $(date +%s) - total_start ))s;" \
+     "reports in $RESULTS/"

@@ -1,0 +1,137 @@
+#include "benchutil/db_bench.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace mio::bench {
+
+DbBench::DbBench(StoreBundle *bundle, const BenchConfig &config)
+    : bundle_(bundle), config_(config)
+{
+    Random rng(config_.seed * 17 + 3);
+    rng.fillString(&value_buf_, config_.value_size);
+}
+
+std::string
+DbBench::valueFor(uint64_t i)
+{
+    std::string v = value_buf_;
+    if (v.size() >= 16) {
+        char tag[17];
+        snprintf(tag, sizeof(tag), "%016llu",
+                 static_cast<unsigned long long>(i));
+        memcpy(v.data(), tag, 16);
+    }
+    return v;
+}
+
+PhaseResult
+DbBench::beginPhase(const std::string &name) const
+{
+    phase_start_stats_ = snapshotOf(bundle_->store->stats());
+    phase_start_device_bytes_ = bundle_->deviceBytesWritten();
+    PhaseResult r;
+    r.phase = name;
+    return r;
+}
+
+void
+DbBench::endPhase(PhaseResult *r, uint64_t ops, double seconds) const
+{
+    r->operations = ops;
+    r->seconds = seconds;
+    r->stats_delta = statsDelta(snapshotOf(bundle_->store->stats()),
+                                phase_start_stats_);
+    r->device_bytes_delta =
+        bundle_->deviceBytesWritten() - phase_start_device_bytes_;
+}
+
+PhaseResult
+DbBench::fill(bool random)
+{
+    PhaseResult r = beginPhase(random ? "fillrandom" : "fillseq");
+    const uint64_t n = config_.numKeys();
+
+    std::vector<uint64_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    if (random) {
+        Random rng(config_.seed);
+        for (uint64_t i = n; i > 1; i--)
+            std::swap(order[i - 1], order[rng.uniform(i)]);
+    }
+
+    Stopwatch total;
+    for (uint64_t i = 0; i < n; i++) {
+        Stopwatch op;
+        bundle_->store->put(makeKey(order[i]), valueFor(order[i]));
+        r.latency_us.add(op.elapsedMicros());
+    }
+    endPhase(&r, n, total.elapsedSeconds());
+    return r;
+}
+
+PhaseResult
+DbBench::fillSeq()
+{
+    return fill(false);
+}
+
+PhaseResult
+DbBench::fillRandom()
+{
+    return fill(true);
+}
+
+PhaseResult
+DbBench::readRandom(uint64_t n)
+{
+    PhaseResult r = beginPhase("readrandom");
+    const uint64_t keys = config_.numKeys();
+    Random rng(config_.seed * 7 + 1);
+    std::string value;
+
+    Stopwatch total;
+    for (uint64_t i = 0; i < n; i++) {
+        Stopwatch op;
+        bundle_->store->get(makeKey(rng.uniform(keys)), &value);
+        r.latency_us.add(op.elapsedMicros());
+    }
+    endPhase(&r, n, total.elapsedSeconds());
+    return r;
+}
+
+PhaseResult
+DbBench::readSeq(uint64_t n)
+{
+    PhaseResult r = beginPhase("readseq");
+    const uint64_t keys = config_.numKeys();
+    Random rng(config_.seed * 13 + 5);
+    uint64_t start = keys > n ? rng.uniform(keys - n) : 0;
+
+    std::vector<std::pair<std::string, std::string>> batch;
+    Stopwatch total;
+    uint64_t done = 0;
+    // Sequential reads via range scans of 100, as db_bench's readseq
+    // iterates the database in order.
+    while (done < n) {
+        int chunk = static_cast<int>(std::min<uint64_t>(100, n - done));
+        Stopwatch op;
+        bundle_->store->scan(makeKey(start + done), chunk, &batch);
+        double us = op.elapsedMicros();
+        int got = static_cast<int>(batch.size());
+        if (got == 0)
+            break;
+        for (int j = 0; j < got; j++)
+            r.latency_us.add(us / got);
+        done += got;
+    }
+    endPhase(&r, done, total.elapsedSeconds());
+    return r;
+}
+
+} // namespace mio::bench

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * db_bench-style micro-benchmark engine (fillseq, fillrandom, readseq,
+ * readrandom, plus stall/WA accounting), mirroring the LevelDB tool
+ * the paper's Sec. 5.1/5.3 experiments use.
+ */
+#ifndef MIO_BENCHUTIL_DB_BENCH_H_
+#define MIO_BENCHUTIL_DB_BENCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "benchutil/store_factory.h"
+#include "kv/kv_store.h"
+#include "util/histogram.h"
+
+namespace mio::bench {
+
+struct PhaseResult {
+    std::string phase;
+    uint64_t operations = 0;
+    double seconds = 0;
+    Histogram latency_us;
+    StatsSnapshot stats_delta;   //!< store counters over the phase
+    uint64_t device_bytes_delta = 0;
+
+    double kiops() const
+    {
+        return seconds > 0 ? operations / seconds / 1000.0 : 0;
+    }
+    double
+    mbps(size_t value_size) const
+    {
+        return seconds > 0 ? operations * value_size / seconds / 1e6 : 0;
+    }
+    /** WA over this phase: device traffic / user bytes. */
+    double
+    writeAmplification() const
+    {
+        return stats_delta.user_bytes_written
+                   ? static_cast<double>(device_bytes_delta) /
+                         stats_delta.user_bytes_written
+                   : 0.0;
+    }
+};
+
+class DbBench
+{
+  public:
+    DbBench(StoreBundle *bundle, const BenchConfig &config);
+
+    /** Write numKeys() sequential keys. */
+    PhaseResult fillSeq();
+    /** Write numKeys() keys in shuffled order (covers the key space). */
+    PhaseResult fillRandom();
+    /** Read @p n random existing keys. */
+    PhaseResult readRandom(uint64_t n);
+    /** Read @p n keys sequentially from a random start. */
+    PhaseResult readSeq(uint64_t n);
+    /** Drain background work between phases. */
+    void waitIdle() { bundle_->store->waitIdle(); }
+
+  private:
+    PhaseResult fill(bool random);
+    std::string valueFor(uint64_t i);
+    PhaseResult beginPhase(const std::string &name) const;
+    void endPhase(PhaseResult *r, uint64_t ops, double seconds) const;
+
+    StoreBundle *bundle_;
+    BenchConfig config_;
+    std::string value_buf_;
+    mutable StatsSnapshot phase_start_stats_;
+    mutable uint64_t phase_start_device_bytes_ = 0;
+};
+
+} // namespace mio::bench
+
+#endif // MIO_BENCHUTIL_DB_BENCH_H_

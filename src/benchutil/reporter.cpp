@@ -1,0 +1,86 @@
+#include "benchutil/reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mio::bench {
+
+TableReporter::TableReporter(std::string title,
+                             std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{}
+
+void
+TableReporter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TableReporter::print() const
+{
+    std::vector<size_t> widths(columns_.size());
+    for (size_t i = 0; i < columns_.size(); i++)
+        widths[i] = columns_[i].size();
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size() && i < widths.size(); i++)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    printf("\n## %s\n\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        printf("|");
+        for (size_t i = 0; i < columns_.size(); i++) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+        }
+        printf("\n");
+    };
+    print_row(columns_);
+    printf("|");
+    for (size_t i = 0; i < columns_.size(); i++) {
+        for (size_t j = 0; j < widths[i] + 2; j++)
+            printf("-");
+        printf("|");
+    }
+    printf("\n");
+    for (const auto &row : rows_)
+        print_row(row);
+    fflush(stdout);
+}
+
+std::string
+TableReporter::num(double v, int precision)
+{
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TableReporter::kiops(double ops_per_sec)
+{
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.1f", ops_per_sec / 1000.0);
+    return buf;
+}
+
+std::string
+TableReporter::micros(double us)
+{
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.1f", us);
+    return buf;
+}
+
+void
+printExperimentHeader(const std::string &id,
+                      const std::string &description)
+{
+    printf("\n==============================================================\n");
+    printf("%s: %s\n", id.c_str(), description.c_str());
+    printf("==============================================================\n");
+    fflush(stdout);
+}
+
+} // namespace mio::bench

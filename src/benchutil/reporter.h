@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table reporter used by every experiment binary so the
+ * regenerated tables/figures print in a consistent, diffable format.
+ */
+#ifndef MIO_BENCHUTIL_REPORTER_H_
+#define MIO_BENCHUTIL_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+namespace mio::bench {
+
+/** Accumulates rows and prints an aligned table with a title. */
+class TableReporter
+{
+  public:
+    TableReporter(std::string title, std::vector<std::string> columns);
+
+    void addRow(std::vector<std::string> cells);
+    /** Render to stdout. */
+    void print() const;
+
+    /** Helpers for consistent numeric formatting. */
+    static std::string num(double v, int precision = 2);
+    static std::string kiops(double ops_per_sec);
+    static std::string micros(double us);
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print the standard experiment header line. */
+void printExperimentHeader(const std::string &id,
+                           const std::string &description);
+
+} // namespace mio::bench
+
+#endif // MIO_BENCHUTIL_REPORTER_H_

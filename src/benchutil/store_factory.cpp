@@ -1,0 +1,150 @@
+#include "benchutil/store_factory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mio::bench {
+
+StoreBundle::~StoreBundle()
+{
+    // The store references the devices: tear it down first.
+    store.reset();
+    sstable_medium.reset();
+    ssd.reset();
+    nvm.reset();
+}
+
+uint64_t
+StoreBundle::deviceBytesWritten() const
+{
+    uint64_t total = 0;
+    if (nvm)
+        total += nvm->meters().bytes_written;
+    if (ssd)
+        total += ssd->meters().bytes_written;
+    return total;
+}
+
+uint64_t
+StoreBundle::nvmPeakBytes() const
+{
+    return nvm ? nvm->meters().peak_allocated : 0;
+}
+
+BenchConfig
+BenchConfig::fromFlags(const Flags &flags)
+{
+    BenchConfig c;
+    c.store = flags.getString("store", c.store);
+    c.memtable_size = flags.getSize("memtable_size", c.memtable_size);
+    c.value_size = flags.getSize("value_size", c.value_size);
+    c.dataset_bytes = flags.getSize("dataset_bytes", c.dataset_bytes);
+    c.num_reads = flags.getInt("num_reads", c.num_reads);
+    c.miodb_levels = static_cast<int>(
+        flags.getInt("levels", c.miodb_levels));
+    c.bits_per_key = static_cast<int>(
+        flags.getInt("bits_per_key", c.bits_per_key));
+    c.ssd_mode = flags.getBool("ssd_mode", c.ssd_mode);
+    c.perf_model = flags.getBool("perf_model", c.perf_model);
+    c.nvm_buffer_bytes =
+        flags.getSize("nvm_buffer_bytes", c.nvm_buffer_bytes);
+    c.miodb_buffer_cap =
+        flags.getSize("miodb_buffer_cap", c.miodb_buffer_cap);
+    c.seed = flags.getInt("seed", c.seed);
+    c.one_piece_flush =
+        flags.getBool("one_piece_flush", c.one_piece_flush);
+    c.zero_copy = flags.getBool("zero_copy", c.zero_copy);
+    c.parallel_compaction =
+        flags.getBool("parallel_compaction", c.parallel_compaction);
+    return c;
+}
+
+lsm::LsmOptions
+scaledLsmOptions(const BenchConfig &config)
+{
+    lsm::LsmOptions o;
+    // SSTables the size of one MemTable; L1 holds ~10 of them and each
+    // deeper level 10x more (the amplification factor of the paper's
+    // baseline configuration).
+    o.sstable_target_size = config.memtable_size;
+    o.level1_max_bytes = 10ull * config.memtable_size;
+    o.amplification_factor = 10;
+    o.num_levels = 7;
+    o.bits_per_key = config.bits_per_key;
+    o.l0_compaction_trigger = 4;
+    o.l0_slowdown_trigger = 8;
+    o.l0_stop_trigger = 12;
+    return o;
+}
+
+StoreBundle
+makeStore(const BenchConfig &config)
+{
+    StoreBundle bundle;
+    bundle.nvm = std::make_unique<sim::NvmDevice>(
+        config.perf_model ? sim::MemoryPerfModel::optaneDefault()
+                          : sim::MemoryPerfModel::none());
+    bundle.ssd = std::make_unique<sim::SsdDevice>(
+        config.perf_model ? sim::SsdPerfModel::nvmeDefault()
+                          : sim::SsdPerfModel::none());
+    if (config.ssd_mode) {
+        bundle.sstable_medium =
+            std::make_unique<sim::SsdMedium>(bundle.ssd.get());
+    } else {
+        bundle.sstable_medium =
+            std::make_unique<sim::NvmMedium>(bundle.nvm.get());
+    }
+
+    if (config.store == "miodb") {
+        miodb::MioOptions o;
+        o.memtable_size = config.memtable_size;
+        o.elastic_levels = config.miodb_levels;
+        o.bits_per_key = config.bits_per_key;
+        o.one_piece_flush = config.one_piece_flush;
+        o.zero_copy_merge = config.zero_copy;
+        o.parallel_compaction = config.parallel_compaction;
+        o.nvm_buffer_cap_bytes = config.miodb_buffer_cap;
+        o.use_ssd_repository = config.ssd_mode;
+        o.ssd_lsm = scaledLsmOptions(config);
+        bundle.store = std::make_unique<miodb::MioDB>(
+            o, bundle.nvm.get(), bundle.ssd.get());
+    } else if (config.store == "matrixkv") {
+        matrixkv::MatrixkvOptions o;
+        o.memtable_size = config.memtable_size;
+        o.matrix_capacity = config.nvm_buffer_bytes;
+        o.column_budget =
+            std::max<uint64_t>(config.memtable_size,
+                               config.nvm_buffer_bytes / 2);
+        o.lsm = scaledLsmOptions(config);
+        // MatrixKV supports parallel compaction (paper Fig. 9a).
+        o.lsm.compaction_threads = 4;
+        bundle.store = std::make_unique<matrixkv::MatrixKV>(
+            o, bundle.nvm.get(), bundle.sstable_medium.get());
+    } else if (config.store == "novelsm") {
+        novelsm::NovelsmOptions o;
+        o.variant = novelsm::Variant::kFlat;
+        o.dram_memtable_size = config.memtable_size;
+        o.nvm_memtable_size = config.nvm_buffer_bytes;
+        o.lsm = scaledLsmOptions(config);
+        bundle.store = std::make_unique<novelsm::NoveLSM>(
+            o, bundle.nvm.get(), bundle.sstable_medium.get());
+    } else if (config.store == "novelsm-hier") {
+        novelsm::NovelsmOptions o;
+        o.variant = novelsm::Variant::kHierarchical;
+        o.dram_memtable_size = config.memtable_size;
+        o.nvm_memtable_size = config.nvm_buffer_bytes;
+        o.lsm = scaledLsmOptions(config);
+        bundle.store = std::make_unique<novelsm::NoveLSM>(
+            o, bundle.nvm.get(), bundle.sstable_medium.get());
+    } else if (config.store == "novelsm-nosst") {
+        novelsm::NovelsmOptions o;
+        o.variant = novelsm::Variant::kNoSST;
+        bundle.store = std::make_unique<novelsm::NoveLSM>(
+            o, bundle.nvm.get(), bundle.sstable_medium.get());
+    } else {
+        assert(false && "unknown store name");
+    }
+    return bundle;
+}
+
+} // namespace mio::bench

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Builds a KVStore plus its simulated devices from a common bench
+ * configuration, so every experiment binary instantiates the three
+ * systems identically (same NVM/SSD models, scaled sizes).
+ */
+#ifndef MIO_BENCHUTIL_STORE_FACTORY_H_
+#define MIO_BENCHUTIL_STORE_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "kv/kv_store.h"
+#include "matrixkv/matrixkv.h"
+#include "miodb/miodb.h"
+#include "novelsm/novelsm.h"
+#include "sim/storage_medium.h"
+#include "util/flags.h"
+
+namespace mio::bench {
+
+/** Everything one store instance needs; destroyed as a unit. */
+struct StoreBundle {
+    StoreBundle() = default;
+    StoreBundle(StoreBundle &&) = default;
+    StoreBundle &operator=(StoreBundle &&) = default;
+
+    std::unique_ptr<sim::NvmDevice> nvm;
+    std::unique_ptr<sim::SsdDevice> ssd;
+    std::unique_ptr<sim::StorageMedium> sstable_medium;
+    std::unique_ptr<KVStore> store;
+
+    /** Bytes written to NVM+SSD (the WA numerator's device view). */
+    uint64_t deviceBytesWritten() const;
+    /** Peak NVM bytes allocated (Sec. 5.4 usage reporting). */
+    uint64_t nvmPeakBytes() const;
+
+    ~StoreBundle();
+};
+
+struct BenchConfig {
+    std::string store = "miodb";   //!< miodb|matrixkv|novelsm|novelsm-nosst
+    size_t memtable_size = 1u << 20;
+    size_t value_size = 1024;
+    uint64_t dataset_bytes = 32u << 20;
+    uint64_t num_reads = 20000;
+    int miodb_levels = 8;
+    int bits_per_key = 16;
+    bool ssd_mode = false;         //!< SSTables / repository on SSD
+    bool perf_model = true;        //!< charge NVM/SSD time costs
+    /** NVM buffer budget for the baselines (Fig. 14 sweep). */
+    uint64_t nvm_buffer_bytes = 8u << 20;
+    /** Elastic-buffer ceiling for MioDB (0 = unlimited, the default;
+     *  Fig. 14 caps it at the sweep's largest buffer per the paper). */
+    uint64_t miodb_buffer_cap = 0;
+    uint64_t seed = 42;
+    // MioDB ablation toggles.
+    bool one_piece_flush = true;
+    bool zero_copy = true;
+    bool parallel_compaction = true;
+
+    uint64_t
+    numKeys() const
+    {
+        uint64_t per = value_size + 16;
+        return dataset_bytes / per;
+    }
+
+    /** Parse the common flags shared by all bench binaries. */
+    static BenchConfig fromFlags(const Flags &flags);
+};
+
+/** Instantiate the configured store with fresh devices. */
+StoreBundle makeStore(const BenchConfig &config);
+
+/** LSM geometry scaled to the bench dataset (10x levels, etc.). */
+lsm::LsmOptions scaledLsmOptions(const BenchConfig &config);
+
+} // namespace mio::bench
+
+#endif // MIO_BENCHUTIL_STORE_FACTORY_H_

@@ -1,0 +1,5 @@
+/**
+ * @file
+ * KVStore is an interface; this translation unit anchors the library.
+ */
+#include "kv/kv_store.h"

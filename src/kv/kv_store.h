@@ -1,0 +1,76 @@
+/**
+ * @file
+ * KVStore: the public API every engine in this repository implements
+ * (MioDB, NoveLSM variants, MatrixKV). The bench harness, YCSB runner,
+ * and examples are all written against this interface.
+ */
+#ifndef MIO_KV_KV_STORE_H_
+#define MIO_KV_KV_STORE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kv/store_stats.h"
+#include "kv/write_batch.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace mio {
+
+class KVStore
+{
+  public:
+    virtual ~KVStore() = default;
+
+    /** Insert or update @p key with @p value. */
+    virtual Status put(const Slice &key, const Slice &value) = 0;
+
+    /**
+     * Apply @p batch atomically with respect to concurrent writers.
+     * Engines without a native batch path apply the ops one by one
+     * (still ordered, but interleavable with other writers).
+     */
+    virtual Status
+    write(const WriteBatch &batch)
+    {
+        for (const auto &op : batch.ops()) {
+            Status s = op.type == EntryType::kValue
+                           ? put(Slice(op.key), Slice(op.value))
+                           : remove(Slice(op.key));
+            if (!s.isOk())
+                return s;
+        }
+        return Status::ok();
+    }
+
+    /** Fetch the newest value of @p key; NotFound if absent/deleted. */
+    virtual Status get(const Slice &key, std::string *value) = 0;
+
+    /** Delete @p key (writes a tombstone). */
+    virtual Status remove(const Slice &key) = 0;
+
+    /**
+     * Range query: up to @p count consecutive live KV pairs starting
+     * at the first key >= @p start_key.
+     */
+    virtual Status scan(const Slice &start_key, int count,
+                        std::vector<std::pair<std::string, std::string>>
+                            *out) = 0;
+
+    /**
+     * Block until all background flushing/compaction has drained.
+     * Benches call this between the load and run phases.
+     */
+    virtual void waitIdle() = 0;
+
+    /** Live counters of this store. */
+    virtual const StatsCounters &stats() const = 0;
+
+    /** Engine name for reports, e.g. "MioDB", "MatrixKV". */
+    virtual std::string name() const = 0;
+};
+
+} // namespace mio
+
+#endif // MIO_KV_KV_STORE_H_

@@ -1,0 +1,81 @@
+#include "kv/store_stats.h"
+
+#include <cstdio>
+
+namespace mio {
+
+StatsSnapshot
+snapshotOf(const StatsCounters &c)
+{
+    StatsSnapshot s;
+    auto get = [](const std::atomic<uint64_t> &a) {
+        return a.load(std::memory_order_relaxed);
+    };
+    s.interval_stall_ns = get(c.interval_stall_ns);
+    s.cumulative_stall_ns = get(c.cumulative_stall_ns);
+    s.flush_ns = get(c.flush_ns);
+    s.flush_count = get(c.flush_count);
+    s.flushed_bytes = get(c.flushed_bytes);
+    s.serialization_ns = get(c.serialization_ns);
+    s.deserialization_ns = get(c.deserialization_ns);
+    s.user_bytes_written = get(c.user_bytes_written);
+    s.wal_bytes_written = get(c.wal_bytes_written);
+    s.storage_bytes_written = get(c.storage_bytes_written);
+    s.compaction_count = get(c.compaction_count);
+    s.compaction_ns = get(c.compaction_ns);
+    s.zero_copy_merges = get(c.zero_copy_merges);
+    s.lazy_copy_merges = get(c.lazy_copy_merges);
+    s.puts = get(c.puts);
+    s.gets = get(c.gets);
+    s.deletes = get(c.deletes);
+    s.scans = get(c.scans);
+    s.bloom_filter_skips = get(c.bloom_filter_skips);
+    return s;
+}
+
+StatsSnapshot
+statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
+{
+    StatsSnapshot d;
+    d.interval_stall_ns = a.interval_stall_ns - b.interval_stall_ns;
+    d.cumulative_stall_ns = a.cumulative_stall_ns - b.cumulative_stall_ns;
+    d.flush_ns = a.flush_ns - b.flush_ns;
+    d.flush_count = a.flush_count - b.flush_count;
+    d.flushed_bytes = a.flushed_bytes - b.flushed_bytes;
+    d.serialization_ns = a.serialization_ns - b.serialization_ns;
+    d.deserialization_ns = a.deserialization_ns - b.deserialization_ns;
+    d.user_bytes_written = a.user_bytes_written - b.user_bytes_written;
+    d.wal_bytes_written = a.wal_bytes_written - b.wal_bytes_written;
+    d.storage_bytes_written =
+        a.storage_bytes_written - b.storage_bytes_written;
+    d.compaction_count = a.compaction_count - b.compaction_count;
+    d.compaction_ns = a.compaction_ns - b.compaction_ns;
+    d.zero_copy_merges = a.zero_copy_merges - b.zero_copy_merges;
+    d.lazy_copy_merges = a.lazy_copy_merges - b.lazy_copy_merges;
+    d.puts = a.puts - b.puts;
+    d.gets = a.gets - b.gets;
+    d.deletes = a.deletes - b.deletes;
+    d.scans = a.scans - b.scans;
+    d.bloom_filter_skips = a.bloom_filter_skips - b.bloom_filter_skips;
+    return d;
+}
+
+std::string
+StatsSnapshot::toString() const
+{
+    char buf[512];
+    snprintf(buf, sizeof(buf),
+             "interval_stall=%.3fs cumulative_stall=%.3fs flush=%.3fs "
+             "(%llu tables) ser=%.3fs deser=%.3fs WA=%.2fx "
+             "compactions=%llu (zero-copy=%llu lazy=%llu)",
+             interval_stall_ns / 1e9, cumulative_stall_ns / 1e9,
+             flush_ns / 1e9, static_cast<unsigned long long>(flush_count),
+             serialization_ns / 1e9, deserialization_ns / 1e9,
+             writeAmplification(),
+             static_cast<unsigned long long>(compaction_count),
+             static_cast<unsigned long long>(zero_copy_merges),
+             static_cast<unsigned long long>(lazy_copy_merges));
+    return buf;
+}
+
+} // namespace mio

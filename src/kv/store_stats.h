@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared statistics counters every store implementation feeds; the
+ * bench harness reads snapshots to reproduce the paper's cost
+ * breakdowns (Table 1) and WA figures (Fig. 11).
+ */
+#ifndef MIO_KV_STORE_STATS_H_
+#define MIO_KV_STORE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mio {
+
+/**
+ * Live atomic counters. Components hold a pointer to their store's
+ * instance and bump the fields they are responsible for.
+ */
+struct StatsCounters {
+    // -- stall accounting (paper Sec. 3.1 definitions) --
+    /** Writer fully blocked (immutable not yet flushed / L0 stop). */
+    std::atomic<uint64_t> interval_stall_ns{0};
+    /** Deliberate per-write slowdowns near trigger thresholds. */
+    std::atomic<uint64_t> cumulative_stall_ns{0};
+
+    // -- flush path --
+    std::atomic<uint64_t> flush_ns{0};
+    std::atomic<uint64_t> flush_count{0};
+    std::atomic<uint64_t> flushed_bytes{0};
+    /** Time spent serializing MemTable entries to table format. */
+    std::atomic<uint64_t> serialization_ns{0};
+    /** Time spent reading+decoding serialized blocks on the read path. */
+    std::atomic<uint64_t> deserialization_ns{0};
+
+    // -- traffic --
+    std::atomic<uint64_t> user_bytes_written{0};
+    std::atomic<uint64_t> wal_bytes_written{0};
+    /** Bytes written to storage by flushes + compactions. */
+    std::atomic<uint64_t> storage_bytes_written{0};
+
+    // -- compaction --
+    std::atomic<uint64_t> compaction_count{0};
+    std::atomic<uint64_t> compaction_ns{0};
+    std::atomic<uint64_t> zero_copy_merges{0};
+    std::atomic<uint64_t> lazy_copy_merges{0};
+
+    // -- ops --
+    std::atomic<uint64_t> puts{0};
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> scans{0};
+    std::atomic<uint64_t> bloom_filter_skips{0};
+};
+
+/** Plain-value snapshot of StatsCounters. */
+struct StatsSnapshot {
+    uint64_t interval_stall_ns = 0;
+    uint64_t cumulative_stall_ns = 0;
+    uint64_t flush_ns = 0;
+    uint64_t flush_count = 0;
+    uint64_t flushed_bytes = 0;
+    uint64_t serialization_ns = 0;
+    uint64_t deserialization_ns = 0;
+    uint64_t user_bytes_written = 0;
+    uint64_t wal_bytes_written = 0;
+    uint64_t storage_bytes_written = 0;
+    uint64_t compaction_count = 0;
+    uint64_t compaction_ns = 0;
+    uint64_t zero_copy_merges = 0;
+    uint64_t lazy_copy_merges = 0;
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t deletes = 0;
+    uint64_t scans = 0;
+    uint64_t bloom_filter_skips = 0;
+
+    /**
+     * Write amplification as the paper defines it: all persistent
+     * traffic (WAL + flush + compaction) over user-written bytes --
+     * this is what makes MioDB's theoretical bound exactly 3
+     * (WAL + one-piece flush + lazy copy, paper Sec. 5.3).
+     */
+    double
+    writeAmplification() const
+    {
+        if (user_bytes_written == 0)
+            return 0.0;
+        return static_cast<double>(storage_bytes_written +
+                                   wal_bytes_written) /
+               static_cast<double>(user_bytes_written);
+    }
+
+    std::string toString() const;
+};
+
+StatsSnapshot snapshotOf(const StatsCounters &c);
+
+/** a - b, fieldwise; for measuring a phase. */
+StatsSnapshot statsDelta(const StatsSnapshot &a, const StatsSnapshot &b);
+
+} // namespace mio
+
+#endif // MIO_KV_STORE_STATS_H_

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * WriteBatch: an ordered group of updates applied atomically with
+ * respect to concurrent writers and crash recovery (the batch is
+ * logged as one WAL record), mirroring the LevelDB API the paper's
+ * substrate provides.
+ */
+#ifndef MIO_KV_WRITE_BATCH_H_
+#define MIO_KV_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "skiplist/skiplist.h"
+#include "util/slice.h"
+
+namespace mio {
+
+class WriteBatch
+{
+  public:
+    struct Op {
+        EntryType type;
+        std::string key;
+        std::string value;
+    };
+
+    void
+    put(const Slice &key, const Slice &value)
+    {
+        ops_.push_back(Op{EntryType::kValue, key.toString(),
+                          value.toString()});
+        byte_size_ += key.size() + value.size();
+    }
+
+    void
+    remove(const Slice &key)
+    {
+        ops_.push_back(Op{EntryType::kDeletion, key.toString(), ""});
+        byte_size_ += key.size();
+    }
+
+    void
+    clear()
+    {
+        ops_.clear();
+        byte_size_ = 0;
+    }
+
+    size_t count() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+    /** Total user bytes (keys + values) in the batch. */
+    size_t byteSize() const { return byte_size_; }
+
+    const std::vector<Op> &ops() const { return ops_; }
+
+  private:
+    std::vector<Op> ops_;
+    size_t byte_size_ = 0;
+};
+
+} // namespace mio
+
+#endif // MIO_KV_WRITE_BATCH_H_

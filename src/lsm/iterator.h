@@ -1,0 +1,195 @@
+/**
+ * @file
+ * KVIterator: the common internal-key iterator interface that flush
+ * and compaction pipelines consume, with adapters for skip lists and
+ * SSTables, plus a deduplicating user-level view.
+ */
+#ifndef MIO_LSM_ITERATOR_H_
+#define MIO_LSM_ITERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "skiplist/skiplist.h"
+#include "sstable/internal_key.h"
+#include "sstable/table_reader.h"
+#include "util/slice.h"
+
+namespace mio::lsm {
+
+/** Ordered iterator over (internal key, value) entries. */
+class KVIterator
+{
+  public:
+    virtual ~KVIterator() = default;
+
+    virtual bool valid() const = 0;
+    virtual void seekToFirst() = 0;
+    /** Position at the first entry >= @p internal_key. */
+    virtual void seek(const Slice &internal_key) = 0;
+    virtual void next() = 0;
+
+    /** Current internal key (valid until the next move). */
+    virtual Slice key() const = 0;
+    virtual Slice value() const = 0;
+};
+
+/** Adapts a SkipList (user key + seq + type) to internal-key form. */
+class SkipListIterator : public KVIterator
+{
+  public:
+    explicit SkipListIterator(const SkipList *list) : iter_(list) {}
+
+    bool valid() const override { return iter_.valid(); }
+    void
+    seekToFirst() override
+    {
+        iter_.seekToFirst();
+        update();
+    }
+    void
+    seek(const Slice &internal_key) override
+    {
+        ParsedInternalKey parsed;
+        if (!parseInternalKey(internal_key, &parsed)) {
+            iter_.seekToFirst();
+        } else {
+            iter_.seek(parsed.user_key);
+            // SkipList::seek targets (key, newest); skip entries whose
+            // (key, seq) still precede the requested internal key.
+            while (iter_.valid() &&
+                   SkipList::entryBefore(iter_.key(), iter_.seq(),
+                                         parsed.user_key, parsed.seq)) {
+                iter_.next();
+            }
+        }
+        update();
+    }
+    void
+    next() override
+    {
+        iter_.next();
+        update();
+    }
+
+    Slice key() const override { return Slice(key_buf_); }
+    Slice value() const override { return iter_.value(); }
+
+  private:
+    void
+    update()
+    {
+        key_buf_.clear();
+        if (iter_.valid()) {
+            appendInternalKey(&key_buf_, iter_.key(), iter_.seq(),
+                              iter_.entryType());
+        }
+    }
+
+    SkipList::Iterator iter_;
+    std::string key_buf_;
+};
+
+/** Adapts TableReader::Iterator (keeps the reader alive). */
+class TableIterator : public KVIterator
+{
+  public:
+    explicit TableIterator(std::shared_ptr<TableReader> table)
+        : table_(std::move(table)), iter_(table_.get())
+    {}
+
+    bool valid() const override { return iter_.valid(); }
+    void seekToFirst() override { iter_.seekToFirst(); }
+    void seek(const Slice &internal_key) override
+    {
+        iter_.seek(internal_key);
+    }
+    void next() override { iter_.next(); }
+    Slice key() const override { return iter_.key(); }
+    Slice value() const override { return iter_.value(); }
+
+  private:
+    std::shared_ptr<TableReader> table_;
+    TableReader::Iterator iter_;
+};
+
+/**
+ * User-level view over an internal-key iterator: exposes only the
+ * newest version of each key and skips tombstones. Used by scans.
+ */
+class DedupingIterator
+{
+  public:
+    explicit DedupingIterator(std::unique_ptr<KVIterator> base)
+        : base_(std::move(base))
+    {}
+
+    bool valid() const { return valid_; }
+
+    void
+    seekToFirst()
+    {
+        base_->seekToFirst();
+        settle();
+    }
+
+    void
+    seek(const Slice &user_key)
+    {
+        std::string target = makeLookupKey(user_key);
+        base_->seek(Slice(target));
+        settle();
+    }
+
+    void
+    next()
+    {
+        // Skip remaining versions of the current key, then settle.
+        std::string current = user_key_;
+        while (base_->valid() &&
+               extractUserKey(base_->key()) == Slice(current)) {
+            base_->next();
+        }
+        settle();
+    }
+
+    Slice key() const { return Slice(user_key_); }
+    Slice value() const { return Slice(value_); }
+
+  private:
+    /** Advance past tombstoned keys; capture the first live entry. */
+    void
+    settle()
+    {
+        valid_ = false;
+        while (base_->valid()) {
+            ParsedInternalKey parsed;
+            if (!parseInternalKey(base_->key(), &parsed)) {
+                base_->next();
+                continue;
+            }
+            if (parsed.type == EntryType::kDeletion) {
+                // Skip every version of this deleted key.
+                std::string dead = parsed.user_key.toString();
+                while (base_->valid() &&
+                       extractUserKey(base_->key()) == Slice(dead)) {
+                    base_->next();
+                }
+                continue;
+            }
+            user_key_ = parsed.user_key.toString();
+            value_ = base_->value().toString();
+            valid_ = true;
+            return;
+        }
+    }
+
+    std::unique_ptr<KVIterator> base_;
+    bool valid_ = false;
+    std::string user_key_;
+    std::string value_;
+};
+
+} // namespace mio::lsm
+
+#endif // MIO_LSM_ITERATOR_H_

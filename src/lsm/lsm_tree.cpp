@@ -1,0 +1,333 @@
+#include "lsm/lsm_tree.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "util/clock.h"
+
+namespace mio::lsm {
+
+LsmTree::LsmTree(const LsmOptions &options, sim::StorageMedium *medium,
+                 StatsCounters *stats, std::string name_prefix)
+    : options_(options), medium_(medium), stats_(stats),
+      name_prefix_(std::move(name_prefix)), versions_(options)
+{
+    int threads = options_.compaction_threads;
+    if (threads < 1)
+        threads = 1;
+    compaction_threads_.reserve(threads);
+    for (int i = 0; i < threads; i++) {
+        compaction_threads_.emplace_back(
+            [this] { compactionThreadLoop(); });
+    }
+}
+
+LsmTree::~LsmTree()
+{
+    {
+        std::unique_lock<std::mutex> lock(work_mu_);
+        shutting_down_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : compaction_threads_)
+        t.join();
+}
+
+std::shared_ptr<FileMeta>
+LsmTree::installBlob(std::string contents, uint64_t number,
+                     uint64_t num_entries, std::string smallest,
+                     std::string largest)
+{
+    auto meta = std::make_shared<FileMeta>();
+    meta->number = number;
+    meta->blob_name = name_prefix_ + "-" + std::to_string(number);
+    meta->smallest = std::move(smallest);
+    meta->largest = std::move(largest);
+    meta->file_size = contents.size();
+    meta->num_entries = num_entries;
+
+    Status s = medium_->writeBlob(meta->blob_name, Slice(contents));
+    assert(s.isOk());
+    stats_->storage_bytes_written.fetch_add(contents.size(),
+                                            std::memory_order_relaxed);
+    s = TableReader::open(medium_, meta->blob_name, &meta->reader,
+                          &stats_->deserialization_ns);
+    assert(s.isOk());
+    (void)s;
+    return meta;
+}
+
+Status
+LsmTree::writeTables(KVIterator *iter, bool drop_tombstones,
+                     std::vector<std::shared_ptr<FileMeta>> *outputs)
+{
+    std::unique_ptr<TableBuilder> builder;
+    std::string last_user_key;
+    bool has_last = false;
+
+    auto finish_table = [&]() {
+        if (!builder || builder->numEntries() == 0)
+            return;
+        uint64_t number = versions_.nextFileNumber();
+        std::string smallest = builder->smallestKey();
+        std::string largest = builder->largestKey();
+        uint64_t entries = builder->numEntries();
+        std::string contents = builder->finish();
+        outputs->push_back(installBlob(std::move(contents), number,
+                                       entries, std::move(smallest),
+                                       std::move(largest)));
+        builder.reset();
+    };
+
+    for (iter->seekToFirst(); iter->valid(); iter->next()) {
+        ParsedInternalKey parsed;
+        if (!parseInternalKey(iter->key(), &parsed))
+            return Status::corruption("bad internal key in compaction");
+        // Keep only the newest version of each user key.
+        if (has_last && parsed.user_key == Slice(last_user_key))
+            continue;
+        last_user_key.assign(parsed.user_key.data(),
+                             parsed.user_key.size());
+        has_last = true;
+        if (drop_tombstones && parsed.type == EntryType::kDeletion)
+            continue;
+
+        if (!builder) {
+            builder = std::make_unique<TableBuilder>(
+                options_.block_size, options_.bits_per_key);
+        }
+        builder->add(iter->key(), iter->value());
+        if (builder->estimatedSize() >= options_.sstable_target_size)
+            finish_table();
+    }
+    finish_table();
+    return Status::ok();
+}
+
+Status
+LsmTree::flushToL0(KVIterator *iter)
+{
+    ScopedTimer flush_timer(&stats_->flush_ns);
+    std::vector<std::shared_ptr<FileMeta>> outputs;
+    Status s;
+    {
+        ScopedTimer ser_timer(&stats_->serialization_ns);
+        s = writeTables(iter, /*drop_tombstones=*/false, &outputs);
+    }
+    if (!s.isOk())
+        return s;
+    for (auto &meta : outputs) {
+        stats_->flushed_bytes.fetch_add(meta->file_size,
+                                        std::memory_order_relaxed);
+        versions_.addFile(0, std::move(meta));
+    }
+    stats_->flush_count.fetch_add(1, std::memory_order_relaxed);
+    maybeScheduleCompaction();
+    return Status::ok();
+}
+
+Status
+LsmTree::mergeIntoLevel(int level, KVIterator *iter, const Slice &lo_user,
+                        const Slice &hi_user)
+{
+    ScopedTimer timer(&stats_->compaction_ns);
+    auto victims = versions_.overlappingFiles(level, lo_user, hi_user);
+
+    // MergingIterator owns children; wrap iter in a non-owning shim.
+    class Borrowed : public KVIterator
+    {
+      public:
+        explicit Borrowed(KVIterator *it) : it_(it) {}
+        bool valid() const override { return it_->valid(); }
+        void seekToFirst() override { it_->seekToFirst(); }
+        void seek(const Slice &k) override { it_->seek(k); }
+        void next() override { it_->next(); }
+        Slice key() const override { return it_->key(); }
+        Slice value() const override { return it_->value(); }
+
+      private:
+        KVIterator *it_;
+    };
+
+    std::vector<std::unique_ptr<KVIterator>> children;
+    // Incoming data is newer than every existing file: index 0 wins.
+    children.push_back(std::make_unique<Borrowed>(iter));
+    for (const auto &f : victims)
+        children.push_back(std::make_unique<TableIterator>(f->reader));
+
+    MergingIterator merged(std::move(children));
+    bool bottom = (level >= versions_.lastPopulatedLevel()) &&
+                  options_.drop_tombstones_at_bottom;
+    std::vector<std::shared_ptr<FileMeta>> outputs;
+    Status s = writeTables(&merged, bottom, &outputs);
+    if (!s.isOk())
+        return s;
+
+    versions_.replaceFiles(level, victims, std::move(outputs));
+    for (const auto &f : victims)
+        medium_->deleteBlob(f->blob_name);
+    stats_->compaction_count.fetch_add(1, std::memory_order_relaxed);
+    maybeScheduleCompaction();
+    return Status::ok();
+}
+
+bool
+LsmTree::get(const Slice &user_key, std::string *value, EntryType *type,
+             uint64_t *seq)
+{
+    for (int attempt = 0; attempt < 3; attempt++) {
+        bool retry = false;
+        // L0: newest file first (files overlap).
+        auto l0 = versions_.levelFiles(0);
+        for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+            const auto &f = *it;
+            if (user_key.compare(extractUserKey(Slice(f->smallest))) < 0 ||
+                user_key.compare(extractUserKey(Slice(f->largest))) > 0) {
+                continue;
+            }
+            Status s = f->reader->get(user_key, value, type, seq);
+            if (s.isOk())
+                return true;
+            if (s.isIOError()) {
+                retry = true;
+                break;
+            }
+        }
+        if (retry)
+            continue;
+
+        // L1+: at most one candidate file per level.
+        for (int level = 1; level < versions_.numLevels(); level++) {
+            auto files = versions_.levelFiles(level);
+            for (const auto &f : files) {
+                if (user_key.compare(
+                        extractUserKey(Slice(f->smallest))) < 0 ||
+                    user_key.compare(extractUserKey(Slice(f->largest))) >
+                        0) {
+                    continue;
+                }
+                Status s = f->reader->get(user_key, value, type, seq);
+                if (s.isOk())
+                    return true;
+                if (s.isIOError()) {
+                    retry = true;
+                    break;
+                }
+                break;  // disjoint ranges: only one file can match
+            }
+            if (retry)
+                break;
+        }
+        if (!retry)
+            return false;
+    }
+    return false;
+}
+
+std::unique_ptr<KVIterator>
+LsmTree::newIterator() const
+{
+    std::vector<std::unique_ptr<KVIterator>> children;
+    auto l0 = versions_.levelFiles(0);
+    for (auto it = l0.rbegin(); it != l0.rend(); ++it)
+        children.push_back(std::make_unique<TableIterator>((*it)->reader));
+    for (int level = 1; level < versions_.numLevels(); level++) {
+        for (const auto &f : versions_.levelFiles(level))
+            children.push_back(std::make_unique<TableIterator>(f->reader));
+    }
+    return std::make_unique<MergingIterator>(std::move(children));
+}
+
+void
+LsmTree::maybeScheduleCompaction()
+{
+    work_cv_.notify_all();
+}
+
+void
+LsmTree::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(work_mu_);
+    idle_cv_.wait(lock, [this] {
+        if (running_compactions_ > 0)
+            return false;
+        CompactionJob job = versions_.pickCompaction();
+        if (job.valid()) {
+            versions_.releaseJob(job);
+            work_cv_.notify_all();
+            return false;
+        }
+        return true;
+    });
+}
+
+void
+LsmTree::compactionThreadLoop()
+{
+    sim::markSimBackgroundThread();
+    std::unique_lock<std::mutex> lock(work_mu_);
+    while (!shutting_down_) {
+        CompactionJob job = versions_.pickCompaction();
+        if (!job.valid()) {
+            idle_cv_.notify_all();
+            work_cv_.wait_for(lock, std::chrono::milliseconds(20));
+            continue;
+        }
+        running_compactions_++;
+        lock.unlock();
+        doCompaction(job);
+        lock.lock();
+        running_compactions_--;
+        idle_cv_.notify_all();
+    }
+}
+
+bool
+LsmTree::runOneCompaction()
+{
+    CompactionJob job = versions_.pickCompaction();
+    if (!job.valid())
+        return false;
+    doCompaction(job);
+    return true;
+}
+
+void
+LsmTree::doCompaction(const CompactionJob &job)
+{
+    ScopedTimer timer(&stats_->compaction_ns);
+
+    std::vector<std::unique_ptr<KVIterator>> children;
+    if (job.level == 0) {
+        // Newest L0 file first so it wins deduplication.
+        for (auto it = job.inputs.rbegin(); it != job.inputs.rend(); ++it)
+            children.push_back(
+                std::make_unique<TableIterator>((*it)->reader));
+    } else {
+        for (const auto &f : job.inputs)
+            children.push_back(std::make_unique<TableIterator>(f->reader));
+    }
+    for (const auto &f : job.overlaps)
+        children.push_back(std::make_unique<TableIterator>(f->reader));
+
+    MergingIterator merged(std::move(children));
+    int out_level = std::min(job.level + 1, versions_.numLevels() - 1);
+    bool bottom = options_.drop_tombstones_at_bottom &&
+                  out_level >= versions_.lastPopulatedLevel();
+
+    std::vector<std::shared_ptr<FileMeta>> outputs;
+    Status s = writeTables(&merged, bottom, &outputs);
+    if (!s.isOk()) {
+        versions_.releaseJob(job);
+        return;
+    }
+
+    versions_.applyCompaction(job, std::move(outputs));
+    for (const auto &f : job.inputs)
+        medium_->deleteBlob(f->blob_name);
+    for (const auto &f : job.overlaps)
+        medium_->deleteBlob(f->blob_name);
+    stats_->compaction_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace mio::lsm

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * LsmTree: a LevelDB-style leveled engine of SSTables over a
+ * StorageMedium, with background compaction threads. It deliberately
+ * does NOT own a MemTable or WAL -- each store composes it with its
+ * own buffering architecture (NoveLSM's NVM MemTables, MatrixKV's
+ * matrix container, MioDB's SSD-mode bottom level).
+ */
+#ifndef MIO_LSM_LSM_TREE_H_
+#define MIO_LSM_LSM_TREE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kv/store_stats.h"
+#include "lsm/iterator.h"
+#include "lsm/merging_iterator.h"
+#include "lsm/version_set.h"
+#include "sim/storage_medium.h"
+
+namespace mio::lsm {
+
+class LsmTree
+{
+  public:
+    /**
+     * @param options level geometry and triggers
+     * @param medium where SSTable blobs live (NVM or SSD medium)
+     * @param stats the owning store's counters (serialization,
+     *        compaction, storage traffic are charged here)
+     * @param name_prefix distinguishes blobs of co-located trees
+     */
+    LsmTree(const LsmOptions &options, sim::StorageMedium *medium,
+            StatsCounters *stats, std::string name_prefix = "sst");
+    ~LsmTree();
+
+    LsmTree(const LsmTree &) = delete;
+    LsmTree &operator=(const LsmTree &) = delete;
+
+    /**
+     * Serialize all entries of @p iter (internal-key ordered) into L0
+     * tables. The serialization work is timed into stats. Called from
+     * the owning store's flush thread.
+     */
+    Status flushToL0(KVIterator *iter);
+
+    /**
+     * Merge @p iter (user-key range [lo, hi]) directly with the
+     * overlapping files of @p level, bypassing L0. This is the
+     * fine-grained compaction entry point MatrixKV's column
+     * compaction uses.
+     */
+    Status mergeIntoLevel(int level, KVIterator *iter,
+                          const Slice &lo_user, const Slice &hi_user);
+
+    /**
+     * Find the newest version of @p user_key across all levels.
+     * @return true when any version (including a tombstone) exists.
+     */
+    bool get(const Slice &user_key, std::string *value, EntryType *type,
+             uint64_t *seq = nullptr);
+
+    /** Internal-key merged iterator over every file (for scans). */
+    std::unique_ptr<KVIterator> newIterator() const;
+
+    /** Wake compaction threads if any level is over threshold. */
+    void maybeScheduleCompaction();
+
+    /** Block until no compaction is runnable or running. */
+    void waitIdle();
+
+    int l0FileCount() const { return versions_.numFiles(0); }
+    bool
+    needsSlowdown() const
+    {
+        return l0FileCount() >= options_.l0_slowdown_trigger;
+    }
+    bool
+    needsStop() const
+    {
+        return l0FileCount() >= options_.l0_stop_trigger;
+    }
+
+    VersionSet &versions() { return versions_; }
+    const LsmOptions &options() const { return options_; }
+    sim::StorageMedium *medium() { return medium_; }
+
+    /** Re-point the stats sink (adopting owner changed). */
+    void rebindStats(StatsCounters *stats) { stats_ = stats; }
+
+  private:
+    void compactionThreadLoop();
+    /** @return true if a job ran. */
+    bool runOneCompaction();
+    void doCompaction(const CompactionJob &job);
+
+    /**
+     * Consume @p iter writing output tables split at the target size;
+     * @p drop_tombstones discards deletion markers (bottom level).
+     * Duplicate user keys collapse to the newest version.
+     */
+    Status writeTables(KVIterator *iter, bool drop_tombstones,
+                       std::vector<std::shared_ptr<FileMeta>> *outputs);
+
+    std::shared_ptr<FileMeta> installBlob(std::string contents,
+                                          uint64_t number,
+                                          uint64_t num_entries,
+                                          std::string smallest,
+                                          std::string largest);
+
+    LsmOptions options_;
+    sim::StorageMedium *medium_;
+    StatsCounters *stats_;
+    std::string name_prefix_;
+    VersionSet versions_;
+
+    std::mutex work_mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    int running_compactions_ = 0;
+    bool shutting_down_ = false;
+    std::vector<std::thread> compaction_threads_;
+};
+
+} // namespace mio::lsm
+
+#endif // MIO_LSM_LSM_TREE_H_

@@ -1,0 +1,60 @@
+#include "lsm/merging_iterator.h"
+
+namespace mio::lsm {
+
+MergingIterator::MergingIterator(
+    std::vector<std::unique_ptr<KVIterator>> children)
+    : children_(std::move(children)), current_(-1)
+{}
+
+void
+MergingIterator::seekToFirst()
+{
+    for (auto &child : children_)
+        child->seekToFirst();
+    findSmallest();
+}
+
+void
+MergingIterator::seek(const Slice &internal_key)
+{
+    for (auto &child : children_)
+        child->seek(internal_key);
+    findSmallest();
+}
+
+void
+MergingIterator::next()
+{
+    children_[current_]->next();
+    findSmallest();
+}
+
+void
+MergingIterator::findSmallest()
+{
+    current_ = -1;
+    for (size_t i = 0; i < children_.size(); i++) {
+        if (!children_[i]->valid())
+            continue;
+        if (current_ < 0 ||
+            compareInternalKey(children_[i]->key(),
+                               children_[current_]->key()) < 0) {
+            current_ = static_cast<int>(i);
+        }
+    }
+}
+
+Slice
+MergingIterator::key() const
+{
+    return children_[current_]->key();
+}
+
+Slice
+MergingIterator::value() const
+{
+    return children_[current_]->value();
+}
+
+} // namespace mio::lsm

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * N-way merging iterator over child KVIterators in internal-key order,
+ * used by compaction and scans. Ties (same internal key from multiple
+ * children, which cannot happen for distinct seqs) resolve by child
+ * index, with lower index meaning newer source.
+ */
+#ifndef MIO_LSM_MERGING_ITERATOR_H_
+#define MIO_LSM_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/iterator.h"
+
+namespace mio::lsm {
+
+class MergingIterator : public KVIterator
+{
+  public:
+    /**
+     * @param children ordered newest source first; this index order
+     * breaks ties so newer stores win during deduplication.
+     */
+    explicit MergingIterator(
+        std::vector<std::unique_ptr<KVIterator>> children);
+
+    bool valid() const override { return current_ >= 0; }
+    void seekToFirst() override;
+    void seek(const Slice &internal_key) override;
+    void next() override;
+    Slice key() const override;
+    Slice value() const override;
+
+  private:
+    void findSmallest();
+
+    std::vector<std::unique_ptr<KVIterator>> children_;
+    int current_;
+};
+
+} // namespace mio::lsm
+
+#endif // MIO_LSM_MERGING_ITERATOR_H_

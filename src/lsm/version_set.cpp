@@ -1,0 +1,325 @@
+#include "lsm/version_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mio::lsm {
+
+namespace {
+
+inline Slice
+smallestUserKey(const FileMeta &f)
+{
+    return extractUserKey(Slice(f.smallest));
+}
+
+inline Slice
+largestUserKey(const FileMeta &f)
+{
+    return extractUserKey(Slice(f.largest));
+}
+
+} // namespace
+
+VersionSet::VersionSet(const LsmOptions &options)
+    : options_(options), levels_(options.num_levels),
+      compact_pointer_(options.num_levels)
+{}
+
+uint64_t
+VersionSet::nextFileNumber()
+{
+    return next_file_number_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+VersionSet::addFile(int level, std::shared_ptr<FileMeta> file)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &files = levels_[level];
+    if (level == 0) {
+        files.push_back(std::move(file));  // ordered by file number
+        return;
+    }
+    // Keep L1+ sorted by smallest key; ranges are disjoint there.
+    auto pos = std::lower_bound(
+        files.begin(), files.end(), file,
+        [](const std::shared_ptr<FileMeta> &a,
+           const std::shared_ptr<FileMeta> &b) {
+            return compareInternalKey(Slice(a->smallest),
+                                      Slice(b->smallest)) < 0;
+        });
+    files.insert(pos, std::move(file));
+}
+
+void
+VersionSet::applyCompaction(const CompactionJob &job,
+                            std::vector<std::shared_ptr<FileMeta>> outputs)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto remove_from = [this](int level,
+                              const std::vector<std::shared_ptr<FileMeta>>
+                                  &victims) {
+        auto &files = levels_[level];
+        for (const auto &victim : victims) {
+            files.erase(std::remove_if(
+                            files.begin(), files.end(),
+                            [&](const std::shared_ptr<FileMeta> &f) {
+                                return f->number == victim->number;
+                            }),
+                        files.end());
+            in_flight_.erase(victim->number);
+        }
+    };
+    remove_from(job.level, job.inputs);
+    if (job.level + 1 < numLevels())
+        remove_from(job.level + 1, job.overlaps);
+
+    int out_level = std::min(job.level + 1, numLevels() - 1);
+    auto &files = levels_[out_level];
+    for (auto &out : outputs) {
+        auto pos = std::lower_bound(
+            files.begin(), files.end(), out,
+            [](const std::shared_ptr<FileMeta> &a,
+               const std::shared_ptr<FileMeta> &b) {
+                return compareInternalKey(Slice(a->smallest),
+                                          Slice(b->smallest)) < 0;
+            });
+        files.insert(pos, std::move(out));
+    }
+}
+
+std::vector<std::shared_ptr<FileMeta>>
+VersionSet::levelFiles(int level) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return levels_[level];
+}
+
+int
+VersionSet::numFiles(int level) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(levels_[level].size());
+}
+
+uint64_t
+VersionSet::levelBytes(int level) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto &f : levels_[level])
+        total += f->file_size;
+    return total;
+}
+
+uint64_t
+VersionSet::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto &level : levels_)
+        for (const auto &f : level)
+            total += f->file_size;
+    return total;
+}
+
+uint64_t
+VersionSet::totalEntries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto &level : levels_)
+        for (const auto &f : level)
+            total += f->num_entries;
+    return total;
+}
+
+int
+VersionSet::lastPopulatedLevel() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = numLevels() - 1; i >= 0; i--) {
+        if (!levels_[i].empty())
+            return i;
+    }
+    return 0;
+}
+
+uint64_t
+VersionSet::maxBytesForLevel(int level) const
+{
+    uint64_t max = options_.level1_max_bytes;
+    for (int i = 1; i < level; i++)
+        max *= options_.amplification_factor;
+    return max;
+}
+
+double
+VersionSet::levelScore(int level) const
+{
+    // Callers hold mu_.
+    if (level == 0) {
+        return static_cast<double>(levels_[0].size()) /
+               static_cast<double>(options_.l0_compaction_trigger);
+    }
+    uint64_t bytes = 0;
+    for (const auto &f : levels_[level])
+        bytes += f->file_size;
+    return static_cast<double>(bytes) /
+           static_cast<double>(maxBytesForLevel(level));
+}
+
+std::vector<std::shared_ptr<FileMeta>>
+VersionSet::overlappingFilesLocked(int level, const Slice &lo_user,
+                                   const Slice &hi_user) const
+{
+    std::vector<std::shared_ptr<FileMeta>> result;
+    for (const auto &f : levels_[level]) {
+        if (largestUserKey(*f).compare(lo_user) < 0)
+            continue;
+        if (smallestUserKey(*f).compare(hi_user) > 0)
+            continue;
+        result.push_back(f);
+    }
+    return result;
+}
+
+std::vector<std::shared_ptr<FileMeta>>
+VersionSet::overlappingFiles(int level, const Slice &lo_user,
+                             const Slice &hi_user) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return overlappingFilesLocked(level, lo_user, hi_user);
+}
+
+CompactionJob
+VersionSet::pickCompaction()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    int best_level = -1;
+    double best_score = 1.0;
+    // The last level never compacts downward.
+    for (int level = 0; level + 1 < numLevels(); level++) {
+        double score = levelScore(level);
+        if (score >= best_score) {
+            best_score = score;
+            best_level = level;
+        }
+    }
+    if (best_level < 0)
+        return CompactionJob{};
+
+    CompactionJob job;
+    job.level = best_level;
+
+    auto claimed = [this](const FileMeta &f) {
+        return in_flight_.count(f.number) > 0;
+    };
+
+    if (best_level == 0) {
+        // All unclaimed L0 files compact together (they overlap).
+        for (const auto &f : levels_[0]) {
+            if (!claimed(*f))
+                job.inputs.push_back(f);
+        }
+    } else {
+        // Round-robin by key range, like LevelDB's compact pointer.
+        const auto &files = levels_[best_level];
+        std::shared_ptr<FileMeta> pick;
+        for (const auto &f : files) {
+            if (claimed(*f))
+                continue;
+            if (compact_pointer_[best_level].empty() ||
+                compareInternalKey(
+                    Slice(f->largest),
+                    Slice(compact_pointer_[best_level])) > 0) {
+                pick = f;
+                break;
+            }
+        }
+        if (!pick) {
+            for (const auto &f : files) {
+                if (!claimed(*f)) {
+                    pick = f;
+                    break;
+                }
+            }
+        }
+        if (pick) {
+            job.inputs.push_back(pick);
+            compact_pointer_[best_level] = pick->largest;
+        }
+    }
+    if (job.inputs.empty())
+        return CompactionJob{};
+
+    // Key range of the inputs determines next-level overlaps.
+    std::string lo = job.inputs[0]->smallest;
+    std::string hi = job.inputs[0]->largest;
+    for (const auto &f : job.inputs) {
+        if (compareInternalKey(Slice(f->smallest), Slice(lo)) < 0)
+            lo = f->smallest;
+        if (compareInternalKey(Slice(f->largest), Slice(hi)) > 0)
+            hi = f->largest;
+    }
+    if (job.level + 1 < numLevels()) {
+        auto overlaps = overlappingFilesLocked(
+            job.level + 1, extractUserKey(Slice(lo)),
+            extractUserKey(Slice(hi)));
+        for (const auto &f : overlaps) {
+            if (claimed(*f)) {
+                // A neighbour is busy; retry later to avoid a
+                // conflicting merge (the cross-level dependence the
+                // paper notes limits LSM compaction parallelism).
+                return CompactionJob{};
+            }
+        }
+        job.overlaps = std::move(overlaps);
+    }
+
+    for (const auto &f : job.inputs)
+        in_flight_.insert(f->number);
+    for (const auto &f : job.overlaps)
+        in_flight_.insert(f->number);
+    return job;
+}
+
+void
+VersionSet::replaceFiles(
+    int level, const std::vector<std::shared_ptr<FileMeta>> &victims,
+    std::vector<std::shared_ptr<FileMeta>> outputs)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &files = levels_[level];
+    for (const auto &victim : victims) {
+        files.erase(std::remove_if(files.begin(), files.end(),
+                                   [&](const std::shared_ptr<FileMeta> &f) {
+                                       return f->number == victim->number;
+                                   }),
+                    files.end());
+        in_flight_.erase(victim->number);
+    }
+    for (auto &out : outputs) {
+        auto pos = std::lower_bound(
+            files.begin(), files.end(), out,
+            [](const std::shared_ptr<FileMeta> &a,
+               const std::shared_ptr<FileMeta> &b) {
+                return compareInternalKey(Slice(a->smallest),
+                                          Slice(b->smallest)) < 0;
+            });
+        files.insert(pos, std::move(out));
+    }
+}
+
+void
+VersionSet::releaseJob(const CompactionJob &job)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &f : job.inputs)
+        in_flight_.erase(f->number);
+    for (const auto &f : job.overlaps)
+        in_flight_.erase(f->number);
+}
+
+} // namespace mio::lsm

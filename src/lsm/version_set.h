@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Leveled file metadata for the SSTable-based LSM substrate: per-level
+ * file lists, overlap queries, and compaction picking. A simplified
+ * (mutex-guarded, manifest-free) analogue of LevelDB's VersionSet that
+ * preserves the structural properties the paper's analysis depends on:
+ * overlapping L0 files, sorted disjoint L1+ files, 10x level sizing,
+ * and L0 slowdown/stop triggers.
+ */
+#ifndef MIO_LSM_VERSION_SET_H_
+#define MIO_LSM_VERSION_SET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sstable/table_reader.h"
+
+namespace mio::lsm {
+
+/** Immutable metadata of one on-medium table file. */
+struct FileMeta {
+    uint64_t number = 0;
+    std::string blob_name;
+    std::string smallest;  //!< internal key
+    std::string largest;   //!< internal key
+    uint64_t file_size = 0;
+    uint64_t num_entries = 0;
+    std::shared_ptr<TableReader> reader;
+};
+
+/** Inputs of one compaction: level -> level+1. */
+struct CompactionJob {
+    int level = -1;
+    std::vector<std::shared_ptr<FileMeta>> inputs;       //!< from level
+    std::vector<std::shared_ptr<FileMeta>> overlaps;     //!< from level+1
+    bool valid() const { return level >= 0; }
+};
+
+/** Tuning knobs of the leveled substrate. */
+struct LsmOptions {
+    int num_levels = 7;
+    size_t sstable_target_size = 4u << 20;
+    uint64_t level1_max_bytes = 40ull << 20;
+    int amplification_factor = 10;     //!< level size ratio
+    int l0_compaction_trigger = 4;
+    int l0_slowdown_trigger = 8;
+    int l0_stop_trigger = 12;
+    size_t block_size = 4096;
+    int bits_per_key = 16;
+    int compaction_threads = 1;
+    /** Drop tombstones when compacting into the last populated level. */
+    bool drop_tombstones_at_bottom = true;
+};
+
+class VersionSet
+{
+  public:
+    explicit VersionSet(const LsmOptions &options);
+
+    uint64_t nextFileNumber();
+
+    void addFile(int level, std::shared_ptr<FileMeta> file);
+
+    /** Atomically apply a compaction result. */
+    void applyCompaction(const CompactionJob &job,
+                         std::vector<std::shared_ptr<FileMeta>> outputs);
+
+    /** Copy of a level's file list (L0 ordered oldest->newest). */
+    std::vector<std::shared_ptr<FileMeta>> levelFiles(int level) const;
+
+    int numFiles(int level) const;
+    uint64_t levelBytes(int level) const;
+    uint64_t totalBytes() const;
+    uint64_t totalEntries() const;
+    int numLevels() const { return static_cast<int>(levels_.size()); }
+    /** Deepest level that currently holds any file. */
+    int lastPopulatedLevel() const;
+
+    uint64_t maxBytesForLevel(int level) const;
+
+    /**
+     * Pick the most urgent compaction, or an invalid job if no level
+     * exceeds its threshold. Files already claimed by a running
+     * compaction are skipped (simple per-file in-flight marks).
+     */
+    CompactionJob pickCompaction();
+
+    /** Release the in-flight marks of an abandoned/finished job. */
+    void releaseJob(const CompactionJob &job);
+
+    /**
+     * Atomically replace @p victims in @p level with @p outputs (used
+     * by direct level merges such as MatrixKV column compaction).
+     */
+    void replaceFiles(int level,
+                      const std::vector<std::shared_ptr<FileMeta>> &victims,
+                      std::vector<std::shared_ptr<FileMeta>> outputs);
+
+    /** Files in @p level whose user-key range intersects [lo, hi]. */
+    std::vector<std::shared_ptr<FileMeta>>
+    overlappingFiles(int level, const Slice &lo_user,
+                     const Slice &hi_user) const;
+
+  private:
+    double levelScore(int level) const;
+    std::vector<std::shared_ptr<FileMeta>>
+    overlappingFilesLocked(int level, const Slice &lo_user,
+                           const Slice &hi_user) const;
+
+    LsmOptions options_;
+    mutable std::mutex mu_;
+    std::vector<std::vector<std::shared_ptr<FileMeta>>> levels_;
+    std::vector<std::string> compact_pointer_;  //!< round-robin cursors
+    std::set<uint64_t> in_flight_;
+    std::atomic<uint64_t> next_file_number_{1};
+};
+
+} // namespace mio::lsm
+
+#endif // MIO_LSM_VERSION_SET_H_

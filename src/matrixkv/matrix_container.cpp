@@ -1,0 +1,279 @@
+#include "matrixkv/matrix_container.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/clock.h"
+
+namespace mio::matrixkv {
+
+RowTable::RowTable(lsm::MemTable *mem, sim::NvmDevice *device,
+                   StatsCounters *stats, uint64_t row_id)
+    : row_id_(row_id), device_(device)
+{
+    // Serialization: values are packed into one NVM region; keys stay
+    // in a DRAM index. This is the flush-time serialization cost that
+    // SSTable-family designs pay and MioDB eliminates.
+    ScopedTimer ser_timer(&stats->serialization_ns);
+
+    std::string payload;
+    SkipList::Iterator it(&mem->list());
+    entries_.reserve(mem->entryCount());
+    for (it.seekToFirst(); it.valid(); it.next()) {
+        Entry e;
+        e.user_key = it.key().toString();
+        e.seq = it.seq();
+        e.type = it.entryType();
+        e.value_offset = payload.size();
+        e.value_len = static_cast<uint32_t>(it.value().size());
+        payload.append(it.value().data(), it.value().size());
+        // Keys are persisted too (the DRAM copy is an index).
+        payload.append(e.user_key);
+        entries_.push_back(std::move(e));
+    }
+    region_size_ = payload.size();
+    if (region_size_ > 0) {
+        region_ = device_->allocateRegion(region_size_);
+        device_->write(region_, payload.data(), payload.size());
+        device_->persist(region_, region_size_);
+    }
+    stats->storage_bytes_written.fetch_add(region_size_,
+                                           std::memory_order_relaxed);
+}
+
+RowTable::~RowTable()
+{
+    if (region_ != nullptr)
+        device_->freeRegion(region_);
+}
+
+uint64_t
+RowTable::liveBytes() const
+{
+    uint64_t total = 0;
+    for (size_t i = cursor(); i < entries_.size(); i++) {
+        total += entries_[i].value_len + entries_[i].user_key.size();
+    }
+    return total;
+}
+
+void
+RowTable::readValue(size_t i, std::string *value) const
+{
+    const Entry &e = entries_[i];
+    value->assign(region_ + e.value_offset, e.value_len);
+    device_->chargeRead(e.value_len);
+}
+
+size_t
+RowTable::upperBound(const Slice &key) const
+{
+    size_t lo = cursor(), hi = entries_.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (Slice(entries_[mid].user_key).compare(key) <= 0)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+bool
+RowTable::get(const Slice &key, std::string *value, EntryType *type,
+              uint64_t *seq, StatsCounters *stats) const
+{
+    // Find the first (newest) live entry with this user key.
+    size_t lo = cursor(), hi = entries_.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (Slice(entries_[mid].user_key).compare(key) < 0)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo >= entries_.size() ||
+        Slice(entries_[lo].user_key) != key) {
+        return false;
+    }
+    const Entry &e = entries_[lo];
+    *type = e.type;
+    if (seq != nullptr)
+        *seq = e.seq;
+    if (e.type == EntryType::kValue) {
+        ScopedTimer deser(&stats->deserialization_ns);
+        readValue(lo, value);
+    }
+    return true;
+}
+
+MatrixContainer::MatrixContainer(sim::NvmDevice *device,
+                                 StatsCounters *stats)
+    : device_(device), stats_(stats)
+{}
+
+void
+MatrixContainer::addRow(lsm::MemTable *mem, uint64_t row_id)
+{
+    auto row = std::make_shared<RowTable>(mem, device_, stats_, row_id);
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_.push_back(std::move(row));
+}
+
+uint64_t
+MatrixContainer::liveBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto &row : rows_)
+        total += row->liveBytes();
+    return total;
+}
+
+size_t
+MatrixContainer::numRows() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_.size();
+}
+
+std::vector<std::shared_ptr<RowTable>>
+MatrixContainer::rowsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<RowTable>> snap;
+    snap.reserve(rows_.size());
+    for (auto it = rows_.rbegin(); it != rows_.rend(); ++it)
+        snap.push_back(*it);
+    return snap;
+}
+
+bool
+MatrixContainer::planColumn(
+    const std::vector<std::shared_ptr<RowTable>> &rows,
+    uint64_t budget_bytes, std::string *hi_key) const
+{
+    // K-way walk over the rows' live prefixes accumulating bytes
+    // until the budget is met; the largest key reached bounds the
+    // column.
+    struct Pos {
+        const RowTable *row;
+        size_t index;
+    };
+    std::vector<Pos> pos;
+    for (const auto &row : rows) {
+        if (!row->drained())
+            pos.push_back({row.get(), row->cursor()});
+    }
+    if (pos.empty())
+        return false;
+
+    uint64_t accumulated = 0;
+    std::string max_key;
+    while (accumulated < budget_bytes) {
+        int best = -1;
+        for (size_t i = 0; i < pos.size(); i++) {
+            if (pos[i].index >= pos[i].row->numEntries())
+                continue;
+            if (best < 0 ||
+                Slice(pos[i].row->entry(pos[i].index).user_key)
+                        .compare(Slice(pos[best]
+                                           .row->entry(pos[best].index)
+                                           .user_key)) < 0) {
+                best = static_cast<int>(i);
+            }
+        }
+        if (best < 0)
+            break;  // matrix exhausted before the budget
+        const auto &e = pos[best].row->entry(pos[best].index);
+        accumulated += e.value_len + e.user_key.size();
+        if (max_key.empty() ||
+            Slice(e.user_key).compare(Slice(max_key)) > 0) {
+            max_key = e.user_key;
+        }
+        pos[best].index++;
+    }
+    if (max_key.empty())
+        return false;
+    *hi_key = std::move(max_key);
+    return true;
+}
+
+void
+MatrixContainer::consumeColumn(
+    const Slice &hi_key,
+    const std::vector<std::shared_ptr<RowTable>> &rows)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &row : rows)
+        row->setCursor(row->upperBound(hi_key));
+    while (!rows_.empty() && rows_.front()->drained())
+        rows_.pop_front();
+    // Drained rows elsewhere in the deque are retained until they
+    // reach the front; their NVM is reclaimed when the shared_ptr
+    // drops (readers may still hold snapshots).
+}
+
+bool
+MatrixContainer::get(const Slice &key, std::string *value,
+                     EntryType *type, uint64_t *seq) const
+{
+    auto rows = rowsSnapshot();  // newest first
+    for (const auto &row : rows) {
+        if (row->get(key, value, type, seq, stats_))
+            return true;
+    }
+    return false;
+}
+
+RowRangeIterator::RowRangeIterator(std::shared_ptr<RowTable> row,
+                                   std::string hi_key)
+    : row_(std::move(row)), hi_key_(std::move(hi_key)),
+      index_(row_->numEntries()), end_(row_->numEntries())
+{}
+
+void
+RowRangeIterator::seekToFirst()
+{
+    index_ = row_->cursor();
+    // An empty bound means "the whole live row" (used by scans).
+    end_ = hi_key_.empty() ? row_->numEntries()
+                           : row_->upperBound(Slice(hi_key_));
+    load();
+}
+
+void
+RowRangeIterator::seek(const Slice &internal_key)
+{
+    seekToFirst();
+    while (valid() &&
+           compareInternalKey(Slice(key_buf_), internal_key) < 0) {
+        next();
+    }
+}
+
+bool
+RowRangeIterator::valid() const
+{
+    return index_ < end_;
+}
+
+void
+RowRangeIterator::next()
+{
+    index_++;
+    load();
+}
+
+void
+RowRangeIterator::load()
+{
+    if (!valid())
+        return;
+    const RowTable::Entry &e = row_->entry(index_);
+    key_buf_.clear();
+    appendInternalKey(&key_buf_, Slice(e.user_key), e.seq, e.type);
+    row_->readValue(index_, &value_buf_);
+}
+
+} // namespace mio::matrixkv

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * MatrixKV's matrix container (Yao et al., ATC'20): the L0 of the
+ * LSM-tree is replaced by an NVM-resident matrix. Each flushed
+ * MemTable is serialized into one *row* (a sorted run in NVM with an
+ * in-DRAM key index); *column compaction* merges a narrow key range
+ * across all rows into L1, so each compaction moves little data and
+ * write stalls shrink.
+ *
+ * Rows are consumed front-to-back: a column always covers the lowest
+ * remaining key range, so each row's live region is a suffix tracked
+ * by a cursor -- matching the paper's description of column-wise
+ * draining of the matrix.
+ */
+#ifndef MIO_MATRIXKV_MATRIX_CONTAINER_H_
+#define MIO_MATRIXKV_MATRIX_CONTAINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kv/store_stats.h"
+#include "lsm/iterator.h"
+#include "lsm/memtable.h"
+#include "sim/nvm_device.h"
+
+namespace mio::matrixkv {
+
+/**
+ * One serialized row: entry payloads in an NVM region, key index in
+ * DRAM (the paper's "on-DRAM indexes for the matrix container").
+ */
+class RowTable
+{
+  public:
+    /** Serialize @p mem into NVM owned by @p device. */
+    RowTable(lsm::MemTable *mem, sim::NvmDevice *device,
+             StatsCounters *stats, uint64_t row_id);
+    ~RowTable();
+
+    RowTable(const RowTable &) = delete;
+    RowTable &operator=(const RowTable &) = delete;
+
+    struct Entry {
+        std::string user_key;
+        uint64_t seq;
+        EntryType type;
+        uint64_t value_offset;  //!< into the NVM region
+        uint32_t value_len;
+    };
+
+    uint64_t rowId() const { return row_id_; }
+    size_t numEntries() const { return entries_.size(); }
+    /** Index of the first not-yet-compacted entry. */
+    size_t cursor() const
+    {
+        return cursor_.load(std::memory_order_acquire);
+    }
+    void
+    setCursor(size_t c)
+    {
+        cursor_.store(c, std::memory_order_release);
+    }
+    bool drained() const { return cursor() >= entries_.size(); }
+
+    /** Bytes of NVM still referenced by live (uncompacted) entries. */
+    uint64_t liveBytes() const;
+    uint64_t regionBytes() const { return region_size_; }
+
+    const Entry &entry(size_t i) const { return entries_[i]; }
+
+    /**
+     * Point lookup among live entries; reads the value from NVM
+     * (a metered, timed deserialization).
+     * @return true if the key is present (type distinguishes).
+     */
+    bool get(const Slice &key, std::string *value, EntryType *type,
+             uint64_t *seq, StatsCounters *stats) const;
+
+    /** Copy the value bytes of entry @p i out of NVM. */
+    void readValue(size_t i, std::string *value) const;
+
+    /** First live index with user_key > @p key (binary search). */
+    size_t upperBound(const Slice &key) const;
+
+  private:
+    uint64_t row_id_;
+    sim::NvmDevice *device_;
+    char *region_ = nullptr;
+    uint64_t region_size_ = 0;
+    std::vector<Entry> entries_;
+    std::atomic<size_t> cursor_{0};
+};
+
+/** The matrix: a deque of rows plus column-compaction support. */
+class MatrixContainer
+{
+  public:
+    MatrixContainer(sim::NvmDevice *device, StatsCounters *stats);
+
+    /** Serialize @p mem as the newest row. */
+    void addRow(lsm::MemTable *mem, uint64_t row_id);
+
+    /** Sum of live bytes across rows (the container's fill level). */
+    uint64_t liveBytes() const;
+    size_t numRows() const;
+
+    /**
+     * Plan the next column over @p rows: the lowest remaining key
+     * range whose entries total roughly @p budget_bytes.
+     *
+     * @return false when the rows are all drained.
+     */
+    bool planColumn(const std::vector<std::shared_ptr<RowTable>> &rows,
+                    uint64_t budget_bytes, std::string *hi_key) const;
+
+    /**
+     * Snapshot of rows for reading (newest first) or compaction.
+     */
+    std::vector<std::shared_ptr<RowTable>> rowsSnapshot() const;
+
+    /**
+     * Advance the cursors of exactly @p rows past @p hi_key and drop
+     * drained rows. Called after the column's data has been merged
+     * into L1. Restricting the advance to the snapshot that fed the
+     * merge keeps rows added concurrently (whose entries were NOT
+     * merged) intact.
+     */
+    void consumeColumn(const Slice &hi_key,
+                       const std::vector<std::shared_ptr<RowTable>>
+                           &rows);
+
+    bool get(const Slice &key, std::string *value, EntryType *type,
+             uint64_t *seq) const;
+
+  private:
+    sim::NvmDevice *device_;
+    StatsCounters *stats_;
+    mutable std::mutex mu_;
+    std::deque<std::shared_ptr<RowTable>> rows_;  //!< front = oldest
+};
+
+/**
+ * Internal-key iterator over the column [row cursors, hi_key] of a
+ * row snapshot, merged across rows by the caller via MergingIterator.
+ */
+class RowRangeIterator : public lsm::KVIterator
+{
+  public:
+    /**
+     * Iterate row entries from the cursor up to user keys <= hi.
+     * An empty @p hi_key means unbounded (the whole live row).
+     */
+    RowRangeIterator(std::shared_ptr<RowTable> row, std::string hi_key);
+
+    bool valid() const override;
+    void seekToFirst() override;
+    void seek(const Slice &internal_key) override;
+    void next() override;
+    Slice key() const override { return Slice(key_buf_); }
+    Slice value() const override { return Slice(value_buf_); }
+
+  private:
+    void load();
+
+    std::shared_ptr<RowTable> row_;
+    std::string hi_key_;
+    size_t index_;
+    size_t end_;
+    std::string key_buf_;
+    std::string value_buf_;
+};
+
+} // namespace mio::matrixkv
+
+#endif // MIO_MATRIXKV_MATRIX_CONTAINER_H_

@@ -1,0 +1,286 @@
+#include "matrixkv/matrixkv.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "lsm/merging_iterator.h"
+#include "util/clock.h"
+#include "util/coding.h"
+
+namespace mio::matrixkv {
+
+MatrixKV::MatrixKV(const MatrixkvOptions &options, sim::NvmDevice *nvm,
+                   sim::StorageMedium *sstable_medium)
+    : options_(options), nvm_(nvm), matrix_(nvm, &stats_)
+{
+    lsm_ = std::make_unique<lsm::LsmTree>(options_.lsm, sstable_medium,
+                                          &stats_, "matrixkv");
+    mem_ = std::make_shared<lsm::MemTable>(options_.memtable_size,
+                                           /*rng_seed=*/0x1234);
+    if (options_.enable_wal)
+        wal_ = wal_registry_.open("matrixkv-wal-0", nvm_);
+    flush_thread_ = std::thread([this] { flushThreadLoop(); });
+    column_thread_ = std::thread([this] { columnThreadLoop(); });
+}
+
+MatrixKV::~MatrixKV()
+{
+    shutting_down_.store(true);
+    imm_cv_.notify_all();
+    flush_thread_.join();
+    column_thread_.join();
+}
+
+void
+MatrixKV::applyWritePressure()
+{
+    uint64_t live = matrix_.liveBytes();
+    if (live > options_.matrix_capacity * 2) {
+        // Hard limit: block until column compaction makes room.
+        ScopedTimer stall(&stats_.interval_stall_ns);
+        while (matrix_.liveBytes() > options_.matrix_capacity &&
+               !shutting_down_.load()) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    } else if (live > options_.matrix_capacity) {
+        // Near-full: throttle writers (the cumulative stalls that
+        // dominate MatrixKV's write time in the paper's Table 1).
+        ScopedTimer stall(&stats_.cumulative_stall_ns);
+        spinFor(options_.slowdown_ns);
+    }
+}
+
+Status
+MatrixKV::writeEntry(const Slice &key, EntryType type, const Slice &value)
+{
+    if (key.empty())
+        return Status::invalidArgument("empty key");
+
+    std::lock_guard<std::mutex> lock(write_mu_);
+    applyWritePressure();
+
+    uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    stats_.user_bytes_written.fetch_add(key.size() + value.size(),
+                                        std::memory_order_relaxed);
+    if (options_.enable_wal) {
+        std::string record;
+        putFixed64(&record, seq);
+        record.push_back(static_cast<char>(type));
+        putLengthPrefixedSlice(&record, key);
+        putLengthPrefixedSlice(&record, value);
+        wal_->append(Slice(record));
+        stats_.wal_bytes_written.fetch_add(record.size() + 8,
+                                           std::memory_order_relaxed);
+    }
+    if (!mem_->add(key, seq, type, value)) {
+        rotateMemTable();
+        if (!mem_->add(key, seq, type, value))
+            return Status::invalidArgument("entry too large");
+    }
+    return Status::ok();
+}
+
+void
+MatrixKV::rotateMemTable()
+{
+    std::unique_lock<std::mutex> il(imm_mu_);
+    imms_.push_back(mem_);
+    if (imms_.size() > 2) {
+        // Flushing (row serialization) cannot keep up.
+        ScopedTimer stall(&stats_.interval_stall_ns);
+        imm_cv_.notify_all();
+        imm_cv_.wait(il, [this] {
+            return imms_.size() <= 2 || shutting_down_.load();
+        });
+    }
+    mem_ = std::make_shared<lsm::MemTable>(options_.memtable_size,
+                                           next_id_.fetch_add(1) * 5 + 1);
+    if (options_.enable_wal) {
+        wal_registry_.remove("matrixkv-wal-" + std::to_string(wal_id_));
+        wal_id_++;
+        wal_ = wal_registry_.open(
+            "matrixkv-wal-" + std::to_string(wal_id_), nvm_);
+    }
+    il.unlock();
+    imm_cv_.notify_all();
+}
+
+void
+MatrixKV::flushThreadLoop()
+{
+    sim::markSimBackgroundThread();
+    for (;;) {
+        std::shared_ptr<lsm::MemTable> victim;
+        {
+            std::unique_lock<std::mutex> il(imm_mu_);
+            while (imms_.empty()) {
+                if (shutting_down_.load())
+                    return;
+                imm_cv_.wait_for(il, std::chrono::milliseconds(5));
+            }
+            victim = imms_.front();
+        }
+        {
+            ScopedTimer flush_timer(&stats_.flush_ns);
+            matrix_.addRow(victim.get(), next_id_.fetch_add(1));
+        }
+        stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
+        stats_.flushed_bytes.fetch_add(victim->memoryUsed(),
+                                       std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> il(imm_mu_);
+            if (!imms_.empty())
+                imms_.pop_front();
+        }
+        imm_cv_.notify_all();
+    }
+}
+
+bool
+MatrixKV::compactOneColumn()
+{
+    // One snapshot feeds planning, merging, and cursor advance: rows
+    // flushed concurrently are untouched until the next column.
+    auto rows = matrix_.rowsSnapshot();  // newest first
+    std::string hi_key;
+    if (!matrix_.planColumn(rows, options_.column_budget, &hi_key))
+        return false;
+
+    std::vector<std::unique_ptr<lsm::KVIterator>> children;
+    for (const auto &row : rows)
+        children.push_back(std::make_unique<RowRangeIterator>(row,
+                                                              hi_key));
+    lsm::MergingIterator merged(std::move(children));
+
+    Status s = lsm_->mergeIntoLevel(1, &merged, Slice(""),
+                                    Slice(hi_key));
+    if (!s.isOk())
+        return false;
+    matrix_.consumeColumn(Slice(hi_key), rows);
+    stats_.compaction_count.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+MatrixKV::columnThreadLoop()
+{
+    sim::markSimBackgroundThread();
+    while (!shutting_down_.load()) {
+        // Drain the matrix toward 70% of capacity once it fills.
+        bool worked = false;
+        if (matrix_.liveBytes() >
+            options_.matrix_capacity * 7 / 10) {
+            worked = compactOneColumn();
+        }
+        if (!worked) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    }
+}
+
+Status
+MatrixKV::put(const Slice &key, const Slice &value)
+{
+    stats_.puts.fetch_add(1, std::memory_order_relaxed);
+    return writeEntry(key, EntryType::kValue, value);
+}
+
+Status
+MatrixKV::remove(const Slice &key)
+{
+    stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+    return writeEntry(key, EntryType::kDeletion, Slice());
+}
+
+Status
+MatrixKV::get(const Slice &key, std::string *value)
+{
+    stats_.gets.fetch_add(1, std::memory_order_relaxed);
+    EntryType type;
+
+    std::shared_ptr<lsm::MemTable> mem;
+    std::vector<std::shared_ptr<lsm::MemTable>> imms;
+    {
+        std::lock_guard<std::mutex> il(imm_mu_);
+        mem = mem_;
+        for (auto it = imms_.rbegin(); it != imms_.rend(); ++it)
+            imms.push_back(*it);
+    }
+    if (mem && mem->get(key, value, &type)) {
+        return type == EntryType::kValue ? Status::ok()
+                                         : Status::notFound(key);
+    }
+    for (const auto &imm : imms) {
+        if (imm->get(key, value, &type)) {
+            return type == EntryType::kValue ? Status::ok()
+                                             : Status::notFound(key);
+        }
+    }
+    if (matrix_.get(key, value, &type, nullptr)) {
+        return type == EntryType::kValue ? Status::ok()
+                                         : Status::notFound(key);
+    }
+    if (lsm_->get(key, value, &type, nullptr)) {
+        return type == EntryType::kValue ? Status::ok()
+                                         : Status::notFound(key);
+    }
+    return Status::notFound(key);
+}
+
+Status
+MatrixKV::scan(const Slice &start_key, int count,
+               std::vector<std::pair<std::string, std::string>> *out)
+{
+    stats_.scans.fetch_add(1, std::memory_order_relaxed);
+    out->clear();
+
+    // Pin the MemTables for the scan's lifetime (the iterators hold
+    // raw list pointers; a racing flush must not free them).
+    std::vector<std::shared_ptr<lsm::MemTable>> pinned;
+    std::vector<std::unique_ptr<lsm::KVIterator>> children;
+    {
+        std::lock_guard<std::mutex> il(imm_mu_);
+        if (mem_)
+            pinned.push_back(mem_);
+        for (auto it = imms_.rbegin(); it != imms_.rend(); ++it)
+            pinned.push_back(*it);
+    }
+    for (const auto &mem : pinned) {
+        children.push_back(
+            std::make_unique<lsm::SkipListIterator>(&mem->list()));
+    }
+    for (const auto &row : matrix_.rowsSnapshot()) {
+        children.push_back(
+            std::make_unique<RowRangeIterator>(row, std::string()));
+    }
+    children.push_back(lsm_->newIterator());
+
+    lsm::DedupingIterator iter(std::make_unique<lsm::MergingIterator>(
+        std::move(children)));
+    for (iter.seek(start_key); iter.valid() &&
+                               static_cast<int>(out->size()) < count;
+         iter.next()) {
+        out->emplace_back(iter.key().toString(),
+                          iter.value().toString());
+    }
+    return Status::ok();
+}
+
+void
+MatrixKV::waitIdle()
+{
+    {
+        std::unique_lock<std::mutex> il(imm_mu_);
+        while (!imms_.empty() && !shutting_down_.load())
+            imm_cv_.wait_for(il, std::chrono::milliseconds(10));
+    }
+    // Let the column thread settle below its drain target.
+    while (matrix_.liveBytes() >
+               options_.matrix_capacity * 7 / 10 &&
+           !shutting_down_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    lsm_->waitIdle();
+}
+
+} // namespace mio::matrixkv

@@ -1,0 +1,84 @@
+#include "mem/arena.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace mio {
+
+namespace {
+inline size_t
+align8(size_t n)
+{
+    return (n + 7) & ~static_cast<size_t>(7);
+}
+} // namespace
+
+Arena::Arena(size_t capacity)
+    : capacity_(capacity), used_(0), device_(nullptr),
+      charge_allocations_(false), owns_heap_(true)
+{
+    base_ = static_cast<char *>(malloc(capacity));
+    if (base_ == nullptr)
+        throw std::bad_alloc();
+}
+
+Arena::Arena(size_t capacity, sim::NvmDevice *device,
+             bool charge_allocations)
+    : capacity_(capacity), used_(0), device_(device),
+      charge_allocations_(charge_allocations), owns_heap_(false)
+{
+    base_ = device_->allocateRegion(capacity);
+}
+
+Arena::~Arena()
+{
+    if (owns_heap_) {
+        free(base_);
+    } else {
+        device_->freeRegion(base_);
+    }
+}
+
+char *
+Arena::allocate(size_t n)
+{
+    n = align8(n);
+    if (used_ + n > capacity_)
+        return nullptr;
+    char *result = base_ + used_;
+    used_ += n;
+    if (charge_allocations_ && device_ != nullptr)
+        device_->chargeWrite(n);
+    return result;
+}
+
+ChunkedNvmArena::ChunkedNvmArena(sim::NvmDevice *device, size_t chunk_size)
+    : device_(device), chunk_size_(chunk_size), current_(nullptr),
+      current_used_(0), current_cap_(0), total_reserved_(0)
+{}
+
+ChunkedNvmArena::~ChunkedNvmArena()
+{
+    for (char *chunk : chunks_)
+        device_->freeRegion(chunk);
+}
+
+char *
+ChunkedNvmArena::allocate(size_t n)
+{
+    n = align8(n);
+    if (current_used_ + n > current_cap_) {
+        size_t cap = n > chunk_size_ ? n : chunk_size_;
+        current_ = device_->allocateRegion(cap);
+        chunks_.push_back(current_);
+        current_used_ = 0;
+        current_cap_ = cap;
+        total_reserved_ += cap;
+    }
+    char *result = current_ + current_used_;
+    current_used_ += n;
+    device_->chargeWrite(n);
+    return result;
+}
+
+} // namespace mio

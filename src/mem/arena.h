@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fixed-capacity contiguous bump allocator.
+ *
+ * MemTables allocate every skip-list node from one contiguous Arena so
+ * that one-piece flushing (paper Sec. 4.2) can relocate the entire
+ * table with a single memcpy and then fix internal pointers by the
+ * constant base-address delta. The arena can live in DRAM (plain heap)
+ * or in a region of the emulated NVM device.
+ */
+#ifndef MIO_MEM_ARENA_H_
+#define MIO_MEM_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/nvm_device.h"
+
+namespace mio {
+
+class Arena
+{
+  public:
+    /** DRAM-backed arena of @p capacity bytes. */
+    explicit Arena(size_t capacity);
+
+    /**
+     * NVM-backed arena carved from @p device. If @p charge_allocations
+     * is true every allocation charges NVM write cost for its bytes
+     * (used when nodes are built in place in NVM, e.g. NoveLSM's
+     * mutable NVM MemTable); pass false when the arena is filled by an
+     * explicit metered bulk copy (one-piece flushing).
+     */
+    Arena(size_t capacity, sim::NvmDevice *device, bool charge_allocations);
+
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p n bytes, 8-byte aligned.
+     * @return pointer into the arena, or nullptr when the arena cannot
+     * fit @p n more bytes (the caller rotates to a fresh MemTable).
+     */
+    char *allocate(size_t n);
+
+    char *base() const { return base_; }
+    size_t used() const { return used_; }
+    size_t capacity() const { return capacity_; }
+    size_t remaining() const { return capacity_ - used_; }
+
+    bool isNvm() const { return device_ != nullptr; }
+    sim::NvmDevice *device() const { return device_; }
+
+    /**
+     * Mark @p n bytes as used without writing them; used when a
+     * relocated image already contains live data (one-piece flush).
+     */
+    void setUsed(size_t n) { used_ = n; }
+
+  private:
+    char *base_;
+    size_t capacity_;
+    size_t used_;
+    sim::NvmDevice *device_;
+    bool charge_allocations_;
+    bool owns_heap_;
+};
+
+/**
+ * Growable NVM allocator for the data repository's huge PMTable: nodes
+ * created by lazy-copy compaction are allocated here chunk by chunk.
+ * Never relocated, so contiguity is not required.
+ */
+class ChunkedNvmArena
+{
+  public:
+    static constexpr size_t kDefaultChunkSize = 4u << 20;
+
+    explicit ChunkedNvmArena(sim::NvmDevice *device,
+                             size_t chunk_size = kDefaultChunkSize);
+    ~ChunkedNvmArena();
+
+    ChunkedNvmArena(const ChunkedNvmArena &) = delete;
+    ChunkedNvmArena &operator=(const ChunkedNvmArena &) = delete;
+
+    /** Allocate @p n bytes, 8-byte aligned; charges NVM write cost. */
+    char *allocate(size_t n);
+
+    size_t memoryUsage() const { return total_reserved_; }
+    sim::NvmDevice *device() const { return device_; }
+
+  private:
+    sim::NvmDevice *device_;
+    size_t chunk_size_;
+    char *current_;
+    size_t current_used_;
+    size_t current_cap_;
+    size_t total_reserved_;
+    std::vector<char *> chunks_;
+};
+
+} // namespace mio
+
+#endif // MIO_MEM_ARENA_H_

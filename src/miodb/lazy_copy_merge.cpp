@@ -1,0 +1,148 @@
+#include "miodb/lazy_copy_merge.h"
+
+#include "lsm/iterator.h"
+#include "miodb/skiplist_merge_util.h"
+#include "util/clock.h"
+
+namespace mio::miodb {
+
+namespace {
+
+/** Build a skip-list head node inside a growable NVM arena. */
+SkipList::Node *
+makeHeadIn(ChunkedNvmArena *arena)
+{
+    size_t bytes = sizeof(SkipList::Node) +
+                   SkipList::kMaxHeight * sizeof(std::atomic<void *>);
+    auto *head = reinterpret_cast<SkipList::Node *>(arena->allocate(bytes));
+    head->seq = 0;
+    head->key_len = 0;
+    head->value_len = 0;
+    head->height = SkipList::kMaxHeight;
+    head->type = static_cast<uint8_t>(EntryType::kValue);
+    head->reserved = 0;
+    head->pad = 0;
+    for (int i = 0; i < SkipList::kMaxHeight; i++)
+        head->setNextRelaxed(i, nullptr);
+    return head;
+}
+
+} // namespace
+
+PmRepository::PmRepository(sim::NvmDevice *device, StatsCounters *stats)
+    : device_(device), stats_(stats), arena_(device)
+{
+    list_ = std::make_unique<SkipList>(makeHeadIn(&arena_), 0,
+                                       /*rng_seed=*/0x4e564d21);
+}
+
+Status
+PmRepository::mergeTable(PMTable *src)
+{
+    ScopedTimer timer(&stats_->compaction_ns);
+
+    size_t pointer_stores = 0;
+    std::string last_key;
+    bool has_last = false;
+
+    for (SkipList::Node *n = src->list().first(); n != nullptr;
+         n = n->nextRelaxed(0)) {
+        // Level-0 order is (key asc, seq desc): the first occurrence
+        // of a key is its newest version; skip the rest.
+        if (has_last && n->key() == Slice(last_key))
+            continue;
+        last_key = n->key().toString();
+        has_last = true;
+
+        device_->chargeRandomReads(
+            sim::skipDescentDepth(list_->entryCount()));
+        SkipList::Splice splice;
+        SkipList::Node *succ =
+            list_->findGreaterOrEqual(n->key(), &splice);
+        auto dups = (succ != nullptr && succ->key() == n->key())
+                        ? collectDuplicates(succ, n->key())
+                        : std::vector<SkipList::Node *>{};
+
+        if (n->entryType() == EntryType::kDeletion) {
+            // Nothing lives below the repository: the tombstone both
+            // deletes the old version and is itself dropped.
+            pointer_stores +=
+                unlinkDuplicates(list_.get(), nullptr, &splice, dups);
+            for (SkipList::Node *d : dups)
+                garbage_bytes_ += d->allocationSize();
+            continue;
+        }
+
+        SkipList::Node *copy = SkipList::makeNode(
+            &arena_, n->key(), n->seq, n->entryType(), n->value(),
+            list_->randomHeight());
+        stats_->storage_bytes_written.fetch_add(
+            copy->allocationSize(), std::memory_order_relaxed);
+        list_->linkNode(copy, &splice);
+        pointer_stores += copy->height;
+        pointer_stores +=
+            unlinkDuplicates(list_.get(), copy, &splice, dups);
+        for (SkipList::Node *d : dups)
+            garbage_bytes_ += d->allocationSize();
+    }
+
+    if (pointer_stores > 0) {
+        device_->chargeWrite(pointer_stores * sizeof(void *));
+        stats_->storage_bytes_written.fetch_add(
+            pointer_stores * sizeof(void *), std::memory_order_relaxed);
+    }
+    stats_->lazy_copy_merges.fetch_add(1, std::memory_order_relaxed);
+    return Status::ok();
+}
+
+bool
+PmRepository::get(const Slice &key, std::string *value, EntryType *type,
+                  uint64_t *seq) const
+{
+    device_->chargeRandomReads(
+        sim::skipDescentDepth(list_->entryCount()));
+    return list_->get(key, value, type, seq);
+}
+
+std::unique_ptr<lsm::KVIterator>
+PmRepository::newIterator() const
+{
+    return std::make_unique<lsm::SkipListIterator>(list_.get());
+}
+
+SsdRepository::SsdRepository(const lsm::LsmOptions &options,
+                             sim::StorageMedium *medium,
+                             StatsCounters *stats)
+    : lsm_(options, medium, stats, "mio-ssd"), stats_(stats)
+{}
+
+Status
+SsdRepository::mergeTable(PMTable *src)
+{
+    lsm::SkipListIterator iter(&src->list());
+    Status s = lsm_.flushToL0(&iter);
+    if (s.isOk())
+        stats_->lazy_copy_merges.fetch_add(1, std::memory_order_relaxed);
+    return s;
+}
+
+bool
+SsdRepository::get(const Slice &key, std::string *value, EntryType *type,
+                   uint64_t *seq) const
+{
+    return lsm_.get(key, value, type, seq);
+}
+
+std::unique_ptr<lsm::KVIterator>
+SsdRepository::newIterator() const
+{
+    return lsm_.newIterator();
+}
+
+uint64_t
+SsdRepository::entryCount() const
+{
+    return lsm_.versions().totalEntries();
+}
+
+} // namespace mio::miodb

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The data repository and lazy-copy compaction (paper Sec. 4.4).
+ *
+ * L(n-1) PMTables are physically merged into the repository: the
+ * newest version of each key is copied in, older repository versions
+ * are unlinked, tombstones delete and are then dropped (nothing lives
+ * below the repository). Afterwards the source table's entire arena
+ * chain -- including every node logically deleted by earlier
+ * zero-copy merges -- is reclaimed in one step.
+ *
+ * Two repository implementations mirror the paper's two deployments:
+ * a huge persistent skip list in NVM (in-memory mode) and a leveled
+ * LSM of SSTables on the simulated SSD (DRAM-NVM-SSD mode, Sec. 5.4).
+ */
+#ifndef MIO_MIODB_LAZY_COPY_MERGE_H_
+#define MIO_MIODB_LAZY_COPY_MERGE_H_
+
+#include <memory>
+
+#include "kv/store_stats.h"
+#include "lsm/lsm_tree.h"
+#include "miodb/pmtable.h"
+
+namespace mio::miodb {
+
+/** Where fully-compacted data finally lives. */
+class Repository
+{
+  public:
+    virtual ~Repository() = default;
+
+    /** Lazy-copy @p src's live entries in; src is spent afterwards. */
+    virtual Status mergeTable(PMTable *src) = 0;
+
+    /** @return true if any version of @p key exists here. */
+    virtual bool get(const Slice &key, std::string *value,
+                     EntryType *type, uint64_t *seq) const = 0;
+
+    /** Internal-key iterator over the whole repository. */
+    virtual std::unique_ptr<lsm::KVIterator> newIterator() const = 0;
+
+    virtual uint64_t entryCount() const = 0;
+
+    /** Drain any repository-internal background work. */
+    virtual void waitIdle() {}
+
+    /**
+     * Point the repository's counters at a new owner. Called when a
+     * surviving NVM image is adopted by a fresh store instance after
+     * a (simulated) crash.
+     */
+    virtual void rebindStats(StatsCounters *stats) = 0;
+};
+
+/** Huge persistent skip list in NVM (the paper's primary design). */
+class PmRepository : public Repository
+{
+  public:
+    PmRepository(sim::NvmDevice *device, StatsCounters *stats);
+
+    Status mergeTable(PMTable *src) override;
+    bool get(const Slice &key, std::string *value, EntryType *type,
+             uint64_t *seq) const override;
+    std::unique_ptr<lsm::KVIterator> newIterator() const override;
+    uint64_t entryCount() const override { return list_->entryCount(); }
+    void rebindStats(StatsCounters *stats) override { stats_ = stats; }
+
+    const SkipList &list() const { return *list_; }
+    size_t memoryUsage() const { return arena_.memoryUsage(); }
+    /** Bytes occupied by unlinked (log-garbage) nodes. */
+    uint64_t garbageBytes() const { return garbage_bytes_; }
+
+  private:
+    sim::NvmDevice *device_;
+    StatsCounters *stats_;
+    ChunkedNvmArena arena_;
+    std::unique_ptr<SkipList> list_;
+    uint64_t garbage_bytes_ = 0;
+};
+
+/** SSD-mode repository: a leveled LSM of SSTables (paper Sec. 5.4). */
+class SsdRepository : public Repository
+{
+  public:
+    SsdRepository(const lsm::LsmOptions &options,
+                  sim::StorageMedium *medium, StatsCounters *stats);
+
+    Status mergeTable(PMTable *src) override;
+    bool get(const Slice &key, std::string *value, EntryType *type,
+             uint64_t *seq) const override;
+    std::unique_ptr<lsm::KVIterator> newIterator() const override;
+    uint64_t entryCount() const override;
+    void waitIdle() override { lsm_.waitIdle(); }
+    void
+    rebindStats(StatsCounters *stats) override
+    {
+        stats_ = stats;
+        lsm_.rebindStats(stats);
+    }
+
+    lsm::LsmTree &lsm() { return lsm_; }
+
+  private:
+    mutable lsm::LsmTree lsm_;
+    StatsCounters *stats_;
+};
+
+} // namespace mio::miodb
+
+#endif // MIO_MIODB_LAZY_COPY_MERGE_H_

@@ -1,0 +1,131 @@
+#include "miodb/level_manager.h"
+
+namespace mio::miodb {
+
+void
+BufferLevel::push(std::shared_ptr<PMTable> table)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    tables_.push_back(std::move(table));
+}
+
+BufferLevel::Snapshot
+BufferLevel::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot snap;
+    snap.tables.reserve(tables_.size());
+    for (auto it = tables_.rbegin(); it != tables_.rend(); ++it)
+        snap.tables.push_back(*it);
+    snap.merge = merge_;
+    snap.migrating = migrating_;
+    return snap;
+}
+
+size_t
+BufferLevel::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tables_.size();
+}
+
+bool
+BufferLevel::busy() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return merge_ != nullptr || migrating_ != nullptr;
+}
+
+std::shared_ptr<MergeOp>
+BufferLevel::beginMerge()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (merge_ != nullptr || tables_.size() < 2)
+        return nullptr;
+    auto op = std::make_shared<MergeOp>();
+    op->oldt = tables_[0];
+    op->newt = tables_[1];
+    tables_.pop_front();
+    tables_.pop_front();
+    merge_ = op;
+    return op;
+}
+
+void
+BufferLevel::finishMerge(const std::shared_ptr<MergeOp> &op)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (merge_ == op)
+        merge_ = nullptr;
+}
+
+std::shared_ptr<PMTable>
+BufferLevel::beginMigration()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (migrating_ != nullptr || tables_.empty())
+        return nullptr;
+    migrating_ = tables_.front();
+    tables_.pop_front();
+    return migrating_;
+}
+
+void
+BufferLevel::finishMigration()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    migrating_ = nullptr;
+}
+
+size_t
+BufferLevel::arenaBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto &t : tables_)
+        total += t->arenaBytes();
+    if (merge_) {
+        total += merge_->newt->arenaBytes();
+        total += merge_->oldt->arenaBytes();
+    }
+    if (migrating_)
+        total += migrating_->arenaBytes();
+    return total;
+}
+
+bool
+LevelManager::quiescent() const
+{
+    // Resting state: no merges in flight, no level holds a mergeable
+    // pair, and the last level (which migrates single tables to the
+    // repository) is drained. One leftover table per upper level is
+    // the paper's steady light-load state.
+    for (size_t i = 0; i < levels_.size(); i++) {
+        if (levels_[i].busy())
+            return false;
+        size_t limit = (i + 1 == levels_.size()) ? 0 : 1;
+        if (levels_[i].size() > limit)
+            return false;
+    }
+    return true;
+}
+
+size_t
+LevelManager::totalTables() const
+{
+    size_t total = 0;
+    for (const auto &level : levels_)
+        total += level.size();
+    return total;
+}
+
+size_t
+LevelManager::totalArenaBytes() const
+{
+    size_t total = 0;
+    for (const auto &level : levels_)
+        total += level.arenaBytes();
+    return total;
+}
+
+} // namespace mio::miodb

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The elastic multi-level NVM buffer (paper Sec. 4.1): levels hold an
+ * unbounded deque of PMTables, so data flushing is never blocked by
+ * compaction. Each level independently merges its two oldest tables
+ * (zero-copy) and pushes the result down; the last buffer level
+ * migrates tables into the data repository (lazy-copy).
+ */
+#ifndef MIO_MIODB_LEVEL_MANAGER_H_
+#define MIO_MIODB_LEVEL_MANAGER_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "miodb/pmtable.h"
+
+namespace mio::miodb {
+
+/** One elastic-buffer level. Thread safe. */
+class BufferLevel
+{
+  public:
+    /** Reader-visible state captured atomically. */
+    struct Snapshot {
+        /** Resident tables, newest first. */
+        std::vector<std::shared_ptr<PMTable>> tables;
+        /** In-flight zero-copy merge of the two oldest tables. */
+        std::shared_ptr<MergeOp> merge;
+        /** Table being lazy-copied to the repository (oldest). */
+        std::shared_ptr<PMTable> migrating;
+    };
+
+    /** Append a table as the newest of this level. */
+    void push(std::shared_ptr<PMTable> table);
+
+    Snapshot snapshot() const;
+
+    /** Resident table count (excluding merge pair / migrating). */
+    size_t size() const;
+    /** True when a merge or migration is in flight. */
+    bool busy() const;
+
+    /**
+     * Claim the two oldest tables for a zero-copy merge; they leave
+     * the deque but stay reader-visible through the returned MergeOp.
+     * @return nullptr if fewer than two tables are resident or a merge
+     * is already active.
+     */
+    std::shared_ptr<MergeOp> beginMerge();
+
+    /** Retire a completed merge (result already pushed downstream). */
+    void finishMerge(const std::shared_ptr<MergeOp> &op);
+
+    /**
+     * Claim the oldest table for lazy-copy migration; it stays
+     * reader-visible until finishMigration.
+     */
+    std::shared_ptr<PMTable> beginMigration();
+    void finishMigration();
+
+    /** Total NVM bytes referenced by this level's tables. */
+    size_t arenaBytes() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::deque<std::shared_ptr<PMTable>> tables_;  //!< front = oldest
+    std::shared_ptr<MergeOp> merge_;
+    std::shared_ptr<PMTable> migrating_;
+};
+
+/** The stack of elastic-buffer levels L0..L(n-1). */
+class LevelManager
+{
+  public:
+    explicit LevelManager(int num_levels) : levels_(num_levels) {}
+
+    BufferLevel &level(int i) { return levels_[i]; }
+    const BufferLevel &level(int i) const { return levels_[i]; }
+    int numLevels() const { return static_cast<int>(levels_.size()); }
+
+    /** True when every level is empty and no merge is in flight. */
+    bool quiescent() const;
+
+    /** Total resident PMTables across levels. */
+    size_t totalTables() const;
+    size_t totalArenaBytes() const;
+
+  private:
+    std::vector<BufferLevel> levels_;
+};
+
+} // namespace mio::miodb
+
+#endif // MIO_MIODB_LEVEL_MANAGER_H_

@@ -1,0 +1,826 @@
+#include "miodb/miodb.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "lsm/merging_iterator.h"
+#include "miodb/one_piece_flush.h"
+#include "util/clock.h"
+#include "util/coding.h"
+
+namespace mio::miodb {
+
+namespace {
+
+/** Iterator exposing a single skip-list node (the insertion mark). */
+class SingleNodeIterator : public lsm::KVIterator
+{
+  public:
+    explicit SingleNodeIterator(SkipList::Node *node) : node_(node)
+    {
+        if (node_ != nullptr) {
+            appendInternalKey(&key_buf_, node_->key(), node_->seq,
+                              node_->entryType());
+        }
+    }
+
+    bool valid() const override { return node_ != nullptr && !done_; }
+    void seekToFirst() override { done_ = false; checkEnd(); }
+    void
+    seek(const Slice &internal_key) override
+    {
+        done_ = false;
+        if (node_ != nullptr &&
+            compareInternalKey(Slice(key_buf_), internal_key) < 0) {
+            done_ = true;
+        }
+        checkEnd();
+    }
+    void next() override { done_ = true; }
+    Slice key() const override { return Slice(key_buf_); }
+    Slice value() const override { return node_->value(); }
+
+  private:
+    void
+    checkEnd()
+    {
+        if (node_ == nullptr)
+            done_ = true;
+    }
+
+    SkipList::Node *node_;
+    std::string key_buf_;
+    bool done_ = false;
+};
+
+} // namespace
+
+MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
+             sim::SsdDevice *ssd, wal::WalRegistry *wal_registry,
+             std::shared_ptr<NvmState> state)
+    : options_(options), nvm_(nvm), ssd_(ssd)
+{
+    assert(options_.elastic_levels >= 1);
+    if (wal_registry != nullptr) {
+        registry_ = wal_registry;
+    } else {
+        owned_registry_ = std::make_unique<wal::WalRegistry>();
+        registry_ = owned_registry_.get();
+    }
+
+    if (state != nullptr) {
+        assert(state->levels.numLevels() == options_.elastic_levels &&
+               "NVM image level count must match the options");
+        state_ = std::move(state);
+    } else {
+        state_ = std::make_shared<NvmState>(options_.elastic_levels);
+    }
+    if (state_->repo != nullptr) {
+        // Adopted image: its repository must charge this instance.
+        state_->repo->rebindStats(&stats_);
+    } else {
+        if (options_.use_ssd_repository) {
+            assert(ssd_ != nullptr &&
+                   "SSD repository mode requires an SsdDevice");
+            state_->ssd_medium = std::make_unique<sim::SsdMedium>(ssd_);
+            state_->repo = std::make_unique<SsdRepository>(
+                options_.ssd_lsm, state_->ssd_medium.get(), &stats_);
+        } else {
+            state_->repo = std::make_unique<PmRepository>(nvm_, &stats_);
+        }
+    }
+
+    mem_ = std::make_shared<lsm::MemTable>(options_.memtable_size,
+                                           /*rng_seed=*/0x11);
+    if (options_.enable_wal) {
+        mem_wal_id_ = state_->next_table_id.fetch_add(1);
+        first_own_wal_id_ = mem_wal_id_;
+        mem_wal_ = registry_->open(walName(mem_wal_id_), nvm_);
+    }
+
+    recoverInterruptedCompactions();
+
+    // Background threads start before WAL replay: replay re-fills
+    // MemTables and may rotate several times, which requires a live
+    // flusher to drain the immutable queue.
+    flush_thread_ = std::thread([this] { flushThreadLoop(); });
+    if (options_.parallel_compaction) {
+        for (int i = 0; i < options_.elastic_levels; i++) {
+            compaction_threads_.emplace_back(
+                [this, i] { compactionThreadLoop(i); });
+        }
+    } else {
+        compaction_threads_.emplace_back(
+            [this] { singleCompactionThreadLoop(); });
+    }
+
+    replayWal();
+}
+
+MioDB::~MioDB()
+{
+    if (!crashed_.load()) {
+        // Clean shutdown: persist the active MemTable and drain.
+        {
+            std::lock_guard<std::mutex> wl(write_mu_);
+            std::unique_lock<std::mutex> il(imm_mu_);
+            if (mem_ && mem_->entryCount() > 0) {
+                imms_.push_back(Immutable{mem_, mem_wal_id_});
+                mem_.reset();
+                mem_wal_.reset();
+            }
+        }
+        sched_cv_.notify_all();
+        {
+            std::unique_lock<std::mutex> il(imm_mu_);
+            imm_cv_.wait(il, [this] { return imms_.empty(); });
+        }
+    }
+    shutting_down_.store(true);
+    sched_cv_.notify_all();
+    imm_cv_.notify_all();
+    flush_thread_.join();
+    for (auto &t : compaction_threads_)
+        t.join();
+    if (!crashed_.load() && options_.enable_wal && mem_wal_)
+        registry_->remove(walName(mem_wal_id_));
+}
+
+void
+MioDB::simulateCrash()
+{
+    crashed_.store(true);
+}
+
+void
+MioDB::recoverInterruptedCompactions()
+{
+    // A crash can leave each level with an in-flight zero-copy merge
+    // (pair claimed, insertion mark possibly set) and the last level
+    // with an in-flight migration. Both are completed before serving:
+    // the merge resumes from the persistent mark (Sec. 4.7), and the
+    // migration re-runs -- lazy-copy is idempotent per key/sequence.
+    for (int i = 0; i < state_->levels.numLevels(); i++) {
+        BufferLevel &bl = state_->levels.level(i);
+        BufferLevel::Snapshot snap = bl.snapshot();
+        if (snap.merge) {
+            resumeZeroCopyMerge(snap.merge.get(), nvm_, &stats_);
+            if (i + 1 < state_->levels.numLevels()) {
+                state_->levels.level(i + 1).push(snap.merge->oldt);
+            } else {
+                state_->repo->mergeTable(snap.merge->oldt.get());
+            }
+            bl.finishMerge(snap.merge);
+        }
+        if (snap.migrating) {
+            state_->repo->mergeTable(snap.migrating.get());
+            bl.finishMigration();
+        }
+    }
+}
+
+std::string
+MioDB::walName(uint64_t id) const
+{
+    char buf[32];
+    snprintf(buf, sizeof(buf), "wal-%08llu",
+             static_cast<unsigned long long>(id));
+    return buf;
+}
+
+namespace {
+constexpr char kWalTagSingle = 1;
+constexpr char kWalTagBatch = 2;
+} // namespace
+
+void
+MioDB::appendWal(uint64_t seq, EntryType type, const Slice &key,
+                 const Slice &value)
+{
+    std::string record;
+    record.push_back(kWalTagSingle);
+    putFixed64(&record, seq);
+    record.push_back(static_cast<char>(type));
+    putLengthPrefixedSlice(&record, key);
+    putLengthPrefixedSlice(&record, value);
+    mem_wal_->append(Slice(record));
+    stats_.wal_bytes_written.fetch_add(record.size() + 8,
+                                       std::memory_order_relaxed);
+}
+
+void
+MioDB::appendWalBatch(const WriteBatch &batch, size_t from,
+                      uint64_t first_seq)
+{
+    std::string record;
+    record.push_back(kWalTagBatch);
+    putFixed64(&record, first_seq);
+    putVarint32(&record,
+                static_cast<uint32_t>(batch.count() - from));
+    for (size_t i = from; i < batch.count(); i++) {
+        const WriteBatch::Op &op = batch.ops()[i];
+        record.push_back(static_cast<char>(op.type));
+        putLengthPrefixedSlice(&record, Slice(op.key));
+        putLengthPrefixedSlice(&record, Slice(op.value));
+    }
+    mem_wal_->append(Slice(record));
+    stats_.wal_bytes_written.fetch_add(record.size() + 8,
+                                       std::memory_order_relaxed);
+}
+
+void
+MioDB::replayWal()
+{
+    auto names = registry_->list();
+    std::sort(names.begin(), names.end());
+    uint64_t max_seq = seq_.load();
+    std::vector<std::string> replayed;
+    // Only segments from BEFORE this instance replay; the fresh
+    // segments this instance itself creates (including ones minted by
+    // rotations during the replay) hold the re-logged copies and must
+    // be neither replayed nor removed. Ids are monotonic and names
+    // zero-padded, so a string compare is an id compare.
+    const std::string own_floor = walName(first_own_wal_id_);
+    for (const auto &name : names) {
+        if (name >= own_floor)
+            continue;  // a fresh segment of this instance
+        auto segment = registry_->find(name);
+        if (!segment)
+            continue;
+        wal::LogReader reader(segment.get());
+        std::string record;
+        while (reader.readRecord(&record))
+            replayRecord(Slice(record), &max_seq);
+        replayed.push_back(name);
+    }
+    for (const auto &name : replayed)
+        registry_->remove(name);
+    seq_.store(max_seq);
+}
+
+void
+MioDB::replayRecord(const Slice &record, uint64_t *max_seq)
+{
+    Slice input = record;
+    if (input.size() < 10)
+        return;
+    char tag = input[0];
+    input.removePrefix(1);
+    uint64_t seq = decodeFixed64(input.data());
+    input.removePrefix(8);
+
+    auto apply = [&](uint64_t op_seq, EntryType type, const Slice &key,
+                     const Slice &value) {
+        // Re-log under the fresh segment so the old one can go.
+        if (options_.enable_wal)
+            appendWal(op_seq, type, key, value);
+        if (!mem_->add(key, op_seq, type, value)) {
+            rotateMemTable();
+            bool ok = mem_->add(key, op_seq, type, value);
+            assert(ok && "replayed entry exceeds MemTable size");
+            (void)ok;
+        }
+        *max_seq = std::max(*max_seq, op_seq + 1);
+    };
+
+    if (tag == kWalTagSingle) {
+        if (input.empty())
+            return;
+        auto type = static_cast<EntryType>(input[0]);
+        input.removePrefix(1);
+        Slice key, value;
+        if (!getLengthPrefixedSlice(&input, &key) ||
+            !getLengthPrefixedSlice(&input, &value)) {
+            return;
+        }
+        apply(seq, type, key, value);
+    } else if (tag == kWalTagBatch) {
+        uint32_t count;
+        if (!getVarint32(&input, &count))
+            return;
+        for (uint32_t i = 0; i < count; i++) {
+            if (input.empty())
+                return;
+            auto type = static_cast<EntryType>(input[0]);
+            input.removePrefix(1);
+            Slice key, value;
+            if (!getLengthPrefixedSlice(&input, &key) ||
+                !getLengthPrefixedSlice(&input, &value)) {
+                return;
+            }
+            apply(seq + i, type, key, value);
+        }
+    }
+}
+
+Status
+MioDB::validateEntry(const Slice &key, const Slice &value) const
+{
+    if (key.empty())
+        return Status::invalidArgument("empty key");
+    // A node must fit a fresh MemTable (header + max-height links).
+    size_t worst_node = sizeof(SkipList::Node) +
+                        SkipList::kMaxHeight * sizeof(void *) +
+                        key.size() + value.size() + 256;
+    if (worst_node > options_.memtable_size)
+        return Status::invalidArgument("entry exceeds MemTable size");
+    return Status::ok();
+}
+
+void
+MioDB::applyBufferCap()
+{
+    if (options_.nvm_buffer_cap_bytes == 0)
+        return;
+    if (state_->levels.totalArenaBytes() <=
+        options_.nvm_buffer_cap_bytes) {
+        return;
+    }
+    // Elastic-buffer ceiling reached: throttle until migration makes
+    // room (counted as a cumulative stall, like the baselines').
+    ScopedTimer stall(&stats_.cumulative_stall_ns);
+    sched_cv_.notify_all();
+    while (state_->levels.totalArenaBytes() >
+               options_.nvm_buffer_cap_bytes &&
+           !shutting_down_.load() && !crashed_.load()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+}
+
+Status
+MioDB::writeEntry(const Slice &key, EntryType type, const Slice &value)
+{
+    Status valid = validateEntry(key, value);
+    if (!valid.isOk())
+        return valid;
+
+    std::lock_guard<std::mutex> lock(write_mu_);
+    applyBufferCap();
+    uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.enable_wal)
+        appendWal(seq, type, key, value);
+    if (!mem_->add(key, seq, type, value)) {
+        rotateMemTable();
+        if (options_.enable_wal)
+            appendWal(seq, type, key, value);
+        bool ok = mem_->add(key, seq, type, value);
+        assert(ok);
+        (void)ok;
+    }
+    stats_.user_bytes_written.fetch_add(key.size() + value.size(),
+                                        std::memory_order_relaxed);
+    return Status::ok();
+}
+
+void
+MioDB::rotateMemTable()
+{
+    std::unique_lock<std::mutex> il(imm_mu_);
+    imms_.push_back(Immutable{mem_, mem_wal_id_});
+    // One-piece flushing is fast, but if the flusher falls behind the
+    // writer must wait: this is the only stall MioDB can experience
+    // (an interval stall in the paper's terminology).
+    if (static_cast<int>(imms_.size()) >
+        options_.max_immutable_memtables) {
+        ScopedTimer stall(&stats_.interval_stall_ns);
+        sched_cv_.notify_all();
+        imm_cv_.wait(il, [this] {
+            return static_cast<int>(imms_.size()) <=
+                       options_.max_immutable_memtables ||
+                   shutting_down_.load();
+        });
+    }
+    mem_ = std::make_shared<lsm::MemTable>(
+        options_.memtable_size, /*rng_seed=*/state_->next_table_id.load() * 7 + 1);
+    if (options_.enable_wal) {
+        mem_wal_id_ = state_->next_table_id.fetch_add(1);
+        mem_wal_ = registry_->open(walName(mem_wal_id_), nvm_);
+    }
+    il.unlock();
+    imm_cv_.notify_all();
+    sched_cv_.notify_all();
+}
+
+Status
+MioDB::put(const Slice &key, const Slice &value)
+{
+    stats_.puts.fetch_add(1, std::memory_order_relaxed);
+    return writeEntry(key, EntryType::kValue, value);
+}
+
+Status
+MioDB::remove(const Slice &key)
+{
+    stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+    return writeEntry(key, EntryType::kDeletion, Slice());
+}
+
+bool
+MioDB::lookupBufferAndRepo(const Slice &key, std::string *value,
+                           EntryType *type, uint64_t *seq)
+{
+    const bool use_bloom = options_.bits_per_key > 0;
+    for (int i = 0; i < state_->levels.numLevels(); i++) {
+        BufferLevel::Snapshot snap = state_->levels.level(i).snapshot();
+        for (const auto &table : snap.tables) {
+            if (!table->coversKey(key))
+                continue;
+            if (use_bloom && !table->bloomMayContain(key)) {
+                stats_.bloom_filter_skips.fetch_add(
+                    1, std::memory_order_relaxed);
+                continue;
+            }
+            // The descent walks NVM-resident nodes: charge media reads.
+            nvm_->chargeRandomReads(
+                sim::skipDescentDepth(table->entryCount()));
+            if (table->list().get(key, value, type, seq))
+                return true;
+        }
+        if (snap.merge) {
+            bool may = !use_bloom ||
+                       snap.merge->newt->bloomMayContain(key) ||
+                       snap.merge->oldt->bloomMayContain(key);
+            if (may) {
+                nvm_->chargeRandomReads(sim::skipDescentDepth(
+                    snap.merge->newt->entryCount() +
+                    snap.merge->oldt->entryCount()));
+                if (mergeAwareGet(snap.merge.get(), key, value, type,
+                                  seq)) {
+                    return true;
+                }
+            }
+        }
+        if (snap.migrating && snap.migrating->coversKey(key)) {
+            if (!use_bloom || snap.migrating->bloomMayContain(key)) {
+                nvm_->chargeRandomReads(sim::skipDescentDepth(
+                    snap.migrating->entryCount()));
+                if (snap.migrating->list().get(key, value, type, seq))
+                    return true;
+            }
+        }
+    }
+    return state_->repo->get(key, value, type, seq);
+}
+
+Status
+MioDB::get(const Slice &key, std::string *value)
+{
+    stats_.gets.fetch_add(1, std::memory_order_relaxed);
+    ReadGuard guard(this);
+
+    std::shared_ptr<lsm::MemTable> mem;
+    std::vector<std::shared_ptr<lsm::MemTable>> imms;
+    {
+        std::lock_guard<std::mutex> il(imm_mu_);
+        mem = mem_;
+        imms.reserve(imms_.size());
+        for (auto it = imms_.rbegin(); it != imms_.rend(); ++it)
+            imms.push_back(it->mem);
+    }
+
+    EntryType type;
+    if (mem && mem->get(key, value, &type)) {
+        return type == EntryType::kValue ? Status::ok()
+                                         : Status::notFound(key);
+    }
+    for (const auto &imm : imms) {
+        if (imm->get(key, value, &type)) {
+            return type == EntryType::kValue ? Status::ok()
+                                             : Status::notFound(key);
+        }
+    }
+    if (lookupBufferAndRepo(key, value, &type, nullptr)) {
+        return type == EntryType::kValue ? Status::ok()
+                                         : Status::notFound(key);
+    }
+    return Status::notFound(key);
+}
+
+Status
+MioDB::scan(const Slice &start_key, int count,
+            std::vector<std::pair<std::string, std::string>> *out)
+{
+    stats_.scans.fetch_add(1, std::memory_order_relaxed);
+    ReadGuard guard(this);
+    out->clear();
+
+    // Pin every source for the whole scan: the child iterators hold
+    // raw list pointers, so the MemTable shared_ptrs and the per-level
+    // snapshots (tables, merge ops, migrating tables) must outlive
+    // the iteration, or a concurrent flush/merge could reclaim them
+    // under the scan.
+    std::vector<std::shared_ptr<lsm::MemTable>> pinned_mems;
+    std::vector<BufferLevel::Snapshot> pinned_snaps;
+
+    std::vector<std::unique_ptr<lsm::KVIterator>> children;
+    {
+        std::lock_guard<std::mutex> il(imm_mu_);
+        if (mem_)
+            pinned_mems.push_back(mem_);
+        for (auto it = imms_.rbegin(); it != imms_.rend(); ++it)
+            pinned_mems.push_back(it->mem);
+    }
+    for (const auto &mem : pinned_mems) {
+        children.push_back(
+            std::make_unique<lsm::SkipListIterator>(&mem->list()));
+    }
+    for (int i = 0; i < state_->levels.numLevels(); i++)
+        pinned_snaps.push_back(state_->levels.level(i).snapshot());
+    for (const auto &snap : pinned_snaps) {
+        for (const auto &table : snap.tables) {
+            children.push_back(std::make_unique<lsm::SkipListIterator>(
+                &table->list()));
+        }
+        if (snap.merge) {
+            children.push_back(std::make_unique<lsm::SkipListIterator>(
+                &snap.merge->newt->list()));
+            children.push_back(std::make_unique<SingleNodeIterator>(
+                snap.merge->mark.load(std::memory_order_acquire)));
+            children.push_back(std::make_unique<lsm::SkipListIterator>(
+                &snap.merge->oldt->list()));
+        }
+        if (snap.migrating) {
+            children.push_back(std::make_unique<lsm::SkipListIterator>(
+                &snap.migrating->list()));
+        }
+    }
+    children.push_back(state_->repo->newIterator());
+
+    lsm::DedupingIterator iter(std::make_unique<lsm::MergingIterator>(
+        std::move(children)));
+    for (iter.seek(start_key); iter.valid() &&
+                               static_cast<int>(out->size()) < count;
+         iter.next()) {
+        out->emplace_back(iter.key().toString(),
+                          iter.value().toString());
+    }
+    return Status::ok();
+}
+
+Status
+MioDB::write(const WriteBatch &batch)
+{
+    if (batch.empty())
+        return Status::ok();
+    for (const auto &op : batch.ops()) {
+        Status valid = validateEntry(Slice(op.key), Slice(op.value));
+        if (!valid.isOk())
+            return valid;
+    }
+
+    std::lock_guard<std::mutex> lock(write_mu_);
+    applyBufferCap();
+    uint64_t base_seq =
+        seq_.fetch_add(batch.count(), std::memory_order_relaxed);
+    if (options_.enable_wal)
+        appendWalBatch(batch, 0, base_seq);
+
+    for (size_t i = 0; i < batch.count(); i++) {
+        const WriteBatch::Op &op = batch.ops()[i];
+        uint64_t seq = base_seq + i;
+        if (!mem_->add(Slice(op.key), seq, op.type, Slice(op.value))) {
+            rotateMemTable();
+            // The new MemTable's WAL segment must cover the rest of
+            // the batch (the old segment dies with the old table's
+            // flush); replay tolerates the duplicate sequences.
+            if (options_.enable_wal)
+                appendWalBatch(batch, i, seq);
+            bool ok = mem_->add(Slice(op.key), seq, op.type,
+                                Slice(op.value));
+            assert(ok);
+            (void)ok;
+        }
+        if (op.type == EntryType::kValue)
+            stats_.puts.fetch_add(1, std::memory_order_relaxed);
+        else
+            stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+    }
+    stats_.user_bytes_written.fetch_add(batch.byteSize(),
+                                        std::memory_order_relaxed);
+    return Status::ok();
+}
+
+std::string
+MioDB::debugString()
+{
+    std::string out = name() + " state:\n";
+    char line[256];
+    {
+        std::lock_guard<std::mutex> il(imm_mu_);
+        snprintf(line, sizeof(line),
+                 "  memtable: %llu entries (%zu/%zu bytes), %zu "
+                 "immutable\n",
+                 static_cast<unsigned long long>(
+                     mem_ ? mem_->entryCount() : 0),
+                 mem_ ? mem_->memoryUsed() : 0,
+                 mem_ ? mem_->capacity() : 0, imms_.size());
+        out += line;
+    }
+    for (int i = 0; i < state_->levels.numLevels(); i++) {
+        auto snap = state_->levels.level(i).snapshot();
+        uint64_t entries = 0;
+        for (const auto &t : snap.tables)
+            entries += t->entryCount();
+        snprintf(line, sizeof(line),
+                 "  L%-2d: %zu tables, %llu entries%s%s\n", i,
+                 snap.tables.size(),
+                 static_cast<unsigned long long>(entries),
+                 snap.merge ? ", merge in flight" : "",
+                 snap.migrating ? ", migrating" : "");
+        out += line;
+    }
+    snprintf(line, sizeof(line),
+             "  repository: %llu entries\n  %s\n",
+             static_cast<unsigned long long>(
+                 state_->repo->entryCount()),
+             snapshotOf(stats_).toString().c_str());
+    out += line;
+    return out;
+}
+
+void
+MioDB::flushThreadLoop()
+{
+    sim::markSimBackgroundThread();
+    for (;;) {
+        Immutable imm;
+        {
+            std::unique_lock<std::mutex> il(imm_mu_);
+            imm_cv_.notify_all();
+            while (imms_.empty()) {
+                if (shutting_down_.load())
+                    return;
+                // Reuse imm_mu_ for flush wakeups via a short poll so
+                // a rotate that races the wait cannot be missed.
+                imm_cv_.wait_for(il, std::chrono::milliseconds(5));
+            }
+            imm = imms_.front();
+        }
+        if (crashed_.load())
+            return;
+
+        uint64_t table_id = state_->next_table_id.fetch_add(1);
+        std::shared_ptr<PMTable> table;
+        if (options_.one_piece_flush) {
+            table = onePieceFlush(imm.mem.get(), nvm_, &stats_,
+                                  options_.bits_per_key, table_id);
+        } else {
+            table = nodeByNodeFlush(imm.mem.get(), nvm_, &stats_,
+                                    options_.bits_per_key, table_id);
+        }
+        stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
+        state_->levels.level(0).push(std::move(table));
+
+        {
+            std::lock_guard<std::mutex> il(imm_mu_);
+            if (!imms_.empty())
+                imms_.pop_front();
+        }
+        if (options_.enable_wal)
+            registry_->remove(walName(imm.wal_id));
+        imm_cv_.notify_all();
+        sched_cv_.notify_all();
+        idle_cv_.notify_all();
+    }
+}
+
+bool
+MioDB::compactLevelOnce(int level)
+{
+    BufferLevel &bl = state_->levels.level(level);
+    const bool is_last = (level == options_.elastic_levels - 1);
+
+    if (is_last) {
+        std::shared_ptr<PMTable> victim = bl.beginMigration();
+        if (!victim)
+            return false;
+        state_->repo->mergeTable(victim.get());
+        bl.finishMigration();
+        // Reclaim the whole arena chain (the lazy memory-freeing step
+        // of Sec. 4.4) -- deferred past any in-flight readers.
+        retireTable(std::move(victim));
+        return true;
+    }
+
+    std::shared_ptr<MergeOp> op = bl.beginMerge();
+    if (!op) {
+        // Under buffer-cap pressure a level's single leftover table
+        // can neither merge (needs a pair) nor migrate (not the last
+        // level); demote it one level toward the repository so the
+        // footprint can actually shrink below the cap.
+        bool over_cap =
+            options_.nvm_buffer_cap_bytes != 0 &&
+            state_->levels.totalArenaBytes() >
+                options_.nvm_buffer_cap_bytes;
+        if (over_cap && bl.size() == 1) {
+            std::shared_ptr<PMTable> demoted = bl.beginMigration();
+            if (demoted) {
+                state_->levels.level(level + 1).push(demoted);
+                bl.finishMigration();
+                return true;
+            }
+        }
+        return false;
+    }
+    if (options_.zero_copy_merge) {
+        zeroCopyMerge(op.get(), nvm_, &stats_);
+        // Publish the result downstream before retiring the merge so
+        // readers never lose sight of the data.
+        state_->levels.level(level + 1).push(op->oldt);
+        bl.finishMerge(op);
+    } else {
+        uint64_t table_id = state_->next_table_id.fetch_add(1);
+        auto result = copyingMerge(op->newt, op->oldt, nvm_, &stats_,
+                                   table_id, options_.bits_per_key);
+        state_->levels.level(level + 1).push(std::move(result));
+        bl.finishMerge(op);
+    }
+    return true;
+}
+
+void
+MioDB::compactionThreadLoop(int level)
+{
+    sim::markSimBackgroundThread();
+    while (!shutting_down_.load()) {
+        bool worked = false;
+        if (!crashed_.load())
+            worked = compactLevelOnce(level);
+        if (worked) {
+            sched_cv_.notify_all();
+            idle_cv_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sched_mu_);
+        idle_cv_.notify_all();
+        sched_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+}
+
+void
+MioDB::singleCompactionThreadLoop()
+{
+    sim::markSimBackgroundThread();
+    while (!shutting_down_.load()) {
+        bool worked = false;
+        if (!crashed_.load()) {
+            for (int i = 0; i < options_.elastic_levels; i++)
+                worked = compactLevelOnce(i) || worked;
+        }
+        if (worked) {
+            sched_cv_.notify_all();
+            idle_cv_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sched_mu_);
+        idle_cv_.notify_all();
+        sched_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+}
+
+void
+MioDB::retireTable(std::shared_ptr<PMTable> table)
+{
+    if (active_readers_.load(std::memory_order_acquire) == 0) {
+        // No reader can hold a snapshot that reaches this chain: the
+        // table was already unpublished from every level.
+        return;
+    }
+    std::lock_guard<std::mutex> lock(grave_mu_);
+    graveyard_.push_back(std::move(table));
+}
+
+void
+MioDB::sweepGraveyard()
+{
+    std::vector<std::shared_ptr<PMTable>> doomed;
+    {
+        std::lock_guard<std::mutex> lock(grave_mu_);
+        doomed.swap(graveyard_);
+    }
+    // Chains free here, outside the lock.
+}
+
+void
+MioDB::waitIdle()
+{
+    auto drained = [this] {
+        {
+            std::lock_guard<std::mutex> il(imm_mu_);
+            if (!imms_.empty())
+                return false;
+        }
+        return state_->levels.quiescent() || shutting_down_.load() ||
+               crashed_.load();
+    };
+    std::unique_lock<std::mutex> lock(sched_mu_);
+    while (!drained()) {
+        sched_cv_.notify_all();
+        idle_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+    lock.unlock();
+    state_->repo->waitIdle();
+}
+
+} // namespace mio::miodb

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * MioDB: the paper's LSM-based KV store for hybrid DRAM/NVM memory.
+ *
+ * Write path: WAL append (NVM) -> DRAM MemTable -> one-piece flush to
+ * an L0 PMTable -> cascading zero-copy merges through the elastic
+ * buffer (one compaction thread per level) -> lazy-copy into the data
+ * repository (huge NVM skip list, or a leveled SSTable LSM on SSD in
+ * hierarchy mode).
+ *
+ * Read path: MemTable -> immutable MemTables -> buffer levels top to
+ * bottom (newest table first, bloom filters prune; in-flight merges
+ * are queried with the newtable -> insertion mark -> oldtable
+ * protocol) -> repository.
+ */
+#ifndef MIO_MIODB_MIODB_H_
+#define MIO_MIODB_MIODB_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kv/kv_store.h"
+#include "lsm/memtable.h"
+#include "miodb/lazy_copy_merge.h"
+#include "miodb/level_manager.h"
+#include "miodb/options.h"
+#include "miodb/zero_copy_merge.h"
+#include "sim/storage_medium.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace mio::miodb {
+
+/**
+ * The durable NVM-resident half of a MioDB instance: the elastic
+ * buffer's PMTables, any in-flight merge/migration, and the data
+ * repository. Real NVM survives power failure; in this emulation the
+ * same property is modelled by keeping this state in a shared handle
+ * that outlives the store object -- pass the handle to the next open
+ * and MioDB resumes interrupted compactions (paper Sec. 4.7) and
+ * replays the WAL for the DRAM-buffered remainder.
+ */
+struct NvmState {
+    explicit NvmState(int elastic_levels) : levels(elastic_levels) {}
+
+    LevelManager levels;
+    /** SSD-mode only: the medium the repository's SSTables live on. */
+    std::unique_ptr<sim::StorageMedium> ssd_medium;
+    std::unique_ptr<Repository> repo;  //!< destroyed before the medium
+    std::atomic<uint64_t> next_table_id{1};
+};
+
+class MioDB : public KVStore
+{
+  public:
+    /**
+     * Open a MioDB instance.
+     *
+     * @param options configuration (Sec. 5 defaults, scaled)
+     * @param nvm the emulated NVM module (required)
+     * @param ssd simulated SSD; required iff options.use_ssd_repository
+     * @param wal_registry external WAL home surviving this object
+     *        (enables crash-recovery tests); nullptr for a private one
+     * @param state NVM image from a previous (possibly crashed)
+     *        instance; nullptr opens a fresh store. Level count must
+     *        match options.elastic_levels.
+     */
+    MioDB(const MioOptions &options, sim::NvmDevice *nvm,
+          sim::SsdDevice *ssd = nullptr,
+          wal::WalRegistry *wal_registry = nullptr,
+          std::shared_ptr<NvmState> state = nullptr);
+    ~MioDB() override;
+
+    Status put(const Slice &key, const Slice &value) override;
+    Status get(const Slice &key, std::string *value) override;
+    Status remove(const Slice &key) override;
+    /**
+     * Atomic batch: one WAL record covers the whole batch, so after a
+     * crash either every op of the batch is recovered or (only if the
+     * record itself was torn) none past the tear -- and concurrent
+     * readers never observe a partially applied batch ordering
+     * younger writes first.
+     */
+    Status write(const WriteBatch &batch) override;
+    Status scan(const Slice &start_key, int count,
+                std::vector<std::pair<std::string, std::string>> *out)
+        override;
+    void waitIdle() override;
+    const StatsCounters &stats() const override { return stats_; }
+    std::string
+    name() const override
+    {
+        return options_.use_ssd_repository ? "MioDB-SSD" : "MioDB";
+    }
+
+    // ---- introspection for tests and benches ----
+
+    const MioOptions &options() const { return options_; }
+    LevelManager &levels() { return state_->levels; }
+    Repository &repository() { return *state_->repo; }
+    /** The durable NVM image (hand to the next open after a crash). */
+    std::shared_ptr<NvmState> nvmState() const { return state_; }
+    uint64_t currentSequence() const
+    {
+        return seq_.load(std::memory_order_relaxed);
+    }
+    /** NVM bytes referenced by buffer tables (elastic footprint). */
+    size_t elasticBufferBytes() const
+    {
+        return state_->levels.totalArenaBytes();
+    }
+
+    /** Multi-line dump of engine state (levels, repo, stats). */
+    std::string debugString();
+
+    /**
+     * Simulate a power failure: background threads stop where they
+     * are and the destructor will NOT flush buffered data, leaving
+     * the WAL segments in the registry for replay by the next open.
+     */
+    void simulateCrash();
+
+  private:
+    Status writeEntry(const Slice &key, EntryType type,
+                      const Slice &value);
+    Status validateEntry(const Slice &key, const Slice &value) const;
+    /** Throttle writers while the elastic buffer exceeds its cap. */
+    void applyBufferCap();
+    void rotateMemTable();            //!< caller holds write_mu_
+    std::string walName(uint64_t id) const;
+    void appendWal(uint64_t seq, EntryType type, const Slice &key,
+                   const Slice &value);
+    /** Log batch ops [from, end) whose first op has @p first_seq. */
+    void appendWalBatch(const WriteBatch &batch, size_t from,
+                        uint64_t first_seq);
+    void replayWal();
+    void replayRecord(const Slice &record, uint64_t *max_seq);
+
+    void flushThreadLoop();
+    void compactionThreadLoop(int level);
+    void singleCompactionThreadLoop();  //!< parallel_compaction=false
+    /** @return true if any work was performed at @p level. */
+    bool compactLevelOnce(int level);
+    /** Finish merges/migrations interrupted by a crash (Sec. 4.7). */
+    void recoverInterruptedCompactions();
+
+    bool lookupBufferAndRepo(const Slice &key, std::string *value,
+                             EntryType *type, uint64_t *seq);
+
+    /**
+     * Quiescent-state reclamation for merged PMTable chains. Zero-copy
+     * merges entangle node graphs across tables, so a reader iterating
+     * one table can legitimately walk into nodes whose arenas are
+     * co-owned by the final table of the chain. That final table is
+     * therefore retired through a graveyard that is only swept once no
+     * reader that could have observed it is still in flight.
+     */
+    class ReadGuard
+    {
+      public:
+        explicit ReadGuard(MioDB *db) : db_(db)
+        {
+            db_->active_readers_.fetch_add(1,
+                                           std::memory_order_acquire);
+        }
+        ~ReadGuard()
+        {
+            if (db_->active_readers_.fetch_sub(
+                    1, std::memory_order_release) == 1) {
+                db_->sweepGraveyard();
+            }
+        }
+        ReadGuard(const ReadGuard &) = delete;
+        ReadGuard &operator=(const ReadGuard &) = delete;
+
+      private:
+        MioDB *db_;
+    };
+
+    void retireTable(std::shared_ptr<PMTable> table);
+    void sweepGraveyard();
+
+    MioOptions options_;
+    sim::NvmDevice *nvm_;
+    sim::SsdDevice *ssd_;
+    StatsCounters stats_;
+
+    std::unique_ptr<wal::WalRegistry> owned_registry_;
+    wal::WalRegistry *registry_;
+
+    // Write state.
+    std::mutex write_mu_;
+    std::shared_ptr<lsm::MemTable> mem_;
+    uint64_t mem_wal_id_ = 0;
+    uint64_t first_own_wal_id_ = 0;  //!< replay floor (see replayWal)
+    std::shared_ptr<wal::LogSegment> mem_wal_;
+    std::atomic<uint64_t> seq_{1};
+
+    // Immutable queue (guarded by imm_mu_).
+    std::mutex imm_mu_;
+    std::condition_variable imm_cv_;
+    struct Immutable {
+        std::shared_ptr<lsm::MemTable> mem;
+        uint64_t wal_id;
+    };
+    std::deque<Immutable> imms_;
+
+    std::shared_ptr<NvmState> state_;
+
+    // Reader epoch tracking + deferred reclamation (see ReadGuard).
+    std::atomic<int> active_readers_{0};
+    std::mutex grave_mu_;
+    std::vector<std::shared_ptr<PMTable>> graveyard_;
+
+    // Background scheduling.
+    std::mutex sched_mu_;
+    std::condition_variable sched_cv_;
+    std::condition_variable idle_cv_;
+    std::atomic<bool> shutting_down_{false};
+    std::atomic<bool> crashed_{false};
+    std::atomic<int> active_workers_{0};
+    std::thread flush_thread_;
+    std::vector<std::thread> compaction_threads_;
+};
+
+} // namespace mio::miodb
+
+#endif // MIO_MIODB_MIODB_H_

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * MioDB configuration. Defaults follow the paper's evaluation setup
+ * scaled to simulation size (all sizes are overridable by benches).
+ */
+#ifndef MIO_MIODB_OPTIONS_H_
+#define MIO_MIODB_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lsm/version_set.h"
+
+namespace mio::miodb {
+
+struct MioOptions {
+    /** DRAM MemTable capacity (paper: 64 MB; scaled default 1 MB). */
+    size_t memtable_size = 1u << 20;
+
+    /**
+     * Number of elastic-buffer levels L0..L(n-1); the data repository
+     * sits below them. The paper settles on 8 (Fig. 9). One compaction
+     * thread serves each level when parallel compaction is on.
+     */
+    int elastic_levels = 8;
+
+    /** Bloom filter bits per key (paper: 16). 0 disables filters. */
+    int bits_per_key = 16;
+
+    /** Max immutable MemTables queued before writers stall. */
+    int max_immutable_memtables = 2;
+
+    /**
+     * Optional ceiling on the elastic buffer's NVM footprint (paper
+     * Sec. 5.4 caps it at 64 GB for the Fig. 14 sweep). 0 = unlimited.
+     * When the ceiling is hit, writers are throttled (a cumulative
+     * stall) until compaction migrates tables to the repository.
+     */
+    uint64_t nvm_buffer_cap_bytes = 0;
+
+    /** Ablations (paper Sec. 4 techniques, each individually toggleable). */
+    bool one_piece_flush = true;   //!< false: NoveLSM-style per-node copy
+    bool zero_copy_merge = true;   //!< false: copying merge in the buffer
+    bool parallel_compaction = true; //!< false: one thread for all levels
+
+    /** Write-ahead logging (required for crash consistency). */
+    bool enable_wal = true;
+
+    /**
+     * DRAM-NVM-SSD mode (paper Sec. 5.4): the data repository becomes
+     * a leveled LSM of SSTables on the SSD instead of a huge PMTable.
+     */
+    bool use_ssd_repository = false;
+    lsm::LsmOptions ssd_lsm;  //!< geometry of the SSD-mode repository
+};
+
+} // namespace mio::miodb
+
+#endif // MIO_MIODB_OPTIONS_H_

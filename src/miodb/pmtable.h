@@ -1,0 +1,110 @@
+/**
+ * @file
+ * PMTable: a persistent skip list in emulated NVM, the unit the
+ * elastic buffer manages (paper Sec. 4.1). A PMTable starts life as a
+ * one-piece-flushed MemTable image and grows through zero-copy merges,
+ * after which it references the arenas of every table merged into it;
+ * all of that memory is reclaimed together after the table is finally
+ * lazy-copied into the data repository.
+ */
+#ifndef MIO_MIODB_PMTABLE_H_
+#define MIO_MIODB_PMTABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "mem/arena.h"
+#include "skiplist/skiplist.h"
+
+namespace mio::miodb {
+
+class PMTable
+{
+  public:
+    /**
+     * Wrap a relocated (or freshly built) skip-list image.
+     *
+     * @param arena NVM arena holding the image (shared: merges move
+     *        arena ownership between tables)
+     * @param head head node within the arena
+     * @param entry_count live entries
+     * @param bloom per-table filter (fixed geometry for OR-merging)
+     * @param table_id monotonically increasing age stamp
+     */
+    PMTable(std::shared_ptr<Arena> arena, SkipList::Node *head,
+            uint64_t entry_count, BloomFilter bloom, uint64_t table_id,
+            std::string min_key, std::string max_key);
+
+    SkipList &list() { return list_; }
+    const SkipList &list() const { return list_; }
+    /** Unsynchronized access; safe only when no merge targets this. */
+    BloomFilter &bloom() { return bloom_; }
+    const BloomFilter &bloom() const { return bloom_; }
+
+    uint64_t tableId() const { return table_id_; }
+    uint64_t entryCount() const { return list_.entryCount(); }
+
+    std::string minKey() const;
+    std::string maxKey() const;
+
+    /** True when @p key falls within [minKey, maxKey]. */
+    bool coversKey(const Slice &key) const;
+
+    /** Bloom probe, safe against a concurrent absorb(). */
+    bool bloomMayContain(const Slice &key) const;
+
+    /** Bytes of NVM the referenced arenas reserve. */
+    size_t arenaBytes() const;
+
+    size_t
+    arenaCount() const
+    {
+        std::lock_guard<std::mutex> lock(meta_mu_);
+        return arenas_.size();
+    }
+
+    /**
+     * Share @p other's arenas, bloom bits, and key range after a
+     * zero-copy merge moved its nodes into this table. The arenas are
+     * co-owned (not stolen) so readers still holding @p other keep
+     * its memory alive; everything is reclaimed together once the
+     * last reference to the merged chain drops after lazy-copy.
+     */
+    void absorb(PMTable &other);
+
+    /** Number of zero-copy merges that produced this table. */
+    int mergeDepth() const { return merge_depth_; }
+
+  private:
+    SkipList list_;
+    /** Guards arenas_, bloom_, and the key range during absorb(). */
+    mutable std::mutex meta_mu_;
+    std::vector<std::shared_ptr<Arena>> arenas_;
+    BloomFilter bloom_;
+    uint64_t table_id_;
+    std::string min_key_;
+    std::string max_key_;
+    int merge_depth_ = 0;
+};
+
+/**
+ * Shared state of an in-flight zero-copy merge. While active, readers
+ * must consult: newtable, then the insertion mark, then oldtable
+ * (paper Sec. 4.3 cases 1-2) -- the node in transit is always visible
+ * through at least one of the three.
+ */
+struct MergeOp {
+    std::shared_ptr<PMTable> newt;  //!< the younger of the oldest two
+    std::shared_ptr<PMTable> oldt;  //!< merge target (becomes result)
+    /** Node currently being moved; persistent state for recovery. */
+    std::atomic<SkipList::Node *> mark{nullptr};
+    std::atomic<bool> done{false};
+};
+
+} // namespace mio::miodb
+
+#endif // MIO_MIODB_PMTABLE_H_

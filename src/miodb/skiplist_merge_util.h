@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared low-level helpers for the zero-copy and lazy-copy compaction
+ * paths: duplicate collection and multi-level unlinking around an
+ * insertion splice.
+ */
+#ifndef MIO_MIODB_SKIPLIST_MERGE_UTIL_H_
+#define MIO_MIODB_SKIPLIST_MERGE_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "skiplist/skiplist.h"
+
+namespace mio::miodb {
+
+/**
+ * Collect the consecutive nodes with key == @p key starting at
+ * @p start (level-0 order keeps same-key versions contiguous).
+ */
+inline std::vector<SkipList::Node *>
+collectDuplicates(SkipList::Node *start, const Slice &key)
+{
+    std::vector<SkipList::Node *> dups;
+    for (SkipList::Node *d = start; d != nullptr && d->key() == key;
+         d = d->nextRelaxed(0)) {
+        dups.push_back(d);
+    }
+    return dups;
+}
+
+/**
+ * Unlink @p dups (older versions of one key) from @p list.
+ *
+ * @param inserted the newly linked winning node, or nullptr when the
+ *        winner is not kept (tombstone hitting the bottom level)
+ * @param splice predecessors of the insert position
+ * @return number of pointer stores performed (for NVM metering)
+ */
+inline size_t
+unlinkDuplicates(SkipList *list, SkipList::Node *inserted,
+                 SkipList::Splice *splice,
+                 const std::vector<SkipList::Node *> &dups)
+{
+    if (dups.empty())
+        return 0;
+    size_t stores = 0;
+    auto is_dup = [&](SkipList::Node *p) {
+        for (SkipList::Node *d : dups) {
+            if (d == p)
+                return true;
+        }
+        return false;
+    };
+    int inserted_height = inserted ? inserted->height : 0;
+    for (int level = 0; level < list->maxHeight(); level++) {
+        SkipList::Node *p = (level < inserted_height)
+                                ? inserted
+                                : splice->prev[level];
+        while (true) {
+            SkipList::Node *nxt = p->next(level);
+            if (nxt == nullptr || !is_dup(nxt))
+                break;
+            p->setNext(level, nxt->nextRelaxed(level));
+            stores++;
+        }
+    }
+    list->bumpEntryCount(-static_cast<int64_t>(dups.size()));
+    return stores;
+}
+
+} // namespace mio::miodb
+
+#endif // MIO_MIODB_SKIPLIST_MERGE_UTIL_H_

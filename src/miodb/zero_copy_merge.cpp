@@ -1,0 +1,238 @@
+#include "miodb/zero_copy_merge.h"
+
+#include <cassert>
+#include <vector>
+
+#include "miodb/one_piece_flush.h"
+#include "miodb/skiplist_merge_util.h"
+#include "util/clock.h"
+
+namespace mio::miodb {
+
+namespace {
+
+using Node = SkipList::Node;
+using Splice = SkipList::Splice;
+
+/**
+ * Core merge loop shared by the fresh and resumed paths.
+ * @p pending is a node already detached from the newtable that still
+ * must be inserted (the recovered insertion mark), or nullptr.
+ */
+bool
+mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
+          const MergeThrottle &throttle, Node *pending)
+{
+    SkipList &src = op->newt->list();
+    SkipList &dst = op->oldt->list();
+
+    uint64_t moved = 0;
+    size_t pointer_stores = 0;
+    std::string last_key;
+    bool has_last = false;
+
+    auto flush_charges = [&]() {
+        if (pointer_stores > 0) {
+            device->chargeWrite(pointer_stores * sizeof(void *));
+            stats->storage_bytes_written.fetch_add(
+                pointer_stores * sizeof(void *),
+                std::memory_order_relaxed);
+            pointer_stores = 0;
+        }
+    };
+
+    auto insert_into_dst = [&](Node *n) {
+        device->chargeRandomReads(
+            sim::skipDescentDepth(dst.entryCount()));
+        Splice splice;
+        Node *succ = dst.findGreaterOrEqual(n->key(), &splice);
+        if (succ != nullptr && succ->key() == n->key() &&
+            succ->seq >= n->seq) {
+            // The destination already holds an equal-or-newer version
+            // (possible when a resumed merge re-examines the marked
+            // node): nothing to do.
+            return;
+        }
+        dst.linkNode(n, &splice);
+        pointer_stores += n->height;
+        auto dups = collectDuplicates(n->nextRelaxed(0), n->key());
+        pointer_stores += unlinkDuplicates(&dst, n, &splice, dups);
+    };
+
+    if (pending != nullptr) {
+        insert_into_dst(pending);
+        last_key = pending->key().toString();
+        has_last = true;
+        op->mark.store(nullptr, std::memory_order_release);
+        moved++;
+    }
+
+    while (true) {
+        Node *n = src.first();
+        if (n == nullptr)
+            break;
+
+        // All versions of one key are handled in the same step (the
+        // paper drops N_d5 while processing N_d7): unlink the OLDER
+        // newtable duplicates first, while the newest version is
+        // still present, so a concurrent newtable search can never
+        // surface a stale version.
+        auto src_dups = collectDuplicates(n->nextRelaxed(0), n->key());
+        if (!src_dups.empty()) {
+            Splice head_splice;
+            for (int level = 0; level < SkipList::kMaxHeight; level++)
+                head_splice.prev[level] = src.head();
+            pointer_stores +=
+                unlinkDuplicates(&src, n, &head_splice, src_dups);
+        }
+
+        // Publish the node in the insertion mark, then detach it from
+        // the newtable (top-down), then link it into the oldtable
+        // (bottom-up). Readers always find it in one of the three.
+        op->mark.store(n, std::memory_order_release);
+        src.unlinkFirst();
+        pointer_stores += n->height;
+
+        if (throttle && !throttle(moved)) {
+            // Simulated crash at the protocol's most delicate point:
+            // the node lives only in the insertion mark. Recovery
+            // (resumeZeroCopyMerge) re-inserts it from the mark.
+            flush_charges();
+            return false;
+        }
+
+        if (has_last && n->key() == Slice(last_key)) {
+            // Possible only on a resumed merge whose recovered mark
+            // carried this key; the newer version already landed.
+        } else {
+            insert_into_dst(n);
+            last_key = n->key().toString();
+            has_last = true;
+        }
+        op->mark.store(nullptr, std::memory_order_release);
+        moved++;
+    }
+
+    flush_charges();
+    op->oldt->absorb(*op->newt);
+    op->done.store(true, std::memory_order_release);
+    stats->zero_copy_merges.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace
+
+bool
+zeroCopyMerge(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
+              const MergeThrottle &throttle)
+{
+    ScopedTimer timer(&stats->compaction_ns);
+    return mergeLoop(op, device, stats, throttle, nullptr);
+}
+
+bool
+resumeZeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
+                    StatsCounters *stats, const MergeThrottle &throttle)
+{
+    ScopedTimer timer(&stats->compaction_ns);
+    Node *pending = op->mark.load(std::memory_order_acquire);
+    return mergeLoop(op, device, stats, throttle, pending);
+}
+
+bool
+mergeAwareGet(const MergeOp *op, const Slice &key, std::string *value,
+              EntryType *type, uint64_t *seq)
+{
+    // Step 1: the newtable (newest data of the pair).
+    if (op->newt->list().get(key, value, type, seq))
+        return true;
+    // Step 2: the insertion mark -- the node in transit.
+    Node *marked = op->mark.load(std::memory_order_acquire);
+    if (marked != nullptr && marked->key() == key) {
+        *type = marked->entryType();
+        if (seq != nullptr)
+            *seq = marked->seq;
+        if (marked->entryType() == EntryType::kValue) {
+            value->assign(marked->value().data(),
+                          marked->value().size());
+        }
+        return true;
+    }
+    // Step 3: the oldtable.
+    return op->oldt->list().get(key, value, type, seq);
+}
+
+std::shared_ptr<PMTable>
+copyingMerge(const std::shared_ptr<PMTable> &newt,
+             const std::shared_ptr<PMTable> &oldt,
+             sim::NvmDevice *device, StatsCounters *stats,
+             uint64_t table_id, int bits_per_key)
+{
+    (void)bits_per_key;  // geometry comes from the inputs' filters
+    ScopedTimer timer(&stats->compaction_ns);
+
+    // Random node heights differ from the sources', so leave headroom.
+    size_t capacity = newt->arenaBytes() + oldt->arenaBytes();
+    capacity += capacity / 4 + 4096;
+    auto arena = std::make_shared<Arena>(capacity, device,
+                                         /*charge_allocations=*/true);
+    SkipList out(arena.get(), table_id * 131 + 3);
+
+    SkipList::Iterator a(&newt->list());
+    SkipList::Iterator b(&oldt->list());
+    a.seekToFirst();
+    b.seekToFirst();
+
+    std::string last_key;
+    bool has_last = false;
+    auto emit = [&](const Slice &key, uint64_t seq, EntryType type,
+                    const Slice &val) {
+        if (has_last && key == Slice(last_key))
+            return;  // older duplicate
+        bool ok = out.insert(key, seq, type, val);
+        assert(ok && "copying-merge arena sized for both inputs");
+        (void)ok;
+        last_key = key.toString();
+        has_last = true;
+    };
+    while (a.valid() || b.valid()) {
+        bool take_a;
+        if (!a.valid()) {
+            take_a = false;
+        } else if (!b.valid()) {
+            take_a = true;
+        } else {
+            take_a = SkipList::entryBefore(a.key(), a.seq(), b.key(),
+                                           b.seq());
+        }
+        if (take_a) {
+            emit(a.key(), a.seq(), a.entryType(), a.value());
+            a.next();
+        } else {
+            emit(b.key(), b.seq(), b.entryType(), b.value());
+            b.next();
+        }
+    }
+    stats->storage_bytes_written.fetch_add(arena->used(),
+                                           std::memory_order_relaxed);
+
+    BloomFilter bloom = newt->bloom();
+    bloom.merge(oldt->bloom());
+    std::string min_key = Slice(newt->minKey()).compare(
+                              Slice(oldt->minKey())) < 0
+                              ? newt->minKey()
+                              : oldt->minKey();
+    std::string max_key = Slice(newt->maxKey()).compare(
+                              Slice(oldt->maxKey())) > 0
+                              ? newt->maxKey()
+                              : oldt->maxKey();
+    auto result = std::make_shared<PMTable>(std::move(arena), out.head(),
+                                            out.entryCount(),
+                                            std::move(bloom), table_id,
+                                            std::move(min_key),
+                                            std::move(max_key));
+    stats->compaction_count.fetch_add(1, std::memory_order_relaxed);
+    return result;
+}
+
+} // namespace mio::miodb

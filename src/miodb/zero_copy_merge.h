@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Zero-copy compaction (paper Sec. 4.3): merge the newer of a level's
+ * two oldest PMTables into the older one purely by relinking skip-list
+ * pointers -- KV bytes never move, so the merge contributes no write
+ * amplification. An atomic insertion mark keeps the node in transit
+ * visible to lock-free concurrent readers, and doubles as the
+ * persistent state from which an interrupted merge resumes after a
+ * crash (paper Sec. 4.7).
+ */
+#ifndef MIO_MIODB_ZERO_COPY_MERGE_H_
+#define MIO_MIODB_ZERO_COPY_MERGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "kv/store_stats.h"
+#include "miodb/pmtable.h"
+#include "sim/nvm_device.h"
+
+namespace mio::miodb {
+
+/**
+ * Test hook: invoked before each node move with the number of nodes
+ * already moved; returning false pauses the merge at that point (a
+ * simulated crash). Production passes nullptr.
+ */
+using MergeThrottle = std::function<bool(uint64_t nodes_moved)>;
+
+/**
+ * Run the zero-copy merge of op->newt into op->oldt.
+ *
+ * On completion op->oldt contains every live entry of both tables
+ * (older duplicate versions unlinked, memory retained until lazy-copy
+ * reclamation), op->newt is empty, and op->done is true. Pointer
+ * updates are metered as 8-byte NVM writes.
+ *
+ * @return true if the merge ran to completion; false if @p throttle
+ * paused it (resume with resumeZeroCopyMerge).
+ */
+bool zeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
+                   StatsCounters *stats,
+                   const MergeThrottle &throttle = nullptr);
+
+/**
+ * Crash-recovery entry: finish an interrupted merge. Per the paper's
+ * protocol, if the insertion mark holds a node that never reached the
+ * oldtable it is inserted first, then the remaining newtable entries
+ * are merged as usual.
+ */
+bool resumeZeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
+                         StatsCounters *stats,
+                         const MergeThrottle &throttle = nullptr);
+
+/**
+ * Ablation baseline: merge by physically copying every live entry of
+ * both tables into a freshly allocated PMTable (classic compaction --
+ * full write amplification). @return the new table.
+ */
+std::shared_ptr<PMTable>
+copyingMerge(const std::shared_ptr<PMTable> &newt,
+             const std::shared_ptr<PMTable> &oldt,
+             sim::NvmDevice *device, StatsCounters *stats,
+             uint64_t table_id, int bits_per_key);
+
+/**
+ * Query a merging pair with the paper's three-step protocol:
+ * newtable -> insertion mark -> oldtable.
+ * @return true if any version of @p key was found.
+ */
+bool mergeAwareGet(const MergeOp *op, const Slice &key, std::string *value,
+                   EntryType *type, uint64_t *seq);
+
+} // namespace mio::miodb
+
+#endif // MIO_MIODB_ZERO_COPY_MERGE_H_

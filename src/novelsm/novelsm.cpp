@@ -1,0 +1,391 @@
+#include "novelsm/novelsm.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "lsm/iterator.h"
+#include "util/clock.h"
+#include "util/coding.h"
+
+namespace mio::novelsm {
+
+namespace {
+
+/** Head node for the unbounded NoSST list. */
+SkipList::Node *
+makeHeadIn(ChunkedNvmArena *arena)
+{
+    size_t bytes = sizeof(SkipList::Node) +
+                   SkipList::kMaxHeight * sizeof(std::atomic<void *>);
+    auto *head = reinterpret_cast<SkipList::Node *>(arena->allocate(bytes));
+    head->seq = 0;
+    head->key_len = 0;
+    head->value_len = 0;
+    head->height = SkipList::kMaxHeight;
+    head->type = static_cast<uint8_t>(EntryType::kValue);
+    head->reserved = 0;
+    head->pad = 0;
+    for (int i = 0; i < SkipList::kMaxHeight; i++)
+        head->setNextRelaxed(i, nullptr);
+    return head;
+}
+
+} // namespace
+
+NoveLSM::NoveLSM(const NovelsmOptions &options, sim::NvmDevice *nvm,
+                 sim::StorageMedium *sstable_medium)
+    : options_(options), nvm_(nvm)
+{
+    if (options_.variant == Variant::kNoSST) {
+        nosst_arena_ = std::make_unique<ChunkedNvmArena>(nvm_);
+        nosst_list_ = std::make_unique<SkipList>(
+            makeHeadIn(nosst_arena_.get()), 0, /*rng_seed=*/0x4e6f5353);
+        return;
+    }
+
+    lsm_ = std::make_unique<lsm::LsmTree>(options_.lsm, sstable_medium,
+                                          &stats_, "novelsm");
+    // NVM MemTables charge per-node allocation (writes land in NVM).
+    nvm_mem_ = std::make_shared<lsm::MemTable>(
+        options_.nvm_memtable_size, nvm_, /*rng_seed=*/0x101);
+    if (options_.variant == Variant::kHierarchical) {
+        dram_mem_ = std::make_shared<lsm::MemTable>(
+            options_.dram_memtable_size, /*rng_seed=*/0x77);
+        if (options_.enable_wal)
+            wal_ = wal_registry_.open("novelsm-wal-0", nvm_);
+    }
+    flush_thread_ = std::thread([this] { flushThreadLoop(); });
+}
+
+NoveLSM::~NoveLSM()
+{
+    shutting_down_.store(true);
+    table_cv_.notify_all();
+    if (flush_thread_.joinable())
+        flush_thread_.join();
+}
+
+std::string
+NoveLSM::name() const
+{
+    switch (options_.variant) {
+      case Variant::kFlat:
+        return "NoveLSM";
+      case Variant::kHierarchical:
+        return "NoveLSM-hier";
+      case Variant::kNoSST:
+        return "NoveLSM-NoSST";
+    }
+    return "NoveLSM";
+}
+
+void
+NoveLSM::nosstInsert(const Slice &key, uint64_t seq, EntryType type,
+                     const Slice &value)
+{
+    // In-place update semantics: insert the new version in front of
+    // any old one, then unlink the old versions (their log-structured
+    // memory is never reused, as in the real system's persistent log).
+    // A big persistent skip list pays one NVM media access per level
+    // of the descent (the cost the paper's Sec. 4.1 analysis counts).
+    nvm_->chargeRandomReads(
+        sim::skipDescentDepth(nosst_list_->entryCount()));
+    SkipList::Splice splice;
+    SkipList::Node *succ = nosst_list_->findGreaterOrEqual(key, &splice);
+    auto dups = (succ != nullptr && succ->key() == key)
+                    ? miodb::collectDuplicates(succ, key)
+                    : std::vector<SkipList::Node *>{};
+    SkipList::Node *node = SkipList::makeNode(
+        nosst_arena_.get(), key, seq, type, value,
+        nosst_list_->randomHeight());
+    stats_.storage_bytes_written.fetch_add(node->allocationSize(),
+                                           std::memory_order_relaxed);
+    nosst_list_->linkNode(node, &splice);
+    miodb::unlinkDuplicates(nosst_list_.get(), node, &splice, dups);
+}
+
+void
+NoveLSM::applyWritePressure()
+{
+    if (lsm_ == nullptr)
+        return;
+    if (lsm_->needsStop()) {
+        // Hard stop: wait until compaction drains L0 below the stop
+        // trigger -- perceived by the client as an interval stall.
+        ScopedTimer stall(&stats_.interval_stall_ns);
+        lsm_->maybeScheduleCompaction();
+        while (lsm_->needsStop() && !shutting_down_.load())
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+    } else if (lsm_->needsSlowdown()) {
+        ScopedTimer stall(&stats_.cumulative_stall_ns);
+        spinFor(options_.slowdown_ns);
+    }
+}
+
+Status
+NoveLSM::writeEntry(const Slice &key, EntryType type, const Slice &value)
+{
+    if (key.empty())
+        return Status::invalidArgument("empty key");
+
+    std::lock_guard<std::mutex> lock(write_mu_);
+    uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    stats_.user_bytes_written.fetch_add(key.size() + value.size(),
+                                        std::memory_order_relaxed);
+
+    if (options_.variant == Variant::kNoSST) {
+        nosstInsert(key, seq, type, value);
+        return Status::ok();
+    }
+
+    applyWritePressure();
+
+    if (options_.variant == Variant::kFlat) {
+        // Writes update the large persistent MemTable in place: the
+        // descent traverses NVM-resident nodes.
+        nvm_->chargeRandomReads(
+            sim::skipDescentDepth(nvm_mem_->entryCount()));
+        if (!nvm_mem_->add(key, seq, type, value)) {
+            rotateNvmMemTable();
+            if (!nvm_mem_->add(key, seq, type, value))
+                return Status::invalidArgument("entry too large");
+        }
+        return Status::ok();
+    }
+
+    // Hierarchical: WAL + DRAM MemTable first.
+    if (options_.enable_wal) {
+        std::string record;
+        putFixed64(&record, seq);
+        record.push_back(static_cast<char>(type));
+        putLengthPrefixedSlice(&record, key);
+        putLengthPrefixedSlice(&record, value);
+        wal_->append(Slice(record));
+        stats_.wal_bytes_written.fetch_add(record.size() + 8,
+                                           std::memory_order_relaxed);
+    }
+    if (!dram_mem_->add(key, seq, type, value)) {
+        rotateDramMemTable();
+        if (!dram_mem_->add(key, seq, type, value))
+            return Status::invalidArgument("entry too large");
+    }
+    return Status::ok();
+}
+
+void
+NoveLSM::rotateDramMemTable()
+{
+    // Flush the DRAM MemTable into the large NVM MemTable one entry
+    // at a time (the hierarchical design's copy path): each insert
+    // pays a search in the big list plus a per-node NVM write. This
+    // is synchronous with the writer -- the cost NoveLSM's design
+    // accepts to keep the NVM table sorted.
+    ScopedTimer flush_timer(&stats_.flush_ns);
+    SkipList::Iterator it(&dram_mem_->list());
+    for (it.seekToFirst(); it.valid(); it.next()) {
+        nvm_->chargeRandomReads(
+            sim::skipDescentDepth(nvm_mem_->entryCount()));
+        if (!nvm_mem_->add(it.key(), it.seq(), it.entryType(),
+                           it.value())) {
+            rotateNvmMemTable();
+            bool ok = nvm_mem_->add(it.key(), it.seq(), it.entryType(),
+                                    it.value());
+            assert(ok);
+            (void)ok;
+        }
+    }
+    stats_.flushed_bytes.fetch_add(dram_mem_->memoryUsed(),
+                                   std::memory_order_relaxed);
+    stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
+    dram_mem_ = std::make_shared<lsm::MemTable>(
+        options_.dram_memtable_size, seq_.load() * 3 + 1);
+    if (options_.enable_wal) {
+        wal_registry_.remove("novelsm-wal-" + std::to_string(wal_id_));
+        wal_id_++;
+        wal_ = wal_registry_.open(
+            "novelsm-wal-" + std::to_string(wal_id_), nvm_);
+    }
+}
+
+void
+NoveLSM::rotateNvmMemTable()
+{
+    std::unique_lock<std::mutex> tl(table_mu_);
+    nvm_imms_.push_back(nvm_mem_);
+    // Only one immutable NVM MemTable is tolerated (it is huge); a
+    // second full table means the flush cannot keep up: interval stall.
+    if (nvm_imms_.size() > 1) {
+        ScopedTimer stall(&stats_.interval_stall_ns);
+        table_cv_.notify_all();
+        table_cv_.wait(tl, [this] {
+            return nvm_imms_.size() <= 1 || shutting_down_.load();
+        });
+    }
+    nvm_mem_ = std::make_shared<lsm::MemTable>(
+        options_.nvm_memtable_size, nvm_, seq_.load() * 7 + 3);
+    tl.unlock();
+    table_cv_.notify_all();
+}
+
+void
+NoveLSM::flushThreadLoop()
+{
+    sim::markSimBackgroundThread();
+    for (;;) {
+        std::shared_ptr<lsm::MemTable> victim;
+        {
+            std::unique_lock<std::mutex> tl(table_mu_);
+            while (nvm_imms_.empty()) {
+                if (shutting_down_.load())
+                    return;
+                table_cv_.wait_for(tl, std::chrono::milliseconds(5));
+            }
+            victim = nvm_imms_.front();
+        }
+        // The slow L0->L1 compaction blocks MemTable flushing when L0
+        // is saturated (the root cause of NoveLSM's interval stalls,
+        // paper Sec. 2.3): wait for compaction to make room first.
+        while (lsm_->needsStop() && !shutting_down_.load()) {
+            lsm_->maybeScheduleCompaction();
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        // Serialize the big NVM MemTable into L0 SSTables.
+        lsm::SkipListIterator iter(&victim->list());
+        lsm_->flushToL0(&iter);
+        {
+            std::lock_guard<std::mutex> tl(table_mu_);
+            if (!nvm_imms_.empty())
+                nvm_imms_.pop_front();
+        }
+        stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
+        stats_.flushed_bytes.fetch_add(victim->memoryUsed(),
+                                       std::memory_order_relaxed);
+        table_cv_.notify_all();
+    }
+}
+
+Status
+NoveLSM::put(const Slice &key, const Slice &value)
+{
+    stats_.puts.fetch_add(1, std::memory_order_relaxed);
+    return writeEntry(key, EntryType::kValue, value);
+}
+
+Status
+NoveLSM::remove(const Slice &key)
+{
+    stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+    return writeEntry(key, EntryType::kDeletion, Slice());
+}
+
+Status
+NoveLSM::get(const Slice &key, std::string *value)
+{
+    stats_.gets.fetch_add(1, std::memory_order_relaxed);
+    EntryType type;
+
+    if (options_.variant == Variant::kNoSST) {
+        nvm_->chargeRandomReads(
+            sim::skipDescentDepth(nosst_list_->entryCount()));
+        if (nosst_list_->get(key, value, &type)) {
+            return type == EntryType::kValue ? Status::ok()
+                                             : Status::notFound(key);
+        }
+        return Status::notFound(key);
+    }
+
+    std::shared_ptr<lsm::MemTable> dram, nvm;
+    std::vector<std::shared_ptr<lsm::MemTable>> imms;
+    {
+        std::lock_guard<std::mutex> tl(table_mu_);
+        dram = dram_mem_;
+        nvm = nvm_mem_;
+        for (auto it = nvm_imms_.rbegin(); it != nvm_imms_.rend(); ++it)
+            imms.push_back(*it);
+    }
+    if (dram && dram->get(key, value, &type)) {
+        return type == EntryType::kValue ? Status::ok()
+                                         : Status::notFound(key);
+    }
+    if (nvm) {
+        nvm_->chargeRandomReads(
+            sim::skipDescentDepth(nvm->entryCount()));
+    }
+    if (nvm && nvm->get(key, value, &type)) {
+        return type == EntryType::kValue ? Status::ok()
+                                         : Status::notFound(key);
+    }
+    for (const auto &imm : imms) {
+        if (imm->get(key, value, &type)) {
+            return type == EntryType::kValue ? Status::ok()
+                                             : Status::notFound(key);
+        }
+    }
+    uint64_t seq;
+    if (lsm_->get(key, value, &type, &seq)) {
+        return type == EntryType::kValue ? Status::ok()
+                                         : Status::notFound(key);
+    }
+    return Status::notFound(key);
+}
+
+Status
+NoveLSM::scan(const Slice &start_key, int count,
+              std::vector<std::pair<std::string, std::string>> *out)
+{
+    stats_.scans.fetch_add(1, std::memory_order_relaxed);
+    out->clear();
+
+    // Pin the MemTables for the scan's lifetime: the child iterators
+    // keep raw list pointers, and a concurrent flush could otherwise
+    // release a table mid-iteration.
+    std::vector<std::shared_ptr<lsm::MemTable>> pinned;
+    std::vector<std::unique_ptr<lsm::KVIterator>> children;
+    if (options_.variant == Variant::kNoSST) {
+        children.push_back(
+            std::make_unique<lsm::SkipListIterator>(nosst_list_.get()));
+    } else {
+        {
+            std::lock_guard<std::mutex> tl(table_mu_);
+            if (dram_mem_)
+                pinned.push_back(dram_mem_);
+            if (nvm_mem_)
+                pinned.push_back(nvm_mem_);
+            for (auto it = nvm_imms_.rbegin(); it != nvm_imms_.rend();
+                 ++it) {
+                pinned.push_back(*it);
+            }
+        }
+        for (const auto &mem : pinned) {
+            children.push_back(
+                std::make_unique<lsm::SkipListIterator>(&mem->list()));
+        }
+    }
+    if (lsm_)
+        children.push_back(lsm_->newIterator());
+
+    lsm::DedupingIterator iter(std::make_unique<lsm::MergingIterator>(
+        std::move(children)));
+    for (iter.seek(start_key); iter.valid() &&
+                               static_cast<int>(out->size()) < count;
+         iter.next()) {
+        out->emplace_back(iter.key().toString(),
+                          iter.value().toString());
+    }
+    return Status::ok();
+}
+
+void
+NoveLSM::waitIdle()
+{
+    if (options_.variant == Variant::kNoSST)
+        return;
+    {
+        std::unique_lock<std::mutex> tl(table_mu_);
+        while (!nvm_imms_.empty() && !shutting_down_.load())
+            table_cv_.wait_for(tl, std::chrono::milliseconds(10));
+    }
+    lsm_->waitIdle();
+}
+
+} // namespace mio::novelsm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * NoveLSM baseline (Kannan et al., ATC'18), reimplemented over the
+ * same simulators as MioDB so comparisons isolate algorithm design.
+ *
+ * Three variants from the paper's evaluation:
+ *  - flat: one large *mutable* NVM MemTable absorbs writes in place
+ *    (no WAL needed; every insert pays a big-skip-list search and NVM
+ *    node write). When full it is flushed -- serialized -- to L0
+ *    SSTables of a conventional leveled LSM, whose slow L0->L1
+ *    compaction is the stall source the paper analyzes.
+ *  - hierarchical: a small DRAM MemTable (with WAL) is flushed
+ *    node-by-node into the large NVM MemTable, which then flushes to
+ *    SSTables as above.
+ *  - nosst (NoveLSM-NoSST in Fig. 7): a single unbounded NVM skip
+ *    list holds everything; no SSTables at all.
+ */
+#ifndef MIO_NOVELSM_NOVELSM_H_
+#define MIO_NOVELSM_NOVELSM_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <thread>
+
+#include "kv/kv_store.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/memtable.h"
+#include "mem/arena.h"
+#include "miodb/skiplist_merge_util.h"
+#include "sim/storage_medium.h"
+#include "wal/log_writer.h"
+
+namespace mio::novelsm {
+
+enum class Variant {
+    kFlat,
+    kHierarchical,
+    kNoSST,
+};
+
+struct NovelsmOptions {
+    Variant variant = Variant::kFlat;
+    /** DRAM MemTable (hierarchical variant only). */
+    size_t dram_memtable_size = 1u << 20;
+    /** The large NVM MemTable (paper: 4-8 GB; scaled default 8 MB). */
+    size_t nvm_memtable_size = 8u << 20;
+    lsm::LsmOptions lsm;          //!< SSTable tree geometry
+    bool enable_wal = true;       //!< hierarchical DRAM buffer only
+    /** Deliberate per-write slowdown delay near L0 pressure. */
+    uint64_t slowdown_ns = 1000000;
+};
+
+class NoveLSM : public KVStore
+{
+  public:
+    /**
+     * @param nvm emulated NVM (MemTables and, in in-memory mode,
+     *        SSTables live here)
+     * @param sstable_medium where SSTables go: an NvmMedium for the
+     *        paper's in-memory mode or an SsdMedium for SSD mode
+     */
+    NoveLSM(const NovelsmOptions &options, sim::NvmDevice *nvm,
+            sim::StorageMedium *sstable_medium);
+    ~NoveLSM() override;
+
+    Status put(const Slice &key, const Slice &value) override;
+    Status get(const Slice &key, std::string *value) override;
+    Status remove(const Slice &key) override;
+    Status scan(const Slice &start_key, int count,
+                std::vector<std::pair<std::string, std::string>> *out)
+        override;
+    void waitIdle() override;
+    const StatsCounters &stats() const override { return stats_; }
+    std::string name() const override;
+
+    lsm::LsmTree *lsmTree() { return lsm_.get(); }
+
+  private:
+    Status writeEntry(const Slice &key, EntryType type,
+                      const Slice &value);
+    /** Insert into the unbounded NoSST skip list (in-place update). */
+    void nosstInsert(const Slice &key, uint64_t seq, EntryType type,
+                     const Slice &value);
+    void rotateNvmMemTable();  //!< caller holds write_mu_
+    void rotateDramMemTable(); //!< hierarchical; caller holds write_mu_
+    void applyWritePressure();
+    void flushThreadLoop();
+
+    NovelsmOptions options_;
+    sim::NvmDevice *nvm_;
+    StatsCounters stats_;
+    std::unique_ptr<lsm::LsmTree> lsm_;
+
+    std::mutex write_mu_;
+    std::atomic<uint64_t> seq_{1};
+
+    // Flat/hierarchical: active + immutable NVM MemTables.
+    std::mutex table_mu_;
+    std::condition_variable table_cv_;
+    std::shared_ptr<lsm::MemTable> nvm_mem_;
+    std::deque<std::shared_ptr<lsm::MemTable>> nvm_imms_;
+
+    // Hierarchical only.
+    std::shared_ptr<lsm::MemTable> dram_mem_;
+    wal::WalRegistry wal_registry_;
+    std::shared_ptr<wal::LogSegment> wal_;
+    uint64_t wal_id_ = 0;
+
+    // NoSST only: one unbounded persistent skip list.
+    std::unique_ptr<ChunkedNvmArena> nosst_arena_;
+    std::unique_ptr<SkipList> nosst_list_;
+
+    std::atomic<bool> shutting_down_{false};
+    std::thread flush_thread_;
+};
+
+} // namespace mio::novelsm
+
+#endif // MIO_NOVELSM_NOVELSM_H_

@@ -1,0 +1,180 @@
+#include "sim/nvm_device.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "util/clock.h"
+
+namespace mio::sim {
+
+namespace {
+
+/**
+ * Per-thread accumulated time debt (ns). Paying debt with one busy-wait
+ * per ~4us keeps the modelled bandwidth accurate while touching the
+ * clock rarely.
+ */
+thread_local double time_debt_ns = 0.0;
+thread_local bool thread_is_background = false;
+/** Foreground debts are paid often (accurate op latency); background
+ *  debts accumulate to ~2 ms so the sleep's wakeup slack (tens of us
+ *  on Linux) stays proportionally negligible. */
+constexpr double kForegroundThresholdNs = 4000.0;
+constexpr double kBackgroundThresholdNs = 2'000'000.0;
+
+} // namespace
+
+void
+markSimBackgroundThread()
+{
+    thread_is_background = true;
+}
+
+bool
+simThreadIsBackground()
+{
+    return thread_is_background;
+}
+
+void
+paySimDelay(uint64_t ns)
+{
+    if (ns == 0)
+        return;
+    if (thread_is_background) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    } else {
+        spinFor(ns);
+    }
+}
+
+NvmDevice::NvmDevice(MemoryPerfModel model) : model_(model) {}
+
+NvmDevice::~NvmDevice()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[ptr, size] : regions_)
+        free(ptr);
+    regions_.clear();
+}
+
+char *
+NvmDevice::allocateRegion(size_t size)
+{
+    auto *ptr = static_cast<char *>(malloc(size));
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        regions_.emplace(ptr, size);
+    }
+    uint64_t live =
+        bytes_allocated_.fetch_add(size, std::memory_order_relaxed) + size;
+    total_allocated_.fetch_add(size, std::memory_order_relaxed);
+    uint64_t peak = peak_allocated_.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peak_allocated_.compare_exchange_weak(
+               peak, live, std::memory_order_relaxed)) {
+    }
+    return ptr;
+}
+
+void
+NvmDevice::freeRegion(char *ptr)
+{
+    size_t size = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = regions_.find(ptr);
+        if (it == regions_.end())
+            return;
+        size = it->second;
+        regions_.erase(it);
+    }
+    bytes_allocated_.fetch_sub(size, std::memory_order_relaxed);
+    free(ptr);
+}
+
+void
+NvmDevice::chargeTime(double ns)
+{
+    if (ns <= 0.0)
+        return;
+    time_debt_ns += ns;
+    double threshold = thread_is_background ? kBackgroundThresholdNs
+                                            : kForegroundThresholdNs;
+    if (time_debt_ns >= threshold) {
+        paySimDelay(static_cast<uint64_t>(time_debt_ns));
+        time_debt_ns = 0.0;
+    }
+}
+
+void
+NvmDevice::write(char *dst, const char *src, size_t n)
+{
+    memcpy(dst, src, n);
+    chargeWrite(n);
+}
+
+void
+NvmDevice::chargeWrite(size_t n)
+{
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+    chargeTime(model_.write_ns_per_byte * static_cast<double>(n) +
+               static_cast<double>(model_.write_latency_ns));
+}
+
+void
+NvmDevice::chargeRead(size_t n)
+{
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+    chargeTime(model_.read_ns_per_byte * static_cast<double>(n) +
+               static_cast<double>(model_.read_latency_ns));
+}
+
+void
+NvmDevice::chargeRandomReads(int count, size_t bytes_each)
+{
+    if (count <= 0)
+        return;
+    size_t total = static_cast<size_t>(count) * bytes_each;
+    bytes_read_.fetch_add(total, std::memory_order_relaxed);
+    chargeTime(static_cast<double>(count) *
+                   (static_cast<double>(model_.read_latency_ns) +
+                    model_.read_ns_per_byte *
+                        static_cast<double>(bytes_each)));
+}
+
+void
+NvmDevice::persist(const void *addr, size_t n)
+{
+    (void)addr;
+    (void)n;
+    persist_ops_.fetch_add(1, std::memory_order_relaxed);
+}
+
+NvmMeters
+NvmDevice::meters() const
+{
+    NvmMeters m;
+    m.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    m.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    m.persist_ops = persist_ops_.load(std::memory_order_relaxed);
+    m.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
+    m.peak_allocated = peak_allocated_.load(std::memory_order_relaxed);
+    m.total_allocated = total_allocated_.load(std::memory_order_relaxed);
+    return m;
+}
+
+void
+NvmDevice::resetTrafficMeters()
+{
+    bytes_written_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    persist_ops_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace mio::sim

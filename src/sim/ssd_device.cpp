@@ -1,0 +1,155 @@
+#include "sim/ssd_device.h"
+
+#include <cstring>
+
+#include "sim/nvm_device.h"
+#include "util/clock.h"
+
+namespace mio::sim {
+
+SsdDevice::SsdDevice(SsdPerfModel model) : model_(model) {}
+
+void
+SsdDevice::chargeWrite(size_t n) const
+{
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+    write_ios_.fetch_add(1, std::memory_order_relaxed);
+    double ns = static_cast<double>(model_.write_latency_ns) +
+                model_.write_ns_per_byte * static_cast<double>(n);
+    if (ns > 0)
+        paySimDelay(static_cast<uint64_t>(ns));
+}
+
+void
+SsdDevice::chargeRead(size_t n) const
+{
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+    read_ios_.fetch_add(1, std::memory_order_relaxed);
+    double ns = static_cast<double>(model_.read_latency_ns) +
+                model_.read_ns_per_byte * static_cast<double>(n);
+    if (ns > 0)
+        paySimDelay(static_cast<uint64_t>(ns));
+}
+
+Status
+SsdDevice::writeBlob(const std::string &name, const Slice &data)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        blobs_[name] = std::make_shared<std::string>(data.toString());
+    }
+    chargeWrite(data.size());
+    return Status::ok();
+}
+
+Status
+SsdDevice::appendBlob(const std::string &name, const Slice &data)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &blob = blobs_[name];
+        if (!blob)
+            blob = std::make_shared<std::string>();
+        // Copy-on-write so concurrent readers holding the old snapshot
+        // are unaffected.
+        auto updated = std::make_shared<std::string>(*blob);
+        updated->append(data.data(), data.size());
+        blob = std::move(updated);
+    }
+    chargeWrite(data.size());
+    return Status::ok();
+}
+
+Status
+SsdDevice::readBlob(const std::string &name, std::string *out) const
+{
+    std::shared_ptr<std::string> blob;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = blobs_.find(name);
+        if (it == blobs_.end())
+            return Status::ioError("missing blob: " + name);
+        blob = it->second;
+    }
+    *out = *blob;
+    chargeRead(blob->size());
+    return Status::ok();
+}
+
+Status
+SsdDevice::readBlobRange(const std::string &name, uint64_t offset,
+                         size_t len, char *scratch) const
+{
+    std::shared_ptr<std::string> blob;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = blobs_.find(name);
+        if (it == blobs_.end())
+            return Status::ioError("missing blob: " + name);
+        blob = it->second;
+    }
+    if (offset + len > blob->size())
+        return Status::invalidArgument("read past end of blob");
+    memcpy(scratch, blob->data() + offset, len);
+    chargeRead(len);
+    return Status::ok();
+}
+
+Status
+SsdDevice::deleteBlob(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    blobs_.erase(name);
+    return Status::ok();
+}
+
+bool
+SsdDevice::blobExists(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return blobs_.count(name) > 0;
+}
+
+uint64_t
+SsdDevice::blobSize(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(name);
+    return it == blobs_.end() ? 0 : it->second->size();
+}
+
+std::vector<std::string>
+SsdDevice::listBlobs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(blobs_.size());
+    for (const auto &[name, blob] : blobs_)
+        names.push_back(name);
+    return names;
+}
+
+SsdMeters
+SsdDevice::meters() const
+{
+    SsdMeters m;
+    m.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    m.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    m.write_ios = write_ios_.load(std::memory_order_relaxed);
+    m.read_ios = read_ios_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, blob] : blobs_)
+        m.bytes_stored += blob->size();
+    return m;
+}
+
+void
+SsdDevice::resetTrafficMeters()
+{
+    bytes_written_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    write_ios_.store(0, std::memory_order_relaxed);
+    read_ios_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace mio::sim

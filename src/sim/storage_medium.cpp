@@ -1,0 +1,137 @@
+#include "sim/storage_medium.h"
+
+#include <cstring>
+
+namespace mio::sim {
+
+NvmMedium::NvmMedium(NvmDevice *device) : device_(device) {}
+
+NvmMedium::~NvmMedium() = default;
+
+Status
+NvmMedium::writeBlob(const std::string &name, const Slice &data)
+{
+    auto region = std::make_shared<Region>();
+    region->device = device_;
+    region->size = data.size();
+    if (data.size() > 0) {
+        region->data = device_->allocateRegion(data.size());
+        device_->write(region->data, data.data(), data.size());
+        device_->persist(region->data, data.size());
+    }
+    bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    blobs_[name] = std::move(region);
+    return Status::ok();
+}
+
+Status
+NvmMedium::appendBlob(const std::string &name, const Slice &data)
+{
+    std::shared_ptr<Region> old;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = blobs_.find(name);
+        if (it != blobs_.end())
+            old = it->second;
+    }
+    auto region = std::make_shared<Region>();
+    region->device = device_;
+    size_t old_size = old ? old->size : 0;
+    region->size = old_size + data.size();
+    region->data = device_->allocateRegion(region->size);
+    if (old_size > 0)
+        memcpy(region->data, old->data, old_size);
+    device_->write(region->data + old_size, data.data(), data.size());
+    device_->persist(region->data, region->size);
+    bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    blobs_[name] = std::move(region);
+    return Status::ok();
+}
+
+Status
+NvmMedium::readBlob(const std::string &name, std::string *out) const
+{
+    std::shared_ptr<Region> region;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = blobs_.find(name);
+        if (it == blobs_.end())
+            return Status::ioError("missing blob: " + name);
+        region = it->second;
+    }
+    out->assign(region->data, region->size);
+    device_->chargeRead(region->size);
+    bytes_read_.fetch_add(region->size, std::memory_order_relaxed);
+    return Status::ok();
+}
+
+Status
+NvmMedium::readBlobRange(const std::string &name, uint64_t offset,
+                         size_t len, char *scratch) const
+{
+    std::shared_ptr<Region> region;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = blobs_.find(name);
+        if (it == blobs_.end())
+            return Status::ioError("missing blob: " + name);
+        region = it->second;
+    }
+    if (offset + len > region->size)
+        return Status::invalidArgument("read past end of blob");
+    memcpy(scratch, region->data + offset, len);
+    device_->chargeRead(len);
+    bytes_read_.fetch_add(len, std::memory_order_relaxed);
+    return Status::ok();
+}
+
+Status
+NvmMedium::deleteBlob(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    blobs_.erase(name);  // region memory freed when last reader drops
+    return Status::ok();
+}
+
+bool
+NvmMedium::blobExists(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return blobs_.count(name) > 0;
+}
+
+uint64_t
+NvmMedium::blobSize(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(name);
+    return it == blobs_.end() ? 0 : it->second->size;
+}
+
+std::vector<std::string>
+NvmMedium::listBlobs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(blobs_.size());
+    for (const auto &[name, region] : blobs_)
+        names.push_back(name);
+    return names;
+}
+
+uint64_t
+NvmMedium::bytesWritten() const
+{
+    return bytes_written_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+NvmMedium::bytesRead() const
+{
+    return bytes_read_.load(std::memory_order_relaxed);
+}
+
+} // namespace mio::sim

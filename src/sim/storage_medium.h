@@ -1,0 +1,164 @@
+/**
+ * @file
+ * StorageMedium: where serialized tables (SSTables, matrix rows, WAL
+ * segments) physically live. The leveled LSM substrate is written
+ * against this interface so the same engine runs with SSTables "in NVM"
+ * (the paper's in-memory mode for the baselines) or on the simulated
+ * SSD (hierarchy mode).
+ */
+#ifndef MIO_SIM_STORAGE_MEDIUM_H_
+#define MIO_SIM_STORAGE_MEDIUM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/nvm_device.h"
+#include "sim/ssd_device.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace mio::sim {
+
+/** Abstract named-blob storage with traffic metering. Thread safe. */
+class StorageMedium
+{
+  public:
+    virtual ~StorageMedium() = default;
+
+    virtual Status writeBlob(const std::string &name,
+                             const Slice &data) = 0;
+    virtual Status appendBlob(const std::string &name,
+                              const Slice &data) = 0;
+    virtual Status readBlob(const std::string &name,
+                            std::string *out) const = 0;
+    virtual Status readBlobRange(const std::string &name, uint64_t offset,
+                                 size_t len, char *scratch) const = 0;
+    virtual Status deleteBlob(const std::string &name) = 0;
+    virtual bool blobExists(const std::string &name) const = 0;
+    virtual uint64_t blobSize(const std::string &name) const = 0;
+    virtual std::vector<std::string> listBlobs() const = 0;
+
+    /** Total bytes written to the underlying device via this medium. */
+    virtual uint64_t bytesWritten() const = 0;
+    virtual uint64_t bytesRead() const = 0;
+
+    /** Human-readable medium kind, e.g. "nvm" or "ssd". */
+    virtual std::string kind() const = 0;
+};
+
+/**
+ * Blob storage placed in emulated NVM: blob contents are stored in
+ * device regions and all traffic charged to the NvmDevice. Models the
+ * baselines' "all SSTables in NVM" deployment.
+ */
+class NvmMedium : public StorageMedium
+{
+  public:
+    explicit NvmMedium(NvmDevice *device);
+    ~NvmMedium() override;
+
+    Status writeBlob(const std::string &name, const Slice &data) override;
+    Status appendBlob(const std::string &name, const Slice &data) override;
+    Status readBlob(const std::string &name,
+                    std::string *out) const override;
+    Status readBlobRange(const std::string &name, uint64_t offset,
+                         size_t len, char *scratch) const override;
+    Status deleteBlob(const std::string &name) override;
+    bool blobExists(const std::string &name) const override;
+    uint64_t blobSize(const std::string &name) const override;
+    std::vector<std::string> listBlobs() const override;
+
+    uint64_t bytesWritten() const override;
+    uint64_t bytesRead() const override;
+    std::string kind() const override { return "nvm"; }
+
+  private:
+    /**
+     * Region frees its device memory when the last reference drops, so
+     * a reader holding a snapshot is immune to concurrent deleteBlob.
+     */
+    struct Region {
+        NvmDevice *device = nullptr;
+        char *data = nullptr;
+        size_t size = 0;
+        ~Region()
+        {
+            if (data != nullptr)
+                device->freeRegion(data);
+        }
+    };
+
+    NvmDevice *device_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<Region>> blobs_;
+    mutable std::atomic<uint64_t> bytes_written_{0};
+    mutable std::atomic<uint64_t> bytes_read_{0};
+};
+
+/** Blob storage on the simulated SSD. */
+class SsdMedium : public StorageMedium
+{
+  public:
+    explicit SsdMedium(SsdDevice *device) : device_(device) {}
+
+    Status
+    writeBlob(const std::string &name, const Slice &data) override
+    {
+        return device_->writeBlob(name, data);
+    }
+    Status
+    appendBlob(const std::string &name, const Slice &data) override
+    {
+        return device_->appendBlob(name, data);
+    }
+    Status
+    readBlob(const std::string &name, std::string *out) const override
+    {
+        return device_->readBlob(name, out);
+    }
+    Status
+    readBlobRange(const std::string &name, uint64_t offset, size_t len,
+                  char *scratch) const override
+    {
+        return device_->readBlobRange(name, offset, len, scratch);
+    }
+    Status
+    deleteBlob(const std::string &name) override
+    {
+        return device_->deleteBlob(name);
+    }
+    bool
+    blobExists(const std::string &name) const override
+    {
+        return device_->blobExists(name);
+    }
+    uint64_t
+    blobSize(const std::string &name) const override
+    {
+        return device_->blobSize(name);
+    }
+    std::vector<std::string>
+    listBlobs() const override
+    {
+        return device_->listBlobs();
+    }
+
+    uint64_t bytesWritten() const override
+    {
+        return device_->meters().bytes_written;
+    }
+    uint64_t bytesRead() const override
+    {
+        return device_->meters().bytes_read;
+    }
+    std::string kind() const override { return "ssd"; }
+
+  private:
+    SsdDevice *device_;
+};
+
+} // namespace mio::sim
+
+#endif // MIO_SIM_STORAGE_MEDIUM_H_

@@ -1,0 +1,69 @@
+#include "sstable/block_builder.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace mio {
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval), counter_(0), finished_(false)
+{
+    restarts_.push_back(0);
+}
+
+void
+BlockBuilder::reset()
+{
+    buffer_.clear();
+    restarts_.clear();
+    restarts_.push_back(0);
+    counter_ = 0;
+    finished_ = false;
+    last_key_.clear();
+}
+
+size_t
+BlockBuilder::currentSizeEstimate() const
+{
+    return buffer_.size() + restarts_.size() * sizeof(uint32_t) +
+           sizeof(uint32_t);
+}
+
+void
+BlockBuilder::add(const Slice &key, const Slice &value)
+{
+    assert(!finished_);
+    size_t shared = 0;
+    if (counter_ < restart_interval_) {
+        const size_t min_len =
+            key.size() < last_key_.size() ? key.size() : last_key_.size();
+        while (shared < min_len && last_key_[shared] == key[shared])
+            shared++;
+    } else {
+        restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+        counter_ = 0;
+    }
+    const size_t non_shared = key.size() - shared;
+    putVarint32(&buffer_, static_cast<uint32_t>(shared));
+    putVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+    putVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+    buffer_.append(key.data() + shared, non_shared);
+    buffer_.append(value.data(), value.size());
+
+    last_key_.resize(shared);
+    last_key_.append(key.data() + shared, non_shared);
+    counter_++;
+}
+
+Slice
+BlockBuilder::finish()
+{
+    for (uint32_t restart : restarts_)
+        putFixed32(&buffer_, restart);
+    putFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+    finished_ = true;
+    return Slice(buffer_);
+}
+
+} // namespace mio

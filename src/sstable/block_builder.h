@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Sorted-block builder with shared-prefix key compression and restart
+ * points, the on-"disk" unit of the SSTable format. This is the real
+ * serialization work whose cost the paper attributes MemTable-flush
+ * stalls to in SSTable-based stores.
+ */
+#ifndef MIO_SSTABLE_BLOCK_BUILDER_H_
+#define MIO_SSTABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace mio {
+
+class BlockBuilder
+{
+  public:
+    explicit BlockBuilder(int restart_interval = 16);
+
+    /** Keys must be added in strictly increasing internal-key order. */
+    void add(const Slice &key, const Slice &value);
+
+    /** Finish the block and return its serialized contents. */
+    Slice finish();
+
+    void reset();
+    size_t currentSizeEstimate() const;
+    bool empty() const { return counter_ == 0 && restarts_.size() == 1; }
+
+  private:
+    int restart_interval_;
+    std::string buffer_;
+    std::vector<uint32_t> restarts_;
+    int counter_;
+    bool finished_;
+    std::string last_key_;
+};
+
+} // namespace mio
+
+#endif // MIO_SSTABLE_BLOCK_BUILDER_H_

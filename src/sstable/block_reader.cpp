@@ -1,0 +1,144 @@
+#include "sstable/block_reader.h"
+
+#include <cassert>
+
+#include "sstable/internal_key.h"
+#include "util/coding.h"
+
+namespace mio {
+
+Block::Block(std::string contents) : data_(std::move(contents))
+{
+    if (data_.size() < sizeof(uint32_t)) {
+        num_restarts_ = 0;
+        restarts_offset_ = 0;
+        return;
+    }
+    num_restarts_ = decodeFixed32(data_.data() + data_.size() - 4);
+    // A corrupt trailer can claim more restarts than fit in the block;
+    // treat such input as empty rather than computing a wrapped offset.
+    uint64_t trailer =
+        4 + static_cast<uint64_t>(num_restarts_) * sizeof(uint32_t);
+    if (trailer > data_.size()) {
+        num_restarts_ = 0;
+        restarts_offset_ = 0;
+        return;
+    }
+    restarts_offset_ = static_cast<uint32_t>(data_.size() - trailer);
+}
+
+Block::Iter::Iter(const Block *block)
+    : block_(block), restarts_offset_(block->restarts_offset_),
+      num_restarts_(block->num_restarts_), current_(restarts_offset_),
+      next_offset_(restarts_offset_)
+{}
+
+uint32_t
+Block::Iter::restartPoint(uint32_t index) const
+{
+    assert(index < num_restarts_);
+    return decodeFixed32(block_->data_.data() + restarts_offset_ +
+                         index * sizeof(uint32_t));
+}
+
+void
+Block::Iter::seekToRestartPoint(uint32_t index)
+{
+    key_.clear();
+    next_offset_ = restartPoint(index);
+    current_ = next_offset_;
+}
+
+bool
+Block::Iter::parseNextEntry()
+{
+    current_ = next_offset_;
+    if (current_ >= restarts_offset_)
+        return false;
+    const char *p = block_->data_.data() + current_;
+    const char *limit = block_->data_.data() + restarts_offset_;
+    uint32_t shared, non_shared, value_len;
+    p = getVarint32Ptr(p, limit, &shared);
+    if (p == nullptr) {
+        status_ = Status::corruption("bad block entry");
+        return false;
+    }
+    p = getVarint32Ptr(p, limit, &non_shared);
+    if (p == nullptr) {
+        status_ = Status::corruption("bad block entry");
+        return false;
+    }
+    p = getVarint32Ptr(p, limit, &value_len);
+    if (p == nullptr || p + non_shared + value_len > limit ||
+        shared > key_.size()) {
+        status_ = Status::corruption("bad block entry");
+        return false;
+    }
+    key_.resize(shared);
+    key_.append(p, non_shared);
+    value_ = Slice(p + non_shared, value_len);
+    next_offset_ =
+        static_cast<uint32_t>(p + non_shared + value_len -
+                              block_->data_.data());
+    return true;
+}
+
+void
+Block::Iter::seekToFirst()
+{
+    if (num_restarts_ == 0) {
+        current_ = restarts_offset_;
+        return;
+    }
+    seekToRestartPoint(0);
+    if (!parseNextEntry())
+        current_ = restarts_offset_;
+}
+
+void
+Block::Iter::next()
+{
+    if (!parseNextEntry())
+        current_ = restarts_offset_;
+}
+
+void
+Block::Iter::seek(const Slice &target)
+{
+    if (num_restarts_ == 0) {
+        current_ = restarts_offset_;
+        return;
+    }
+    // Binary search over restart points: find the last restart whose
+    // key is < target (restart entries store full keys).
+    uint32_t left = 0;
+    uint32_t right = num_restarts_ - 1;
+    while (left < right) {
+        uint32_t mid = (left + right + 1) / 2;
+        const char *p = block_->data_.data() + restartPoint(mid);
+        const char *limit = block_->data_.data() + restarts_offset_;
+        uint32_t shared, non_shared, value_len;
+        p = getVarint32Ptr(p, limit, &shared);
+        p = p ? getVarint32Ptr(p, limit, &non_shared) : nullptr;
+        p = p ? getVarint32Ptr(p, limit, &value_len) : nullptr;
+        if (p == nullptr || shared != 0) {
+            status_ = Status::corruption("bad restart entry");
+            current_ = restarts_offset_;
+            return;
+        }
+        Slice mid_key(p, non_shared);
+        if (compareInternalKey(mid_key, target) < 0)
+            left = mid;
+        else
+            right = mid - 1;
+    }
+    seekToRestartPoint(left);
+    // Linear scan within the restart interval.
+    while (parseNextEntry()) {
+        if (compareInternalKey(Slice(key_), target) >= 0)
+            return;
+    }
+    current_ = restarts_offset_;
+}
+
+} // namespace mio

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Iterator over a serialized block; decodes the shared-prefix entries
+ * produced by BlockBuilder. Decoding here is the "deserialization"
+ * cost the paper measures for SSTable-based stores.
+ */
+#ifndef MIO_SSTABLE_BLOCK_READER_H_
+#define MIO_SSTABLE_BLOCK_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace mio {
+
+/** Immutable parsed block; owns its backing bytes. */
+class Block
+{
+  public:
+    explicit Block(std::string contents);
+
+    size_t size() const { return data_.size(); }
+
+    class Iter
+    {
+      public:
+        explicit Iter(const Block *block);
+
+        bool valid() const { return current_ < restarts_offset_; }
+        void seekToFirst();
+        /** Position at the first entry with internal key >= target. */
+        void seek(const Slice &target);
+        void next();
+
+        Slice key() const { return Slice(key_); }
+        Slice value() const { return value_; }
+        Status status() const { return status_; }
+
+      private:
+        void seekToRestartPoint(uint32_t index);
+        bool parseNextEntry();
+        uint32_t restartPoint(uint32_t index) const;
+
+        const Block *block_;
+        uint32_t restarts_offset_;
+        uint32_t num_restarts_;
+        uint32_t current_;       //!< offset of current entry
+        uint32_t next_offset_;   //!< offset one past current entry
+        std::string key_;
+        Slice value_;
+        Status status_;
+    };
+
+  private:
+    friend class Iter;
+    std::string data_;
+    uint32_t restarts_offset_;
+    uint32_t num_restarts_;
+};
+
+} // namespace mio
+
+#endif // MIO_SSTABLE_BLOCK_READER_H_

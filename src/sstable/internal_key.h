@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Internal-key encoding shared by the SSTable format and the leveled
+ * LSM substrate: user_key followed by an 8-byte trailer packing
+ * (sequence << 8 | type). Ordering is user key ascending, then
+ * sequence descending, so the newest version of a key sorts first --
+ * the same ordering the skip list uses natively.
+ */
+#ifndef MIO_SSTABLE_INTERNAL_KEY_H_
+#define MIO_SSTABLE_INTERNAL_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "skiplist/skiplist.h"
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace mio {
+
+constexpr uint64_t kMaxSequence = (1ULL << 56) - 1;
+
+inline uint64_t
+packSeqType(uint64_t seq, EntryType type)
+{
+    return (seq << 8) | static_cast<uint64_t>(type);
+}
+
+/** Append the internal-key encoding of (user_key, seq, type). */
+inline void
+appendInternalKey(std::string *dst, const Slice &user_key, uint64_t seq,
+                  EntryType type)
+{
+    dst->append(user_key.data(), user_key.size());
+    putFixed64(dst, packSeqType(seq, type));
+}
+
+/** Parsed view of an internal key. */
+struct ParsedInternalKey {
+    Slice user_key;
+    uint64_t seq;
+    EntryType type;
+};
+
+inline bool
+parseInternalKey(const Slice &internal_key, ParsedInternalKey *result)
+{
+    if (internal_key.size() < 8)
+        return false;
+    uint64_t packed =
+        decodeFixed64(internal_key.data() + internal_key.size() - 8);
+    result->user_key = Slice(internal_key.data(), internal_key.size() - 8);
+    result->seq = packed >> 8;
+    result->type = static_cast<EntryType>(packed & 0xff);
+    return true;
+}
+
+inline Slice
+extractUserKey(const Slice &internal_key)
+{
+    return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+/**
+ * Three-way comparison in internal-key order (user key asc, seq desc).
+ */
+inline int
+compareInternalKey(const Slice &a, const Slice &b)
+{
+    int r = extractUserKey(a).compare(extractUserKey(b));
+    if (r != 0)
+        return r;
+    uint64_t pa = decodeFixed64(a.data() + a.size() - 8);
+    uint64_t pb = decodeFixed64(b.data() + b.size() - 8);
+    if (pa > pb)
+        return -1;  // larger seq sorts first
+    if (pa < pb)
+        return +1;
+    return 0;
+}
+
+/** Internal key used as a lookup target: (key, seq=max) sorts first. */
+inline std::string
+makeLookupKey(const Slice &user_key, uint64_t snapshot_seq = kMaxSequence)
+{
+    std::string k;
+    appendInternalKey(&k, user_key, snapshot_seq, EntryType::kValue);
+    return k;
+}
+
+} // namespace mio
+
+#endif // MIO_SSTABLE_INTERNAL_KEY_H_

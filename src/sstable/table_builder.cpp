@@ -1,0 +1,104 @@
+#include "sstable/table_builder.h"
+
+#include <cassert>
+
+#include "bloom/bloom_filter.h"
+#include "sstable/internal_key.h"
+#include "util/coding.h"
+
+namespace mio {
+
+TableBuilder::TableBuilder(size_t block_size, int bits_per_key)
+    : block_size_(block_size), bits_per_key_(bits_per_key)
+{}
+
+void
+TableBuilder::add(const Slice &internal_key, const Slice &value)
+{
+    assert(last_key_.empty() ||
+           compareInternalKey(internal_key, Slice(last_key_)) > 0);
+    if (num_entries_ == 0)
+        smallest_key_ = internal_key.toString();
+
+    if (pending_index_entry_) {
+        // last_key_ still holds the final key of the finished block; it
+        // is a valid upper bound separator for that block.
+        std::string handle;
+        putVarint64(&handle, pending_handle_.offset);
+        putVarint64(&handle, pending_handle_.size);
+        index_block_.add(Slice(last_key_), Slice(handle));
+        pending_index_entry_ = false;
+    }
+
+    key_hashes_.push_back(
+        BloomFilter::keyHashes(extractUserKey(internal_key)));
+    data_block_.add(internal_key, value);
+    last_key_ = internal_key.toString();
+    num_entries_++;
+
+    if (data_block_.currentSizeEstimate() >= block_size_)
+        flushDataBlock();
+}
+
+void
+TableBuilder::flushDataBlock()
+{
+    if (data_block_.empty())
+        return;
+    Slice contents = data_block_.finish();
+    pending_handle_.offset = buffer_.size();
+    pending_handle_.size = contents.size();
+    buffer_.append(contents.data(), contents.size());
+    data_block_.reset();
+    pending_index_entry_ = true;
+}
+
+uint64_t
+TableBuilder::estimatedSize() const
+{
+    return buffer_.size() + data_block_.currentSizeEstimate();
+}
+
+std::string
+TableBuilder::finish()
+{
+    flushDataBlock();
+    if (pending_index_entry_) {
+        std::string handle;
+        putVarint64(&handle, pending_handle_.offset);
+        putVarint64(&handle, pending_handle_.size);
+        index_block_.add(Slice(last_key_), Slice(handle));
+        pending_index_entry_ = false;
+    }
+
+    // Bloom block.
+    BloomFilter filter = BloomFilter::makeForCapacity(
+        num_entries_ ? num_entries_ : 1, bits_per_key_);
+    for (const auto &[h1, h2] : key_hashes_)
+        filter.addHashes(h1, h2);
+    BlockHandle bloom_handle;
+    bloom_handle.offset = buffer_.size();
+    std::string bloom_bytes;
+    filter.encodeTo(&bloom_bytes);
+    bloom_handle.size = bloom_bytes.size();
+    buffer_.append(bloom_bytes);
+
+    // Index block.
+    BlockHandle index_handle;
+    index_handle.offset = buffer_.size();
+    Slice index_contents = index_block_.finish();
+    index_handle.size = index_contents.size();
+    buffer_.append(index_contents.data(), index_contents.size());
+
+    // Footer.
+    putFixed64(&buffer_, bloom_handle.offset);
+    putFixed64(&buffer_, bloom_handle.size);
+    putFixed64(&buffer_, index_handle.offset);
+    putFixed64(&buffer_, index_handle.size);
+    putFixed64(&buffer_, num_entries_);
+    putFixed64(&buffer_, kTableMagic);
+
+    return std::move(buffer_);
+}
+
+} // namespace mio

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SSTable builder: serializes sorted (internal key, value) entries into
+ * the block-based table format used by the leveled LSM substrate (the
+ * baselines' persistent format, and MioDB's bottom level in SSD mode).
+ *
+ * Layout:
+ *   [data block]*
+ *   [bloom filter block]
+ *   [index block]   (last-key-of-block -> BlockHandle)
+ *   [footer]        (bloom handle, index handle, entry count, magic)
+ */
+#ifndef MIO_SSTABLE_TABLE_BUILDER_H_
+#define MIO_SSTABLE_TABLE_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sstable/block_builder.h"
+#include "util/slice.h"
+
+namespace mio {
+
+/** Location of a block inside a table blob. */
+struct BlockHandle {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+};
+
+/** Fixed-size footer: 6 x fixed64. */
+constexpr size_t kTableFooterSize = 48;
+constexpr uint64_t kTableMagic = 0x4d696f4442744231ULL; // "MioDBtB1"
+
+class TableBuilder
+{
+  public:
+    explicit TableBuilder(size_t block_size = 4096, int bits_per_key = 16);
+
+    /** Add entries in strictly increasing internal-key order. */
+    void add(const Slice &internal_key, const Slice &value);
+
+    /**
+     * Finalize and return the serialized table. The builder is spent
+     * afterwards.
+     */
+    std::string finish();
+
+    uint64_t numEntries() const { return num_entries_; }
+    uint64_t estimatedSize() const;
+    const std::string &smallestKey() const { return smallest_key_; }
+    const std::string &largestKey() const { return last_key_; }
+
+  private:
+    void flushDataBlock();
+
+    size_t block_size_;
+    int bits_per_key_;
+    std::string buffer_;              //!< serialized table so far
+    BlockBuilder data_block_;
+    BlockBuilder index_block_;
+    std::vector<std::pair<uint64_t, uint64_t>> key_hashes_;
+    uint64_t num_entries_ = 0;
+    std::string smallest_key_;
+    std::string last_key_;
+    bool pending_index_entry_ = false;
+    BlockHandle pending_handle_;
+};
+
+} // namespace mio
+
+#endif // MIO_SSTABLE_TABLE_BUILDER_H_

@@ -1,0 +1,66 @@
+#include "sstable/table_cache.h"
+
+namespace mio {
+
+TableCache::TableCache(const sim::StorageMedium *medium, size_t capacity,
+                       std::atomic<uint64_t> *deser_time_ns)
+    : medium_(medium), capacity_(capacity), deser_time_ns_(deser_time_ns)
+{}
+
+Status
+TableCache::lookup(const std::string &name,
+                   std::shared_ptr<TableReader> *out)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(name);
+        if (it != entries_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+            *out = it->second.reader;
+            return Status::ok();
+        }
+    }
+
+    // Open outside the lock; racing opens of the same table are
+    // harmless (last one wins in the map).
+    std::shared_ptr<TableReader> reader;
+    Status s = TableReader::open(medium_, name, &reader, deser_time_ns_);
+    if (!s.isOk())
+        return s;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        lru_.push_front(name);
+        entries_[name] = Entry{reader, lru_.begin()};
+        if (capacity_ != 0 && entries_.size() > capacity_) {
+            const std::string &victim = lru_.back();
+            entries_.erase(victim);
+            lru_.pop_back();
+        }
+    } else {
+        reader = it->second.reader;
+    }
+    *out = std::move(reader);
+    return Status::ok();
+}
+
+void
+TableCache::evict(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        lru_.erase(it->second.lru_pos);
+        entries_.erase(it);
+    }
+}
+
+size_t
+TableCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+} // namespace mio

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cache of open TableReaders keyed by blob name. The paper's baseline
+ * configuration does not limit the table cache, so the default
+ * capacity is unbounded; a bound can be set to study eviction.
+ */
+#ifndef MIO_SSTABLE_TABLE_CACHE_H_
+#define MIO_SSTABLE_TABLE_CACHE_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sstable/table_reader.h"
+
+namespace mio {
+
+class TableCache
+{
+  public:
+    /**
+     * @param medium blob storage the tables live on
+     * @param capacity max cached readers; 0 means unbounded
+     * @param deser_time_ns optional deserialization-time accumulator
+     *        handed to every opened reader
+     */
+    TableCache(const sim::StorageMedium *medium, size_t capacity = 0,
+               std::atomic<uint64_t> *deser_time_ns = nullptr);
+
+    /** Fetch (opening if needed) the reader for blob @p name. */
+    Status lookup(const std::string &name,
+                  std::shared_ptr<TableReader> *out);
+
+    /** Drop a deleted table from the cache. */
+    void evict(const std::string &name);
+
+    size_t size() const;
+
+  private:
+    const sim::StorageMedium *medium_;
+    size_t capacity_;
+    std::atomic<uint64_t> *deser_time_ns_;
+    mutable std::mutex mu_;
+    std::list<std::string> lru_;  //!< front = most recent
+    struct Entry {
+        std::shared_ptr<TableReader> reader;
+        std::list<std::string>::iterator lru_pos;
+    };
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+} // namespace mio
+
+#endif // MIO_SSTABLE_TABLE_CACHE_H_

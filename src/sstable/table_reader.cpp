@@ -1,0 +1,241 @@
+#include "sstable/table_reader.h"
+
+#include <cstring>
+
+#include "util/clock.h"
+#include "util/coding.h"
+
+namespace mio {
+
+namespace {
+
+/** Accumulate elapsed time into an optional counter. */
+class OptionalTimer
+{
+  public:
+    explicit OptionalTimer(std::atomic<uint64_t> *target)
+        : target_(target), start_(target ? nowNanos() : 0)
+    {}
+    ~OptionalTimer()
+    {
+        if (target_ != nullptr) {
+            target_->fetch_add(nowNanos() - start_,
+                               std::memory_order_relaxed);
+        }
+    }
+
+  private:
+    std::atomic<uint64_t> *target_;
+    uint64_t start_;
+};
+
+} // namespace
+
+Status
+TableReader::open(const sim::StorageMedium *medium, const std::string &name,
+                  std::shared_ptr<TableReader> *out,
+                  std::atomic<uint64_t> *deser_time_ns)
+{
+    uint64_t blob_size = medium->blobSize(name);
+    if (blob_size < kTableFooterSize)
+        return Status::corruption("table too small: " + name);
+
+    char footer[kTableFooterSize];
+    Status s = medium->readBlobRange(name, blob_size - kTableFooterSize,
+                                     kTableFooterSize, footer);
+    if (!s.isOk())
+        return s;
+    if (decodeFixed64(footer + 40) != kTableMagic)
+        return Status::corruption("bad table magic: " + name);
+
+    auto table = std::shared_ptr<TableReader>(new TableReader());
+    table->medium_ = medium;
+    table->name_ = name;
+    table->deser_time_ns_ = deser_time_ns;
+
+    BlockHandle bloom_handle{decodeFixed64(footer),
+                             decodeFixed64(footer + 8)};
+    BlockHandle index_handle{decodeFixed64(footer + 16),
+                             decodeFixed64(footer + 24)};
+    table->num_entries_ = decodeFixed64(footer + 32);
+
+    std::string bloom_bytes(bloom_handle.size, '\0');
+    s = medium->readBlobRange(name, bloom_handle.offset, bloom_handle.size,
+                              bloom_bytes.data());
+    if (!s.isOk())
+        return s;
+    if (!BloomFilter::decodeFrom(Slice(bloom_bytes), &table->bloom_))
+        return Status::corruption("bad bloom block: " + name);
+
+    s = table->readBlock(index_handle, &table->index_block_);
+    if (!s.isOk())
+        return s;
+
+    // Key range: first key of first block, last key of last block.
+    Block::Iter index_iter(table->index_block_.get());
+    index_iter.seekToFirst();
+    if (index_iter.valid()) {
+        Iterator it(table.get());
+        it.seekToFirst();
+        if (it.valid())
+            table->smallest_key_ = it.key().toString();
+        std::string last_index_key;
+        while (index_iter.valid()) {
+            last_index_key = index_iter.key().toString();
+            index_iter.next();
+        }
+        table->largest_key_ = last_index_key;
+    }
+
+    *out = std::move(table);
+    return Status::ok();
+}
+
+Slice
+TableReader::smallestKey() const
+{
+    return Slice(smallest_key_);
+}
+
+Slice
+TableReader::largestKey() const
+{
+    return Slice(largest_key_);
+}
+
+Status
+TableReader::readBlock(const BlockHandle &handle,
+                       std::unique_ptr<Block> *block) const
+{
+    OptionalTimer timer(deser_time_ns_);
+    std::string contents(handle.size, '\0');
+    Status s = medium_->readBlobRange(name_, handle.offset, handle.size,
+                                      contents.data());
+    if (!s.isOk())
+        return s;
+    *block = std::make_unique<Block>(std::move(contents));
+    return Status::ok();
+}
+
+Status
+TableReader::get(const Slice &user_key, std::string *value, EntryType *type,
+                 uint64_t *seq, uint64_t snapshot_seq) const
+{
+    if (!bloom_.mayContain(user_key))
+        return Status::notFound(user_key);
+
+    std::string lookup = makeLookupKey(user_key, snapshot_seq);
+    Block::Iter index_iter(index_block_.get());
+    index_iter.seek(Slice(lookup));
+    if (!index_iter.valid())
+        return Status::notFound(user_key);
+
+    Slice handle_contents = index_iter.value();
+    uint64_t offset, size;
+    Slice input = handle_contents;
+    if (!getVarint64(&input, &offset) || !getVarint64(&input, &size))
+        return Status::corruption("bad index handle");
+
+    std::unique_ptr<Block> block;
+    Status s = readBlock(BlockHandle{offset, size}, &block);
+    if (!s.isOk())
+        return s;
+
+    OptionalTimer timer(deser_time_ns_);
+    Block::Iter data_iter(block.get());
+    data_iter.seek(Slice(lookup));
+    if (!data_iter.valid())
+        return Status::notFound(user_key);
+
+    ParsedInternalKey parsed;
+    if (!parseInternalKey(data_iter.key(), &parsed))
+        return Status::corruption("bad internal key");
+    if (parsed.user_key != user_key)
+        return Status::notFound(user_key);
+
+    *type = parsed.type;
+    if (seq != nullptr)
+        *seq = parsed.seq;
+    if (parsed.type == EntryType::kValue)
+        value->assign(data_iter.value().data(), data_iter.value().size());
+    return Status::ok();
+}
+
+TableReader::Iterator::Iterator(const TableReader *table)
+    : table_(table),
+      index_iter_(std::make_unique<Block::Iter>(table->index_block_.get()))
+{}
+
+bool
+TableReader::Iterator::valid() const
+{
+    return data_iter_ != nullptr && data_iter_->valid();
+}
+
+void
+TableReader::Iterator::loadDataBlock()
+{
+    data_block_.reset();
+    data_iter_.reset();
+    while (index_iter_->valid()) {
+        Slice handle_contents = index_iter_->value();
+        uint64_t offset, size;
+        Slice input = handle_contents;
+        if (!getVarint64(&input, &offset) || !getVarint64(&input, &size))
+            return;
+        std::unique_ptr<Block> block;
+        if (!table_->readBlock(BlockHandle{offset, size}, &block).isOk())
+            return;
+        data_block_ = std::move(block);
+        data_iter_ = std::make_unique<Block::Iter>(data_block_.get());
+        data_iter_->seekToFirst();
+        if (data_iter_->valid())
+            return;
+        index_iter_->next();
+    }
+}
+
+void
+TableReader::Iterator::seekToFirst()
+{
+    index_iter_->seekToFirst();
+    loadDataBlock();
+}
+
+void
+TableReader::Iterator::seek(const Slice &internal_key)
+{
+    index_iter_->seek(internal_key);
+    loadDataBlock();
+    if (data_iter_ != nullptr) {
+        data_iter_->seek(internal_key);
+        if (!data_iter_->valid()) {
+            index_iter_->next();
+            loadDataBlock();
+        }
+    }
+}
+
+void
+TableReader::Iterator::next()
+{
+    data_iter_->next();
+    if (!data_iter_->valid()) {
+        index_iter_->next();
+        loadDataBlock();
+    }
+}
+
+Slice
+TableReader::Iterator::key() const
+{
+    return data_iter_->key();
+}
+
+Slice
+TableReader::Iterator::value() const
+{
+    return data_iter_->value();
+}
+
+} // namespace mio

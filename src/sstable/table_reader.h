@@ -1,0 +1,94 @@
+/**
+ * @file
+ * SSTable reader over a StorageMedium blob. Point lookups consult the
+ * in-memory bloom filter and index, then read and decode exactly one
+ * data block; the decode time is accumulated into an optional
+ * deserialization counter, reproducing the cost the paper breaks out
+ * in Table 1.
+ */
+#ifndef MIO_SSTABLE_TABLE_READER_H_
+#define MIO_SSTABLE_TABLE_READER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bloom/bloom_filter.h"
+#include "sim/storage_medium.h"
+#include "sstable/block_reader.h"
+#include "sstable/internal_key.h"
+#include "sstable/table_builder.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace mio {
+
+class TableReader
+{
+  public:
+    /**
+     * Open table blob @p name on @p medium. @p deser_time_ns, when
+     * non-null, accumulates nanoseconds spent reading + decoding
+     * blocks (the deserialization cost metric).
+     */
+    static Status open(const sim::StorageMedium *medium,
+                       const std::string &name,
+                       std::shared_ptr<TableReader> *out,
+                       std::atomic<uint64_t> *deser_time_ns = nullptr);
+
+    /**
+     * Point lookup for the newest visible version of @p user_key.
+     * @return NotFound if absent (or filtered by bloom); OK with
+     * *type == kDeletion for tombstones.
+     */
+    Status get(const Slice &user_key, std::string *value, EntryType *type,
+               uint64_t *seq = nullptr,
+               uint64_t snapshot_seq = kMaxSequence) const;
+
+    uint64_t numEntries() const { return num_entries_; }
+    const std::string &name() const { return name_; }
+    Slice smallestKey() const;
+    Slice largestKey() const;
+
+    /** Forward iterator over all (internal key, value) entries. */
+    class Iterator
+    {
+      public:
+        explicit Iterator(const TableReader *table);
+
+        bool valid() const;
+        void seekToFirst();
+        void seek(const Slice &internal_key);
+        void next();
+        Slice key() const;
+        Slice value() const;
+
+      private:
+        void loadDataBlock();
+
+        const TableReader *table_;
+        std::unique_ptr<Block::Iter> index_iter_;
+        std::unique_ptr<Block> data_block_;
+        std::unique_ptr<Block::Iter> data_iter_;
+    };
+
+  private:
+    TableReader() = default;
+
+    Status readBlock(const BlockHandle &handle,
+                     std::unique_ptr<Block> *block) const;
+
+    const sim::StorageMedium *medium_ = nullptr;
+    std::string name_;
+    uint64_t num_entries_ = 0;
+    BloomFilter bloom_{64, 1};
+    std::unique_ptr<Block> index_block_;
+    std::string smallest_key_;
+    std::string largest_key_;
+    std::atomic<uint64_t> *deser_time_ns_ = nullptr;
+};
+
+} // namespace mio
+
+#endif // MIO_SSTABLE_TABLE_READER_H_

@@ -1,0 +1,26 @@
+#include "util/clock.h"
+
+#include <atomic>
+
+namespace mio {
+
+uint64_t
+nowNanos()
+{
+    auto tp = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(tp).count();
+}
+
+void
+spinFor(uint64_t ns)
+{
+    if (ns == 0)
+        return;
+    const uint64_t deadline = nowNanos() + ns;
+    while (nowNanos() < deadline) {
+        // Busy-wait: device latency models need sub-microsecond
+        // resolution that sleep-based waiting cannot provide.
+    }
+}
+
+} // namespace mio

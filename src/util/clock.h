@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Monotonic wall-clock helpers and a Stopwatch used by all stall/latency
+ * accounting.
+ */
+#ifndef MIO_UTIL_CLOCK_H_
+#define MIO_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mio {
+
+/** Monotonic time since an arbitrary epoch, in nanoseconds. */
+uint64_t nowNanos();
+
+inline uint64_t nowMicros() { return nowNanos() / 1000; }
+
+/** Busy-wait for @p ns nanoseconds (used by the device latency models). */
+void spinFor(uint64_t ns);
+
+/** RAII-friendly elapsed-time meter. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(nowNanos()) {}
+    void reset() { start_ = nowNanos(); }
+    uint64_t elapsedNanos() const { return nowNanos() - start_; }
+    double elapsedMicros() const { return elapsedNanos() / 1e3; }
+    double elapsedSeconds() const { return elapsedNanos() / 1e9; }
+
+  private:
+    uint64_t start_;
+};
+
+/**
+ * Accumulates elapsed time into a target counter on destruction; used to
+ * attribute time to named stats (flush time, stall time, ...).
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(std::atomic<uint64_t> *target_ns)
+        : target_(target_ns), start_(nowNanos())
+    {}
+    ~ScopedTimer()
+    {
+        target_->fetch_add(nowNanos() - start_,
+                           std::memory_order_relaxed);
+    }
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    std::atomic<uint64_t> *target_;
+    uint64_t start_;
+};
+
+} // namespace mio
+
+#endif // MIO_UTIL_CLOCK_H_

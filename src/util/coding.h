@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Varint and fixed-width integer encoding used by the WAL, SSTable, and
+ * matrix-container serialization formats. Little-endian throughout.
+ */
+#ifndef MIO_UTIL_CODING_H_
+#define MIO_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace mio {
+
+inline void
+encodeFixed32(char *dst, uint32_t value)
+{
+    memcpy(dst, &value, sizeof(value));
+}
+
+inline void
+encodeFixed64(char *dst, uint64_t value)
+{
+    memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t
+decodeFixed32(const char *ptr)
+{
+    uint32_t result;
+    memcpy(&result, ptr, sizeof(result));
+    return result;
+}
+
+inline uint64_t
+decodeFixed64(const char *ptr)
+{
+    uint64_t result;
+    memcpy(&result, ptr, sizeof(result));
+    return result;
+}
+
+void putFixed32(std::string *dst, uint32_t value);
+void putFixed64(std::string *dst, uint64_t value);
+
+/** Append a varint-encoded 32-bit value; at most 5 bytes. */
+void putVarint32(std::string *dst, uint32_t value);
+/** Append a varint-encoded 64-bit value; at most 10 bytes. */
+void putVarint64(std::string *dst, uint64_t value);
+/** Append varint length followed by the bytes of @p value. */
+void putLengthPrefixedSlice(std::string *dst, const Slice &value);
+
+/**
+ * Encode @p value into @p dst and return a pointer one past the last byte
+ * written. @p dst must have at least 5 (32-bit) / 10 (64-bit) bytes free.
+ */
+char *encodeVarint32(char *dst, uint32_t value);
+char *encodeVarint64(char *dst, uint64_t value);
+
+/**
+ * Parse a varint from the front of @p input, advancing it past the parsed
+ * bytes. @return false on malformed/truncated input.
+ */
+bool getVarint32(Slice *input, uint32_t *value);
+bool getVarint64(Slice *input, uint64_t *value);
+/** Parse a varint length then that many bytes into @p result. */
+bool getLengthPrefixedSlice(Slice *input, Slice *result);
+
+/** Number of bytes varint encoding of @p value occupies. */
+int varintLength(uint64_t value);
+
+/**
+ * Low-level varint32 parse over a raw byte range.
+ * @return pointer past the parsed value, or nullptr on error.
+ */
+const char *getVarint32Ptr(const char *p, const char *limit, uint32_t *value);
+const char *getVarint64Ptr(const char *p, const char *limit, uint64_t *value);
+
+} // namespace mio
+
+#endif // MIO_UTIL_CODING_H_

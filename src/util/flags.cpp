@@ -1,0 +1,83 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mio {
+
+Flags::Flags(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (strncmp(arg, "--", 2) != 0)
+            continue;
+        std::string body(arg + 2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            values_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && strncmp(argv[i + 1], "--", 2) != 0) {
+            values_[body] = argv[++i];
+        } else {
+            values_[body] = "true";
+        }
+    }
+}
+
+bool
+Flags::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Flags::getString(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+int64_t
+Flags::getInt(const std::string &name, int64_t def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : strtoll(it->second.c_str(),
+                                               nullptr, 10);
+}
+
+double
+Flags::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Flags::getBool(const std::string &name, bool def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+uint64_t
+Flags::getSize(const std::string &name, uint64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    double v = strtod(it->second.c_str(), &end);
+    uint64_t mult = 1;
+    if (end && *end) {
+        switch (*end) {
+          case 'k': case 'K': mult = 1024ULL; break;
+          case 'm': case 'M': mult = 1024ULL * 1024; break;
+          case 'g': case 'G': mult = 1024ULL * 1024 * 1024; break;
+          default: break;
+        }
+    }
+    return static_cast<uint64_t>(v * static_cast<double>(mult));
+}
+
+} // namespace mio

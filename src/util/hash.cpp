@@ -1,0 +1,53 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace mio {
+
+uint32_t
+hash32(const char *data, size_t n, uint32_t seed)
+{
+    // Murmur-inspired mixing as used by LevelDB's Hash().
+    const uint32_t m = 0xc6a4a793;
+    const uint32_t r = 24;
+    const char *limit = data + n;
+    uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+    while (data + 4 <= limit) {
+        uint32_t w;
+        memcpy(&w, data, 4);
+        data += 4;
+        h += w;
+        h *= m;
+        h ^= (h >> 16);
+    }
+
+    switch (limit - data) {
+      case 3:
+        h += static_cast<uint8_t>(data[2]) << 16;
+        [[fallthrough]];
+      case 2:
+        h += static_cast<uint8_t>(data[1]) << 8;
+        [[fallthrough]];
+      case 1:
+        h += static_cast<uint8_t>(data[0]);
+        h *= m;
+        h ^= (h >> r);
+        break;
+    }
+    return h;
+}
+
+uint64_t
+hash64(const char *data, size_t n, uint64_t seed)
+{
+    const uint64_t prime = 1099511628211ULL;
+    uint64_t h = seed;
+    for (size_t i = 0; i < n; i++) {
+        h ^= static_cast<uint8_t>(data[i]);
+        h *= prime;
+    }
+    return h;
+}
+
+} // namespace mio

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Non-cryptographic hash functions used by bloom filters, the table
+ * cache, and WAL record checksums.
+ */
+#ifndef MIO_UTIL_HASH_H_
+#define MIO_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace mio {
+
+/** LevelDB-style Murmur-ish 32-bit hash of a byte range. */
+uint32_t hash32(const char *data, size_t n, uint32_t seed);
+
+/** FNV-1a 64-bit hash, used where more bits are useful (bloom probing). */
+uint64_t hash64(const char *data, size_t n, uint64_t seed = 14695981039346656037ULL);
+
+inline uint32_t
+hashSlice(const Slice &s, uint32_t seed = 0xbc9f1d34)
+{
+    return hash32(s.data(), s.size(), seed);
+}
+
+/** CRC-like record checksum (not a true CRC32C; stable and fast). */
+inline uint32_t
+recordChecksum(const char *data, size_t n)
+{
+    return hash32(data, n, 0x8f1bbcdc);
+}
+
+} // namespace mio
+
+#endif // MIO_UTIL_HASH_H_

@@ -1,0 +1,162 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mio {
+
+Histogram::Histogram()
+{
+    clear();
+}
+
+void
+Histogram::clear()
+{
+    min_ = 1e200;
+    max_ = 0.0;
+    count_ = 0;
+    sum_ = 0.0;
+    sum_squares_ = 0.0;
+    buckets_.assign(kNumBuckets, 0);
+}
+
+double
+Histogram::bucketLimit(int b)
+{
+    // Geometric buckets: limit(b) = 1.04^b (b=0 covers [0, 1]).
+    return std::pow(1.04, b);
+}
+
+int
+Histogram::bucketFor(double value)
+{
+    if (value <= 1.0)
+        return 0;
+    int b = static_cast<int>(std::ceil(std::log(value) / std::log(1.04)));
+    if (b >= kNumBuckets)
+        b = kNumBuckets - 1;
+    return b;
+}
+
+void
+Histogram::add(double value)
+{
+    buckets_[bucketFor(value)]++;
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+    count_++;
+    sum_ += value;
+    sum_squares_ += value * value;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sum_squares_ += other.sum_squares_;
+    for (int b = 0; b < kNumBuckets; b++)
+        buckets_[b] += other.buckets_[b];
+}
+
+double
+Histogram::average() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::standardDeviation() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double n = static_cast<double>(count_);
+    double variance = (sum_squares_ * n - sum_ * sum_) / (n * n);
+    return variance > 0 ? std::sqrt(variance) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    double threshold = static_cast<double>(count_) * (p / 100.0);
+    double seen = 0.0;
+    for (int b = 0; b < kNumBuckets; b++) {
+        seen += static_cast<double>(buckets_[b]);
+        if (seen >= threshold) {
+            // Interpolate within the bucket.
+            double left = (b == 0) ? 0.0 : bucketLimit(b - 1);
+            double right = bucketLimit(b);
+            double prev = seen - static_cast<double>(buckets_[b]);
+            double frac = buckets_[b]
+                ? (threshold - prev) / static_cast<double>(buckets_[b])
+                : 0.0;
+            double r = left + (right - left) * frac;
+            if (r < min_)
+                r = min_;
+            if (r > max_)
+                r = max_;
+            return r;
+        }
+    }
+    return max_;
+}
+
+std::string
+Histogram::toString() const
+{
+    char buf[256];
+    snprintf(buf, sizeof(buf),
+             "count=%llu avg=%.2f min=%.2f max=%.2f "
+             "p50=%.2f p90=%.2f p99=%.2f p99.9=%.2f",
+             static_cast<unsigned long long>(count_), average(), min(),
+             max(), percentile(50), percentile(90), percentile(99),
+             percentile(99.9));
+    return buf;
+}
+
+std::vector<LatencyTimeline::Point>
+LatencyTimeline::downsample(size_t max_points) const
+{
+    std::vector<Point> out;
+    if (samples_.empty() || max_points == 0)
+        return out;
+    uint64_t span = samples_.back().first + 1;
+    uint64_t bucket_width = std::max<uint64_t>(1, span / max_points);
+
+    uint64_t cur_bucket = 0;
+    double sum = 0.0, mx = 0.0;
+    uint64_t n = 0;
+    auto flush = [&]() {
+        if (n > 0) {
+            out.push_back({cur_bucket * bucket_width,
+                           sum / static_cast<double>(n), mx});
+        }
+        sum = 0.0;
+        mx = 0.0;
+        n = 0;
+    };
+    for (const auto &[t, lat] : samples_) {
+        uint64_t b = t / bucket_width;
+        if (b != cur_bucket) {
+            flush();
+            cur_bucket = b;
+        }
+        sum += lat;
+        mx = std::max(mx, lat);
+        n++;
+    }
+    flush();
+    return out;
+}
+
+} // namespace mio

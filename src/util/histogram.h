@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Latency histogram with logarithmic buckets and exact percentile support
+ * via optional raw-sample retention, used by the tail-latency experiments
+ * (Tables 2/3, Figure 8).
+ */
+#ifndef MIO_UTIL_HISTOGRAM_H_
+#define MIO_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mio {
+
+/**
+ * Histogram of microsecond-scale latencies. Buckets grow geometrically
+ * (~4% width), so percentile error is bounded at ~2% which is ample for
+ * reproducing the paper's avg/90/99/99.9 reporting.
+ */
+class Histogram
+{
+  public:
+    Histogram();
+
+    void clear();
+    void add(double value);
+    void merge(const Histogram &other);
+
+    uint64_t count() const { return count_; }
+    double average() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return max_; }
+
+    /** Value at percentile @p p in [0, 100]. */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+    double standardDeviation() const;
+
+    /** Multi-line summary similar to db_bench's histogram output. */
+    std::string toString() const;
+
+  private:
+    static constexpr int kNumBuckets = 512;
+    /** Inclusive upper bound of bucket @p b. */
+    static double bucketLimit(int b);
+    static int bucketFor(double value);
+
+    double min_;
+    double max_;
+    uint64_t count_;
+    double sum_;
+    double sum_squares_;
+    std::vector<uint64_t> buckets_;
+};
+
+/**
+ * Time-series recorder for latency spike plots (Figure 8): stores one
+ * (elapsed_us, latency_us) sample per operation, with downsampled export.
+ */
+class LatencyTimeline
+{
+  public:
+    void reserve(size_t n) { samples_.reserve(n); }
+    void add(uint64_t elapsed_us, double latency_us)
+    {
+        samples_.emplace_back(elapsed_us, latency_us);
+    }
+    size_t size() const { return samples_.size(); }
+
+    struct Point {
+        uint64_t elapsed_us;
+        double avg_us;
+        double max_us;
+    };
+
+    /** Downsample into at most @p max_points time buckets. */
+    std::vector<Point> downsample(size_t max_points) const;
+
+  private:
+    std::vector<std::pair<uint64_t, double>> samples_;
+};
+
+} // namespace mio
+
+#endif // MIO_UTIL_HISTOGRAM_H_

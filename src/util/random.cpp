@@ -1,0 +1,68 @@
+#include "util/random.h"
+
+#include <cstdio>
+
+namespace mio {
+
+Random::Random(uint64_t seed)
+{
+    // Avoid the all-zero state and decorrelate nearby seeds with a
+    // splitmix64 scramble.
+    auto mix = [](uint64_t &x) {
+        x += 0x9E3779B97f4A7C15ULL;
+        uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    };
+    uint64_t s = seed;
+    s0_ = mix(s);
+    s1_ = mix(s);
+    if (s0_ == 0 && s1_ == 0)
+        s1_ = 1;
+}
+
+uint64_t
+Random::next()
+{
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+}
+
+double
+Random::nextDouble()
+{
+    // 53 random mantissa bits.
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t
+Random::skewed(int max_log)
+{
+    uint64_t log = uniform(static_cast<uint64_t>(max_log) + 1);
+    return uniform(1ULL << log);
+}
+
+void
+Random::fillString(std::string *dst, size_t len)
+{
+    dst->resize(len);
+    for (size_t i = 0; i < len; i++) {
+        (*dst)[i] = static_cast<char>(' ' + uniform(95)); // printable
+    }
+}
+
+std::string
+makeKey(uint64_t i, size_t width)
+{
+    char buf[32];
+    int n = snprintf(buf, sizeof(buf), "%0*llu", static_cast<int>(width),
+                     static_cast<unsigned long long>(i));
+    return std::string(buf, n);
+}
+
+} // namespace mio

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fast deterministic PRNGs for workload generation and skip-list heights.
+ */
+#ifndef MIO_UTIL_RANDOM_H_
+#define MIO_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mio {
+
+/**
+ * xorshift128+ generator: fast, decent quality, and reproducible across
+ * platforms (std::mt19937 would also work but is slower per draw and its
+ * distributions are not bit-stable across standard libraries).
+ */
+class Random
+{
+  public:
+    explicit Random(uint64_t seed = 0x2545F4914F6CDD1DULL);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform in [0, n). @p n must be nonzero. */
+    uint64_t uniform(uint64_t n) { return next() % n; }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** True with probability 1/n. */
+    bool oneIn(uint64_t n) { return uniform(n) == 0; }
+
+    /**
+     * Skewed draw: uniform(2^uniform(max_log+1)), biased toward small
+     * values; used for varied-size test payloads.
+     */
+    uint64_t skewed(int max_log);
+
+    /** Fill @p dst with @p len pseudo-random printable bytes. */
+    void fillString(std::string *dst, size_t len);
+
+  private:
+    uint64_t s0_;
+    uint64_t s1_;
+};
+
+/**
+ * Generate the canonical fixed-width db_bench style key for index @p i:
+ * 16-byte zero-padded decimal, so byte order == numeric order.
+ */
+std::string makeKey(uint64_t i, size_t width = 16);
+
+} // namespace mio
+
+#endif // MIO_UTIL_RANDOM_H_

@@ -1,0 +1,5 @@
+/**
+ * @file
+ * Slice is header-only; this translation unit anchors the library target.
+ */
+#include "util/slice.h"

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Slice: a cheap, non-owning view over a byte sequence.
+ *
+ * Mirrors the LevelDB Slice type that every layer of the system (keys,
+ * values, blocks, log records) is expressed in terms of. A Slice never
+ * owns its bytes; the caller guarantees the backing storage outlives it.
+ */
+#ifndef MIO_UTIL_SLICE_H_
+#define MIO_UTIL_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace mio {
+
+class Slice
+{
+  public:
+    Slice() : data_(""), size_(0) {}
+    Slice(const char *d, size_t n) : data_(d), size_(n) {}
+    Slice(const std::string &s) : data_(s.data()), size_(s.size()) {}
+    Slice(const char *s) : data_(s), size_(strlen(s)) {}
+
+    const char *data() const { return data_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    char
+    operator[](size_t n) const
+    {
+        assert(n < size_);
+        return data_[n];
+    }
+
+    void clear() { data_ = ""; size_ = 0; }
+
+    /** Drop the first @p n bytes of the view. */
+    void
+    removePrefix(size_t n)
+    {
+        assert(n <= size_);
+        data_ += n;
+        size_ -= n;
+    }
+
+    std::string toString() const { return std::string(data_, size_); }
+    std::string_view view() const { return std::string_view(data_, size_); }
+
+    /**
+     * Three-way bytewise comparison.
+     * @return <0 iff *this < b, 0 iff equal, >0 iff *this > b.
+     */
+    int
+    compare(const Slice &b) const
+    {
+        const size_t min_len = (size_ < b.size_) ? size_ : b.size_;
+        int r = memcmp(data_, b.data_, min_len);
+        if (r == 0) {
+            if (size_ < b.size_)
+                r = -1;
+            else if (size_ > b.size_)
+                r = +1;
+        }
+        return r;
+    }
+
+    bool
+    startsWith(const Slice &x) const
+    {
+        return size_ >= x.size_ && memcmp(data_, x.data_, x.size_) == 0;
+    }
+
+  private:
+    const char *data_;
+    size_t size_;
+};
+
+inline bool
+operator==(const Slice &x, const Slice &y)
+{
+    return x.size() == y.size() &&
+           memcmp(x.data(), y.data(), x.size()) == 0;
+}
+
+inline bool operator!=(const Slice &x, const Slice &y) { return !(x == y); }
+inline bool operator<(const Slice &x, const Slice &y)
+{
+    return x.compare(y) < 0;
+}
+
+} // namespace mio
+
+#endif // MIO_UTIL_SLICE_H_

@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace mio {
+
+std::string
+Status::toString() const
+{
+    const char *kind = nullptr;
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kNotFound:
+        kind = "NotFound";
+        break;
+      case Code::kCorruption:
+        kind = "Corruption";
+        break;
+      case Code::kNotSupported:
+        kind = "NotSupported";
+        break;
+      case Code::kInvalidArgument:
+        kind = "InvalidArgument";
+        break;
+      case Code::kIOError:
+        kind = "IOError";
+        break;
+      case Code::kBusy:
+        kind = "Busy";
+        break;
+    }
+    std::string result(kind);
+    if (!msg_.empty()) {
+        result += ": ";
+        result += msg_;
+    }
+    return result;
+}
+
+} // namespace mio

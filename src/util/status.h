@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Status: lightweight success/error result used across all store APIs.
+ */
+#ifndef MIO_UTIL_STATUS_H_
+#define MIO_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace mio {
+
+/**
+ * Result of a store operation. OK is represented without allocation; error
+ * states carry a code and a human-readable message.
+ */
+class Status
+{
+  public:
+    Status() : code_(Code::kOk) {}
+
+    static Status ok() { return Status(); }
+    static Status
+    notFound(const Slice &msg = Slice())
+    {
+        return Status(Code::kNotFound, msg);
+    }
+    static Status
+    corruption(const Slice &msg = Slice())
+    {
+        return Status(Code::kCorruption, msg);
+    }
+    static Status
+    notSupported(const Slice &msg = Slice())
+    {
+        return Status(Code::kNotSupported, msg);
+    }
+    static Status
+    invalidArgument(const Slice &msg = Slice())
+    {
+        return Status(Code::kInvalidArgument, msg);
+    }
+    static Status
+    ioError(const Slice &msg = Slice())
+    {
+        return Status(Code::kIOError, msg);
+    }
+    static Status
+    busy(const Slice &msg = Slice())
+    {
+        return Status(Code::kBusy, msg);
+    }
+
+    bool isOk() const { return code_ == Code::kOk; }
+    bool isNotFound() const { return code_ == Code::kNotFound; }
+    bool isCorruption() const { return code_ == Code::kCorruption; }
+    bool isIOError() const { return code_ == Code::kIOError; }
+    bool isInvalidArgument() const
+    {
+        return code_ == Code::kInvalidArgument;
+    }
+    bool isBusy() const { return code_ == Code::kBusy; }
+
+    /** Render as "OK" or "<kind>: <message>". */
+    std::string toString() const;
+
+  private:
+    enum class Code {
+        kOk = 0,
+        kNotFound,
+        kCorruption,
+        kNotSupported,
+        kInvalidArgument,
+        kIOError,
+        kBusy,
+    };
+
+    Status(Code code, const Slice &msg)
+        : code_(code), msg_(msg.toString())
+    {}
+
+    Code code_;
+    std::string msg_;
+};
+
+} // namespace mio
+
+#endif // MIO_UTIL_STATUS_H_

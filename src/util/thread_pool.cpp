@@ -1,0 +1,79 @@
+#include "util/thread_pool.h"
+
+#include <cassert>
+
+namespace mio {
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    assert(num_threads > 0);
+    workers_.reserve(num_threads);
+    for (int i = 0; i < num_threads; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        shutting_down_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        assert(!shutting_down_);
+        queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t
+ThreadPool::pendingTasks() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] {
+                return !queue_.empty() || shutting_down_;
+            });
+            if (queue_.empty()) {
+                // shutting_down_ && empty: exit after draining.
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            active_++;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            active_--;
+            if (queue_.empty() && active_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace mio

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small fixed-size thread pool used by parallel compaction and the
+ * background flush path.
+ */
+#ifndef MIO_UTIL_THREAD_POOL_H_
+#define MIO_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mio {
+
+/**
+ * Fixed-size pool executing queued std::function tasks FIFO. Destruction
+ * drains outstanding tasks before joining, so enqueued work is never lost.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Queue @p task; returns immediately. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and all workers are idle. */
+    void drain();
+
+    size_t pendingTasks() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    int active_ = 0;
+    bool shutting_down_ = false;
+};
+
+} // namespace mio
+
+#endif // MIO_UTIL_THREAD_POOL_H_

@@ -1,0 +1,96 @@
+#include "util/zipfian.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace mio {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), zeta_n_for_(0), rng_(seed)
+{
+    assert(n > 0);
+    zetan_ = 0.0;
+    zeta2theta_ = zeta(2);
+    grow(n);
+}
+
+double
+ZipfianGenerator::zeta(uint64_t n) const
+{
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+    return sum;
+}
+
+void
+ZipfianGenerator::grow(uint64_t new_n)
+{
+    if (new_n < zeta_n_for_)
+        return;
+    for (uint64_t i = zeta_n_for_ + 1; i <= new_n; i++)
+        zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    zeta_n_for_ = new_n;
+    n_ = new_n;
+    recompute();
+}
+
+void
+ZipfianGenerator::recompute()
+{
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t
+ZipfianGenerator::next()
+{
+    double u = rng_.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto rank = static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_)
+        rank = n_ - 1;
+    return rank;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t n, double theta,
+                                                     uint64_t seed)
+    : n_(n), zipf_(n, theta, seed)
+{}
+
+uint64_t
+ScrambledZipfianGenerator::next()
+{
+    uint64_t rank = zipf_.next();
+    return hash64(reinterpret_cast<const char *>(&rank), sizeof(rank)) % n_;
+}
+
+LatestGenerator::LatestGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), zipf_(n, theta, seed)
+{}
+
+void
+LatestGenerator::grow(uint64_t new_n)
+{
+    n_ = new_n;
+    zipf_.grow(new_n);
+}
+
+uint64_t
+LatestGenerator::next()
+{
+    uint64_t off = zipf_.next();
+    // Hottest item is the newest (index n_-1).
+    return n_ - 1 - off;
+}
+
+} // namespace mio

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Request-distribution generators for YCSB-style workloads: zipfian,
+ * scrambled zipfian, latest, and uniform.
+ */
+#ifndef MIO_UTIL_ZIPFIAN_H_
+#define MIO_UTIL_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace mio {
+
+/**
+ * Zipfian generator over [0, n), following Gray et al.'s rejection-free
+ * method as used in YCSB. Item 0 is the most popular.
+ */
+class ZipfianGenerator
+{
+  public:
+    static constexpr double kDefaultTheta = 0.99;
+
+    ZipfianGenerator(uint64_t n, double theta = kDefaultTheta,
+                     uint64_t seed = 7);
+
+    uint64_t next();
+
+    /** Grow the item space (YCSB inserts during a run). Cheap amortized. */
+    void grow(uint64_t new_n);
+
+    uint64_t itemCount() const { return n_; }
+
+  private:
+    double zeta(uint64_t n) const;
+    void recompute();
+
+    uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2theta_;
+    // Incremental zeta bookkeeping so grow() is O(delta).
+    uint64_t zeta_n_for_;
+    Random rng_;
+};
+
+/**
+ * Scrambled zipfian: zipfian rank hashed over the key space so the hot
+ * set is spread across the keyspace (the YCSB default for workloads A-C/F).
+ */
+class ScrambledZipfianGenerator
+{
+  public:
+    ScrambledZipfianGenerator(uint64_t n, double theta = 0.99,
+                              uint64_t seed = 7);
+
+    uint64_t next();
+    void grow(uint64_t new_n) { zipf_.grow(new_n); n_ = new_n; }
+
+  private:
+    uint64_t n_;
+    ZipfianGenerator zipf_;
+};
+
+/**
+ * "Latest" distribution: zipfian over recency, so the most recently
+ * inserted keys are the hottest (YCSB workload D).
+ */
+class LatestGenerator
+{
+  public:
+    LatestGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 7);
+
+    uint64_t next();
+    /** Record that the key space grew to @p new_n items. */
+    void grow(uint64_t new_n);
+
+  private:
+    uint64_t n_;
+    ZipfianGenerator zipf_;
+};
+
+} // namespace mio
+
+#endif // MIO_UTIL_ZIPFIAN_H_

@@ -1,0 +1,42 @@
+#include "wal/log_reader.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace mio::wal {
+
+LogReader::LogReader(const LogSegment *segment) : segment_(segment) {}
+
+bool
+LogReader::readRecord(std::string *record)
+{
+    std::lock_guard<std::mutex> lock(segment_->mu_);
+    while (chunk_index_ < segment_->chunks_.size()) {
+        const auto &chunk = segment_->chunks_[chunk_index_];
+        if (offset_ + 8 > chunk.used) {
+            chunk_index_++;
+            offset_ = 0;
+            continue;
+        }
+        uint32_t crc = decodeFixed32(chunk.data + offset_);
+        uint32_t len = decodeFixed32(chunk.data + offset_ + 4);
+        if (offset_ + 8 + len > chunk.used) {
+            saw_corruption_ = true;
+            return false;
+        }
+        const char *payload = chunk.data + offset_ + 8;
+        if (recordChecksum(payload, len) != crc) {
+            saw_corruption_ = true;
+            return false;
+        }
+        segment_->device_->chargeRead(8 + len);
+        record->assign(payload, len);
+        offset_ += 8 + len;
+        return true;
+    }
+    return false;
+}
+
+} // namespace mio::wal

@@ -1,0 +1,95 @@
+#include "wal/log_writer.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace mio::wal {
+
+LogSegment::LogSegment(sim::NvmDevice *device) : device_(device) {}
+
+LogSegment::~LogSegment()
+{
+    for (auto &chunk : chunks_)
+        device_->freeRegion(chunk.data);
+}
+
+Status
+LogSegment::append(const Slice &record)
+{
+    // Frame: [crc u32][len u32][payload]. The frame never spans chunks.
+    const size_t framed = 8 + record.size();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chunks_.empty() ||
+        chunks_.back().used + framed > chunks_.back().cap) {
+        size_t cap = framed > kChunkSize ? framed : kChunkSize;
+        Chunk c;
+        c.data = device_->allocateRegion(cap);
+        c.used = 0;
+        c.cap = cap;
+        chunks_.push_back(c);
+    }
+    Chunk &c = chunks_.back();
+    char header[8];
+    encodeFixed32(header, recordChecksum(record.data(), record.size()));
+    encodeFixed32(header + 4, static_cast<uint32_t>(record.size()));
+    device_->write(c.data + c.used, header, 8);
+    device_->write(c.data + c.used + 8, record.data(), record.size());
+    device_->persist(c.data + c.used, framed);
+    c.used += framed;
+    size_ += framed;
+    return Status::ok();
+}
+
+void
+LogSegment::corruptByteForTesting(uint64_t offset)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &chunk : chunks_) {
+        if (offset < chunk.used) {
+            chunk.data[offset] ^= 0xff;
+            return;
+        }
+        offset -= chunk.used;
+    }
+}
+
+std::shared_ptr<LogSegment>
+WalRegistry::open(const std::string &name, sim::NvmDevice *device)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = segments_.find(name);
+    if (it != segments_.end())
+        return it->second;
+    auto seg = std::make_shared<LogSegment>(device);
+    segments_[name] = seg;
+    return seg;
+}
+
+std::shared_ptr<LogSegment>
+WalRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = segments_.find(name);
+    return it == segments_.end() ? nullptr : it->second;
+}
+
+void
+WalRegistry::remove(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    segments_.erase(name);
+}
+
+std::vector<std::string>
+WalRegistry::list() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    for (const auto &[name, seg] : segments_)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace mio::wal

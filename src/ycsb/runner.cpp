@@ -1,0 +1,104 @@
+#include "ycsb/runner.h"
+
+#include <cstring>
+
+#include "util/clock.h"
+
+namespace mio::ycsb {
+
+Runner::Runner(KVStore *store, size_t value_size, uint64_t seed,
+               bool record_timeline)
+    : store_(store), value_size_(value_size), seed_(seed),
+      record_timeline_(record_timeline), value_rng_(seed * 11 + 5)
+{
+    value_rng_.fillString(&value_buf_, value_size_);
+}
+
+std::string
+Runner::valueFor(uint64_t key_index)
+{
+    // Stamp the key index into the shared value buffer so reads can be
+    // validated without storing a copy of every value.
+    std::string v = value_buf_;
+    if (v.size() >= 16) {
+        char tag[17];
+        snprintf(tag, sizeof(tag), "%016llu",
+                 static_cast<unsigned long long>(key_index));
+        memcpy(v.data(), tag, 16);
+    }
+    return v;
+}
+
+RunResult
+Runner::load(uint64_t record_count)
+{
+    RunResult result;
+    result.workload = "Load";
+    result.operations = record_count;
+    if (record_timeline_)
+        result.timeline.reserve(record_count);
+
+    Stopwatch total;
+    for (uint64_t i = 0; i < record_count; i++) {
+        Stopwatch op;
+        store_->put(makeKey(i), valueFor(i));
+        double us = op.elapsedMicros();
+        result.latency_us.add(us);
+        if (record_timeline_) {
+            result.timeline.add(
+                static_cast<uint64_t>(total.elapsedMicros()), us);
+        }
+    }
+    result.seconds = total.elapsedSeconds();
+    return result;
+}
+
+RunResult
+Runner::run(const WorkloadSpec &spec, uint64_t record_count,
+            uint64_t op_count)
+{
+    RunResult result;
+    result.workload = spec.name;
+    result.operations = op_count;
+    if (record_timeline_)
+        result.timeline.reserve(op_count);
+
+    WorkloadGenerator gen(spec, record_count, seed_);
+    std::string value;
+    std::vector<std::pair<std::string, std::string>> scan_out;
+
+    Stopwatch total;
+    for (uint64_t i = 0; i < op_count; i++) {
+        auto op = gen.next();
+        std::string key = makeKey(op.key_index);
+        Stopwatch op_timer;
+        switch (op.type) {
+          case OpType::kRead:
+            store_->get(key, &value);
+            break;
+          case OpType::kUpdate:
+            store_->put(key, valueFor(op.key_index));
+            break;
+          case OpType::kInsert:
+            store_->put(key, valueFor(op.key_index));
+            break;
+          case OpType::kScan:
+            store_->scan(key, op.scan_length, &scan_out);
+            break;
+          case OpType::kReadModifyWrite:
+            store_->get(key, &value);
+            store_->put(key, valueFor(op.key_index));
+            break;
+        }
+        double us = op_timer.elapsedMicros();
+        result.latency_us.add(us);
+        if (record_timeline_) {
+            result.timeline.add(
+                static_cast<uint64_t>(total.elapsedMicros()), us);
+        }
+    }
+    result.seconds = total.elapsedSeconds();
+    return result;
+}
+
+} // namespace mio::ycsb

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * YCSB run engine: load phase plus measured run phase against any
+ * KVStore, producing throughput, latency percentiles, and a latency
+ * timeline for the paper's Fig. 7/8 and Tables 2/3.
+ */
+#ifndef MIO_YCSB_RUNNER_H_
+#define MIO_YCSB_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kv/kv_store.h"
+#include "util/histogram.h"
+#include "ycsb/workload.h"
+
+namespace mio::ycsb {
+
+struct RunResult {
+    std::string workload;
+    uint64_t operations = 0;
+    double seconds = 0;
+    Histogram latency_us;
+    LatencyTimeline timeline;
+
+    double kiops() const
+    {
+        return seconds > 0 ? operations / seconds / 1000.0 : 0;
+    }
+};
+
+class Runner
+{
+  public:
+    /**
+     * @param value_size bytes per value (paper: 1 KB and 4 KB)
+     * @param record_timeline capture per-op (time, latency) samples
+     */
+    Runner(KVStore *store, size_t value_size, uint64_t seed = 42,
+           bool record_timeline = false);
+
+    /** Insert keys [0, record_count) in order; returns load result. */
+    RunResult load(uint64_t record_count);
+
+    /** Execute @p op_count operations of @p spec. */
+    RunResult run(const WorkloadSpec &spec, uint64_t record_count,
+                  uint64_t op_count);
+
+  private:
+    std::string valueFor(uint64_t key_index);
+
+    KVStore *store_;
+    size_t value_size_;
+    uint64_t seed_;
+    bool record_timeline_;
+    Random value_rng_;
+    std::string value_buf_;
+};
+
+} // namespace mio::ycsb
+
+#endif // MIO_YCSB_RUNNER_H_

@@ -1,0 +1,135 @@
+#include "ycsb/workload.h"
+
+#include <cassert>
+
+namespace mio::ycsb {
+
+WorkloadSpec
+WorkloadSpec::workloadA()
+{
+    WorkloadSpec s;
+    s.name = "A";
+    s.read_proportion = 0.5;
+    s.update_proportion = 0.5;
+    return s;
+}
+
+WorkloadSpec
+WorkloadSpec::workloadB()
+{
+    WorkloadSpec s;
+    s.name = "B";
+    s.read_proportion = 0.95;
+    s.update_proportion = 0.05;
+    return s;
+}
+
+WorkloadSpec
+WorkloadSpec::workloadC()
+{
+    WorkloadSpec s;
+    s.name = "C";
+    s.read_proportion = 1.0;
+    return s;
+}
+
+WorkloadSpec
+WorkloadSpec::workloadD()
+{
+    WorkloadSpec s;
+    s.name = "D";
+    s.read_proportion = 0.95;
+    s.insert_proportion = 0.05;
+    s.distribution = Distribution::kLatest;
+    return s;
+}
+
+WorkloadSpec
+WorkloadSpec::workloadE()
+{
+    WorkloadSpec s;
+    s.name = "E";
+    s.scan_proportion = 0.95;
+    s.insert_proportion = 0.05;
+    return s;
+}
+
+WorkloadSpec
+WorkloadSpec::workloadF()
+{
+    WorkloadSpec s;
+    s.name = "F";
+    s.read_proportion = 0.5;
+    s.rmw_proportion = 0.5;
+    return s;
+}
+
+WorkloadSpec
+WorkloadSpec::byName(char letter)
+{
+    switch (letter) {
+      case 'A': case 'a': return workloadA();
+      case 'B': case 'b': return workloadB();
+      case 'C': case 'c': return workloadC();
+      case 'D': case 'd': return workloadD();
+      case 'E': case 'e': return workloadE();
+      case 'F': case 'f': return workloadF();
+    }
+    assert(false && "unknown YCSB workload");
+    return workloadA();
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec &spec,
+                                     uint64_t record_count, uint64_t seed)
+    : spec_(spec), record_count_(record_count), rng_(seed),
+      zipf_(record_count, ZipfianGenerator::kDefaultTheta, seed * 3 + 1),
+      latest_(record_count, ZipfianGenerator::kDefaultTheta, seed * 5 + 7)
+{}
+
+uint64_t
+WorkloadGenerator::drawKey()
+{
+    switch (spec_.distribution) {
+      case Distribution::kZipfian:
+        return zipf_.next();
+      case Distribution::kLatest:
+        return latest_.next();
+      case Distribution::kUniform:
+        return rng_.uniform(record_count_);
+    }
+    return 0;
+}
+
+WorkloadGenerator::Op
+WorkloadGenerator::next()
+{
+    Op op;
+    op.scan_length = 0;
+    double p = rng_.nextDouble();
+    if (p < spec_.read_proportion) {
+        op.type = OpType::kRead;
+        op.key_index = drawKey();
+    } else if (p < spec_.read_proportion + spec_.update_proportion) {
+        op.type = OpType::kUpdate;
+        op.key_index = drawKey();
+    } else if (p < spec_.read_proportion + spec_.update_proportion +
+                       spec_.insert_proportion) {
+        op.type = OpType::kInsert;
+        op.key_index = record_count_;
+        record_count_++;
+        zipf_.grow(record_count_);
+        latest_.grow(record_count_);
+    } else if (p < spec_.read_proportion + spec_.update_proportion +
+                       spec_.insert_proportion + spec_.scan_proportion) {
+        op.type = OpType::kScan;
+        op.key_index = drawKey();
+        op.scan_length = static_cast<int>(
+            1 + rng_.uniform(spec_.max_scan_length));
+    } else {
+        op.type = OpType::kReadModifyWrite;
+        op.key_index = drawKey();
+    }
+    return op;
+}
+
+} // namespace mio::ycsb

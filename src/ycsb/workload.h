@@ -1,0 +1,86 @@
+/**
+ * @file
+ * YCSB core workloads A-F (Cooper et al., SoCC'10) as the paper's
+ * Sec. 5.2 configures them: zipfian request distribution with 0.99
+ * skew (latest-distribution for D), 1 KB / 4 KB values, one million
+ * operations over an 80 GB loaded store (sizes scaled by the bench).
+ */
+#ifndef MIO_YCSB_WORKLOAD_H_
+#define MIO_YCSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+#include "util/zipfian.h"
+
+namespace mio::ycsb {
+
+enum class OpType {
+    kRead,
+    kUpdate,
+    kInsert,
+    kScan,
+    kReadModifyWrite,
+};
+
+enum class Distribution {
+    kZipfian,
+    kLatest,
+    kUniform,
+};
+
+/** Mix and shape of one workload. */
+struct WorkloadSpec {
+    std::string name;
+    double read_proportion = 0;
+    double update_proportion = 0;
+    double insert_proportion = 0;
+    double scan_proportion = 0;
+    double rmw_proportion = 0;
+    Distribution distribution = Distribution::kZipfian;
+    int max_scan_length = 100;
+
+    static WorkloadSpec workloadA();
+    static WorkloadSpec workloadB();
+    static WorkloadSpec workloadC();
+    static WorkloadSpec workloadD();
+    static WorkloadSpec workloadE();
+    static WorkloadSpec workloadF();
+    /** Lookup by letter 'A'..'F'. */
+    static WorkloadSpec byName(char letter);
+};
+
+/** Draws operations and keys for a run. */
+class WorkloadGenerator
+{
+  public:
+    WorkloadGenerator(const WorkloadSpec &spec, uint64_t record_count,
+                      uint64_t seed = 42);
+
+    struct Op {
+        OpType type;
+        uint64_t key_index;  //!< index into the key space
+        int scan_length;     //!< for kScan
+    };
+
+    Op next();
+
+    /** Key space size including run-phase inserts so far. */
+    uint64_t recordCount() const { return record_count_; }
+
+    const WorkloadSpec &spec() const { return spec_; }
+
+  private:
+    uint64_t drawKey();
+
+    WorkloadSpec spec_;
+    uint64_t record_count_;
+    Random rng_;
+    ScrambledZipfianGenerator zipf_;
+    LatestGenerator latest_;
+};
+
+} // namespace mio::ycsb
+
+#endif // MIO_YCSB_WORKLOAD_H_

@@ -1,0 +1,107 @@
+/** @file Unit tests for Arena and ChunkedNvmArena. */
+#include <gtest/gtest.h>
+
+#include "mem/arena.h"
+
+namespace mio {
+namespace {
+
+TEST(ArenaTest, BumpAllocationIsContiguousAndAligned)
+{
+    Arena arena(4096);
+    char *a = arena.allocate(10);
+    char *b = arena.allocate(10);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+    EXPECT_EQ(b - a, 16);  // 10 rounded to 16
+    EXPECT_EQ(arena.used(), 32u);
+}
+
+TEST(ArenaTest, ReturnsNullWhenFull)
+{
+    Arena arena(64);
+    EXPECT_NE(arena.allocate(32), nullptr);
+    EXPECT_NE(arena.allocate(32), nullptr);
+    EXPECT_EQ(arena.allocate(1), nullptr);
+    EXPECT_EQ(arena.used(), 64u);
+}
+
+TEST(ArenaTest, DramArenaIsNotNvm)
+{
+    Arena arena(128);
+    EXPECT_FALSE(arena.isNvm());
+    EXPECT_EQ(arena.device(), nullptr);
+}
+
+TEST(ArenaTest, NvmArenaChargesAllocations)
+{
+    sim::NvmDevice device;
+    {
+        Arena arena(4096, &device, /*charge_allocations=*/true);
+        EXPECT_TRUE(arena.isNvm());
+        arena.allocate(100);
+        EXPECT_EQ(device.meters().bytes_written, 104u);  // aligned
+        EXPECT_EQ(device.meters().bytes_allocated, 4096u);
+    }
+    EXPECT_EQ(device.meters().bytes_allocated, 0u);  // freed on drop
+}
+
+TEST(ArenaTest, NvmArenaWithoutChargeDoesNotMeter)
+{
+    sim::NvmDevice device;
+    Arena arena(4096, &device, /*charge_allocations=*/false);
+    arena.allocate(100);
+    EXPECT_EQ(device.meters().bytes_written, 0u);
+}
+
+TEST(ArenaTest, SetUsedMarksRelocatedImage)
+{
+    sim::NvmDevice device;
+    Arena arena(4096, &device, false);
+    arena.setUsed(1000);
+    EXPECT_EQ(arena.used(), 1000u);
+    EXPECT_EQ(arena.remaining(), 3096u);
+}
+
+TEST(ChunkedNvmArenaTest, GrowsAcrossChunks)
+{
+    sim::NvmDevice device;
+    ChunkedNvmArena arena(&device, /*chunk_size=*/1024);
+    for (int i = 0; i < 100; i++)
+        ASSERT_NE(arena.allocate(100), nullptr);
+    EXPECT_GE(arena.memoryUsage(), 100u * 104);
+    EXPECT_GT(device.meters().bytes_allocated, 0u);
+}
+
+TEST(ChunkedNvmArenaTest, OversizedAllocationGetsOwnChunk)
+{
+    sim::NvmDevice device;
+    ChunkedNvmArena arena(&device, 1024);
+    char *big = arena.allocate(10000);
+    ASSERT_NE(big, nullptr);
+    EXPECT_GE(arena.memoryUsage(), 10000u);
+}
+
+TEST(ChunkedNvmArenaTest, ChargesDeviceWrites)
+{
+    sim::NvmDevice device;
+    ChunkedNvmArena arena(&device);
+    arena.allocate(128);
+    EXPECT_EQ(device.meters().bytes_written, 128u);
+}
+
+TEST(ChunkedNvmArenaTest, FreesAllChunksOnDestruction)
+{
+    sim::NvmDevice device;
+    {
+        ChunkedNvmArena arena(&device, 1024);
+        for (int i = 0; i < 50; i++)
+            arena.allocate(512);
+    }
+    EXPECT_EQ(device.meters().bytes_allocated, 0u);
+}
+
+} // namespace
+} // namespace mio

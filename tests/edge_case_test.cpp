@@ -1,0 +1,204 @@
+/** @file Boundary-condition tests across the serialization and
+ *  version-management layers. */
+#include <gtest/gtest.h>
+
+#include "lsm/version_set.h"
+#include "sstable/block_builder.h"
+#include "sstable/block_reader.h"
+#include "sstable/table_builder.h"
+#include "sstable/table_reader.h"
+#include "util/random.h"
+
+namespace mio {
+namespace {
+
+std::string
+ikey(const std::string &user_key, uint64_t seq,
+     EntryType type = EntryType::kValue)
+{
+    std::string k;
+    appendInternalKey(&k, Slice(user_key), seq, type);
+    return k;
+}
+
+TEST(BlockEdgeTest, EmptyBlock)
+{
+    BlockBuilder builder;
+    Block block(builder.finish().toString());
+    Block::Iter it(&block);
+    it.seekToFirst();
+    EXPECT_FALSE(it.valid());
+    it.seek(Slice(ikey("a", 1)));
+    EXPECT_FALSE(it.valid());
+}
+
+TEST(BlockEdgeTest, SingleEntry)
+{
+    BlockBuilder builder;
+    builder.add(Slice(ikey("only", 7)), Slice("v"));
+    Block block(builder.finish().toString());
+    Block::Iter it(&block);
+    it.seekToFirst();
+    ASSERT_TRUE(it.valid());
+    EXPECT_EQ(extractUserKey(it.key()).toString(), "only");
+    it.next();
+    EXPECT_FALSE(it.valid());
+
+    it.seek(Slice(makeLookupKey(Slice("only"))));
+    ASSERT_TRUE(it.valid());
+    it.seek(Slice(makeLookupKey(Slice("zz"))));
+    EXPECT_FALSE(it.valid());
+}
+
+TEST(BlockEdgeTest, EmptyValuesAndRestartBoundaries)
+{
+    // Entries with empty values, exactly at restart-interval edges.
+    BlockBuilder builder(/*restart_interval=*/2);
+    const int n = 7;
+    for (int i = 0; i < n; i++)
+        builder.add(Slice(ikey(makeKey(i), i + 1)), Slice(""));
+    Block block(builder.finish().toString());
+    Block::Iter it(&block);
+    int count = 0;
+    for (it.seekToFirst(); it.valid(); it.next(), count++)
+        EXPECT_TRUE(it.value().empty());
+    EXPECT_EQ(count, n);
+    // Seek to each key individually.
+    for (int i = 0; i < n; i++) {
+        it.seek(Slice(makeLookupKey(Slice(makeKey(i)))));
+        ASSERT_TRUE(it.valid()) << i;
+        EXPECT_EQ(extractUserKey(it.key()).toString(), makeKey(i));
+    }
+}
+
+TEST(BlockEdgeTest, CorruptBlockSurfacesStatus)
+{
+    std::string garbage = "not a block at all";
+    Block block(garbage);
+    Block::Iter it(&block);
+    it.seekToFirst();
+    // Must not crash; either invalid or flagged corrupt.
+    if (it.valid()) {
+        EXPECT_FALSE(it.status().isOk());
+    }
+}
+
+TEST(TableEdgeTest, SingleEntryTable)
+{
+    sim::NvmDevice nvm;
+    sim::NvmMedium medium(&nvm);
+    TableBuilder builder;
+    builder.add(Slice(ikey("k", 1)), Slice("v"));
+    medium.writeBlob("t", Slice(builder.finish()));
+    std::shared_ptr<TableReader> table;
+    ASSERT_TRUE(TableReader::open(&medium, "t", &table).isOk());
+    EXPECT_EQ(table->numEntries(), 1u);
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(table->get(Slice("k"), &v, &t).isOk());
+    EXPECT_EQ(v, "v");
+}
+
+TEST(TableEdgeTest, KeysAroundBlockBoundaries)
+{
+    // Tiny blocks force many boundaries; every key must be findable
+    // and absent keys between blocks must miss cleanly.
+    sim::NvmDevice nvm;
+    sim::NvmMedium medium(&nvm);
+    TableBuilder builder(/*block_size=*/64, /*bits_per_key=*/16);
+    for (int i = 0; i < 100; i += 2)
+        builder.add(Slice(ikey(makeKey(i), i + 1)),
+                    Slice("v" + std::to_string(i)));
+    medium.writeBlob("t", Slice(builder.finish()));
+    std::shared_ptr<TableReader> table;
+    ASSERT_TRUE(TableReader::open(&medium, "t", &table).isOk());
+
+    std::string v;
+    EntryType t;
+    for (int i = 0; i < 100; i += 2) {
+        ASSERT_TRUE(table->get(Slice(makeKey(i)), &v, &t).isOk()) << i;
+        EXPECT_EQ(v, "v" + std::to_string(i));
+    }
+    for (int i = 1; i < 100; i += 2)
+        EXPECT_TRUE(table->get(Slice(makeKey(i)), &v, &t).isNotFound())
+            << i;
+}
+
+TEST(VersionSetEdgeTest, RoundRobinCompactionCursor)
+{
+    lsm::LsmOptions o;
+    o.level1_max_bytes = 10;  // everything over threshold
+    lsm::VersionSet vs(o);
+    auto mk = [&](const std::string &lo, const std::string &hi) {
+        auto meta = std::make_shared<lsm::FileMeta>();
+        meta->number = vs.nextFileNumber();
+        appendInternalKey(&meta->smallest, Slice(lo), 1,
+                          EntryType::kValue);
+        appendInternalKey(&meta->largest, Slice(hi), 1,
+                          EntryType::kValue);
+        meta->file_size = 100;
+        return meta;
+    };
+    vs.addFile(1, mk("a", "b"));
+    vs.addFile(1, mk("c", "d"));
+    vs.addFile(1, mk("e", "f"));
+
+    // Successive picks advance through the key space.
+    auto j1 = vs.pickCompaction();
+    ASSERT_TRUE(j1.valid());
+    ASSERT_EQ(j1.inputs.size(), 1u);
+    std::string first = j1.inputs[0]->smallest;
+    vs.applyCompaction(j1, {});  // pretend it completed, no outputs
+
+    auto j2 = vs.pickCompaction();
+    ASSERT_TRUE(j2.valid());
+    EXPECT_GT(compareInternalKey(Slice(j2.inputs[0]->smallest),
+                                 Slice(first)),
+              0);
+}
+
+TEST(VersionSetEdgeTest, LastLevelNeverCompacts)
+{
+    lsm::LsmOptions o;
+    o.num_levels = 3;
+    o.level1_max_bytes = 1;  // absurdly small
+    lsm::VersionSet vs(o);
+    auto meta = std::make_shared<lsm::FileMeta>();
+    meta->number = vs.nextFileNumber();
+    appendInternalKey(&meta->smallest, Slice("a"), 1,
+                      EntryType::kValue);
+    appendInternalKey(&meta->largest, Slice("b"), 1,
+                      EntryType::kValue);
+    meta->file_size = 1 << 20;
+    vs.addFile(2, meta);  // bottom level, hugely oversized
+    EXPECT_FALSE(vs.pickCompaction().valid());
+}
+
+TEST(VersionSetEdgeTest, ApplyCompactionMovesInputsDown)
+{
+    lsm::LsmOptions o;
+    lsm::VersionSet vs(o);
+    auto mk = [&](const std::string &lo, const std::string &hi) {
+        auto meta = std::make_shared<lsm::FileMeta>();
+        meta->number = vs.nextFileNumber();
+        appendInternalKey(&meta->smallest, Slice(lo), 1,
+                          EntryType::kValue);
+        appendInternalKey(&meta->largest, Slice(hi), 1,
+                          EntryType::kValue);
+        meta->file_size = 10;
+        return meta;
+    };
+    for (int i = 0; i < o.l0_compaction_trigger; i++)
+        vs.addFile(0, mk("a", "z"));
+    auto job = vs.pickCompaction();
+    ASSERT_TRUE(job.valid());
+    auto out = mk("a", "z");
+    vs.applyCompaction(job, {out});
+    EXPECT_EQ(vs.numFiles(0), 0);
+    EXPECT_EQ(vs.numFiles(1), 1);
+    EXPECT_EQ(vs.levelBytes(1), 10u);
+    EXPECT_EQ(vs.lastPopulatedLevel(), 1);
+}
+
+} // namespace
+} // namespace mio

@@ -1,0 +1,122 @@
+/** @file Unit tests for Histogram and LatencyTimeline. */
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+
+namespace mio {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.average(), 0.0);
+    EXPECT_EQ(h.percentile(99), 0.0);
+}
+
+TEST(HistogramTest, SingleValue)
+{
+    Histogram h;
+    h.add(42.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.average(), 42.0);
+    EXPECT_NEAR(h.percentile(50), 42.0, 42.0 * 0.05);
+    EXPECT_DOUBLE_EQ(h.min(), 42.0);
+    EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(HistogramTest, PercentilesOfUniformRamp)
+{
+    Histogram h;
+    for (int i = 1; i <= 10000; i++)
+        h.add(static_cast<double>(i));
+    // Geometric buckets bound relative error at ~4%.
+    EXPECT_NEAR(h.percentile(50), 5000, 5000 * 0.05);
+    EXPECT_NEAR(h.percentile(90), 9000, 9000 * 0.05);
+    EXPECT_NEAR(h.percentile(99), 9900, 9900 * 0.05);
+    EXPECT_NEAR(h.percentile(99.9), 9990, 9990 * 0.05);
+    EXPECT_NEAR(h.average(), 5000.5, 1.0);
+}
+
+TEST(HistogramTest, PercentileMonotonicity)
+{
+    Histogram h;
+    for (int i = 0; i < 1000; i++)
+        h.add(i % 100 + 1);
+    double prev = 0;
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+        double v = h.percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        prev = v;
+    }
+}
+
+TEST(HistogramTest, MergeCombinesCounts)
+{
+    Histogram a, b;
+    for (int i = 0; i < 100; i++)
+        a.add(10.0);
+    for (int i = 0; i < 100; i++)
+        b.add(1000.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+    EXPECT_NEAR(a.average(), 505.0, 0.01);
+}
+
+TEST(HistogramTest, ClearResets)
+{
+    Histogram h;
+    h.add(5.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, StandardDeviation)
+{
+    Histogram h;
+    h.add(2.0);
+    h.add(4.0);
+    h.add(4.0);
+    h.add(4.0);
+    h.add(5.0);
+    h.add(5.0);
+    h.add(7.0);
+    h.add(9.0);
+    EXPECT_NEAR(h.standardDeviation(), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, ToStringContainsSummary)
+{
+    Histogram h;
+    h.add(1.0);
+    std::string s = h.toString();
+    EXPECT_NE(s.find("count=1"), std::string::npos);
+}
+
+TEST(LatencyTimelineTest, DownsampleBucketsAverageAndMax)
+{
+    LatencyTimeline t;
+    // 1000 samples over 1000us, latency == elapsed index.
+    for (uint64_t i = 0; i < 1000; i++)
+        t.add(i, static_cast<double>(i));
+    auto points = t.downsample(10);
+    ASSERT_GE(points.size(), 9u);
+    ASSERT_LE(points.size(), 11u);
+    // First bucket: values 0..~99; average near 50, max near 99.
+    EXPECT_NEAR(points[0].avg_us, 50.0, 5.0);
+    EXPECT_NEAR(points[0].max_us, 99.0, 5.0);
+    // Buckets increase over time.
+    EXPECT_GT(points.back().avg_us, points.front().avg_us);
+}
+
+TEST(LatencyTimelineTest, EmptyDownsample)
+{
+    LatencyTimeline t;
+    EXPECT_TRUE(t.downsample(10).empty());
+}
+
+} // namespace
+} // namespace mio

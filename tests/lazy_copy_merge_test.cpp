@@ -1,0 +1,232 @@
+/** @file Tests for lazy-copy compaction and the data repositories. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lsm/memtable.h"
+#include "miodb/lazy_copy_merge.h"
+#include "miodb/one_piece_flush.h"
+#include "util/random.h"
+
+namespace mio::miodb {
+namespace {
+
+std::shared_ptr<PMTable>
+makeTable(sim::NvmDevice *nvm, StatsCounters *stats,
+          const std::vector<std::tuple<std::string, std::string,
+                                       uint64_t, EntryType>> &entries,
+          uint64_t table_id)
+{
+    lsm::MemTable mem(1 << 19, table_id * 3 + 11);
+    for (const auto &[k, v, seq, type] : entries)
+        EXPECT_TRUE(mem.add(Slice(k), seq, type, Slice(v)));
+    return onePieceFlush(&mem, nvm, stats, 16, table_id);
+}
+
+TEST(PmRepositoryTest, MergeCopiesLiveEntries)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    PmRepository repo(&nvm, &stats);
+    auto src = makeTable(&nvm, &stats,
+                         {{"a", "1", 1, EntryType::kValue},
+                          {"b", "2", 2, EntryType::kValue}},
+                         1);
+    ASSERT_TRUE(repo.mergeTable(src.get()).isOk());
+    EXPECT_EQ(repo.entryCount(), 2u);
+    EXPECT_EQ(stats.lazy_copy_merges.load(), 1u);
+
+    std::string v;
+    EntryType t;
+    uint64_t seq;
+    ASSERT_TRUE(repo.get(Slice("a"), &v, &t, &seq));
+    EXPECT_EQ(v, "1");
+    EXPECT_FALSE(repo.get(Slice("zz"), &v, &t, &seq));
+}
+
+TEST(PmRepositoryTest, SourceIndependentAfterMerge)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    PmRepository repo(&nvm, &stats);
+    {
+        auto src = makeTable(&nvm, &stats,
+                             {{"k", "v", 1, EntryType::kValue}}, 1);
+        repo.mergeTable(src.get());
+        // src (and its arenas) reclaimed here -- the lazy GC step.
+    }
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(repo.get(Slice("k"), &v, &t, nullptr));
+    EXPECT_EQ(v, "v");
+}
+
+TEST(PmRepositoryTest, NewerVersionReplacesOlder)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    PmRepository repo(&nvm, &stats);
+    auto t1 = makeTable(&nvm, &stats,
+                        {{"k", "old", 1, EntryType::kValue}}, 1);
+    repo.mergeTable(t1.get());
+    auto t2 = makeTable(&nvm, &stats,
+                        {{"k", "new", 9, EntryType::kValue}}, 2);
+    repo.mergeTable(t2.get());
+
+    EXPECT_EQ(repo.entryCount(), 1u);
+    EXPECT_GT(repo.garbageBytes(), 0u);  // the old node is unlinked
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(repo.get(Slice("k"), &v, &t, nullptr));
+    EXPECT_EQ(v, "new");
+}
+
+TEST(PmRepositoryTest, DuplicatesWithinSourceCollapse)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    PmRepository repo(&nvm, &stats);
+    auto src = makeTable(&nvm, &stats,
+                         {{"k", "v5", 5, EntryType::kValue},
+                          {"k", "v9", 9, EntryType::kValue}},
+                         1);
+    repo.mergeTable(src.get());
+    EXPECT_EQ(repo.entryCount(), 1u);
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(repo.get(Slice("k"), &v, &t, nullptr));
+    EXPECT_EQ(v, "v9");
+}
+
+TEST(PmRepositoryTest, TombstoneDeletesAndIsDropped)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    PmRepository repo(&nvm, &stats);
+    auto t1 = makeTable(&nvm, &stats,
+                        {{"dead", "v", 1, EntryType::kValue},
+                         {"live", "v", 2, EntryType::kValue}},
+                        1);
+    repo.mergeTable(t1.get());
+    auto t2 = makeTable(&nvm, &stats,
+                        {{"dead", "", 9, EntryType::kDeletion}}, 2);
+    repo.mergeTable(t2.get());
+
+    // Nothing lives below the repository: the key and the tombstone
+    // are both gone.
+    EXPECT_EQ(repo.entryCount(), 1u);
+    std::string v;
+    EntryType t;
+    EXPECT_FALSE(repo.get(Slice("dead"), &v, &t, nullptr));
+    EXPECT_TRUE(repo.get(Slice("live"), &v, &t, nullptr));
+}
+
+TEST(PmRepositoryTest, TombstoneForAbsentKeyIsNoOp)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    PmRepository repo(&nvm, &stats);
+    auto src = makeTable(&nvm, &stats,
+                         {{"ghost", "", 5, EntryType::kDeletion}}, 1);
+    repo.mergeTable(src.get());
+    EXPECT_EQ(repo.entryCount(), 0u);
+}
+
+TEST(PmRepositoryTest, LargeMergeKeepsSortedOrder)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    PmRepository repo(&nvm, &stats);
+    Random rng(42);
+    std::map<std::string, std::string> model;
+    uint64_t seq = 1;
+    for (int round = 0; round < 5; round++) {
+        std::vector<std::tuple<std::string, std::string, uint64_t,
+                               EntryType>> batch;
+        for (int i = 0; i < 200; i++) {
+            std::string k = makeKey(rng.uniform(500));
+            std::string v = "v" + std::to_string(seq);
+            batch.emplace_back(k, v, seq, EntryType::kValue);
+            model[k] = v;
+            seq++;
+        }
+        auto src = makeTable(&nvm, &stats, batch, round + 1);
+        repo.mergeTable(src.get());
+    }
+    EXPECT_EQ(repo.entryCount(), model.size());
+    // Iterator yields sorted unique user keys matching the model.
+    auto iter = repo.newIterator();
+    auto model_it = model.begin();
+    for (iter->seekToFirst(); iter->valid(); iter->next(), ++model_it) {
+        ASSERT_NE(model_it, model.end());
+        EXPECT_EQ(extractUserKey(iter->key()).toString(),
+                  model_it->first);
+        EXPECT_EQ(iter->value().toString(), model_it->second);
+    }
+    EXPECT_EQ(model_it, model.end());
+}
+
+TEST(SsdRepositoryTest, MergeFlushesToLsm)
+{
+    sim::NvmDevice nvm;
+    sim::SsdDevice ssd;
+    sim::SsdMedium medium(&ssd);
+    StatsCounters stats;
+    lsm::LsmOptions options;
+    options.sstable_target_size = 8 << 10;
+    SsdRepository repo(options, &medium, &stats);
+
+    auto src = makeTable(&nvm, &stats,
+                         {{"a", "1", 1, EntryType::kValue},
+                          {"b", "2", 2, EntryType::kValue}},
+                         1);
+    ASSERT_TRUE(repo.mergeTable(src.get()).isOk());
+    repo.waitIdle();
+    EXPECT_GT(ssd.meters().bytes_written, 0u);
+
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(repo.get(Slice("a"), &v, &t, nullptr));
+    EXPECT_EQ(v, "1");
+    EXPECT_EQ(repo.entryCount(), 2u);
+}
+
+TEST(SsdRepositoryTest, MultipleMergesCompact)
+{
+    sim::NvmDevice nvm;
+    sim::SsdDevice ssd;
+    sim::SsdMedium medium(&ssd);
+    StatsCounters stats;
+    lsm::LsmOptions options;
+    options.sstable_target_size = 4 << 10;
+    options.level1_max_bytes = 16 << 10;
+    options.l0_compaction_trigger = 2;
+    SsdRepository repo(options, &medium, &stats);
+
+    std::map<std::string, std::string> model;
+    Random rng(17);
+    uint64_t seq = 1;
+    for (int round = 0; round < 6; round++) {
+        std::vector<std::tuple<std::string, std::string, uint64_t,
+                               EntryType>> batch;
+        for (int i = 0; i < 100; i++) {
+            std::string k = makeKey(rng.uniform(300));
+            std::string v = "r" + std::to_string(seq);
+            batch.emplace_back(k, v, seq, EntryType::kValue);
+            model[k] = v;
+            seq++;
+        }
+        auto src = makeTable(&nvm, &stats, batch, round + 1);
+        repo.mergeTable(src.get());
+    }
+    repo.waitIdle();
+    std::string v;
+    EntryType t;
+    for (const auto &[k, expect] : model) {
+        ASSERT_TRUE(repo.get(Slice(k), &v, &t, nullptr)) << k;
+        EXPECT_EQ(v, expect) << k;
+    }
+}
+
+} // namespace
+} // namespace mio::miodb

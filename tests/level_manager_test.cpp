@@ -1,0 +1,144 @@
+/** @file Tests for the elastic buffer level manager. */
+#include <gtest/gtest.h>
+
+#include "lsm/memtable.h"
+#include "miodb/level_manager.h"
+#include "miodb/one_piece_flush.h"
+#include "util/random.h"
+
+namespace mio::miodb {
+namespace {
+
+std::shared_ptr<PMTable>
+makeTable(sim::NvmDevice *nvm, StatsCounters *stats, uint64_t id)
+{
+    lsm::MemTable mem(1 << 14, id);
+    mem.add(Slice(makeKey(id)), id, EntryType::kValue, Slice("v"));
+    return onePieceFlush(&mem, nvm, stats, 16, id);
+}
+
+TEST(BufferLevelTest, PushSnapshotOrder)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    BufferLevel level;
+    level.push(makeTable(&nvm, &stats, 1));
+    level.push(makeTable(&nvm, &stats, 2));
+    level.push(makeTable(&nvm, &stats, 3));
+    EXPECT_EQ(level.size(), 3u);
+
+    auto snap = level.snapshot();
+    ASSERT_EQ(snap.tables.size(), 3u);
+    // Newest first.
+    EXPECT_EQ(snap.tables[0]->tableId(), 3u);
+    EXPECT_EQ(snap.tables[2]->tableId(), 1u);
+    EXPECT_EQ(snap.merge, nullptr);
+    EXPECT_EQ(snap.migrating, nullptr);
+}
+
+TEST(BufferLevelTest, BeginMergeClaimsOldestTwo)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    BufferLevel level;
+    EXPECT_EQ(level.beginMerge(), nullptr);  // empty
+    level.push(makeTable(&nvm, &stats, 1));
+    EXPECT_EQ(level.beginMerge(), nullptr);  // only one
+    level.push(makeTable(&nvm, &stats, 2));
+    level.push(makeTable(&nvm, &stats, 3));
+
+    auto op = level.beginMerge();
+    ASSERT_NE(op, nullptr);
+    EXPECT_EQ(op->oldt->tableId(), 1u);
+    EXPECT_EQ(op->newt->tableId(), 2u);
+    EXPECT_EQ(level.size(), 1u);
+    EXPECT_TRUE(level.busy());
+    // Second merge blocked while one is active.
+    EXPECT_EQ(level.beginMerge(), nullptr);
+    // The pair stays reader-visible through the snapshot.
+    auto snap = level.snapshot();
+    EXPECT_EQ(snap.merge, op);
+
+    level.finishMerge(op);
+    EXPECT_FALSE(level.busy());
+    EXPECT_EQ(level.snapshot().merge, nullptr);
+}
+
+TEST(BufferLevelTest, MigrationLifecycle)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    BufferLevel level;
+    EXPECT_EQ(level.beginMigration(), nullptr);
+    level.push(makeTable(&nvm, &stats, 1));
+    level.push(makeTable(&nvm, &stats, 2));
+
+    auto victim = level.beginMigration();
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->tableId(), 1u);  // oldest first
+    EXPECT_EQ(level.size(), 1u);
+    EXPECT_TRUE(level.busy());
+    EXPECT_EQ(level.snapshot().migrating, victim);
+    EXPECT_EQ(level.beginMigration(), nullptr);  // one at a time
+
+    level.finishMigration();
+    EXPECT_FALSE(level.busy());
+    auto second = level.beginMigration();
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->tableId(), 2u);
+}
+
+TEST(BufferLevelTest, ArenaBytesCountsAllResidents)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    BufferLevel level;
+    level.push(makeTable(&nvm, &stats, 1));
+    level.push(makeTable(&nvm, &stats, 2));
+    size_t two = level.arenaBytes();
+    EXPECT_EQ(two, 2u * (1 << 14));
+    // Claimed tables still count until retired.
+    auto op = level.beginMerge();
+    EXPECT_EQ(level.arenaBytes(), two);
+    level.finishMerge(op);
+    EXPECT_EQ(level.arenaBytes(), 0u);
+}
+
+TEST(LevelManagerTest, QuiescentDefinition)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    LevelManager mgr(3);
+    EXPECT_TRUE(mgr.quiescent());
+
+    // One leftover table in an upper level is still quiescent.
+    mgr.level(0).push(makeTable(&nvm, &stats, 1));
+    EXPECT_TRUE(mgr.quiescent());
+    // Two tables in an upper level -> mergeable pair -> not quiescent.
+    mgr.level(0).push(makeTable(&nvm, &stats, 2));
+    EXPECT_FALSE(mgr.quiescent());
+
+    auto op = mgr.level(0).beginMerge();
+    EXPECT_FALSE(mgr.quiescent());  // busy
+    mgr.level(0).finishMerge(op);
+    EXPECT_TRUE(mgr.quiescent());
+
+    // Anything in the last level is not quiescent (it must migrate).
+    mgr.level(2).push(makeTable(&nvm, &stats, 3));
+    EXPECT_FALSE(mgr.quiescent());
+}
+
+TEST(LevelManagerTest, Totals)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    LevelManager mgr(2);
+    mgr.level(0).push(makeTable(&nvm, &stats, 1));
+    mgr.level(1).push(makeTable(&nvm, &stats, 2));
+    EXPECT_EQ(mgr.totalTables(), 2u);
+    EXPECT_EQ(mgr.totalArenaBytes(), 2u * (1 << 14));
+    EXPECT_EQ(mgr.numLevels(), 2);
+}
+
+} // namespace
+} // namespace mio::miodb

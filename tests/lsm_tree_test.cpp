@@ -1,0 +1,234 @@
+/** @file Integration tests for the leveled LSM substrate. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lsm/lsm_tree.h"
+#include "lsm/memtable.h"
+#include "util/random.h"
+
+namespace mio::lsm {
+namespace {
+
+struct LsmFixture {
+    sim::NvmDevice nvm;
+    sim::NvmMedium medium{&nvm};
+    StatsCounters stats;
+    LsmOptions options;
+    std::unique_ptr<LsmTree> tree;
+
+    explicit LsmFixture(LsmOptions o = smallOptions())
+        : options(o)
+    {
+        tree = std::make_unique<LsmTree>(options, &medium, &stats);
+    }
+
+    static LsmOptions
+    smallOptions()
+    {
+        LsmOptions o;
+        o.sstable_target_size = 8 << 10;
+        o.level1_max_bytes = 64 << 10;
+        o.l0_compaction_trigger = 4;
+        return o;
+    }
+
+    /** Flush @p entries (key -> value) as one L0 table. */
+    void
+    flush(const std::map<std::string, std::string> &entries,
+          uint64_t base_seq)
+    {
+        MemTable mem(1 << 20);
+        uint64_t seq = base_seq;
+        for (const auto &[k, v] : entries)
+            EXPECT_TRUE(mem.add(Slice(k), seq++, EntryType::kValue,
+                                Slice(v)));
+        SkipListIterator it(&mem.list());
+        ASSERT_TRUE(tree->flushToL0(&it).isOk());
+    }
+};
+
+TEST(LsmTreeTest, FlushAndGet)
+{
+    LsmFixture f;
+    f.flush({{"a", "1"}, {"b", "2"}}, 1);
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(f.tree->get(Slice("a"), &v, &t));
+    EXPECT_EQ(v, "1");
+    EXPECT_FALSE(f.tree->get(Slice("zz"), &v, &t));
+    EXPECT_EQ(f.tree->l0FileCount(), 1);
+    EXPECT_GT(f.stats.storage_bytes_written.load(), 0u);
+}
+
+TEST(LsmTreeTest, NewerFlushShadowsOlder)
+{
+    LsmFixture f;
+    f.flush({{"k", "old"}}, 1);
+    f.flush({{"k", "new"}}, 100);
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(f.tree->get(Slice("k"), &v, &t));
+    EXPECT_EQ(v, "new");
+}
+
+TEST(LsmTreeTest, CompactionMovesDataDownAndPreservesIt)
+{
+    LsmFixture f;
+    std::map<std::string, std::string> model;
+    Random rng(3);
+    uint64_t seq = 1;
+    // Enough flushes to trip L0->L1 (and deeper) compactions.
+    for (int flushes = 0; flushes < 12; flushes++) {
+        std::map<std::string, std::string> batch;
+        for (int i = 0; i < 50; i++) {
+            std::string k = makeKey(rng.uniform(400));
+            std::string v = "v" + std::to_string(seq);
+            batch[k] = v;
+        }
+        for (auto &[k, v] : batch)
+            model[k] = v;
+        f.flush(batch, seq);
+        seq += 100;
+    }
+    f.tree->waitIdle();
+    EXPECT_LT(f.tree->l0FileCount(), 12);
+    EXPECT_GT(f.stats.compaction_count.load(), 0u);
+
+    std::string v;
+    EntryType t;
+    for (const auto &[k, expect] : model) {
+        ASSERT_TRUE(f.tree->get(Slice(k), &v, &t)) << k;
+        EXPECT_EQ(v, expect) << k;
+    }
+}
+
+TEST(LsmTreeTest, TombstonesShadowAndEventuallyDrop)
+{
+    LsmFixture f;
+    f.flush({{"dead", "value"}}, 1);
+    {
+        MemTable mem(1 << 20);
+        mem.add(Slice("dead"), 50, EntryType::kDeletion, Slice());
+        SkipListIterator it(&mem.list());
+        ASSERT_TRUE(f.tree->flushToL0(&it).isOk());
+    }
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(f.tree->get(Slice("dead"), &v, &t));
+    EXPECT_EQ(t, EntryType::kDeletion);
+}
+
+TEST(LsmTreeTest, IteratorMergesAllLevels)
+{
+    LsmFixture f;
+    f.flush({{"a", "1"}, {"c", "3"}}, 1);
+    f.flush({{"b", "2"}, {"d", "4"}}, 10);
+    auto iter = f.tree->newIterator();
+    std::vector<std::string> keys;
+    for (iter->seekToFirst(); iter->valid(); iter->next())
+        keys.push_back(extractUserKey(iter->key()).toString());
+    EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(LsmTreeTest, MergeIntoLevelBypassesL0)
+{
+    LsmFixture f;
+    MemTable mem(1 << 20);
+    mem.add(Slice("x"), 1, EntryType::kValue, Slice("1"));
+    mem.add(Slice("y"), 2, EntryType::kValue, Slice("2"));
+    SkipListIterator it(&mem.list());
+    ASSERT_TRUE(f.tree->mergeIntoLevel(1, &it, Slice("x"),
+                                       Slice("y")).isOk());
+    EXPECT_EQ(f.tree->l0FileCount(), 0);
+    EXPECT_EQ(f.tree->versions().numFiles(1), 1);
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(f.tree->get(Slice("y"), &v, &t));
+    EXPECT_EQ(v, "2");
+
+    // Merging an overlapping range replaces and deduplicates.
+    MemTable mem2(1 << 20);
+    mem2.add(Slice("y"), 9, EntryType::kValue, Slice("new"));
+    SkipListIterator it2(&mem2.list());
+    ASSERT_TRUE(f.tree->mergeIntoLevel(1, &it2, Slice("y"),
+                                       Slice("y")).isOk());
+    ASSERT_TRUE(f.tree->get(Slice("y"), &v, &t));
+    EXPECT_EQ(v, "new");
+}
+
+TEST(LsmTreeTest, PressureSignalsFollowL0Count)
+{
+    LsmOptions o = LsmFixture::smallOptions();
+    o.l0_slowdown_trigger = 2;
+    o.l0_stop_trigger = 3;
+    // Make compaction lag so files accumulate.
+    o.l0_compaction_trigger = 100;
+    LsmFixture f(o);
+    EXPECT_FALSE(f.tree->needsSlowdown());
+    f.flush({{"a", "1"}}, 1);
+    f.flush({{"b", "2"}}, 2);
+    EXPECT_TRUE(f.tree->needsSlowdown());
+    EXPECT_FALSE(f.tree->needsStop());
+    f.flush({{"c", "3"}}, 3);
+    EXPECT_TRUE(f.tree->needsStop());
+}
+
+TEST(VersionSetTest, LevelSizingAndPick)
+{
+    LsmOptions o;
+    o.level1_max_bytes = 100;
+    o.amplification_factor = 10;
+    VersionSet vs(o);
+    EXPECT_EQ(vs.maxBytesForLevel(1), 100u);
+    EXPECT_EQ(vs.maxBytesForLevel(2), 1000u);
+    EXPECT_EQ(vs.maxBytesForLevel(3), 10000u);
+
+    // No files: nothing to pick.
+    EXPECT_FALSE(vs.pickCompaction().valid());
+
+    // Exceed L0 trigger.
+    for (int i = 0; i < o.l0_compaction_trigger; i++) {
+        auto meta = std::make_shared<FileMeta>();
+        meta->number = vs.nextFileNumber();
+        std::string k;
+        appendInternalKey(&k, Slice(makeKey(i)), 1, EntryType::kValue);
+        meta->smallest = meta->largest = k;
+        meta->file_size = 10;
+        vs.addFile(0, meta);
+    }
+    auto job = vs.pickCompaction();
+    ASSERT_TRUE(job.valid());
+    EXPECT_EQ(job.level, 0);
+    EXPECT_EQ(job.inputs.size(),
+              static_cast<size_t>(o.l0_compaction_trigger));
+    // Claimed files are not re-picked.
+    EXPECT_FALSE(vs.pickCompaction().valid());
+    vs.releaseJob(job);
+    EXPECT_TRUE(vs.pickCompaction().valid());
+}
+
+TEST(VersionSetTest, OverlapQuery)
+{
+    LsmOptions o;
+    VersionSet vs(o);
+    auto mk = [&](const std::string &lo, const std::string &hi) {
+        auto meta = std::make_shared<FileMeta>();
+        meta->number = vs.nextFileNumber();
+        appendInternalKey(&meta->smallest, Slice(lo), 1,
+                          EntryType::kValue);
+        appendInternalKey(&meta->largest, Slice(hi), 1,
+                          EntryType::kValue);
+        meta->file_size = 10;
+        return meta;
+    };
+    vs.addFile(1, mk("a", "c"));
+    vs.addFile(1, mk("e", "g"));
+    vs.addFile(1, mk("i", "k"));
+    EXPECT_EQ(vs.overlappingFiles(1, Slice("b"), Slice("f")).size(), 2u);
+    EXPECT_EQ(vs.overlappingFiles(1, Slice("h"), Slice("h")).size(), 0u);
+    EXPECT_EQ(vs.overlappingFiles(1, Slice("a"), Slice("z")).size(), 3u);
+}
+
+} // namespace
+} // namespace mio::lsm

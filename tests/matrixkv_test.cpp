@@ -1,0 +1,227 @@
+/** @file Tests for the MatrixKV baseline and its matrix container. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "matrixkv/matrixkv.h"
+#include "util/random.h"
+
+namespace mio::matrixkv {
+namespace {
+
+MatrixkvOptions
+smallOptions()
+{
+    MatrixkvOptions o;
+    o.memtable_size = 8 << 10;
+    o.matrix_capacity = 64 << 10;
+    o.column_budget = 16 << 10;
+    o.lsm.sstable_target_size = 16 << 10;
+    o.lsm.level1_max_bytes = 64 << 10;
+    o.slowdown_ns = 1000;
+    return o;
+}
+
+std::unique_ptr<lsm::MemTable>
+filledMemTable(int lo, int hi, uint64_t seq0)
+{
+    auto mem = std::make_unique<lsm::MemTable>(1 << 18);
+    for (int i = lo; i < hi; i++) {
+        EXPECT_TRUE(mem->add(Slice(makeKey(i)), seq0 + i,
+                             EntryType::kValue,
+                             Slice("row-" + std::to_string(i))));
+    }
+    return mem;
+}
+
+TEST(RowTableTest, SerializeAndLookup)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    auto mem = filledMemTable(0, 100, 1);
+    RowTable row(mem.get(), &nvm, &stats, 1);
+
+    EXPECT_EQ(row.numEntries(), 100u);
+    EXPECT_EQ(row.cursor(), 0u);
+    EXPECT_FALSE(row.drained());
+    EXPECT_GT(stats.serialization_ns.load(), 0u);
+    EXPECT_GT(nvm.meters().bytes_written, 0u);
+
+    std::string v;
+    EntryType t;
+    uint64_t seq;
+    ASSERT_TRUE(row.get(Slice(makeKey(42)), &v, &t, &seq, &stats));
+    EXPECT_EQ(v, "row-42");
+    EXPECT_FALSE(row.get(Slice(makeKey(500)), &v, &t, &seq, &stats));
+    // Reading values is a timed deserialization.
+    EXPECT_GT(stats.deserialization_ns.load(), 0u);
+}
+
+TEST(RowTableTest, CursorHidesCompactedPrefix)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    auto mem = filledMemTable(0, 100, 1);
+    RowTable row(mem.get(), &nvm, &stats, 1);
+
+    size_t cut = row.upperBound(Slice(makeKey(49)));
+    EXPECT_EQ(cut, 50u);
+    row.setCursor(cut);
+    std::string v;
+    EntryType t;
+    uint64_t seq;
+    EXPECT_FALSE(row.get(Slice(makeKey(10)), &v, &t, &seq, &stats));
+    EXPECT_TRUE(row.get(Slice(makeKey(60)), &v, &t, &seq, &stats));
+    EXPECT_LT(row.liveBytes(),
+              row.regionBytes());  // prefix no longer live
+    row.setCursor(row.numEntries());
+    EXPECT_TRUE(row.drained());
+}
+
+TEST(MatrixContainerTest, ColumnPlanAndConsume)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    MatrixContainer matrix(&nvm, &stats);
+    auto m1 = filledMemTable(0, 100, 1);
+    auto m2 = filledMemTable(50, 150, 1000);
+    matrix.addRow(m1.get(), 1);
+    matrix.addRow(m2.get(), 2);
+    EXPECT_EQ(matrix.numRows(), 2u);
+    uint64_t live_before = matrix.liveBytes();
+    EXPECT_GT(live_before, 0u);
+
+    auto rows = matrix.rowsSnapshot();
+    std::string hi;
+    ASSERT_TRUE(matrix.planColumn(rows, live_before / 4, &hi));
+    EXPECT_LT(hi, makeKey(150));
+
+    matrix.consumeColumn(Slice(hi), rows);
+    EXPECT_LT(matrix.liveBytes(), live_before);
+    // Consumed keys are no longer served by the matrix.
+    std::string v;
+    EntryType t;
+    EXPECT_FALSE(matrix.get(Slice(makeKey(0)), &v, &t, nullptr));
+}
+
+TEST(MatrixContainerTest, GetPrefersNewestRow)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    MatrixContainer matrix(&nvm, &stats);
+    auto m1 = filledMemTable(0, 10, 1);     // older
+    auto m2 = filledMemTable(0, 10, 1000);  // newer, same keys
+    matrix.addRow(m1.get(), 1);
+    matrix.addRow(m2.get(), 2);
+    std::string v;
+    EntryType t;
+    uint64_t seq;
+    ASSERT_TRUE(matrix.get(Slice(makeKey(5)), &v, &t, &seq));
+    EXPECT_GE(seq, 1000u);
+}
+
+TEST(MatrixContainerTest, PlanEmptyMatrixFails)
+{
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    MatrixContainer matrix(&nvm, &stats);
+    std::string hi;
+    EXPECT_FALSE(matrix.planColumn(matrix.rowsSnapshot(), 1024, &hi));
+}
+
+TEST(MatrixKVTest, PutGetDelete)
+{
+    sim::NvmDevice nvm;
+    sim::NvmMedium medium(&nvm);
+    MatrixKV db(smallOptions(), &nvm, &medium);
+    ASSERT_TRUE(db.put(Slice("a"), Slice("1")).isOk());
+    std::string v;
+    ASSERT_TRUE(db.get(Slice("a"), &v).isOk());
+    EXPECT_EQ(v, "1");
+    db.remove(Slice("a"));
+    EXPECT_TRUE(db.get(Slice("a"), &v).isNotFound());
+    EXPECT_EQ(db.name(), "MatrixKV");
+}
+
+TEST(MatrixKVTest, DataFlowsThroughMatrixIntoLsm)
+{
+    sim::NvmDevice nvm;
+    sim::NvmMedium medium(&nvm);
+    MatrixKV db(smallOptions(), &nvm, &medium);
+
+    std::map<std::string, std::string> model;
+    Random rng(23);
+    for (int i = 0; i < 4000; i++) {
+        std::string k = makeKey(rng.uniform(1200));
+        std::string v = "mx" + std::to_string(i);
+        ASSERT_TRUE(db.put(Slice(k), Slice(v)).isOk());
+        model[k] = v;
+    }
+    db.waitIdle();
+    // Column compactions must have pushed data into L1+.
+    EXPECT_GT(db.stats().compaction_count.load(), 0u);
+    EXPECT_GT(db.lsmTree().versions().totalBytes(), 0u);
+    EXPECT_EQ(db.lsmTree().l0FileCount(), 0);  // matrix replaces L0
+
+    std::string v;
+    for (const auto &[k, expect] : model) {
+        ASSERT_TRUE(db.get(Slice(k), &v).isOk()) << k;
+        EXPECT_EQ(v, expect) << k;
+    }
+}
+
+TEST(MatrixKVTest, ScanAcrossMatrixAndLsm)
+{
+    sim::NvmDevice nvm;
+    sim::NvmMedium medium(&nvm);
+    MatrixKV db(smallOptions(), &nvm, &medium);
+    for (int i = 0; i < 2000; i++)
+        db.put(Slice(makeKey(i)), Slice("v" + std::to_string(i)));
+    db.waitIdle();
+
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(db.scan(Slice(makeKey(995)), 10, &out).isOk());
+    ASSERT_EQ(out.size(), 10u);
+    for (int i = 0; i < 10; i++) {
+        EXPECT_EQ(out[i].first, makeKey(995 + i));
+        EXPECT_EQ(out[i].second, "v" + std::to_string(995 + i));
+    }
+}
+
+TEST(MatrixKVTest, TombstonesAcrossTheStack)
+{
+    sim::NvmDevice nvm;
+    sim::NvmMedium medium(&nvm);
+    MatrixKV db(smallOptions(), &nvm, &medium);
+    for (int i = 0; i < 500; i++)
+        db.put(Slice(makeKey(i)), Slice("doomed-doomed"));
+    db.waitIdle();
+    for (int i = 0; i < 500; i += 5)
+        db.remove(Slice(makeKey(i)));
+    for (int i = 1000; i < 2000; i++)
+        db.put(Slice(makeKey(i)), Slice("filler-filler"));
+    db.waitIdle();
+
+    std::string v;
+    for (int i = 0; i < 500; i += 5)
+        EXPECT_TRUE(db.get(Slice(makeKey(i)), &v).isNotFound()) << i;
+    for (int i = 1; i < 500; i += 5)
+        EXPECT_TRUE(db.get(Slice(makeKey(i)), &v).isOk()) << i;
+}
+
+TEST(MatrixKVTest, WritePressureThrottles)
+{
+    sim::NvmDevice nvm;
+    sim::NvmMedium medium(&nvm);
+    MatrixkvOptions o = smallOptions();
+    o.matrix_capacity = 16 << 10;  // tiny: fills immediately
+    MatrixKV db(o, &nvm, &medium);
+    std::string value(512, 'm');
+    for (int i = 0; i < 500; i++)
+        db.put(Slice(makeKey(i)), Slice(value));
+    db.waitIdle();
+    EXPECT_GT(db.stats().cumulative_stall_ns.load(), 0u);
+}
+
+} // namespace
+} // namespace mio::matrixkv

@@ -1,0 +1,167 @@
+/** @file Unit tests for MemTable and the iterator adapters. */
+#include <gtest/gtest.h>
+
+#include "lsm/iterator.h"
+#include "lsm/memtable.h"
+#include "lsm/merging_iterator.h"
+#include "util/random.h"
+
+namespace mio::lsm {
+namespace {
+
+TEST(MemTableTest, AddGet)
+{
+    MemTable mem(1 << 16);
+    ASSERT_TRUE(mem.add(Slice("k"), 1, EntryType::kValue, Slice("v")));
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(mem.get(Slice("k"), &v, &t));
+    EXPECT_EQ(v, "v");
+    EXPECT_EQ(mem.entryCount(), 1u);
+    EXPECT_GT(mem.memoryUsed(), 0u);
+}
+
+TEST(MemTableTest, TracksMinMaxKeys)
+{
+    MemTable mem(1 << 16);
+    mem.add(Slice("mmm"), 1, EntryType::kValue, Slice("1"));
+    mem.add(Slice("aaa"), 2, EntryType::kValue, Slice("2"));
+    mem.add(Slice("zzz"), 3, EntryType::kValue, Slice("3"));
+    EXPECT_EQ(mem.minKey(), "aaa");
+    EXPECT_EQ(mem.maxKey(), "zzz");
+}
+
+TEST(MemTableTest, FullReturnsFalse)
+{
+    MemTable mem(1024);
+    bool full = false;
+    for (int i = 0; i < 100 && !full; i++)
+        full = !mem.add(Slice(makeKey(i)), i + 1, EntryType::kValue,
+                        Slice("0123456789abcdef"));
+    EXPECT_TRUE(full);
+}
+
+TEST(MemTableTest, NvmVariantChargesDevice)
+{
+    sim::NvmDevice nvm;
+    MemTable mem(1 << 16, &nvm);
+    EXPECT_TRUE(mem.isNvm());
+    mem.add(Slice("k"), 1, EntryType::kValue, Slice("v"));
+    EXPECT_GT(nvm.meters().bytes_written, 0u);
+}
+
+TEST(SkipListIteratorTest, ProducesInternalKeys)
+{
+    MemTable mem(1 << 16);
+    mem.add(Slice("a"), 1, EntryType::kValue, Slice("1"));
+    mem.add(Slice("b"), 2, EntryType::kDeletion, Slice());
+
+    SkipListIterator it(&mem.list());
+    it.seekToFirst();
+    ASSERT_TRUE(it.valid());
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(parseInternalKey(it.key(), &parsed));
+    EXPECT_EQ(parsed.user_key.toString(), "a");
+    EXPECT_EQ(parsed.seq, 1u);
+    it.next();
+    ASSERT_TRUE(parseInternalKey(it.key(), &parsed));
+    EXPECT_EQ(parsed.type, EntryType::kDeletion);
+    it.next();
+    EXPECT_FALSE(it.valid());
+}
+
+TEST(SkipListIteratorTest, SeekRespectsSeqOrder)
+{
+    MemTable mem(1 << 16);
+    mem.add(Slice("k"), 5, EntryType::kValue, Slice("v5"));
+    mem.add(Slice("k"), 9, EntryType::kValue, Slice("v9"));
+
+    SkipListIterator it(&mem.list());
+    // Lookup key with max seq positions at the newest version.
+    it.seek(Slice(makeLookupKey(Slice("k"))));
+    ASSERT_TRUE(it.valid());
+    ParsedInternalKey parsed;
+    parseInternalKey(it.key(), &parsed);
+    EXPECT_EQ(parsed.seq, 9u);
+    // Seek to (k, seq 7) must land on the seq-5 version.
+    std::string target;
+    appendInternalKey(&target, Slice("k"), 7, EntryType::kValue);
+    it.seek(Slice(target));
+    ASSERT_TRUE(it.valid());
+    parseInternalKey(it.key(), &parsed);
+    EXPECT_EQ(parsed.seq, 5u);
+}
+
+TEST(MergingIteratorTest, MergesSortedStreams)
+{
+    MemTable a(1 << 16), b(1 << 16);
+    for (int i = 0; i < 10; i += 2)
+        a.add(Slice(makeKey(i)), i + 1, EntryType::kValue, Slice("a"));
+    for (int i = 1; i < 10; i += 2)
+        b.add(Slice(makeKey(i)), i + 1, EntryType::kValue, Slice("b"));
+
+    std::vector<std::unique_ptr<KVIterator>> children;
+    children.push_back(std::make_unique<SkipListIterator>(&a.list()));
+    children.push_back(std::make_unique<SkipListIterator>(&b.list()));
+    MergingIterator merged(std::move(children));
+
+    int i = 0;
+    for (merged.seekToFirst(); merged.valid(); merged.next(), i++)
+        EXPECT_EQ(extractUserKey(merged.key()).toString(), makeKey(i));
+    EXPECT_EQ(i, 10);
+}
+
+TEST(MergingIteratorTest, SameKeyNewestSeqFirst)
+{
+    MemTable a(1 << 16), b(1 << 16);
+    a.add(Slice("k"), 9, EntryType::kValue, Slice("new"));
+    b.add(Slice("k"), 3, EntryType::kValue, Slice("old"));
+
+    std::vector<std::unique_ptr<KVIterator>> children;
+    children.push_back(std::make_unique<SkipListIterator>(&b.list()));
+    children.push_back(std::make_unique<SkipListIterator>(&a.list()));
+    MergingIterator merged(std::move(children));
+    merged.seekToFirst();
+    ASSERT_TRUE(merged.valid());
+    EXPECT_EQ(merged.value().toString(), "new");
+    merged.next();
+    ASSERT_TRUE(merged.valid());
+    EXPECT_EQ(merged.value().toString(), "old");
+}
+
+TEST(DedupingIteratorTest, NewestVersionOnlyAndTombstonesHidden)
+{
+    MemTable mem(1 << 16);
+    mem.add(Slice("a"), 1, EntryType::kValue, Slice("a1"));
+    mem.add(Slice("a"), 5, EntryType::kValue, Slice("a5"));
+    mem.add(Slice("b"), 2, EntryType::kValue, Slice("b2"));
+    mem.add(Slice("b"), 6, EntryType::kDeletion, Slice());
+    mem.add(Slice("c"), 3, EntryType::kValue, Slice("c3"));
+
+    DedupingIterator it(
+        std::make_unique<SkipListIterator>(&mem.list()));
+    it.seekToFirst();
+    ASSERT_TRUE(it.valid());
+    EXPECT_EQ(it.key().toString(), "a");
+    EXPECT_EQ(it.value().toString(), "a5");
+    it.next();
+    ASSERT_TRUE(it.valid());
+    EXPECT_EQ(it.key().toString(), "c");  // b is deleted
+    it.next();
+    EXPECT_FALSE(it.valid());
+}
+
+TEST(DedupingIteratorTest, SeekSkipsDeletedRange)
+{
+    MemTable mem(1 << 16);
+    mem.add(Slice("a"), 1, EntryType::kDeletion, Slice());
+    mem.add(Slice("b"), 2, EntryType::kValue, Slice("bv"));
+    DedupingIterator it(
+        std::make_unique<SkipListIterator>(&mem.list()));
+    it.seek(Slice("a"));
+    ASSERT_TRUE(it.valid());
+    EXPECT_EQ(it.key().toString(), "b");
+}
+
+} // namespace
+} // namespace mio::lsm

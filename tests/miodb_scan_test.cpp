@@ -1,0 +1,160 @@
+/** @file Scan-focused tests: range queries spanning the MemTable, the
+ *  elastic buffer's levels, in-flight merges, and the repository. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "miodb/miodb.h"
+#include "util/random.h"
+
+namespace mio::miodb {
+namespace {
+
+MioOptions
+smallOptions()
+{
+    MioOptions o;
+    o.memtable_size = 16 << 10;
+    o.elastic_levels = 3;
+    return o;
+}
+
+TEST(MioDBScanTest, SpansAllTiers)
+{
+    sim::NvmDevice nvm;
+    MioDB db(smallOptions(), &nvm);
+    std::map<std::string, std::string> model;
+    // Old data -> pushed deep (repo); recent data -> memtable/buffer.
+    for (int i = 0; i < 3000; i++) {
+        std::string k = makeKey(i);
+        std::string v = "deep-" + std::to_string(i);
+        db.put(k, v);
+        model[k] = v;
+    }
+    db.waitIdle();
+    for (int i = 1500; i < 1600; i++) {
+        std::string k = makeKey(i);
+        std::string v = "fresh-" + std::to_string(i);
+        db.put(k, v);
+        model[k] = v;
+    }
+
+    // Window straddling fresh and deep data.
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(db.scan(makeKey(1590), 20, &out).isOk());
+    ASSERT_EQ(out.size(), 20u);
+    auto it = model.lower_bound(makeKey(1590));
+    for (const auto &[k, v] : out) {
+        ASSERT_NE(it, model.end());
+        EXPECT_EQ(k, it->first);
+        EXPECT_EQ(v, it->second);
+        ++it;
+    }
+}
+
+TEST(MioDBScanTest, ZeroCountAndEmptyStore)
+{
+    sim::NvmDevice nvm;
+    MioDB db(smallOptions(), &nvm);
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(db.scan(Slice("a"), 0, &out).isOk());
+    EXPECT_TRUE(out.empty());
+    ASSERT_TRUE(db.scan(Slice("a"), 10, &out).isOk());
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(MioDBScanTest, StartBeforeFirstKey)
+{
+    sim::NvmDevice nvm;
+    MioDB db(smallOptions(), &nvm);
+    db.put(Slice("m"), Slice("1"));
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(db.scan(Slice("a"), 5, &out).isOk());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first, "m");
+}
+
+TEST(MioDBScanTest, UpdatesVisibleOverDeepVersions)
+{
+    sim::NvmDevice nvm;
+    MioDB db(smallOptions(), &nvm);
+    for (int round = 0; round < 4; round++) {
+        for (int i = 0; i < 600; i++) {
+            db.put(makeKey(i), "r" + std::to_string(round));
+        }
+        if (round < 3)
+            db.waitIdle();  // push older rounds deep
+    }
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(db.scan(makeKey(100), 50, &out).isOk());
+    ASSERT_EQ(out.size(), 50u);
+    for (const auto &[k, v] : out)
+        EXPECT_EQ(v, "r3") << k;
+}
+
+TEST(MioDBScanTest, TombstonesHideAcrossTiers)
+{
+    sim::NvmDevice nvm;
+    MioDB db(smallOptions(), &nvm);
+    for (int i = 0; i < 1000; i++)
+        db.put(makeKey(i), "valval");
+    db.waitIdle();  // values now deep
+    for (int i = 0; i < 1000; i += 2)
+        db.remove(makeKey(i));  // tombstones shallow
+
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(db.scan(makeKey(0), 100, &out).isOk());
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t j = 0; j < out.size(); j++)
+        EXPECT_EQ(out[j].first, makeKey(1 + 2 * j));  // odd keys only
+}
+
+TEST(MioDBScanTest, LongScanMatchesModelExactly)
+{
+    sim::NvmDevice nvm;
+    MioDB db(smallOptions(), &nvm);
+    std::map<std::string, std::string> model;
+    Random rng(31);
+    for (int i = 0; i < 5000; i++) {
+        std::string k = makeKey(rng.uniform(2000));
+        if (rng.uniform(10) < 8) {
+            std::string v = "s" + std::to_string(i);
+            db.put(k, v);
+            model[k] = v;
+        } else {
+            db.remove(k);
+            model.erase(k);
+        }
+    }
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(db.scan(makeKey(0), 100000, &out).isOk());
+    ASSERT_EQ(out.size(), model.size());
+    auto it = model.begin();
+    for (const auto &[k, v] : out) {
+        EXPECT_EQ(k, it->first);
+        EXPECT_EQ(v, it->second);
+        ++it;
+    }
+}
+
+TEST(MioDBScanTest, LargeValuesRoundTrip)
+{
+    sim::NvmDevice nvm;
+    MioOptions o;
+    o.memtable_size = 1 << 20;
+    o.elastic_levels = 2;
+    MioDB db(o, &nvm);
+    std::string big(64 << 10, 'B');
+    for (int i = 0; i < 40; i++)
+        db.put(makeKey(i), big + std::to_string(i));
+    db.waitIdle();
+    std::string v;
+    for (int i = 0; i < 40; i++) {
+        ASSERT_TRUE(db.get(makeKey(i), &v).isOk()) << i;
+        EXPECT_EQ(v.size(), big.size() + std::to_string(i).size());
+        EXPECT_EQ(v.substr(big.size()), std::to_string(i));
+    }
+}
+
+} // namespace
+} // namespace mio::miodb

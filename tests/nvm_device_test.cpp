@@ -1,0 +1,102 @@
+/** @file Unit tests for the NVM device model. */
+#include <gtest/gtest.h>
+
+#include "sim/nvm_device.h"
+#include "util/clock.h"
+
+namespace mio::sim {
+namespace {
+
+TEST(NvmDeviceTest, AllocateTracksMeters)
+{
+    NvmDevice dev;
+    char *a = dev.allocateRegion(1000);
+    char *b = dev.allocateRegion(500);
+    auto m = dev.meters();
+    EXPECT_EQ(m.bytes_allocated, 1500u);
+    EXPECT_EQ(m.peak_allocated, 1500u);
+    EXPECT_EQ(m.total_allocated, 1500u);
+    dev.freeRegion(a);
+    m = dev.meters();
+    EXPECT_EQ(m.bytes_allocated, 500u);
+    EXPECT_EQ(m.peak_allocated, 1500u);  // peak sticks
+    dev.freeRegion(b);
+}
+
+TEST(NvmDeviceTest, WriteCopiesAndMeters)
+{
+    NvmDevice dev;
+    char *r = dev.allocateRegion(64);
+    const char src[] = "0123456789";
+    dev.write(r, src, 10);
+    EXPECT_EQ(memcmp(r, src, 10), 0);
+    EXPECT_EQ(dev.meters().bytes_written, 10u);
+    dev.freeRegion(r);
+}
+
+TEST(NvmDeviceTest, ChargeReadAndPersistCounted)
+{
+    NvmDevice dev;
+    dev.chargeRead(100);
+    dev.persist(nullptr, 0);
+    dev.persist(nullptr, 0);
+    auto m = dev.meters();
+    EXPECT_EQ(m.bytes_read, 100u);
+    EXPECT_EQ(m.persist_ops, 2u);
+}
+
+TEST(NvmDeviceTest, ResetTrafficKeepsAllocation)
+{
+    NvmDevice dev;
+    char *r = dev.allocateRegion(10);
+    dev.chargeWrite(5);
+    dev.resetTrafficMeters();
+    auto m = dev.meters();
+    EXPECT_EQ(m.bytes_written, 0u);
+    EXPECT_EQ(m.bytes_allocated, 10u);
+    dev.freeRegion(r);
+}
+
+TEST(NvmDeviceTest, PerfModelInjectsTime)
+{
+    MemoryPerfModel model;
+    model.write_ns_per_byte = 50.0;  // exaggerated for test stability
+    NvmDevice dev(model);
+    char *r = dev.allocateRegion(1 << 20);
+    std::string data(1 << 20, 'x');
+
+    Stopwatch sw;
+    dev.write(r, data.data(), data.size());
+    // 1 MiB * 50 ns/B = ~52 ms expected; allow generous slack.
+    EXPECT_GT(sw.elapsedNanos(), 20'000'000u);
+    dev.freeRegion(r);
+}
+
+TEST(NvmDeviceTest, ZeroCostModelIsFast)
+{
+    NvmDevice dev;  // none() model
+    char *r = dev.allocateRegion(1 << 20);
+    std::string data(1 << 20, 'x');
+    Stopwatch sw;
+    dev.write(r, data.data(), data.size());
+    EXPECT_LT(sw.elapsedNanos(), 100'000'000u);
+    dev.freeRegion(r);
+}
+
+TEST(NvmDeviceTest, OptaneDefaultModelsBandwidthAsymmetry)
+{
+    auto m = MemoryPerfModel::optaneDefault();
+    EXPECT_GT(m.write_ns_per_byte, m.read_ns_per_byte);
+}
+
+TEST(NvmDeviceTest, DoubleFreeIsIgnored)
+{
+    NvmDevice dev;
+    char *r = dev.allocateRegion(10);
+    dev.freeRegion(r);
+    dev.freeRegion(r);  // second free must be a no-op
+    EXPECT_EQ(dev.meters().bytes_allocated, 0u);
+}
+
+} // namespace
+} // namespace mio::sim

@@ -1,0 +1,194 @@
+/** @file Property-based tests: random operation sequences against a
+ *  std::map reference model, parameterized over store configurations
+ *  (TEST_P sweeps per the repo testing strategy). */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "matrixkv/matrixkv.h"
+#include "miodb/miodb.h"
+#include "novelsm/novelsm.h"
+#include "util/random.h"
+
+namespace mio {
+namespace {
+
+/** Reference model: last-writer-wins map of live keys. */
+class ReferenceModel
+{
+  public:
+    void put(const std::string &k, const std::string &v) { map_[k] = v; }
+    void remove(const std::string &k) { map_.erase(k); }
+    const std::map<std::string, std::string> &map() const { return map_; }
+
+  private:
+    std::map<std::string, std::string> map_;
+};
+
+struct StoreUnderTest {
+    std::unique_ptr<sim::NvmDevice> nvm;
+    std::unique_ptr<sim::StorageMedium> medium;
+    std::unique_ptr<KVStore> store;
+};
+
+StoreUnderTest
+makeStore(const std::string &kind, size_t memtable_size)
+{
+    StoreUnderTest s;
+    s.nvm = std::make_unique<sim::NvmDevice>();
+    s.medium = std::make_unique<sim::NvmMedium>(s.nvm.get());
+    if (kind == "miodb") {
+        miodb::MioOptions o;
+        o.memtable_size = memtable_size;
+        o.elastic_levels = 3;
+        s.store = std::make_unique<miodb::MioDB>(o, s.nvm.get());
+    } else if (kind == "miodb-noparallel") {
+        miodb::MioOptions o;
+        o.memtable_size = memtable_size;
+        o.elastic_levels = 3;
+        o.parallel_compaction = false;
+        s.store = std::make_unique<miodb::MioDB>(o, s.nvm.get());
+    } else if (kind == "miodb-copying") {
+        miodb::MioOptions o;
+        o.memtable_size = memtable_size;
+        o.elastic_levels = 3;
+        o.zero_copy_merge = false;
+        s.store = std::make_unique<miodb::MioDB>(o, s.nvm.get());
+    } else if (kind == "miodb-nodebynode") {
+        miodb::MioOptions o;
+        o.memtable_size = memtable_size;
+        o.elastic_levels = 3;
+        o.one_piece_flush = false;
+        s.store = std::make_unique<miodb::MioDB>(o, s.nvm.get());
+    } else if (kind == "matrixkv") {
+        matrixkv::MatrixkvOptions o;
+        o.memtable_size = memtable_size;
+        o.matrix_capacity = memtable_size * 8;
+        o.column_budget = memtable_size * 2;
+        o.lsm.sstable_target_size = memtable_size;
+        o.lsm.level1_max_bytes = memtable_size * 8;
+        o.slowdown_ns = 1000;
+        s.store = std::make_unique<matrixkv::MatrixKV>(o, s.nvm.get(),
+                                                       s.medium.get());
+    } else if (kind == "novelsm") {
+        novelsm::NovelsmOptions o;
+        o.variant = novelsm::Variant::kFlat;
+        o.nvm_memtable_size = memtable_size * 4;
+        o.lsm.sstable_target_size = memtable_size;
+        o.lsm.level1_max_bytes = memtable_size * 8;
+        o.slowdown_ns = 1000;
+        s.store = std::make_unique<novelsm::NoveLSM>(o, s.nvm.get(),
+                                                     s.medium.get());
+    } else if (kind == "novelsm-nosst") {
+        novelsm::NovelsmOptions o;
+        o.variant = novelsm::Variant::kNoSST;
+        s.store = std::make_unique<novelsm::NoveLSM>(o, s.nvm.get(),
+                                                     s.medium.get());
+    }
+    return s;
+}
+
+struct PropertyParam {
+    std::string kind;
+    size_t memtable_size;
+    size_t value_size;
+    uint64_t seed;
+};
+
+class StorePropertyTest
+    : public ::testing::TestWithParam<PropertyParam>
+{
+};
+
+TEST_P(StorePropertyTest, RandomOpsMatchReferenceModel)
+{
+    const auto &p = GetParam();
+    auto sut = makeStore(p.kind, p.memtable_size);
+    ReferenceModel model;
+    Random rng(p.seed);
+    std::string value_pad(p.value_size, 'p');
+
+    const int kOps = 3000;
+    const int kKeySpace = 400;
+    for (int i = 0; i < kOps; i++) {
+        std::string k = makeKey(rng.uniform(kKeySpace));
+        uint64_t dice = rng.uniform(100);
+        if (dice < 70) {
+            std::string v = std::to_string(i) + ":" + value_pad;
+            ASSERT_TRUE(sut.store->put(Slice(k), Slice(v)).isOk());
+            model.put(k, v);
+        } else if (dice < 85) {
+            ASSERT_TRUE(sut.store->remove(Slice(k)).isOk());
+            model.remove(k);
+        } else {
+            std::string v;
+            Status s = sut.store->get(Slice(k), &v);
+            auto it = model.map().find(k);
+            if (it == model.map().end()) {
+                EXPECT_TRUE(s.isNotFound()) << "op " << i << " " << k;
+            } else {
+                ASSERT_TRUE(s.isOk()) << "op " << i << " " << k;
+                EXPECT_EQ(v, it->second) << "op " << i;
+            }
+        }
+    }
+
+    // Final sweep, both mid-churn and after draining.
+    for (int phase = 0; phase < 2; phase++) {
+        if (phase == 1)
+            sut.store->waitIdle();
+        for (int key = 0; key < kKeySpace; key++) {
+            std::string k = makeKey(key);
+            std::string v;
+            Status s = sut.store->get(Slice(k), &v);
+            auto it = model.map().find(k);
+            if (it == model.map().end()) {
+                EXPECT_TRUE(s.isNotFound())
+                    << "phase " << phase << " " << k;
+            } else {
+                ASSERT_TRUE(s.isOk()) << "phase " << phase << " " << k;
+                EXPECT_EQ(v, it->second) << k;
+            }
+        }
+    }
+
+    // Scans agree with the model over a random window.
+    std::vector<std::pair<std::string, std::string>> out;
+    std::string start = makeKey(rng.uniform(kKeySpace));
+    ASSERT_TRUE(sut.store->scan(Slice(start), 25, &out).isOk());
+    auto mit = model.map().lower_bound(start);
+    for (const auto &[k, v] : out) {
+        ASSERT_NE(mit, model.map().end());
+        EXPECT_EQ(k, mit->first);
+        EXPECT_EQ(v, mit->second);
+        ++mit;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, StorePropertyTest,
+    ::testing::Values(
+        PropertyParam{"miodb", 8 << 10, 64, 1},
+        PropertyParam{"miodb", 32 << 10, 256, 2},
+        PropertyParam{"miodb-noparallel", 8 << 10, 64, 3},
+        PropertyParam{"miodb-copying", 8 << 10, 64, 4},
+        PropertyParam{"miodb-nodebynode", 8 << 10, 64, 5},
+        PropertyParam{"matrixkv", 8 << 10, 64, 6},
+        PropertyParam{"matrixkv", 16 << 10, 256, 7},
+        PropertyParam{"novelsm", 8 << 10, 64, 8},
+        PropertyParam{"novelsm-nosst", 8 << 10, 64, 9}),
+    [](const auto &info) {
+        std::string name = info.param.kind + "_m" +
+                           std::to_string(info.param.memtable_size) +
+                           "_v" +
+                           std::to_string(info.param.value_size);
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace mio

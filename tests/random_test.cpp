@@ -1,0 +1,145 @@
+/** @file Unit tests for the PRNG and request-distribution generators. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+#include "util/zipfian.h"
+
+namespace mio {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed)
+{
+    Random a(7), b(7), c(8);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(RandomTest, UniformInRange)
+{
+    Random r(1);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(r.uniform(17), 17u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval)
+{
+    Random r(2);
+    for (int i = 0; i < 10000; i++) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RandomTest, UniformCoversRange)
+{
+    Random r(3);
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < 10000; i++)
+        counts[r.uniform(10)]++;
+    EXPECT_EQ(counts.size(), 10u);
+    for (const auto &[v, c] : counts)
+        EXPECT_GT(c, 500);  // roughly uniform
+}
+
+TEST(RandomTest, FillStringPrintable)
+{
+    Random r(4);
+    std::string s;
+    r.fillString(&s, 256);
+    EXPECT_EQ(s.size(), 256u);
+    for (char c : s) {
+        EXPECT_GE(c, ' ');
+        EXPECT_LE(c, '~');
+    }
+}
+
+TEST(RandomTest, MakeKeyIsFixedWidthSorted)
+{
+    EXPECT_EQ(makeKey(0), "0000000000000000");
+    EXPECT_EQ(makeKey(42).size(), 16u);
+    EXPECT_LT(makeKey(9), makeKey(10));  // byte order == numeric order
+    EXPECT_LT(makeKey(99), makeKey(100));
+}
+
+TEST(ZipfianTest, SkewConcentratesOnHotItems)
+{
+    ZipfianGenerator gen(1000, 0.99, 11);
+    std::map<uint64_t, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        counts[gen.next()]++;
+    // Item 0 must be by far the most popular; top-10 items should
+    // capture a large fraction of draws under 0.99 skew.
+    int top10 = 0;
+    for (uint64_t k = 0; k < 10; k++)
+        top10 += counts.count(k) ? counts[k] : 0;
+    EXPECT_GT(counts[0], n / 20);
+    EXPECT_GT(top10, n / 3);
+}
+
+TEST(ZipfianTest, AllDrawsInRange)
+{
+    ZipfianGenerator gen(50, 0.99, 5);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(gen.next(), 50u);
+}
+
+TEST(ZipfianTest, GrowExtendsRange)
+{
+    ZipfianGenerator gen(10, 0.99, 5);
+    gen.grow(1000);
+    EXPECT_EQ(gen.itemCount(), 1000u);
+    bool saw_large = false;
+    for (int i = 0; i < 100000 && !saw_large; i++)
+        saw_large = gen.next() >= 10;
+    EXPECT_TRUE(saw_large);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotSetAcrossKeySpace)
+{
+    ScrambledZipfianGenerator gen(1000, 0.99, 13);
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < 100000; i++)
+        counts[gen.next()]++;
+    // The hottest item should NOT be item 0 with high probability
+    // (hash-scattered), and draws stay in range.
+    uint64_t hottest = 0;
+    int hottest_count = 0;
+    for (const auto &[k, c] : counts) {
+        EXPECT_LT(k, 1000u);
+        if (c > hottest_count) {
+            hottest = k;
+            hottest_count = c;
+        }
+    }
+    EXPECT_GT(hottest_count, 1000);
+    (void)hottest;
+}
+
+TEST(LatestTest, FavorsNewestItems)
+{
+    LatestGenerator gen(1000, 0.99, 17);
+    int newest_half = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; i++) {
+        if (gen.next() >= 500)
+            newest_half++;
+    }
+    EXPECT_GT(newest_half, n * 3 / 4);
+}
+
+TEST(LatestTest, GrowShiftsHotSpot)
+{
+    LatestGenerator gen(100, 0.99, 19);
+    gen.grow(200);
+    bool saw_new = false;
+    for (int i = 0; i < 1000 && !saw_new; i++)
+        saw_new = gen.next() >= 100;
+    EXPECT_TRUE(saw_new);
+}
+
+} // namespace
+} // namespace mio

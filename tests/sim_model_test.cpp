@@ -1,0 +1,82 @@
+/** @file Tests for the simulation time model: random-read charging,
+ *  background-thread accounting, and descent-depth estimation. */
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/nvm_device.h"
+#include "util/clock.h"
+
+namespace mio::sim {
+namespace {
+
+TEST(SimModelTest, SkipDescentDepthIsLogarithmic)
+{
+    EXPECT_EQ(skipDescentDepth(0), 1);
+    EXPECT_EQ(skipDescentDepth(1), 1);
+    EXPECT_EQ(skipDescentDepth(2), 2);
+    EXPECT_EQ(skipDescentDepth(1024), 11);
+    EXPECT_EQ(skipDescentDepth(1u << 20), 21);
+}
+
+TEST(SimModelTest, ChargeRandomReadsMetersBytes)
+{
+    NvmDevice dev;  // zero-cost model: metering only
+    dev.chargeRandomReads(10, 64);
+    EXPECT_EQ(dev.meters().bytes_read, 640u);
+    dev.chargeRandomReads(0);
+    dev.chargeRandomReads(-3);
+    EXPECT_EQ(dev.meters().bytes_read, 640u);
+}
+
+TEST(SimModelTest, RandomReadsPayPerAccessLatency)
+{
+    MemoryPerfModel model;
+    model.read_latency_ns = 100000;  // 100 us each, exaggerated
+    NvmDevice dev(model);
+    Stopwatch sw;
+    dev.chargeRandomReads(50, 64);  // 5 ms expected
+    EXPECT_GT(sw.elapsedNanos(), 3'000'000u);
+}
+
+TEST(SimModelTest, BackgroundThreadsYieldInsteadOfSpin)
+{
+    // Charged time on a marked thread must elapse (roughly) without
+    // burning comparable CPU; we verify wall time only, plus that the
+    // marking is per-thread.
+    EXPECT_FALSE(simThreadIsBackground());
+    MemoryPerfModel model;
+    model.write_ns_per_byte = 1.0;
+    NvmDevice dev(model);
+
+    std::thread bg([&] {
+        markSimBackgroundThread();
+        EXPECT_TRUE(simThreadIsBackground());
+        Stopwatch sw;
+        dev.chargeWrite(5'000'000);  // 5 ms of modelled time
+        EXPECT_GT(sw.elapsedNanos(), 3'000'000u);
+    });
+    bg.join();
+    // The marking does not leak into this thread.
+    EXPECT_FALSE(simThreadIsBackground());
+}
+
+TEST(SimModelTest, ForegroundChargePaysPromptly)
+{
+    MemoryPerfModel model;
+    model.write_ns_per_byte = 1.0;  // 1 ms per MB
+    NvmDevice dev(model);
+    Stopwatch sw;
+    dev.chargeWrite(2'000'000);
+    EXPECT_GT(sw.elapsedNanos(), 1'000'000u);
+}
+
+TEST(SimModelTest, PaySimDelayZeroIsNoOp)
+{
+    Stopwatch sw;
+    paySimDelay(0);
+    EXPECT_LT(sw.elapsedNanos(), 1'000'000u);
+}
+
+} // namespace
+} // namespace mio::sim

@@ -1,0 +1,258 @@
+/** @file Unit and property tests for the arena-based skip list. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/arena.h"
+#include "skiplist/skiplist.h"
+#include "util/random.h"
+
+namespace mio {
+namespace {
+
+TEST(SkipListTest, EmptyList)
+{
+    Arena arena(1 << 16);
+    SkipList list(&arena);
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.entryCount(), 0u);
+    std::string v;
+    EntryType t;
+    EXPECT_FALSE(list.get(Slice("k"), &v, &t));
+}
+
+TEST(SkipListTest, InsertAndGet)
+{
+    Arena arena(1 << 16);
+    SkipList list(&arena);
+    ASSERT_TRUE(list.insert(Slice("key1"), 1, EntryType::kValue,
+                            Slice("val1")));
+    std::string v;
+    EntryType t;
+    uint64_t seq;
+    ASSERT_TRUE(list.get(Slice("key1"), &v, &t, &seq));
+    EXPECT_EQ(v, "val1");
+    EXPECT_EQ(t, EntryType::kValue);
+    EXPECT_EQ(seq, 1u);
+    EXPECT_FALSE(list.get(Slice("key2"), &v, &t));
+}
+
+TEST(SkipListTest, NewerVersionShadowsOlder)
+{
+    Arena arena(1 << 16);
+    SkipList list(&arena);
+    list.insert(Slice("k"), 1, EntryType::kValue, Slice("old"));
+    list.insert(Slice("k"), 5, EntryType::kValue, Slice("new"));
+    std::string v;
+    EntryType t;
+    uint64_t seq;
+    ASSERT_TRUE(list.get(Slice("k"), &v, &t, &seq));
+    EXPECT_EQ(v, "new");
+    EXPECT_EQ(seq, 5u);
+    EXPECT_EQ(list.entryCount(), 2u);  // both versions retained
+}
+
+TEST(SkipListTest, TombstoneVisible)
+{
+    Arena arena(1 << 16);
+    SkipList list(&arena);
+    list.insert(Slice("k"), 1, EntryType::kValue, Slice("v"));
+    list.insert(Slice("k"), 2, EntryType::kDeletion, Slice());
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(list.get(Slice("k"), &v, &t));
+    EXPECT_EQ(t, EntryType::kDeletion);
+}
+
+TEST(SkipListTest, ReturnsFalseWhenArenaFull)
+{
+    Arena arena(512);
+    SkipList list(&arena);
+    bool inserted_any = false;
+    bool hit_full = false;
+    for (int i = 0; i < 100; i++) {
+        if (list.insert(Slice(makeKey(i)), i + 1, EntryType::kValue,
+                        Slice("0123456789"))) {
+            inserted_any = true;
+        } else {
+            hit_full = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(inserted_any);
+    EXPECT_TRUE(hit_full);
+}
+
+TEST(SkipListTest, IteratorYieldsSortedOrder)
+{
+    Arena arena(1 << 18);
+    SkipList list(&arena);
+    Random rng(99);
+    std::map<std::string, std::string> model;
+    for (int i = 0; i < 500; i++) {
+        std::string key = makeKey(rng.uniform(10000));
+        std::string value = "v" + std::to_string(i);
+        if (list.insert(Slice(key), i + 1, EntryType::kValue,
+                        Slice(value))) {
+            model[key] = value;  // later seq wins
+        }
+    }
+    SkipList::Iterator it(&list);
+    std::string prev_key;
+    uint64_t prev_seq = 0;
+    bool first = true;
+    size_t count = 0;
+    for (it.seekToFirst(); it.valid(); it.next()) {
+        std::string key = it.key().toString();
+        if (!first) {
+            // (key asc, seq desc)
+            if (key == prev_key)
+                EXPECT_LT(it.seq(), prev_seq);
+            else
+                EXPECT_GT(key, prev_key);
+        }
+        prev_key = key;
+        prev_seq = it.seq();
+        first = false;
+        count++;
+    }
+    EXPECT_EQ(count, list.entryCount());
+    // The newest version per key matches the model.
+    for (const auto &[key, value] : model) {
+        std::string v;
+        EntryType t;
+        ASSERT_TRUE(list.get(Slice(key), &v, &t)) << key;
+        EXPECT_EQ(v, value);
+    }
+}
+
+TEST(SkipListTest, SeekPositionsAtFirstGreaterOrEqual)
+{
+    Arena arena(1 << 16);
+    SkipList list(&arena);
+    list.insert(Slice("b"), 1, EntryType::kValue, Slice("1"));
+    list.insert(Slice("d"), 2, EntryType::kValue, Slice("2"));
+    SkipList::Iterator it(&list);
+    it.seek(Slice("c"));
+    ASSERT_TRUE(it.valid());
+    EXPECT_EQ(it.key().toString(), "d");
+    it.seek(Slice("b"));
+    ASSERT_TRUE(it.valid());
+    EXPECT_EQ(it.key().toString(), "b");
+    it.seek(Slice("e"));
+    EXPECT_FALSE(it.valid());
+}
+
+TEST(SkipListTest, UnlinkFirstRemovesHead)
+{
+    Arena arena(1 << 16);
+    SkipList list(&arena);
+    list.insert(Slice("a"), 1, EntryType::kValue, Slice("1"));
+    list.insert(Slice("b"), 2, EntryType::kValue, Slice("2"));
+    SkipList::Node *n = list.unlinkFirst();
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->key().toString(), "a");
+    EXPECT_EQ(list.entryCount(), 1u);
+    std::string v;
+    EntryType t;
+    EXPECT_FALSE(list.get(Slice("a"), &v, &t));
+    EXPECT_TRUE(list.get(Slice("b"), &v, &t));
+    EXPECT_EQ(list.unlinkFirst()->key().toString(), "b");
+    EXPECT_EQ(list.unlinkFirst(), nullptr);
+}
+
+TEST(SkipListTest, RelocateFixesAllPointers)
+{
+    // Build a list in one arena, memcpy its image, fix pointers, and
+    // verify the clone behaves identically -- the one-piece-flush core.
+    const size_t cap = 1 << 17;
+    Arena arena(cap);
+    SkipList list(&arena);
+    Random rng(5);
+    for (int i = 0; i < 300; i++) {
+        ASSERT_TRUE(list.insert(Slice(makeKey(rng.uniform(1000))), i + 1,
+                                EntryType::kValue,
+                                Slice("value" + std::to_string(i))));
+    }
+
+    std::string image(arena.base(), arena.used());
+    std::vector<char> clone(image.begin(), image.end());
+    auto *head = reinterpret_cast<SkipList::Node *>(clone.data());
+    size_t fixed = SkipList::relocate(head, clone.data() - arena.base(),
+                                      arena.base(), arena.used());
+    EXPECT_GT(fixed, 300u);  // at least one pointer per node
+
+    SkipList relocated(head, list.entryCount());
+    EXPECT_EQ(relocated.entryCount(), list.entryCount());
+    SkipList::Iterator a(&list), b(&relocated);
+    a.seekToFirst();
+    b.seekToFirst();
+    while (a.valid()) {
+        ASSERT_TRUE(b.valid());
+        EXPECT_EQ(a.key().toString(), b.key().toString());
+        EXPECT_EQ(a.value().toString(), b.value().toString());
+        EXPECT_EQ(a.seq(), b.seq());
+        a.next();
+        b.next();
+    }
+    EXPECT_FALSE(b.valid());
+}
+
+TEST(SkipListTest, LinkNodeSplicesDetachedNode)
+{
+    Arena a1(1 << 16), a2(1 << 16);
+    SkipList list(&a1);
+    list.insert(Slice("a"), 1, EntryType::kValue, Slice("1"));
+    list.insert(Slice("c"), 2, EntryType::kValue, Slice("3"));
+    // Node born in a different arena, linked across arenas (the
+    // zero-copy merge primitive).
+    SkipList::Node *n = SkipList::makeNode(&a2, Slice("b"), 3,
+                                           EntryType::kValue, Slice("2"),
+                                           2);
+    SkipList::Splice splice;
+    SkipList::Node *succ = list.findGreaterOrEqual(Slice("b"), &splice);
+    ASSERT_NE(succ, nullptr);
+    EXPECT_EQ(succ->key().toString(), "c");
+    list.linkNode(n, &splice);
+    EXPECT_EQ(list.entryCount(), 3u);
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(list.get(Slice("b"), &v, &t));
+    EXPECT_EQ(v, "2");
+}
+
+TEST(SkipListTest, EntryBeforeOrdering)
+{
+    EXPECT_TRUE(SkipList::entryBefore(Slice("a"), 1, Slice("b"), 9));
+    EXPECT_FALSE(SkipList::entryBefore(Slice("b"), 9, Slice("a"), 1));
+    // Same key: larger seq first.
+    EXPECT_TRUE(SkipList::entryBefore(Slice("k"), 9, Slice("k"), 3));
+    EXPECT_FALSE(SkipList::entryBefore(Slice("k"), 3, Slice("k"), 9));
+}
+
+TEST(SkipListTest, RandomHeightWithinBounds)
+{
+    Arena arena(1 << 12);
+    SkipList list(&arena);
+    for (int i = 0; i < 10000; i++) {
+        int h = list.randomHeight();
+        EXPECT_GE(h, 1);
+        EXPECT_LE(h, SkipList::kMaxHeight);
+    }
+}
+
+TEST(SkipListTest, LargeValuesSurviveRoundTrip)
+{
+    Arena arena(1 << 20);
+    SkipList list(&arena);
+    std::string big(64 * 1024, 'z');
+    ASSERT_TRUE(list.insert(Slice("big"), 1, EntryType::kValue,
+                            Slice(big)));
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(list.get(Slice("big"), &v, &t));
+    EXPECT_EQ(v, big);
+}
+
+} // namespace
+} // namespace mio

@@ -1,0 +1,104 @@
+/** @file Unit tests for Slice and Status. */
+#include <gtest/gtest.h>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace mio {
+namespace {
+
+TEST(SliceTest, DefaultIsEmpty)
+{
+    Slice s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SliceTest, FromString)
+{
+    std::string str = "hello";
+    Slice s(str);
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_EQ(s.toString(), "hello");
+    EXPECT_EQ(s[1], 'e');
+}
+
+TEST(SliceTest, FromCString)
+{
+    Slice s("abc");
+    EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SliceTest, CompareOrdersLexicographically)
+{
+    EXPECT_LT(Slice("a").compare(Slice("b")), 0);
+    EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+    EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+    // Prefix sorts before its extension.
+    EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+    EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+}
+
+TEST(SliceTest, CompareIsBytewiseUnsigned)
+{
+    char hi = static_cast<char>(0xff);
+    char lo = 0x01;
+    EXPECT_GT(Slice(&hi, 1).compare(Slice(&lo, 1)), 0);
+}
+
+TEST(SliceTest, RemovePrefix)
+{
+    Slice s("abcdef");
+    s.removePrefix(2);
+    EXPECT_EQ(s.toString(), "cdef");
+}
+
+TEST(SliceTest, StartsWith)
+{
+    Slice s("abcdef");
+    EXPECT_TRUE(s.startsWith(Slice("abc")));
+    EXPECT_TRUE(s.startsWith(Slice("")));
+    EXPECT_FALSE(s.startsWith(Slice("abd")));
+    EXPECT_FALSE(Slice("ab").startsWith(Slice("abc")));
+}
+
+TEST(SliceTest, EqualityOperators)
+{
+    EXPECT_TRUE(Slice("x") == Slice("x"));
+    EXPECT_TRUE(Slice("x") != Slice("y"));
+    EXPECT_TRUE(Slice("a") < Slice("b"));
+}
+
+TEST(SliceTest, EmbeddedNulBytes)
+{
+    std::string a("a\0b", 3);
+    std::string b("a\0c", 3);
+    EXPECT_LT(Slice(a).compare(Slice(b)), 0);
+    EXPECT_EQ(Slice(a).size(), 3u);
+}
+
+TEST(StatusTest, OkByDefault)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(StatusTest, ErrorKinds)
+{
+    EXPECT_TRUE(Status::notFound("k").isNotFound());
+    EXPECT_TRUE(Status::corruption().isCorruption());
+    EXPECT_TRUE(Status::ioError("dev").isIOError());
+    EXPECT_TRUE(Status::invalidArgument().isInvalidArgument());
+    EXPECT_TRUE(Status::busy().isBusy());
+    EXPECT_FALSE(Status::notFound("k").isOk());
+}
+
+TEST(StatusTest, MessageRendering)
+{
+    EXPECT_EQ(Status::notFound("key1").toString(), "NotFound: key1");
+    EXPECT_EQ(Status::ioError().toString(), "IOError");
+}
+
+} // namespace
+} // namespace mio

@@ -1,0 +1,138 @@
+/** @file Unit tests for the SSD device model and storage media. */
+#include <gtest/gtest.h>
+
+#include "sim/ssd_device.h"
+#include "sim/storage_medium.h"
+
+namespace mio::sim {
+namespace {
+
+TEST(SsdDeviceTest, WriteReadRoundTrip)
+{
+    SsdDevice dev;
+    ASSERT_TRUE(dev.writeBlob("f1", Slice("hello world")).isOk());
+    std::string out;
+    ASSERT_TRUE(dev.readBlob("f1", &out).isOk());
+    EXPECT_EQ(out, "hello world");
+    EXPECT_EQ(dev.blobSize("f1"), 11u);
+    EXPECT_TRUE(dev.blobExists("f1"));
+}
+
+TEST(SsdDeviceTest, RangeRead)
+{
+    SsdDevice dev;
+    dev.writeBlob("f", Slice("0123456789"));
+    char buf[4];
+    ASSERT_TRUE(dev.readBlobRange("f", 3, 4, buf).isOk());
+    EXPECT_EQ(std::string(buf, 4), "3456");
+    EXPECT_FALSE(dev.readBlobRange("f", 8, 4, buf).isOk());
+}
+
+TEST(SsdDeviceTest, MissingBlobIsIOError)
+{
+    SsdDevice dev;
+    std::string out;
+    EXPECT_TRUE(dev.readBlob("nope", &out).isIOError());
+    char c;
+    EXPECT_TRUE(dev.readBlobRange("nope", 0, 1, &c).isIOError());
+}
+
+TEST(SsdDeviceTest, AppendGrowsBlob)
+{
+    SsdDevice dev;
+    dev.appendBlob("log", Slice("aa"));
+    dev.appendBlob("log", Slice("bb"));
+    std::string out;
+    dev.readBlob("log", &out);
+    EXPECT_EQ(out, "aabb");
+}
+
+TEST(SsdDeviceTest, DeleteRemoves)
+{
+    SsdDevice dev;
+    dev.writeBlob("f", Slice("x"));
+    dev.deleteBlob("f");
+    EXPECT_FALSE(dev.blobExists("f"));
+}
+
+TEST(SsdDeviceTest, MetersTraffic)
+{
+    SsdDevice dev;
+    dev.writeBlob("f", Slice("12345"));
+    std::string out;
+    dev.readBlob("f", &out);
+    auto m = dev.meters();
+    EXPECT_EQ(m.bytes_written, 5u);
+    EXPECT_EQ(m.bytes_read, 5u);
+    EXPECT_EQ(m.write_ios, 1u);
+    EXPECT_EQ(m.read_ios, 1u);
+    EXPECT_EQ(m.bytes_stored, 5u);
+}
+
+TEST(SsdDeviceTest, ListBlobs)
+{
+    SsdDevice dev;
+    dev.writeBlob("b", Slice("1"));
+    dev.writeBlob("a", Slice("2"));
+    auto names = dev.listBlobs();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "b");
+}
+
+TEST(NvmMediumTest, BlobLifecycle)
+{
+    NvmDevice nvm;
+    NvmMedium medium(&nvm);
+    ASSERT_TRUE(medium.writeBlob("t", Slice("contents")).isOk());
+    EXPECT_EQ(medium.blobSize("t"), 8u);
+    std::string out;
+    ASSERT_TRUE(medium.readBlob("t", &out).isOk());
+    EXPECT_EQ(out, "contents");
+    EXPECT_EQ(medium.kind(), "nvm");
+    EXPECT_EQ(medium.bytesWritten(), 8u);
+    EXPECT_GT(nvm.meters().bytes_written, 0u);
+
+    char buf[3];
+    ASSERT_TRUE(medium.readBlobRange("t", 1, 3, buf).isOk());
+    EXPECT_EQ(std::string(buf, 3), "ont");
+
+    medium.deleteBlob("t");
+    EXPECT_FALSE(medium.blobExists("t"));
+    EXPECT_TRUE(medium.readBlob("t", &out).isIOError());
+    EXPECT_EQ(nvm.meters().bytes_allocated, 0u);
+}
+
+TEST(NvmMediumTest, OverwriteReplacesAndFrees)
+{
+    NvmDevice nvm;
+    NvmMedium medium(&nvm);
+    medium.writeBlob("t", Slice(std::string(1000, 'a')));
+    medium.writeBlob("t", Slice("b"));
+    EXPECT_EQ(medium.blobSize("t"), 1u);
+    EXPECT_EQ(nvm.meters().bytes_allocated, 1u);
+}
+
+TEST(NvmMediumTest, AppendBlob)
+{
+    NvmDevice nvm;
+    NvmMedium medium(&nvm);
+    medium.appendBlob("t", Slice("xy"));
+    medium.appendBlob("t", Slice("z"));
+    std::string out;
+    medium.readBlob("t", &out);
+    EXPECT_EQ(out, "xyz");
+}
+
+TEST(SsdMediumTest, DelegatesToDevice)
+{
+    SsdDevice ssd;
+    SsdMedium medium(&ssd);
+    medium.writeBlob("f", Slice("data"));
+    EXPECT_EQ(medium.kind(), "ssd");
+    EXPECT_TRUE(ssd.blobExists("f"));
+    EXPECT_EQ(medium.bytesWritten(), 4u);
+}
+
+} // namespace
+} // namespace mio::sim

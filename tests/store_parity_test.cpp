@@ -1,0 +1,133 @@
+/** @file Cross-engine parity: all stores given the same operation
+ *  stream must expose identical user-visible contents. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "matrixkv/matrixkv.h"
+#include "miodb/miodb.h"
+#include "novelsm/novelsm.h"
+#include "util/random.h"
+
+namespace mio {
+namespace {
+
+struct Engines {
+    sim::NvmDevice nvm_mio, nvm_mtx, nvm_nov;
+    sim::NvmMedium med_mtx{&nvm_mtx}, med_nov{&nvm_nov};
+    std::unique_ptr<miodb::MioDB> mio;
+    std::unique_ptr<matrixkv::MatrixKV> mtx;
+    std::unique_ptr<novelsm::NoveLSM> nov;
+
+    Engines()
+    {
+        miodb::MioOptions mo;
+        mo.memtable_size = 8 << 10;
+        mo.elastic_levels = 3;
+        mio = std::make_unique<miodb::MioDB>(mo, &nvm_mio);
+
+        matrixkv::MatrixkvOptions xo;
+        xo.memtable_size = 8 << 10;
+        xo.matrix_capacity = 64 << 10;
+        xo.column_budget = 16 << 10;
+        xo.lsm.sstable_target_size = 8 << 10;
+        xo.lsm.level1_max_bytes = 64 << 10;
+        xo.slowdown_ns = 1000;
+        mtx = std::make_unique<matrixkv::MatrixKV>(xo, &nvm_mtx,
+                                                   &med_mtx);
+
+        novelsm::NovelsmOptions no;
+        no.variant = novelsm::Variant::kFlat;
+        no.nvm_memtable_size = 32 << 10;
+        no.lsm.sstable_target_size = 8 << 10;
+        no.lsm.level1_max_bytes = 64 << 10;
+        no.slowdown_ns = 1000;
+        nov = std::make_unique<novelsm::NoveLSM>(no, &nvm_nov,
+                                                 &med_nov);
+    }
+
+    std::vector<KVStore *>
+    all()
+    {
+        return {mio.get(), mtx.get(), nov.get()};
+    }
+};
+
+TEST(StoreParityTest, IdenticalContentsAfterMixedWorkload)
+{
+    Engines engines;
+    Random rng(77);
+    std::map<std::string, std::string> model;
+
+    for (int i = 0; i < 2500; i++) {
+        std::string k = makeKey(rng.uniform(500));
+        if (rng.uniform(10) < 8) {
+            std::string v = "p" + std::to_string(i);
+            for (KVStore *s : engines.all())
+                ASSERT_TRUE(s->put(Slice(k), Slice(v)).isOk());
+            model[k] = v;
+        } else {
+            for (KVStore *s : engines.all())
+                ASSERT_TRUE(s->remove(Slice(k)).isOk());
+            model.erase(k);
+        }
+    }
+    for (KVStore *s : engines.all())
+        s->waitIdle();
+
+    // Point lookups agree across engines and with the model.
+    std::string v;
+    for (int key = 0; key < 500; key++) {
+        std::string k = makeKey(key);
+        auto expect = model.find(k);
+        for (KVStore *s : engines.all()) {
+            Status st = s->get(Slice(k), &v);
+            if (expect == model.end()) {
+                EXPECT_TRUE(st.isNotFound())
+                    << s->name() << " key " << k;
+            } else {
+                ASSERT_TRUE(st.isOk()) << s->name() << " key " << k;
+                EXPECT_EQ(v, expect->second) << s->name();
+            }
+        }
+    }
+
+    // Scans agree across engines.
+    for (int probe = 0; probe < 5; probe++) {
+        std::string start = makeKey(probe * 90);
+        std::vector<std::pair<std::string, std::string>> base;
+        ASSERT_TRUE(engines.mio->scan(Slice(start), 15, &base).isOk());
+        for (KVStore *s : {static_cast<KVStore *>(engines.mtx.get()),
+                           static_cast<KVStore *>(engines.nov.get())}) {
+            std::vector<std::pair<std::string, std::string>> out;
+            ASSERT_TRUE(s->scan(Slice(start), 15, &out).isOk());
+            EXPECT_EQ(out, base) << s->name() << " from " << start;
+        }
+    }
+}
+
+TEST(StoreParityTest, SequentialOverwriteParity)
+{
+    Engines engines;
+    for (int round = 0; round < 3; round++) {
+        for (int i = 0; i < 400; i++) {
+            std::string v = "round" + std::to_string(round);
+            for (KVStore *s : engines.all())
+                ASSERT_TRUE(
+                    s->put(Slice(makeKey(i)), Slice(v)).isOk());
+        }
+    }
+    for (KVStore *s : engines.all())
+        s->waitIdle();
+    std::string v;
+    for (int i = 0; i < 400; i += 7) {
+        for (KVStore *s : engines.all()) {
+            ASSERT_TRUE(s->get(Slice(makeKey(i)), &v).isOk())
+                << s->name();
+            EXPECT_EQ(v, "round2") << s->name();
+        }
+    }
+}
+
+} // namespace
+} // namespace mio

@@ -1,0 +1,144 @@
+/** @file Unit tests for ThreadPool, Flags, and clock utilities. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/clock.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+
+namespace mio {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; i++)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(counter.load(), 100);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForInFlightWork)
+{
+    ThreadPool pool(2);
+    std::atomic<bool> finished{false};
+    pool.submit([&finished] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        finished.store(true);
+    });
+    pool.drain();
+    EXPECT_TRUE(finished.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 20; i++)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently)
+{
+    ThreadPool pool(4);
+    std::atomic<int> in_flight{0};
+    std::atomic<int> max_in_flight{0};
+    for (int i = 0; i < 16; i++) {
+        pool.submit([&] {
+            int now = in_flight.fetch_add(1) + 1;
+            int prev = max_in_flight.load();
+            while (now > prev &&
+                   !max_in_flight.compare_exchange_weak(prev, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            in_flight.fetch_sub(1);
+        });
+    }
+    pool.drain();
+    EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms)
+{
+    const char *argv[] = {"prog",      "--alpha=1",  "--beta", "two",
+                          "--gamma",   "--delta=3.5", "--size=4k"};
+    Flags flags(7, const_cast<char **>(argv));
+    EXPECT_TRUE(flags.has("alpha"));
+    EXPECT_EQ(flags.getInt("alpha", 0), 1);
+    EXPECT_EQ(flags.getString("beta", ""), "two");
+    EXPECT_TRUE(flags.getBool("gamma", false));
+    EXPECT_DOUBLE_EQ(flags.getDouble("delta", 0), 3.5);
+    EXPECT_EQ(flags.getSize("size", 0), 4096u);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    Flags flags(1, const_cast<char **>(argv));
+    EXPECT_FALSE(flags.has("missing"));
+    EXPECT_EQ(flags.getInt("missing", 42), 42);
+    EXPECT_EQ(flags.getString("missing", "dft"), "dft");
+    EXPECT_TRUE(flags.getBool("missing", true));
+    EXPECT_EQ(flags.getSize("missing", 7), 7u);
+}
+
+TEST(FlagsTest, SizeSuffixes)
+{
+    const char *argv[] = {"prog", "--a=2m", "--b=1g", "--c=512",
+                          "--d=1.5k"};
+    Flags flags(5, const_cast<char **>(argv));
+    EXPECT_EQ(flags.getSize("a", 0), 2u << 20);
+    EXPECT_EQ(flags.getSize("b", 0), 1u << 30);
+    EXPECT_EQ(flags.getSize("c", 0), 512u);
+    EXPECT_EQ(flags.getSize("d", 0), 1536u);
+}
+
+TEST(FlagsTest, BoolSpellings)
+{
+    const char *argv[] = {"prog", "--t1=true", "--t2=1", "--t3=yes",
+                          "--f1=false", "--f2=0"};
+    Flags flags(6, const_cast<char **>(argv));
+    EXPECT_TRUE(flags.getBool("t1", false));
+    EXPECT_TRUE(flags.getBool("t2", false));
+    EXPECT_TRUE(flags.getBool("t3", false));
+    EXPECT_FALSE(flags.getBool("f1", true));
+    EXPECT_FALSE(flags.getBool("f2", true));
+}
+
+TEST(ClockTest, MonotonicAndStopwatch)
+{
+    uint64_t a = nowNanos();
+    uint64_t b = nowNanos();
+    EXPECT_GE(b, a);
+
+    Stopwatch sw;
+    spinFor(2'000'000);  // 2 ms
+    EXPECT_GE(sw.elapsedNanos(), 1'800'000u);
+    sw.reset();
+    EXPECT_LT(sw.elapsedNanos(), 1'000'000u);
+}
+
+TEST(ClockTest, ScopedTimerAccumulates)
+{
+    std::atomic<uint64_t> bucket{0};
+    {
+        ScopedTimer t(&bucket);
+        spinFor(1'000'000);
+    }
+    uint64_t first = bucket.load();
+    EXPECT_GE(first, 900'000u);
+    {
+        ScopedTimer t(&bucket);
+        spinFor(1'000'000);
+    }
+    EXPECT_GT(bucket.load(), first);
+}
+
+} // namespace
+} // namespace mio

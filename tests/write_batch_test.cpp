@@ -1,0 +1,158 @@
+/** @file Tests for atomic WriteBatch support and debugString. */
+#include <gtest/gtest.h>
+
+#include "matrixkv/matrixkv.h"
+#include "miodb/miodb.h"
+#include "novelsm/novelsm.h"
+#include "util/random.h"
+
+namespace mio {
+namespace {
+
+miodb::MioOptions
+smallOptions()
+{
+    miodb::MioOptions o;
+    o.memtable_size = 16 << 10;
+    o.elastic_levels = 3;
+    return o;
+}
+
+TEST(WriteBatchTest, BuilderAccumulates)
+{
+    WriteBatch batch;
+    EXPECT_TRUE(batch.empty());
+    batch.put(Slice("a"), Slice("1"));
+    batch.put(Slice("b"), Slice("22"));
+    batch.remove(Slice("c"));
+    EXPECT_EQ(batch.count(), 3u);
+    EXPECT_EQ(batch.byteSize(), 1u + 1 + 1 + 2 + 1);
+    EXPECT_EQ(batch.ops()[2].type, EntryType::kDeletion);
+    batch.clear();
+    EXPECT_TRUE(batch.empty());
+    EXPECT_EQ(batch.byteSize(), 0u);
+}
+
+TEST(WriteBatchTest, MioDBAppliesAtomically)
+{
+    sim::NvmDevice nvm;
+    miodb::MioDB db(smallOptions(), &nvm);
+    db.put(Slice("stale"), Slice("old"));
+
+    WriteBatch batch;
+    batch.put(Slice("a"), Slice("1"));
+    batch.put(Slice("stale"), Slice("new"));
+    batch.remove(Slice("stale"));
+    batch.put(Slice("stale"), Slice("newest"));
+    ASSERT_TRUE(db.write(batch).isOk());
+
+    std::string v;
+    ASSERT_TRUE(db.get(Slice("a"), &v).isOk());
+    EXPECT_EQ(v, "1");
+    // Batch-internal ordering: last op wins.
+    ASSERT_TRUE(db.get(Slice("stale"), &v).isOk());
+    EXPECT_EQ(v, "newest");
+}
+
+TEST(WriteBatchTest, EmptyBatchIsNoOp)
+{
+    sim::NvmDevice nvm;
+    miodb::MioDB db(smallOptions(), &nvm);
+    WriteBatch batch;
+    EXPECT_TRUE(db.write(batch).isOk());
+}
+
+TEST(WriteBatchTest, ValidationRejectsWholeBatch)
+{
+    sim::NvmDevice nvm;
+    miodb::MioDB db(smallOptions(), &nvm);
+    WriteBatch batch;
+    batch.put(Slice("good"), Slice("v"));
+    batch.put(Slice(""), Slice("bad"));  // invalid key
+    EXPECT_TRUE(db.write(batch).isInvalidArgument());
+    // Nothing from the batch was applied.
+    std::string v;
+    EXPECT_TRUE(db.get(Slice("good"), &v).isNotFound());
+}
+
+TEST(WriteBatchTest, BatchSpanningMemTableRotation)
+{
+    sim::NvmDevice nvm;
+    miodb::MioDB db(smallOptions(), &nvm);
+    WriteBatch batch;
+    std::string value(512, 'b');
+    for (int i = 0; i < 200; i++)  // ~100 KB >> 16 KB memtable
+        batch.put(makeKey(i), value + std::to_string(i));
+    ASSERT_TRUE(db.write(batch).isOk());
+    db.waitIdle();
+    std::string v;
+    for (int i = 0; i < 200; i++) {
+        ASSERT_TRUE(db.get(makeKey(i), &v).isOk()) << i;
+        EXPECT_EQ(v, value + std::to_string(i));
+    }
+}
+
+TEST(WriteBatchTest, BatchSurvivesCrashViaWal)
+{
+    sim::NvmDevice nvm;
+    wal::WalRegistry registry;
+    std::shared_ptr<miodb::NvmState> state;
+    {
+        miodb::MioDB db(smallOptions(), &nvm, nullptr, &registry);
+        state = db.nvmState();
+        WriteBatch batch;
+        for (int i = 0; i < 50; i++)
+            batch.put(makeKey(i), "batched-" + std::to_string(i));
+        batch.remove(makeKey(25));
+        ASSERT_TRUE(db.write(batch).isOk());
+        db.simulateCrash();
+    }
+    miodb::MioDB db2(smallOptions(), &nvm, nullptr, &registry, state);
+    std::string v;
+    for (int i = 0; i < 50; i++) {
+        if (i == 25) {
+            EXPECT_TRUE(db2.get(makeKey(i), &v).isNotFound());
+        } else {
+            ASSERT_TRUE(db2.get(makeKey(i), &v).isOk()) << i;
+            EXPECT_EQ(v, "batched-" + std::to_string(i));
+        }
+    }
+}
+
+TEST(WriteBatchTest, DefaultPathWorksOnBaselines)
+{
+    // NoveLSM/MatrixKV use the KVStore default (op-by-op) path.
+    sim::NvmDevice nvm;
+    sim::NvmMedium medium(&nvm);
+    novelsm::NovelsmOptions no;
+    no.variant = novelsm::Variant::kNoSST;
+    novelsm::NoveLSM nov(no, &nvm, &medium);
+
+    WriteBatch batch;
+    batch.put(Slice("x"), Slice("1"));
+    batch.remove(Slice("x"));
+    batch.put(Slice("y"), Slice("2"));
+    ASSERT_TRUE(nov.write(batch).isOk());
+    std::string v;
+    EXPECT_TRUE(nov.get(Slice("x"), &v).isNotFound());
+    ASSERT_TRUE(nov.get(Slice("y"), &v).isOk());
+    EXPECT_EQ(v, "2");
+}
+
+TEST(DebugStringTest, ReportsEngineState)
+{
+    sim::NvmDevice nvm;
+    miodb::MioDB db(smallOptions(), &nvm);
+    for (int i = 0; i < 2000; i++)
+        db.put(makeKey(i), "dbg-value-dbg-value");
+    db.waitIdle();
+    std::string s = db.debugString();
+    EXPECT_NE(s.find("MioDB state:"), std::string::npos);
+    EXPECT_NE(s.find("memtable:"), std::string::npos);
+    EXPECT_NE(s.find("L0"), std::string::npos);
+    EXPECT_NE(s.find("repository:"), std::string::npos);
+    EXPECT_NE(s.find("WA="), std::string::npos);
+}
+
+} // namespace
+} // namespace mio

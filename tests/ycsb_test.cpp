@@ -1,0 +1,115 @@
+/** @file Tests for the YCSB workload generator and runner. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "miodb/miodb.h"
+#include "ycsb/runner.h"
+#include "ycsb/workload.h"
+
+namespace mio::ycsb {
+namespace {
+
+TEST(WorkloadSpecTest, StandardMixes)
+{
+    auto a = WorkloadSpec::workloadA();
+    EXPECT_DOUBLE_EQ(a.read_proportion, 0.5);
+    EXPECT_DOUBLE_EQ(a.update_proportion, 0.5);
+    auto c = WorkloadSpec::workloadC();
+    EXPECT_DOUBLE_EQ(c.read_proportion, 1.0);
+    auto d = WorkloadSpec::workloadD();
+    EXPECT_EQ(d.distribution, Distribution::kLatest);
+    auto e = WorkloadSpec::workloadE();
+    EXPECT_DOUBLE_EQ(e.scan_proportion, 0.95);
+    auto f = WorkloadSpec::workloadF();
+    EXPECT_DOUBLE_EQ(f.rmw_proportion, 0.5);
+    EXPECT_EQ(WorkloadSpec::byName('b').name, "B");
+}
+
+TEST(WorkloadGeneratorTest, MixMatchesProportions)
+{
+    WorkloadGenerator gen(WorkloadSpec::workloadA(), 1000, 3);
+    std::map<OpType, int> counts;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        counts[gen.next().type]++;
+    EXPECT_NEAR(counts[OpType::kRead], n / 2, n / 20);
+    EXPECT_NEAR(counts[OpType::kUpdate], n / 2, n / 20);
+    EXPECT_EQ(counts[OpType::kScan], 0);
+}
+
+TEST(WorkloadGeneratorTest, InsertsGrowKeySpace)
+{
+    WorkloadGenerator gen(WorkloadSpec::workloadD(), 1000, 3);
+    uint64_t inserts = 0;
+    for (int i = 0; i < 10000; i++) {
+        auto op = gen.next();
+        if (op.type == OpType::kInsert) {
+            EXPECT_EQ(op.key_index, 1000 + inserts);
+            inserts++;
+        } else {
+            EXPECT_LT(op.key_index, gen.recordCount());
+        }
+    }
+    EXPECT_GT(inserts, 300u);
+    EXPECT_EQ(gen.recordCount(), 1000 + inserts);
+}
+
+TEST(WorkloadGeneratorTest, ScansCarryLength)
+{
+    WorkloadGenerator gen(WorkloadSpec::workloadE(), 1000, 3);
+    for (int i = 0; i < 2000; i++) {
+        auto op = gen.next();
+        if (op.type == OpType::kScan) {
+            EXPECT_GE(op.scan_length, 1);
+            EXPECT_LE(op.scan_length, 100);
+        }
+    }
+}
+
+TEST(RunnerTest, LoadThenWorkloadsOnMioDB)
+{
+    sim::NvmDevice nvm;
+    miodb::MioOptions o;
+    o.memtable_size = 32 << 10;
+    o.elastic_levels = 3;
+    miodb::MioDB db(o, &nvm);
+
+    Runner runner(&db, /*value_size=*/128, /*seed=*/5);
+    auto load = runner.load(2000);
+    EXPECT_EQ(load.operations, 2000u);
+    EXPECT_GT(load.kiops(), 0.0);
+    EXPECT_EQ(load.latency_us.count(), 2000u);
+    db.waitIdle();
+
+    for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+        auto result =
+            runner.run(WorkloadSpec::byName(w), 2000, 500);
+        EXPECT_EQ(result.operations, 500u) << w;
+        EXPECT_GT(result.seconds, 0.0) << w;
+        EXPECT_EQ(result.latency_us.count(), 500u) << w;
+    }
+    // The store still answers correctly after the mixed run.
+    std::string v;
+    int hits = 0;
+    for (int i = 0; i < 2000; i += 50) {
+        if (db.get(Slice(makeKey(i)), &v).isOk())
+            hits++;
+    }
+    EXPECT_GT(hits, 30);
+}
+
+TEST(RunnerTest, TimelineRecording)
+{
+    sim::NvmDevice nvm;
+    miodb::MioOptions o;
+    o.memtable_size = 32 << 10;
+    miodb::MioDB db(o, &nvm);
+    Runner runner(&db, 64, 5, /*record_timeline=*/true);
+    auto load = runner.load(500);
+    EXPECT_EQ(load.timeline.size(), 500u);
+    EXPECT_FALSE(load.timeline.downsample(20).empty());
+}
+
+} // namespace
+} // namespace mio::ycsb
