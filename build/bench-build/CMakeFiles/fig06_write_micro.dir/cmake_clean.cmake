@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_write_micro"
+  "../bench/fig06_write_micro.pdb"
+  "CMakeFiles/fig06_write_micro.dir/fig06_write_micro.cpp.o"
+  "CMakeFiles/fig06_write_micro.dir/fig06_write_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_write_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_ycsb"
+  "../bench/fig07_ycsb.pdb"
+  "CMakeFiles/fig07_ycsb.dir/fig07_ycsb.cpp.o"
+  "CMakeFiles/fig07_ycsb.dir/fig07_ycsb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_latency_timeline"
+  "../bench/fig08_latency_timeline.pdb"
+  "CMakeFiles/fig08_latency_timeline.dir/fig08_latency_timeline.cpp.o"
+  "CMakeFiles/fig08_latency_timeline.dir/fig08_latency_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_latency_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

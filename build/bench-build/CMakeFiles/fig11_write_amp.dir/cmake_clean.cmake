@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_write_amp"
+  "../bench/fig11_write_amp.pdb"
+  "CMakeFiles/fig11_write_amp.dir/fig11_write_amp.cpp.o"
+  "CMakeFiles/fig11_write_amp.dir/fig11_write_amp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_write_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_memtable_sweep"
+  "../bench/fig12_memtable_sweep.pdb"
+  "CMakeFiles/fig12_memtable_sweep.dir/fig12_memtable_sweep.cpp.o"
+  "CMakeFiles/fig12_memtable_sweep.dir/fig12_memtable_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memtable_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

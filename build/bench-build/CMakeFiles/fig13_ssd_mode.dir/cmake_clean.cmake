@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ssd_mode"
+  "../bench/fig13_ssd_mode.pdb"
+  "CMakeFiles/fig13_ssd_mode.dir/fig13_ssd_mode.cpp.o"
+  "CMakeFiles/fig13_ssd_mode.dir/fig13_ssd_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ssd_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

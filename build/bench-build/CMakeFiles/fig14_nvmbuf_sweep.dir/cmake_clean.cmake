@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_nvmbuf_sweep"
+  "../bench/fig14_nvmbuf_sweep.pdb"
+  "CMakeFiles/fig14_nvmbuf_sweep.dir/fig14_nvmbuf_sweep.cpp.o"
+  "CMakeFiles/fig14_nvmbuf_sweep.dir/fig14_nvmbuf_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nvmbuf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_costs"
+  "../bench/table1_costs.pdb"
+  "CMakeFiles/table1_costs.dir/table1_costs.cpp.o"
+  "CMakeFiles/table1_costs.dir/table1_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_tail_latency"
+  "../bench/table2_tail_latency.pdb"
+  "CMakeFiles/table2_tail_latency.dir/table2_tail_latency.cpp.o"
+  "CMakeFiles/table2_tail_latency.dir/table2_tail_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_ssd_tail"
+  "../bench/table3_ssd_tail.pdb"
+  "CMakeFiles/table3_ssd_tail.dir/table3_ssd_tail.cpp.o"
+  "CMakeFiles/table3_ssd_tail.dir/table3_ssd_tail.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ssd_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

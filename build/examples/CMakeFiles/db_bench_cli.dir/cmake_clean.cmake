@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_bench_cli.dir/db_bench_cli.cpp.o"
+  "CMakeFiles/db_bench_cli.dir/db_bench_cli.cpp.o.d"
+  "db_bench_cli"
+  "db_bench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_bench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hybrid_storage.cpp" "examples/CMakeFiles/hybrid_storage.dir/hybrid_storage.cpp.o" "gcc" "examples/CMakeFiles/hybrid_storage.dir/hybrid_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mio_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_novelsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_matrixkv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_skiplist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_sstable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

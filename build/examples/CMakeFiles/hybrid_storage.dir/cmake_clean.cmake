@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_storage.dir/hybrid_storage.cpp.o"
+  "CMakeFiles/hybrid_storage.dir/hybrid_storage.cpp.o.d"
+  "hybrid_storage"
+  "hybrid_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

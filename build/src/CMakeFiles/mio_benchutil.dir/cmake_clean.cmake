@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_benchutil.dir/benchutil/db_bench.cpp.o"
+  "CMakeFiles/mio_benchutil.dir/benchutil/db_bench.cpp.o.d"
+  "CMakeFiles/mio_benchutil.dir/benchutil/reporter.cpp.o"
+  "CMakeFiles/mio_benchutil.dir/benchutil/reporter.cpp.o.d"
+  "CMakeFiles/mio_benchutil.dir/benchutil/store_factory.cpp.o"
+  "CMakeFiles/mio_benchutil.dir/benchutil/store_factory.cpp.o.d"
+  "libmio_benchutil.a"
+  "libmio_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

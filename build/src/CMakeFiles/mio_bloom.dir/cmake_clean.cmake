@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_bloom.dir/bloom/bloom_filter.cpp.o"
+  "CMakeFiles/mio_bloom.dir/bloom/bloom_filter.cpp.o.d"
+  "libmio_bloom.a"
+  "libmio_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

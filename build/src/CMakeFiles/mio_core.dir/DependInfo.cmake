@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/miodb/lazy_copy_merge.cpp" "src/CMakeFiles/mio_core.dir/miodb/lazy_copy_merge.cpp.o" "gcc" "src/CMakeFiles/mio_core.dir/miodb/lazy_copy_merge.cpp.o.d"
+  "/root/repo/src/miodb/level_manager.cpp" "src/CMakeFiles/mio_core.dir/miodb/level_manager.cpp.o" "gcc" "src/CMakeFiles/mio_core.dir/miodb/level_manager.cpp.o.d"
+  "/root/repo/src/miodb/miodb.cpp" "src/CMakeFiles/mio_core.dir/miodb/miodb.cpp.o" "gcc" "src/CMakeFiles/mio_core.dir/miodb/miodb.cpp.o.d"
+  "/root/repo/src/miodb/one_piece_flush.cpp" "src/CMakeFiles/mio_core.dir/miodb/one_piece_flush.cpp.o" "gcc" "src/CMakeFiles/mio_core.dir/miodb/one_piece_flush.cpp.o.d"
+  "/root/repo/src/miodb/pmtable.cpp" "src/CMakeFiles/mio_core.dir/miodb/pmtable.cpp.o" "gcc" "src/CMakeFiles/mio_core.dir/miodb/pmtable.cpp.o.d"
+  "/root/repo/src/miodb/zero_copy_merge.cpp" "src/CMakeFiles/mio_core.dir/miodb/zero_copy_merge.cpp.o" "gcc" "src/CMakeFiles/mio_core.dir/miodb/zero_copy_merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mio_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_skiplist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_sstable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

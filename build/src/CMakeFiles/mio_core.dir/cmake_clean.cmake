@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_core.dir/miodb/lazy_copy_merge.cpp.o"
+  "CMakeFiles/mio_core.dir/miodb/lazy_copy_merge.cpp.o.d"
+  "CMakeFiles/mio_core.dir/miodb/level_manager.cpp.o"
+  "CMakeFiles/mio_core.dir/miodb/level_manager.cpp.o.d"
+  "CMakeFiles/mio_core.dir/miodb/miodb.cpp.o"
+  "CMakeFiles/mio_core.dir/miodb/miodb.cpp.o.d"
+  "CMakeFiles/mio_core.dir/miodb/one_piece_flush.cpp.o"
+  "CMakeFiles/mio_core.dir/miodb/one_piece_flush.cpp.o.d"
+  "CMakeFiles/mio_core.dir/miodb/pmtable.cpp.o"
+  "CMakeFiles/mio_core.dir/miodb/pmtable.cpp.o.d"
+  "CMakeFiles/mio_core.dir/miodb/zero_copy_merge.cpp.o"
+  "CMakeFiles/mio_core.dir/miodb/zero_copy_merge.cpp.o.d"
+  "libmio_core.a"
+  "libmio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

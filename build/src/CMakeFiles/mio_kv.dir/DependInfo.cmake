@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/kv_store.cpp" "src/CMakeFiles/mio_kv.dir/kv/kv_store.cpp.o" "gcc" "src/CMakeFiles/mio_kv.dir/kv/kv_store.cpp.o.d"
+  "/root/repo/src/kv/store_stats.cpp" "src/CMakeFiles/mio_kv.dir/kv/store_stats.cpp.o" "gcc" "src/CMakeFiles/mio_kv.dir/kv/store_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

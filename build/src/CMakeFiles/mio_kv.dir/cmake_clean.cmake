@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_kv.dir/kv/kv_store.cpp.o"
+  "CMakeFiles/mio_kv.dir/kv/kv_store.cpp.o.d"
+  "CMakeFiles/mio_kv.dir/kv/store_stats.cpp.o"
+  "CMakeFiles/mio_kv.dir/kv/store_stats.cpp.o.d"
+  "libmio_kv.a"
+  "libmio_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

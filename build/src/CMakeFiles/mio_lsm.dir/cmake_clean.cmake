@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_lsm.dir/lsm/lsm_tree.cpp.o"
+  "CMakeFiles/mio_lsm.dir/lsm/lsm_tree.cpp.o.d"
+  "CMakeFiles/mio_lsm.dir/lsm/memtable.cpp.o"
+  "CMakeFiles/mio_lsm.dir/lsm/memtable.cpp.o.d"
+  "CMakeFiles/mio_lsm.dir/lsm/merging_iterator.cpp.o"
+  "CMakeFiles/mio_lsm.dir/lsm/merging_iterator.cpp.o.d"
+  "CMakeFiles/mio_lsm.dir/lsm/version_set.cpp.o"
+  "CMakeFiles/mio_lsm.dir/lsm/version_set.cpp.o.d"
+  "libmio_lsm.a"
+  "libmio_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

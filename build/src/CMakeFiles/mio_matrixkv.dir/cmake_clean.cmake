@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_matrixkv.dir/matrixkv/matrix_container.cpp.o"
+  "CMakeFiles/mio_matrixkv.dir/matrixkv/matrix_container.cpp.o.d"
+  "CMakeFiles/mio_matrixkv.dir/matrixkv/matrixkv.cpp.o"
+  "CMakeFiles/mio_matrixkv.dir/matrixkv/matrixkv.cpp.o.d"
+  "libmio_matrixkv.a"
+  "libmio_matrixkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_matrixkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_mem.dir/mem/arena.cpp.o"
+  "CMakeFiles/mio_mem.dir/mem/arena.cpp.o.d"
+  "libmio_mem.a"
+  "libmio_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mio_mem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mio_mem.
+# This may be replaced when dependencies are built.

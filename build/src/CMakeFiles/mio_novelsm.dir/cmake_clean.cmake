@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_novelsm.dir/novelsm/novelsm.cpp.o"
+  "CMakeFiles/mio_novelsm.dir/novelsm/novelsm.cpp.o.d"
+  "libmio_novelsm.a"
+  "libmio_novelsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_novelsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

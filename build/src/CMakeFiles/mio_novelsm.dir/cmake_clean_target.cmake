@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmio_novelsm.a"
+)

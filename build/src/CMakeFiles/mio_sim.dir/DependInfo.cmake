@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/nvm_device.cpp" "src/CMakeFiles/mio_sim.dir/sim/nvm_device.cpp.o" "gcc" "src/CMakeFiles/mio_sim.dir/sim/nvm_device.cpp.o.d"
+  "/root/repo/src/sim/ssd_device.cpp" "src/CMakeFiles/mio_sim.dir/sim/ssd_device.cpp.o" "gcc" "src/CMakeFiles/mio_sim.dir/sim/ssd_device.cpp.o.d"
+  "/root/repo/src/sim/storage_medium.cpp" "src/CMakeFiles/mio_sim.dir/sim/storage_medium.cpp.o" "gcc" "src/CMakeFiles/mio_sim.dir/sim/storage_medium.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

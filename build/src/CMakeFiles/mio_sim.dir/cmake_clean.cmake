@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_sim.dir/sim/nvm_device.cpp.o"
+  "CMakeFiles/mio_sim.dir/sim/nvm_device.cpp.o.d"
+  "CMakeFiles/mio_sim.dir/sim/ssd_device.cpp.o"
+  "CMakeFiles/mio_sim.dir/sim/ssd_device.cpp.o.d"
+  "CMakeFiles/mio_sim.dir/sim/storage_medium.cpp.o"
+  "CMakeFiles/mio_sim.dir/sim/storage_medium.cpp.o.d"
+  "libmio_sim.a"
+  "libmio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_skiplist.dir/skiplist/skiplist.cpp.o"
+  "CMakeFiles/mio_skiplist.dir/skiplist/skiplist.cpp.o.d"
+  "libmio_skiplist.a"
+  "libmio_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

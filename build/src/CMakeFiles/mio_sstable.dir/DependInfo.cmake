@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sstable/block_builder.cpp" "src/CMakeFiles/mio_sstable.dir/sstable/block_builder.cpp.o" "gcc" "src/CMakeFiles/mio_sstable.dir/sstable/block_builder.cpp.o.d"
+  "/root/repo/src/sstable/block_reader.cpp" "src/CMakeFiles/mio_sstable.dir/sstable/block_reader.cpp.o" "gcc" "src/CMakeFiles/mio_sstable.dir/sstable/block_reader.cpp.o.d"
+  "/root/repo/src/sstable/table_builder.cpp" "src/CMakeFiles/mio_sstable.dir/sstable/table_builder.cpp.o" "gcc" "src/CMakeFiles/mio_sstable.dir/sstable/table_builder.cpp.o.d"
+  "/root/repo/src/sstable/table_cache.cpp" "src/CMakeFiles/mio_sstable.dir/sstable/table_cache.cpp.o" "gcc" "src/CMakeFiles/mio_sstable.dir/sstable/table_cache.cpp.o.d"
+  "/root/repo/src/sstable/table_reader.cpp" "src/CMakeFiles/mio_sstable.dir/sstable/table_reader.cpp.o" "gcc" "src/CMakeFiles/mio_sstable.dir/sstable/table_reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_sstable.dir/sstable/block_builder.cpp.o"
+  "CMakeFiles/mio_sstable.dir/sstable/block_builder.cpp.o.d"
+  "CMakeFiles/mio_sstable.dir/sstable/block_reader.cpp.o"
+  "CMakeFiles/mio_sstable.dir/sstable/block_reader.cpp.o.d"
+  "CMakeFiles/mio_sstable.dir/sstable/table_builder.cpp.o"
+  "CMakeFiles/mio_sstable.dir/sstable/table_builder.cpp.o.d"
+  "CMakeFiles/mio_sstable.dir/sstable/table_cache.cpp.o"
+  "CMakeFiles/mio_sstable.dir/sstable/table_cache.cpp.o.d"
+  "CMakeFiles/mio_sstable.dir/sstable/table_reader.cpp.o"
+  "CMakeFiles/mio_sstable.dir/sstable/table_reader.cpp.o.d"
+  "libmio_sstable.a"
+  "libmio_sstable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_sstable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/clock.cpp" "src/CMakeFiles/mio_util.dir/util/clock.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/clock.cpp.o.d"
+  "/root/repo/src/util/coding.cpp" "src/CMakeFiles/mio_util.dir/util/coding.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/coding.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/mio_util.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/CMakeFiles/mio_util.dir/util/hash.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/hash.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/mio_util.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/mio_util.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/slice.cpp" "src/CMakeFiles/mio_util.dir/util/slice.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/slice.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/mio_util.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/status.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/mio_util.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/util/zipfian.cpp" "src/CMakeFiles/mio_util.dir/util/zipfian.cpp.o" "gcc" "src/CMakeFiles/mio_util.dir/util/zipfian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

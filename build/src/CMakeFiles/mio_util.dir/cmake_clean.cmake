@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_util.dir/util/clock.cpp.o"
+  "CMakeFiles/mio_util.dir/util/clock.cpp.o.d"
+  "CMakeFiles/mio_util.dir/util/coding.cpp.o"
+  "CMakeFiles/mio_util.dir/util/coding.cpp.o.d"
+  "CMakeFiles/mio_util.dir/util/flags.cpp.o"
+  "CMakeFiles/mio_util.dir/util/flags.cpp.o.d"
+  "CMakeFiles/mio_util.dir/util/hash.cpp.o"
+  "CMakeFiles/mio_util.dir/util/hash.cpp.o.d"
+  "CMakeFiles/mio_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/mio_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/mio_util.dir/util/random.cpp.o"
+  "CMakeFiles/mio_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/mio_util.dir/util/slice.cpp.o"
+  "CMakeFiles/mio_util.dir/util/slice.cpp.o.d"
+  "CMakeFiles/mio_util.dir/util/status.cpp.o"
+  "CMakeFiles/mio_util.dir/util/status.cpp.o.d"
+  "CMakeFiles/mio_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/mio_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/mio_util.dir/util/zipfian.cpp.o"
+  "CMakeFiles/mio_util.dir/util/zipfian.cpp.o.d"
+  "libmio_util.a"
+  "libmio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_wal.dir/wal/log_reader.cpp.o"
+  "CMakeFiles/mio_wal.dir/wal/log_reader.cpp.o.d"
+  "CMakeFiles/mio_wal.dir/wal/log_writer.cpp.o"
+  "CMakeFiles/mio_wal.dir/wal/log_writer.cpp.o.d"
+  "libmio_wal.a"
+  "libmio_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mio_ycsb.dir/ycsb/runner.cpp.o"
+  "CMakeFiles/mio_ycsb.dir/ycsb/runner.cpp.o.d"
+  "CMakeFiles/mio_ycsb.dir/ycsb/workload.cpp.o"
+  "CMakeFiles/mio_ycsb.dir/ycsb/workload.cpp.o.d"
+  "libmio_ycsb.a"
+  "libmio_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mio_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_copy_merge_test.dir/lazy_copy_merge_test.cpp.o"
+  "CMakeFiles/lazy_copy_merge_test.dir/lazy_copy_merge_test.cpp.o.d"
+  "lazy_copy_merge_test"
+  "lazy_copy_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_copy_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_manager_test.dir/level_manager_test.cpp.o"
+  "CMakeFiles/level_manager_test.dir/level_manager_test.cpp.o.d"
+  "level_manager_test"
+  "level_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

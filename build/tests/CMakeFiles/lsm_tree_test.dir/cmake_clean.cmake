@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_tree_test.dir/lsm_tree_test.cpp.o"
+  "CMakeFiles/lsm_tree_test.dir/lsm_tree_test.cpp.o.d"
+  "lsm_tree_test"
+  "lsm_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrixkv_test.dir/matrixkv_test.cpp.o"
+  "CMakeFiles/matrixkv_test.dir/matrixkv_test.cpp.o.d"
+  "matrixkv_test"
+  "matrixkv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrixkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for matrixkv_test.
+# This may be replaced when dependencies are built.

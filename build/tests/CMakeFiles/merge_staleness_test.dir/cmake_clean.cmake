@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_staleness_test.dir/merge_staleness_test.cpp.o"
+  "CMakeFiles/merge_staleness_test.dir/merge_staleness_test.cpp.o.d"
+  "merge_staleness_test"
+  "merge_staleness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_staleness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

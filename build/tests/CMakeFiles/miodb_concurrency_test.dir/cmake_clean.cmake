@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miodb_concurrency_test.dir/miodb_concurrency_test.cpp.o"
+  "CMakeFiles/miodb_concurrency_test.dir/miodb_concurrency_test.cpp.o.d"
+  "miodb_concurrency_test"
+  "miodb_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miodb_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miodb_recovery_test.dir/miodb_recovery_test.cpp.o"
+  "CMakeFiles/miodb_recovery_test.dir/miodb_recovery_test.cpp.o.d"
+  "miodb_recovery_test"
+  "miodb_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miodb_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

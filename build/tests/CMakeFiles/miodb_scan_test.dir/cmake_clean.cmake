@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miodb_scan_test.dir/miodb_scan_test.cpp.o"
+  "CMakeFiles/miodb_scan_test.dir/miodb_scan_test.cpp.o.d"
+  "miodb_scan_test"
+  "miodb_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miodb_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

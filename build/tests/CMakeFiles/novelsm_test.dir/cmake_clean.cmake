@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/novelsm_test.dir/novelsm_test.cpp.o"
+  "CMakeFiles/novelsm_test.dir/novelsm_test.cpp.o.d"
+  "novelsm_test"
+  "novelsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/novelsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_piece_flush_test.dir/one_piece_flush_test.cpp.o"
+  "CMakeFiles/one_piece_flush_test.dir/one_piece_flush_test.cpp.o.d"
+  "one_piece_flush_test"
+  "one_piece_flush_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_piece_flush_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for one_piece_flush_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_device_test.dir/ssd_device_test.cpp.o"
+  "CMakeFiles/ssd_device_test.dir/ssd_device_test.cpp.o.d"
+  "ssd_device_test"
+  "ssd_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstable_test.dir/sstable_test.cpp.o"
+  "CMakeFiles/sstable_test.dir/sstable_test.cpp.o.d"
+  "sstable_test"
+  "sstable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_parity_test.dir/store_parity_test.cpp.o"
+  "CMakeFiles/store_parity_test.dir/store_parity_test.cpp.o.d"
+  "store_parity_test"
+  "store_parity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_corruption_test.dir/wal_corruption_test.cpp.o"
+  "CMakeFiles/wal_corruption_test.dir/wal_corruption_test.cpp.o.d"
+  "wal_corruption_test"
+  "wal_corruption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

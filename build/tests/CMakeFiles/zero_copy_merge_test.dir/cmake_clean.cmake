@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_copy_merge_test.dir/zero_copy_merge_test.cpp.o"
+  "CMakeFiles/zero_copy_merge_test.dir/zero_copy_merge_test.cpp.o.d"
+  "zero_copy_merge_test"
+  "zero_copy_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_copy_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
