@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Writer-threads scaling micro-benchmark for the group-commit write
+ * pipeline: concurrent put throughput at 1/2/4/8 writer threads with
+ * group commit enabled vs disabled, plus the grouping stats
+ * (groups committed, mean group size, WAL appends saved).
+ */
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "benchutil/reporter.h"
+#include "benchutil/store_factory.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+namespace {
+
+struct RunResult {
+    double kiops = 0;
+    double seconds = 0;
+    StatsSnapshot stats;
+};
+
+RunResult
+runWriters(const BenchConfig &base, int threads, bool group_commit)
+{
+    BenchConfig config = base;
+    config.store = "miodb";
+    config.group_commit = group_commit;
+    StoreBundle bundle = makeStore(config);
+
+    const uint64_t total_ops = config.numKeys();
+    const uint64_t per_thread = total_ops / threads;
+    std::string value(config.value_size, 'm');
+
+    const StatsSnapshot before = snapshotOf(bundle.store->stats());
+    Stopwatch timer;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < threads; t++) {
+        writers.emplace_back([&, t] {
+            Random rng(config.seed + t * 977);
+            for (uint64_t i = 0; i < per_thread; i++) {
+                // Disjoint per-thread key spaces, random order.
+                uint64_t k = t * 10000000ull +
+                             rng.uniform(static_cast<uint32_t>(
+                                 per_thread));
+                bundle.store->put(makeKey(k), value);
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+
+    RunResult r;
+    r.seconds = timer.elapsedSeconds();
+    uint64_t ops = per_thread * threads;
+    r.kiops = r.seconds > 0 ? ops / r.seconds / 1000.0 : 0;
+    r.stats =
+        statsDelta(snapshotOf(bundle.store->stats()), before);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = 8u << 20;
+    if (!flags.has("value_size"))
+        base.value_size = 128;
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 1u << 20;
+
+    printExperimentHeader("micro_multiwriter",
+                          "Concurrent-put scaling: group commit on "
+                          "vs off across writer thread counts");
+
+    TableReporter tbl("Group-commit writer scaling (fillrandom, " +
+                          std::to_string(base.value_size) +
+                          "B values)",
+                      {"threads", "mode", "KIOPS", "speedup",
+                       "groups", "avg group", "WAL saved"});
+    for (int threads : {1, 2, 4, 8}) {
+        RunResult off = runWriters(base, threads, false);
+        RunResult on = runWriters(base, threads, true);
+        double speedup = off.kiops > 0 ? on.kiops / off.kiops : 0;
+        tbl.addRow({std::to_string(threads), "off",
+                    TableReporter::num(off.kiops, 1), "1.00",
+                    std::to_string(off.stats.groups_committed),
+                    TableReporter::num(off.stats.averageGroupSize(),
+                                       2),
+                    std::to_string(off.stats.wal_appends_saved)});
+        tbl.addRow({std::to_string(threads), "on",
+                    TableReporter::num(on.kiops, 1),
+                    TableReporter::num(speedup, 2),
+                    std::to_string(on.stats.groups_committed),
+                    TableReporter::num(on.stats.averageGroupSize(),
+                                       2),
+                    std::to_string(on.stats.wal_appends_saved)});
+    }
+    tbl.print();
+
+    printf("\nGroup commit coalesces concurrent writers behind one "
+           "leader: a single combined WAL record (one NVM append + "
+           "persist) covers the whole group, so per-record latency "
+           "amortizes across writers while single-writer traffic "
+           "keeps the singleton encoding.\n");
+    return 0;
+}

@@ -56,6 +56,9 @@ BenchConfig::fromFlags(const Flags &flags)
     c.zero_copy = flags.getBool("zero_copy", c.zero_copy);
     c.parallel_compaction =
         flags.getBool("parallel_compaction", c.parallel_compaction);
+    c.group_commit = flags.getBool("group_commit", c.group_commit);
+    c.max_group_bytes =
+        flags.getSize("max_group_bytes", c.max_group_bytes);
     return c;
 }
 
@@ -103,6 +106,8 @@ makeStore(const BenchConfig &config)
         o.one_piece_flush = config.one_piece_flush;
         o.zero_copy_merge = config.zero_copy;
         o.parallel_compaction = config.parallel_compaction;
+        o.group_commit = config.group_commit;
+        o.max_group_bytes = config.max_group_bytes;
         o.nvm_buffer_cap_bytes = config.miodb_buffer_cap;
         o.use_ssd_repository = config.ssd_mode;
         o.ssd_lsm = scaledLsmOptions(config);

@@ -58,6 +58,9 @@ struct BenchConfig {
     bool one_piece_flush = true;
     bool zero_copy = true;
     bool parallel_compaction = true;
+    // Write-pipeline toggles (bench/micro_multiwriter sweeps these).
+    bool group_commit = true;
+    uint64_t max_group_bytes = 1u << 20;
 
     uint64_t
     numKeys() const

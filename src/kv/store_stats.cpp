@@ -30,6 +30,11 @@ snapshotOf(const StatsCounters &c)
     s.deletes = get(c.deletes);
     s.scans = get(c.scans);
     s.bloom_filter_skips = get(c.bloom_filter_skips);
+    s.groups_committed = get(c.groups_committed);
+    s.group_writers = get(c.group_writers);
+    s.wal_appends_saved = get(c.wal_appends_saved);
+    for (int i = 0; i < StatsCounters::kGroupSizeBuckets; i++)
+        s.group_size_hist[i] = get(c.group_size_hist[i]);
     return s;
 }
 
@@ -57,6 +62,11 @@ statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
     d.deletes = a.deletes - b.deletes;
     d.scans = a.scans - b.scans;
     d.bloom_filter_skips = a.bloom_filter_skips - b.bloom_filter_skips;
+    d.groups_committed = a.groups_committed - b.groups_committed;
+    d.group_writers = a.group_writers - b.group_writers;
+    d.wal_appends_saved = a.wal_appends_saved - b.wal_appends_saved;
+    for (int i = 0; i < StatsCounters::kGroupSizeBuckets; i++)
+        d.group_size_hist[i] = a.group_size_hist[i] - b.group_size_hist[i];
     return d;
 }
 
@@ -67,14 +77,18 @@ StatsSnapshot::toString() const
     snprintf(buf, sizeof(buf),
              "interval_stall=%.3fs cumulative_stall=%.3fs flush=%.3fs "
              "(%llu tables) ser=%.3fs deser=%.3fs WA=%.2fx "
-             "compactions=%llu (zero-copy=%llu lazy=%llu)",
+             "compactions=%llu (zero-copy=%llu lazy=%llu) "
+             "groups=%llu avg_group=%.2f wal_saved=%llu",
              interval_stall_ns / 1e9, cumulative_stall_ns / 1e9,
              flush_ns / 1e9, static_cast<unsigned long long>(flush_count),
              serialization_ns / 1e9, deserialization_ns / 1e9,
              writeAmplification(),
              static_cast<unsigned long long>(compaction_count),
              static_cast<unsigned long long>(zero_copy_merges),
-             static_cast<unsigned long long>(lazy_copy_merges));
+             static_cast<unsigned long long>(lazy_copy_merges),
+             static_cast<unsigned long long>(groups_committed),
+             averageGroupSize(),
+             static_cast<unsigned long long>(wal_appends_saved));
     return buf;
 }
 

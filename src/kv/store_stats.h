@@ -51,6 +51,29 @@ struct StatsCounters {
     std::atomic<uint64_t> deletes{0};
     std::atomic<uint64_t> scans{0};
     std::atomic<uint64_t> bloom_filter_skips{0};
+
+    // -- group commit (write pipeline) --
+    /** Log2-ish buckets of writers-per-group: 1, 2, 3-4, 5-8, ... */
+    static constexpr int kGroupSizeBuckets = 8;
+    /** Commit groups published by a leader writer. */
+    std::atomic<uint64_t> groups_committed{0};
+    /** Writer records committed through groups (>= groups_committed). */
+    std::atomic<uint64_t> group_writers{0};
+    /** WAL record appends avoided by combining writers into groups. */
+    std::atomic<uint64_t> wal_appends_saved{0};
+    std::atomic<uint64_t> group_size_hist[kGroupSizeBuckets]{};
+
+    /** Bucket index for a group of @p writers members. */
+    static int
+    groupSizeBucket(uint64_t writers)
+    {
+        int b = 0;
+        while (writers > 1 && b < kGroupSizeBuckets - 1) {
+            writers = (writers + 1) >> 1;
+            b++;
+        }
+        return b;
+    }
 };
 
 /** Plain-value snapshot of StatsCounters. */
@@ -74,6 +97,20 @@ struct StatsSnapshot {
     uint64_t deletes = 0;
     uint64_t scans = 0;
     uint64_t bloom_filter_skips = 0;
+    uint64_t groups_committed = 0;
+    uint64_t group_writers = 0;
+    uint64_t wal_appends_saved = 0;
+    uint64_t group_size_hist[StatsCounters::kGroupSizeBuckets] = {};
+
+    /** Mean writers per commit group (1.0 when grouping never fired). */
+    double
+    averageGroupSize() const
+    {
+        if (groups_committed == 0)
+            return 0.0;
+        return static_cast<double>(group_writers) /
+               static_cast<double>(groups_committed);
+    }
 
     /**
      * Write amplification as the paper defines it: all persistent

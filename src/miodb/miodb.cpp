@@ -140,6 +140,7 @@ MioDB::~MioDB()
     shutting_down_.store(true);
     sched_cv_.notify_all();
     imm_cv_.notify_all();
+    notifyCapWaiters();
     flush_thread_.join();
     for (auto &t : compaction_threads_)
         t.join();
@@ -151,6 +152,7 @@ void
 MioDB::simulateCrash()
 {
     crashed_.store(true);
+    notifyCapWaiters();
 }
 
 void
@@ -210,19 +212,33 @@ MioDB::appendWal(uint64_t seq, EntryType type, const Slice &key,
 }
 
 void
-MioDB::appendWalBatch(const WriteBatch &batch, size_t from,
-                      uint64_t first_seq)
+MioDB::appendWalOps(const std::vector<OpRef> &ops, size_t from,
+                    uint64_t first_seq)
 {
     std::string record;
-    record.push_back(kWalTagBatch);
-    putFixed64(&record, first_seq);
-    putVarint32(&record,
-                static_cast<uint32_t>(batch.count() - from));
-    for (size_t i = from; i < batch.count(); i++) {
-        const WriteBatch::Op &op = batch.ops()[i];
+    const size_t n = ops.size() - from;
+    if (n == 1) {
+        // Singleton groups keep the compact single-op encoding.
+        const OpRef &op = ops[from];
+        record.reserve(op.key.size() + op.value.size() + 20);
+        record.push_back(kWalTagSingle);
+        putFixed64(&record, first_seq);
         record.push_back(static_cast<char>(op.type));
-        putLengthPrefixedSlice(&record, Slice(op.key));
-        putLengthPrefixedSlice(&record, Slice(op.value));
+        putLengthPrefixedSlice(&record, op.key);
+        putLengthPrefixedSlice(&record, op.value);
+    } else {
+        size_t payload = 16;
+        for (size_t i = from; i < ops.size(); i++)
+            payload += ops[i].key.size() + ops[i].value.size() + 11;
+        record.reserve(payload);
+        record.push_back(kWalTagBatch);
+        putFixed64(&record, first_seq);
+        putVarint32(&record, static_cast<uint32_t>(n));
+        for (size_t i = from; i < ops.size(); i++) {
+            record.push_back(static_cast<char>(ops[i].type));
+            putLengthPrefixedSlice(&record, ops[i].key);
+            putLengthPrefixedSlice(&record, ops[i].value);
+        }
     }
     mem_wal_->append(Slice(record));
     stats_.wal_bytes_written.fetch_add(record.size() + 8,
@@ -333,49 +349,158 @@ MioDB::applyBufferCap()
 {
     if (options_.nvm_buffer_cap_bytes == 0)
         return;
-    if (state_->levels.totalArenaBytes() <=
-        options_.nvm_buffer_cap_bytes) {
+    auto overCap = [this] {
+        return state_->levels.totalArenaBytes() >
+               options_.nvm_buffer_cap_bytes;
+    };
+    if (!overCap())
         return;
-    }
     // Elastic-buffer ceiling reached: throttle until migration makes
     // room (counted as a cumulative stall, like the baselines').
+    // Compaction workers signal cap_cv_ whenever the footprint drops;
+    // the short wait_for is only a backstop for paths that shrink the
+    // buffer without notifying.
     ScopedTimer stall(&stats_.cumulative_stall_ns);
-    sched_cv_.notify_all();
-    while (state_->levels.totalArenaBytes() >
-               options_.nvm_buffer_cap_bytes &&
-           !shutting_down_.load() && !crashed_.load()) {
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    std::unique_lock<std::mutex> cl(cap_mu_);
+    while (overCap() && !shutting_down_.load() && !crashed_.load()) {
+        sched_cv_.notify_all();
+        cap_cv_.wait_for(cl, std::chrono::milliseconds(1));
     }
 }
 
-Status
-MioDB::writeEntry(const Slice &key, EntryType type, const Slice &value)
+void
+MioDB::notifyCapWaiters()
 {
-    Status valid = validateEntry(key, value);
-    if (!valid.isOk())
-        return valid;
+    if (options_.nvm_buffer_cap_bytes == 0)
+        return;
+    // Acquiring cap_mu_ orders this notify after any waiter's
+    // predicate check, so a footprint drop cannot be missed.
+    { std::lock_guard<std::mutex> cl(cap_mu_); }
+    cap_cv_.notify_all();
+}
 
-    std::lock_guard<std::mutex> lock(write_mu_);
-    applyBufferCap();
-    uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
-    if (options_.enable_wal)
-        appendWal(seq, type, key, value);
-    if (!mem_->add(key, seq, type, value)) {
-        rotateMemTable();
-        if (options_.enable_wal)
-            appendWal(seq, type, key, value);
-        bool ok = mem_->add(key, seq, type, value);
-        assert(ok);
-        (void)ok;
+Status
+MioDB::writeImpl(Writer *w)
+{
+    std::unique_lock<std::mutex> lock(write_mu_);
+    writers_.push_back(w);
+    while (!w->done && w != writers_.front())
+        w->cv.wait(lock);
+    if (w->done)
+        return w->status;
+
+    // This writer is the leader: claim followers (in queue order) up
+    // to the group byte budget and reserve one contiguous sequence
+    // block for every op in the group.
+    std::vector<Writer *> group;
+    group.push_back(w);
+    size_t group_bytes = w->payload_bytes;
+    uint64_t group_ops = w->op_count;
+    if (options_.group_commit) {
+        for (auto it = writers_.begin() + 1; it != writers_.end();
+             ++it) {
+            Writer *f = *it;
+            if (group_bytes + f->payload_bytes >
+                options_.max_group_bytes) {
+                break;
+            }
+            group.push_back(f);
+            group_bytes += f->payload_bytes;
+            group_ops += f->op_count;
+        }
     }
-    stats_.user_bytes_written.fetch_add(key.size() + value.size(),
+    uint64_t base_seq =
+        seq_.fetch_add(group_ops, std::memory_order_relaxed);
+    lock.unlock();
+
+    // Commit outside write_mu_: leadership serializes this section
+    // (only the queue front commits), and releasing the mutex lets
+    // later writers enqueue meanwhile -- that window is what forms
+    // the next group.
+    applyBufferCap();
+    Status s = commitGroup(group, base_seq);
+
+    lock.lock();
+    for (Writer *member : group) {
+        assert(writers_.front() == member);
+        writers_.pop_front();
+        if (member != w) {
+            member->status = s;
+            member->done = true;
+            member->cv.notify_one();
+        }
+    }
+    if (!writers_.empty())
+        writers_.front()->cv.notify_one();
+    return s;
+}
+
+Status
+MioDB::commitGroup(const std::vector<Writer *> &group,
+                   uint64_t base_seq)
+{
+    size_t total_ops = 0;
+    for (const Writer *m : group)
+        total_ops += m->op_count;
+    std::vector<OpRef> ops;
+    ops.reserve(total_ops);
+    size_t user_bytes = 0;
+    for (const Writer *m : group) {
+        if (m->batch != nullptr) {
+            for (const WriteBatch::Op &op : m->batch->ops()) {
+                ops.push_back(
+                    OpRef{op.type, Slice(op.key), Slice(op.value)});
+            }
+            user_bytes += m->batch->byteSize();
+        } else {
+            ops.push_back(OpRef{m->type, m->key, m->value});
+            user_bytes += m->key.size() + m->value.size();
+        }
+    }
+
+    uint64_t wal_appends = 0;
+    if (options_.enable_wal) {
+        appendWalOps(ops, 0, base_seq);
+        wal_appends++;
+    }
+    for (size_t i = 0; i < ops.size(); i++) {
+        const OpRef &op = ops[i];
+        uint64_t seq = base_seq + i;
+        if (!mem_->add(op.key, seq, op.type, op.value)) {
+            rotateMemTable();
+            // The new MemTable's WAL segment must cover the rest of
+            // the group (the old segment dies with the old table's
+            // flush); replay tolerates the duplicate sequences.
+            if (options_.enable_wal) {
+                appendWalOps(ops, i, seq);
+                wal_appends++;
+            }
+            bool ok = mem_->add(op.key, seq, op.type, op.value);
+            assert(ok);
+            (void)ok;
+        }
+    }
+
+    stats_.user_bytes_written.fetch_add(user_bytes,
                                         std::memory_order_relaxed);
+    stats_.groups_committed.fetch_add(1, std::memory_order_relaxed);
+    stats_.group_writers.fetch_add(group.size(),
+                                   std::memory_order_relaxed);
+    if (options_.enable_wal && group.size() > wal_appends) {
+        stats_.wal_appends_saved.fetch_add(group.size() - wal_appends,
+                                           std::memory_order_relaxed);
+    }
+    stats_
+        .group_size_hist[StatsCounters::groupSizeBucket(group.size())]
+        .fetch_add(1, std::memory_order_relaxed);
     return Status::ok();
 }
 
 void
 MioDB::rotateMemTable()
 {
+    // Caller is the commit leader (or otherwise exclusive), so mem_
+    // and the WAL handle can be swapped without write_mu_.
     std::unique_lock<std::mutex> il(imm_mu_);
     imms_.push_back(Immutable{mem_, mem_wal_id_});
     // One-piece flushing is fast, but if the flusher falls behind the
@@ -405,15 +530,30 @@ MioDB::rotateMemTable()
 Status
 MioDB::put(const Slice &key, const Slice &value)
 {
+    Status valid = validateEntry(key, value);
+    if (!valid.isOk())
+        return valid;
     stats_.puts.fetch_add(1, std::memory_order_relaxed);
-    return writeEntry(key, EntryType::kValue, value);
+    Writer w;
+    w.key = key;
+    w.value = value;
+    w.type = EntryType::kValue;
+    w.payload_bytes = key.size() + value.size() + 16;
+    return writeImpl(&w);
 }
 
 Status
 MioDB::remove(const Slice &key)
 {
+    Status valid = validateEntry(key, Slice());
+    if (!valid.isOk())
+        return valid;
     stats_.deletes.fetch_add(1, std::memory_order_relaxed);
-    return writeEntry(key, EntryType::kDeletion, Slice());
+    Writer w;
+    w.key = key;
+    w.type = EntryType::kDeletion;
+    w.payload_bytes = key.size() + 16;
+    return writeImpl(&w);
 }
 
 bool
@@ -567,38 +707,17 @@ MioDB::write(const WriteBatch &batch)
         Status valid = validateEntry(Slice(op.key), Slice(op.value));
         if (!valid.isOk())
             return valid;
-    }
-
-    std::lock_guard<std::mutex> lock(write_mu_);
-    applyBufferCap();
-    uint64_t base_seq =
-        seq_.fetch_add(batch.count(), std::memory_order_relaxed);
-    if (options_.enable_wal)
-        appendWalBatch(batch, 0, base_seq);
-
-    for (size_t i = 0; i < batch.count(); i++) {
-        const WriteBatch::Op &op = batch.ops()[i];
-        uint64_t seq = base_seq + i;
-        if (!mem_->add(Slice(op.key), seq, op.type, Slice(op.value))) {
-            rotateMemTable();
-            // The new MemTable's WAL segment must cover the rest of
-            // the batch (the old segment dies with the old table's
-            // flush); replay tolerates the duplicate sequences.
-            if (options_.enable_wal)
-                appendWalBatch(batch, i, seq);
-            bool ok = mem_->add(Slice(op.key), seq, op.type,
-                                Slice(op.value));
-            assert(ok);
-            (void)ok;
-        }
         if (op.type == EntryType::kValue)
             stats_.puts.fetch_add(1, std::memory_order_relaxed);
         else
             stats_.deletes.fetch_add(1, std::memory_order_relaxed);
     }
-    stats_.user_bytes_written.fetch_add(batch.byteSize(),
-                                        std::memory_order_relaxed);
-    return Status::ok();
+
+    Writer w;
+    w.batch = &batch;
+    w.op_count = batch.count();
+    w.payload_bytes = batch.byteSize() + batch.count() * 11 + 16;
+    return writeImpl(&w);
 }
 
 std::string
@@ -748,6 +867,7 @@ MioDB::compactionThreadLoop(int level)
         if (!crashed_.load())
             worked = compactLevelOnce(level);
         if (worked) {
+            notifyCapWaiters();
             sched_cv_.notify_all();
             idle_cv_.notify_all();
             continue;
@@ -769,6 +889,7 @@ MioDB::singleCompactionThreadLoop()
                 worked = compactLevelOnce(i) || worked;
         }
         if (worked) {
+            notifyCapWaiters();
             sched_cv_.notify_all();
             idle_cv_.notify_all();
             continue;

@@ -124,18 +124,57 @@ class MioDB : public KVStore
     void simulateCrash();
 
   private:
-    Status writeEntry(const Slice &key, EntryType type,
-                      const Slice &value);
+    /**
+     * One queued write: either a single op (batch == nullptr; key and
+     * value alias the caller's slices, which stay valid while the
+     * caller blocks in writeImpl) or a whole WriteBatch. Writers park
+     * on their own condition variable until a leader commits them.
+     */
+    struct Writer {
+        const WriteBatch *batch = nullptr;
+        Slice key;
+        Slice value;
+        EntryType type = EntryType::kValue;
+        size_t op_count = 1;
+        size_t payload_bytes = 0;  //!< approximate WAL payload share
+        Status status;
+        bool done = false;
+        std::condition_variable cv;
+    };
+
+    /** Flattened view of one op inside a commit group. */
+    struct OpRef {
+        EntryType type;
+        Slice key;
+        Slice value;
+    };
+
+    /**
+     * Queue @p w and block until a leader (possibly @p w itself)
+     * commits it. The front writer of writers_ becomes leader, claims
+     * followers up to options_.max_group_bytes, reserves a contiguous
+     * sequence block, and commits the whole group with one combined
+     * WAL record.
+     */
+    Status writeImpl(Writer *w);
+    /** Leader-only: WAL + MemTable apply for a claimed group. */
+    Status commitGroup(const std::vector<Writer *> &group,
+                       uint64_t base_seq);
     Status validateEntry(const Slice &key, const Slice &value) const;
     /** Throttle writers while the elastic buffer exceeds its cap. */
     void applyBufferCap();
-    void rotateMemTable();            //!< caller holds write_mu_
+    /** Wake writers throttled by applyBufferCap (footprint dropped). */
+    void notifyCapWaiters();
+    void rotateMemTable();  //!< caller is the leader (or holds write_mu_)
     std::string walName(uint64_t id) const;
     void appendWal(uint64_t seq, EntryType type, const Slice &key,
                    const Slice &value);
-    /** Log batch ops [from, end) whose first op has @p first_seq. */
-    void appendWalBatch(const WriteBatch &batch, size_t from,
-                        uint64_t first_seq);
+    /**
+     * Log group ops [from, end) as one combined record whose first op
+     * has @p first_seq; single-op spans keep the singleton encoding.
+     */
+    void appendWalOps(const std::vector<OpRef> &ops, size_t from,
+                      uint64_t first_seq);
     void replayWal();
     void replayRecord(const Slice &record, uint64_t *max_seq);
 
@@ -191,8 +230,13 @@ class MioDB : public KVStore
     std::unique_ptr<wal::WalRegistry> owned_registry_;
     wal::WalRegistry *registry_;
 
-    // Write state.
+    // Write state. write_mu_ guards only the writer queue; the leader
+    // releases it while appending the group's WAL record and applying
+    // MemTable inserts (leadership itself serializes those), so
+    // followers can enqueue during the commit -- that window is what
+    // lets groups form.
     std::mutex write_mu_;
+    std::deque<Writer *> writers_;
     std::shared_ptr<lsm::MemTable> mem_;
     uint64_t mem_wal_id_ = 0;
     uint64_t first_own_wal_id_ = 0;  //!< replay floor (see replayWal)
@@ -207,6 +251,11 @@ class MioDB : public KVStore
         uint64_t wal_id;
     };
     std::deque<Immutable> imms_;
+
+    // Buffer-cap throttling: writers wait here; compaction workers
+    // notify after shrinking the elastic buffer's footprint.
+    std::mutex cap_mu_;
+    std::condition_variable cap_cv_;
 
     std::shared_ptr<NvmState> state_;
 

@@ -47,6 +47,23 @@ struct MioOptions {
     bool enable_wal = true;
 
     /**
+     * Group commit (leader/follower write pipeline): concurrent
+     * writers queue up and the front writer commits the whole group
+     * with a single combined WAL record and one pass over the
+     * MemTable, amortizing the per-record NVM latency across every
+     * writer in the group. Disabling it degenerates each group to a
+     * single writer (the pre-pipeline behaviour).
+     */
+    bool group_commit = true;
+
+    /**
+     * Ceiling on the WAL payload bytes one commit group may combine.
+     * A larger budget amortizes more per-record cost but lengthens
+     * the latency of the writers caught in a big group.
+     */
+    size_t max_group_bytes = 1u << 20;
+
+    /**
      * DRAM-NVM-SSD mode (paper Sec. 5.4): the data repository becomes
      * a leveled LSM of SSTables on the SSD instead of a huge PMTable.
      */
