@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Exhaustive crash-consistency sweep.
+#
+# Usage:
+#   scripts/crash_sweep.sh            # full depth: 500 random seeds
+#   MIO_CRASH_SEEDS=50 scripts/crash_sweep.sh   # custom depth
+#
+# Builds, then runs the crash-labelled tests (`ctest -L crash`): the
+# failpoint registry unit/race tests plus the deterministic sweep over
+# every canonical failpoint and the randomized crash-stress run. The
+# quick in-suite default is 56 seeds; this script dials the randomized
+# pass up for a pre-merge soak.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+SEEDS="${MIO_CRASH_SEEDS:-500}"
+
+echo "=== crash sweep: build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "=== crash sweep: ctest -L crash (MIO_CRASH_SEEDS=$SEEDS)"
+(cd build &&
+     MIO_CRASH_SEEDS="$SEEDS" \
+     ctest --output-on-failure -L crash)
+echo "crash sweep passed ($SEEDS randomized seeds)"

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "sim/failpoint.h"
 #include "util/clock.h"
 
 namespace mio::lsm {
@@ -48,6 +49,9 @@ LsmTree::installBlob(std::string contents, uint64_t number,
 
     Status s = medium_->writeBlob(meta->blob_name, Slice(contents));
     assert(s.isOk());
+    // The blob exists but no version references it yet; a crash here
+    // merely orphans it (the version set is rebuilt from NvmState).
+    MIO_FAILPOINT("ssd.sstable.after_write");
     stats_->storage_bytes_written.fetch_add(contents.size(),
                                             std::memory_order_relaxed);
     s = TableReader::open(medium_, meta->blob_name, &meta->reader,
@@ -116,6 +120,10 @@ LsmTree::flushToL0(KVIterator *iter)
     }
     if (!s.isOk())
         return s;
+    // Tables written, none installed: a crash here loses the whole
+    // flush, and the caller's source table (still in the elastic
+    // buffer) is re-migrated on reopen.
+    MIO_FAILPOINT("ssd.flush.before_install");
     for (auto &meta : outputs) {
         stats_->flushed_bytes.fetch_add(meta->file_size,
                                         std::memory_order_relaxed);
@@ -245,10 +253,40 @@ LsmTree::maybeScheduleCompaction()
 }
 
 void
+LsmTree::recoverFromCrash()
+{
+    if (!crashed_.load())
+        return;
+    // Drain the surviving workers, then restart a full complement.
+    {
+        std::unique_lock<std::mutex> lock(work_mu_);
+        shutting_down_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : compaction_threads_)
+        t.join();
+    compaction_threads_.clear();
+    {
+        std::unique_lock<std::mutex> lock(work_mu_);
+        shutting_down_ = false;
+        crashed_.store(false);
+    }
+    int threads = options_.compaction_threads;
+    if (threads < 1)
+        threads = 1;
+    for (int i = 0; i < threads; i++) {
+        compaction_threads_.emplace_back(
+            [this] { compactionThreadLoop(); });
+    }
+}
+
+void
 LsmTree::waitIdle()
 {
     std::unique_lock<std::mutex> lock(work_mu_);
     idle_cv_.wait(lock, [this] {
+        if (crashed_.load())
+            return true;
         if (running_compactions_ > 0)
             return false;
         CompactionJob job = versions_.pickCompaction();
@@ -266,7 +304,7 @@ LsmTree::compactionThreadLoop()
 {
     sim::markSimBackgroundThread();
     std::unique_lock<std::mutex> lock(work_mu_);
-    while (!shutting_down_) {
+    while (!shutting_down_ && !crashed_.load()) {
         CompactionJob job = versions_.pickCompaction();
         if (!job.valid()) {
             idle_cv_.notify_all();
@@ -275,7 +313,16 @@ LsmTree::compactionThreadLoop()
         }
         running_compactions_++;
         lock.unlock();
-        doCompaction(job);
+        try {
+            doCompaction(job);
+        } catch (const sim::SimCrash &) {
+            versions_.releaseJob(job);
+            crashed_.store(true);
+            lock.lock();
+            running_compactions_--;
+            idle_cv_.notify_all();
+            return;
+        }
         lock.lock();
         running_compactions_--;
         idle_cv_.notify_all();

@@ -9,6 +9,7 @@
 #ifndef MIO_LSM_LSM_TREE_H_
 #define MIO_LSM_LSM_TREE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <string>
@@ -91,6 +92,13 @@ class LsmTree
     /** Re-point the stats sink (adopting owner changed). */
     void rebindStats(StatsCounters *stats) { stats_ = stats; }
 
+    /**
+     * Revive the tree after a SimCrash killed a compaction thread:
+     * clear the crashed flag and respawn the dead workers. SSTables
+     * and the version set are the durable state; nothing to repair.
+     */
+    void recoverFromCrash();
+
   private:
     void compactionThreadLoop();
     /** @return true if a job ran. */
@@ -122,6 +130,9 @@ class LsmTree
     std::condition_variable idle_cv_;
     int running_compactions_ = 0;
     bool shutting_down_ = false;
+    /** A failpoint (sim::SimCrash) killed a compaction thread: no
+     *  further compactions run, and waitIdle returns immediately. */
+    std::atomic<bool> crashed_{false};
     std::vector<std::thread> compaction_threads_;
 };
 

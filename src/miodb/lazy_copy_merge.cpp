@@ -2,6 +2,7 @@
 
 #include "lsm/iterator.h"
 #include "miodb/skiplist_merge_util.h"
+#include "sim/failpoint.h"
 #include "util/clock.h"
 
 namespace mio::miodb {
@@ -47,6 +48,9 @@ PmRepository::mergeTable(PMTable *src)
 
     for (SkipList::Node *n = src->list().first(); n != nullptr;
          n = n->nextRelaxed(0)) {
+        // Publishing is idempotent per (key, seq): a crashed merge is
+        // simply re-run from the surviving source table.
+        MIO_FAILPOINT("lcm.publish_node");
         // Level-0 order is (key asc, seq desc): the first occurrence
         // of a key is its newest version; skip the rest.
         if (has_last && n->key() == Slice(last_key))

@@ -51,6 +51,13 @@ class Repository
      * a (simulated) crash.
      */
     virtual void rebindStats(StatsCounters *stats) = 0;
+
+    /**
+     * Restart repository-internal background machinery that a
+     * SimCrash froze (SSD-mode compaction threads). The data itself
+     * is durable; only the worker state needs reviving.
+     */
+    virtual void recoverAfterCrash() {}
 };
 
 /** Huge persistent skip list in NVM (the paper's primary design). */
@@ -98,6 +105,7 @@ class SsdRepository : public Repository
         stats_ = stats;
         lsm_.rebindStats(stats);
     }
+    void recoverAfterCrash() override { lsm_.recoverFromCrash(); }
 
     lsm::LsmTree &lsm() { return lsm_; }
 

@@ -6,6 +6,7 @@
 
 #include "lsm/merging_iterator.h"
 #include "miodb/one_piece_flush.h"
+#include "sim/failpoint.h"
 #include "util/clock.h"
 #include "util/coding.h"
 
@@ -77,8 +78,10 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
         state_ = std::make_shared<NvmState>(options_.elastic_levels);
     }
     if (state_->repo != nullptr) {
-        // Adopted image: its repository must charge this instance.
+        // Adopted image: its repository must charge this instance,
+        // and any worker machinery a SimCrash froze must restart.
         state_->repo->rebindStats(&stats_);
+        state_->repo->recoverAfterCrash();
     } else {
         if (options_.use_ssd_repository) {
             assert(ssd_ != nullptr &&
@@ -134,7 +137,9 @@ MioDB::~MioDB()
         sched_cv_.notify_all();
         {
             std::unique_lock<std::mutex> il(imm_mu_);
-            imm_cv_.wait(il, [this] { return imms_.empty(); });
+            imm_cv_.wait(il, [this] {
+                return imms_.empty() || crashed_.load();
+            });
         }
     }
     shutting_down_.store(true);
@@ -151,8 +156,19 @@ MioDB::~MioDB()
 void
 MioDB::simulateCrash()
 {
+    onSimCrash();
+}
+
+void
+MioDB::onSimCrash()
+{
     crashed_.store(true);
     notifyCapWaiters();
+    // Wake everything that could be parked on store progress: a leader
+    // stalled in rotateMemTable, waitIdle callers, worker loops.
+    sched_cv_.notify_all();
+    imm_cv_.notify_all();
+    idle_cv_.notify_all();
 }
 
 void
@@ -288,15 +304,19 @@ MioDB::replayRecord(const Slice &record, uint64_t *max_seq)
 
     auto apply = [&](uint64_t op_seq, EntryType type, const Slice &key,
                      const Slice &value) {
-        // Re-log under the fresh segment so the old one can go.
-        if (options_.enable_wal)
-            appendWal(op_seq, type, key, value);
+        // Insert first, re-log under the CURRENT segment second, so
+        // the re-logged copy always lands in the segment paired with
+        // the table that holds the entry. (Log-first could strand the
+        // record in a segment that dies with the previous table's
+        // flush when the insert triggers a rotation.)
         if (!mem_->add(key, op_seq, type, value)) {
             rotateMemTable();
             bool ok = mem_->add(key, op_seq, type, value);
             assert(ok && "replayed entry exceeds MemTable size");
             (void)ok;
         }
+        if (options_.enable_wal)
+            appendWal(op_seq, type, key, value);
         *max_seq = std::max(*max_seq, op_seq + 1);
     };
 
@@ -382,6 +402,8 @@ MioDB::notifyCapWaiters()
 Status
 MioDB::writeImpl(Writer *w)
 {
+    if (crashed_.load())
+        return Status::ioError("simulated crash: store is frozen");
     std::unique_lock<std::mutex> lock(write_mu_);
     writers_.push_back(w);
     while (!w->done && w != writers_.front())
@@ -418,7 +440,21 @@ MioDB::writeImpl(Writer *w)
     // later writers enqueue meanwhile -- that window is what forms
     // the next group.
     applyBufferCap();
-    Status s = commitGroup(group, base_seq);
+    Status s;
+    if (crashed_.load()) {
+        s = Status::ioError("simulated crash: store is frozen");
+    } else {
+        try {
+            s = commitGroup(group, base_seq);
+        } catch (const sim::SimCrash &crash) {
+            // The leader hit an armed failpoint: freeze the store and
+            // fail the whole group (no member may believe its op was
+            // acknowledged -- recovery decides what survived).
+            onSimCrash();
+            s = Status::ioError(std::string("simulated crash at ") +
+                                crash.point());
+        }
+    }
 
     lock.lock();
     for (Writer *member : group) {
@@ -460,20 +496,30 @@ MioDB::commitGroup(const std::vector<Writer *> &group,
 
     uint64_t wal_appends = 0;
     if (options_.enable_wal) {
+        // A crash before the combined record loses the WHOLE group; a
+        // crash after it makes the whole group durable. Never partial.
+        MIO_FAILPOINT("group.before_wal");
         appendWalOps(ops, 0, base_seq);
+        MIO_FAILPOINT("group.after_wal");
         wal_appends++;
     }
     for (size_t i = 0; i < ops.size(); i++) {
         const OpRef &op = ops[i];
         uint64_t seq = base_seq + i;
+        // Crashing mid-apply loses only DRAM state; the WAL record
+        // above already made the full group recoverable.
+        MIO_FAILPOINT("group.apply_op");
         if (!mem_->add(op.key, seq, op.type, op.value)) {
-            rotateMemTable();
             // The new MemTable's WAL segment must cover the rest of
             // the group (the old segment dies with the old table's
-            // flush); replay tolerates the duplicate sequences.
+            // flush); replay tolerates the duplicate sequences. The
+            // re-log runs inside the rotation, before the old table
+            // becomes flushable, so no crash can tear the group.
             if (options_.enable_wal) {
-                appendWalOps(ops, i, seq);
+                rotateMemTable([&] { appendWalOps(ops, i, seq); });
                 wal_appends++;
+            } else {
+                rotateMemTable();
             }
             bool ok = mem_->add(op.key, seq, op.type, op.value);
             assert(ok);
@@ -497,12 +543,24 @@ MioDB::commitGroup(const std::vector<Writer *> &group,
 }
 
 void
-MioDB::rotateMemTable()
+MioDB::rotateMemTable(const std::function<void()> &relog)
 {
     // Caller is the commit leader (or otherwise exclusive), so mem_
     // and the WAL handle can be swapped without write_mu_.
     std::unique_lock<std::mutex> il(imm_mu_);
-    imms_.push_back(Immutable{mem_, mem_wal_id_});
+    const std::shared_ptr<lsm::MemTable> old_mem = mem_;
+    const uint64_t old_wal_id = mem_wal_id_;
+    if (options_.enable_wal) {
+        mem_wal_id_ = state_->next_table_id.fetch_add(1);
+        mem_wal_ = registry_->open(walName(mem_wal_id_), nvm_);
+    }
+    // Re-log BEFORE the old table enters imms_: once it is there the
+    // flusher may flush it and remove the old segment, and a crash
+    // between that removal and the re-logged copy landing would tear
+    // the group (prefix flushed, remainder nowhere).
+    if (relog)
+        relog();
+    imms_.push_back(Immutable{old_mem, old_wal_id});
     // One-piece flushing is fast, but if the flusher falls behind the
     // writer must wait: this is the only stall MioDB can experience
     // (an interval stall in the paper's terminology).
@@ -513,18 +571,18 @@ MioDB::rotateMemTable()
         imm_cv_.wait(il, [this] {
             return static_cast<int>(imms_.size()) <=
                        options_.max_immutable_memtables ||
-                   shutting_down_.load();
+                   shutting_down_.load() || crashed_.load();
         });
     }
     mem_ = std::make_shared<lsm::MemTable>(
         options_.memtable_size, /*rng_seed=*/state_->next_table_id.load() * 7 + 1);
-    if (options_.enable_wal) {
-        mem_wal_id_ = state_->next_table_id.fetch_add(1);
-        mem_wal_ = registry_->open(walName(mem_wal_id_), nvm_);
-    }
     il.unlock();
     imm_cv_.notify_all();
     sched_cv_.notify_all();
+    // The old segment still holds the rotated MemTable's records (it
+    // is only removed after the flush lands), so a crash here simply
+    // replays from both segments.
+    MIO_FAILPOINT("wal.rotate.after_open");
 }
 
 Status
@@ -779,25 +837,37 @@ MioDB::flushThreadLoop()
         if (crashed_.load())
             return;
 
-        uint64_t table_id = state_->next_table_id.fetch_add(1);
-        std::shared_ptr<PMTable> table;
-        if (options_.one_piece_flush) {
-            table = onePieceFlush(imm.mem.get(), nvm_, &stats_,
-                                  options_.bits_per_key, table_id);
-        } else {
-            table = nodeByNodeFlush(imm.mem.get(), nvm_, &stats_,
-                                    options_.bits_per_key, table_id);
-        }
-        stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
-        state_->levels.level(0).push(std::move(table));
+        try {
+            uint64_t table_id = state_->next_table_id.fetch_add(1);
+            std::shared_ptr<PMTable> table;
+            if (options_.one_piece_flush) {
+                table = onePieceFlush(imm.mem.get(), nvm_, &stats_,
+                                      options_.bits_per_key, table_id);
+            } else {
+                table = nodeByNodeFlush(imm.mem.get(), nvm_, &stats_,
+                                        options_.bits_per_key,
+                                        table_id);
+            }
+            stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
+            // A crash before the push loses the PMTable image but the
+            // WAL segment survives (it is removed only below); after
+            // the push, replay of the same segment merely re-inserts
+            // entries that sequence-number dedup discards.
+            MIO_FAILPOINT("flush.before_publish");
+            state_->levels.level(0).push(std::move(table));
+            MIO_FAILPOINT("flush.after_publish");
 
-        {
-            std::lock_guard<std::mutex> il(imm_mu_);
-            if (!imms_.empty())
-                imms_.pop_front();
+            {
+                std::lock_guard<std::mutex> il(imm_mu_);
+                if (!imms_.empty())
+                    imms_.pop_front();
+            }
+            if (options_.enable_wal)
+                registry_->remove(walName(imm.wal_id));
+        } catch (const sim::SimCrash &) {
+            onSimCrash();
+            return;
         }
-        if (options_.enable_wal)
-            registry_->remove(walName(imm.wal_id));
         imm_cv_.notify_all();
         sched_cv_.notify_all();
         idle_cv_.notify_all();
@@ -814,8 +884,14 @@ MioDB::compactLevelOnce(int level)
         std::shared_ptr<PMTable> victim = bl.beginMigration();
         if (!victim)
             return false;
+        // The migrating table stays readable in the level until
+        // finishMigration; a crash anywhere in this window re-runs
+        // the (idempotent) migration on reopen.
+        MIO_FAILPOINT("lcm.before_publish");
         state_->repo->mergeTable(victim.get());
+        MIO_FAILPOINT("lcm.after_publish");
         bl.finishMigration();
+        MIO_FAILPOINT("lcm.before_reclaim");
         // Reclaim the whole arena chain (the lazy memory-freeing step
         // of Sec. 4.4) -- deferred past any in-flight readers.
         retireTable(std::move(victim));
@@ -864,8 +940,14 @@ MioDB::compactionThreadLoop(int level)
     sim::markSimBackgroundThread();
     while (!shutting_down_.load()) {
         bool worked = false;
-        if (!crashed_.load())
-            worked = compactLevelOnce(level);
+        if (!crashed_.load()) {
+            try {
+                worked = compactLevelOnce(level);
+            } catch (const sim::SimCrash &) {
+                onSimCrash();
+                return;
+            }
+        }
         if (worked) {
             notifyCapWaiters();
             sched_cv_.notify_all();
@@ -885,8 +967,13 @@ MioDB::singleCompactionThreadLoop()
     while (!shutting_down_.load()) {
         bool worked = false;
         if (!crashed_.load()) {
-            for (int i = 0; i < options_.elastic_levels; i++)
-                worked = compactLevelOnce(i) || worked;
+            try {
+                for (int i = 0; i < options_.elastic_levels; i++)
+                    worked = compactLevelOnce(i) || worked;
+            } catch (const sim::SimCrash &) {
+                onSimCrash();
+                return;
+            }
         }
         if (worked) {
             notifyCapWaiters();

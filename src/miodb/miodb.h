@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -120,6 +121,7 @@ class MioDB : public KVStore
      * Simulate a power failure: background threads stop where they
      * are and the destructor will NOT flush buffered data, leaving
      * the WAL segments in the registry for replay by the next open.
+     * A fired failpoint (sim::SimCrash) triggers the same transition.
      */
     void simulateCrash();
 
@@ -160,12 +162,22 @@ class MioDB : public KVStore
     /** Leader-only: WAL + MemTable apply for a claimed group. */
     Status commitGroup(const std::vector<Writer *> &group,
                        uint64_t base_seq);
+    /** A SimCrash reached a thread boundary: freeze the store. */
+    void onSimCrash();
     Status validateEntry(const Slice &key, const Slice &value) const;
     /** Throttle writers while the elastic buffer exceeds its cap. */
     void applyBufferCap();
     /** Wake writers throttled by applyBufferCap (footprint dropped). */
     void notifyCapWaiters();
-    void rotateMemTable();  //!< caller is the leader (or holds write_mu_)
+    /**
+     * Swap in a fresh MemTable + WAL segment. Caller is the leader
+     * (or holds write_mu_). @p relog, if given, appends records to
+     * the NEW segment before the old table becomes flushable — any
+     * group remainder must be durable there first, because the old
+     * segment (the only full-group record) dies with the old table's
+     * flush.
+     */
+    void rotateMemTable(const std::function<void()> &relog = nullptr);
     std::string walName(uint64_t id) const;
     void appendWal(uint64_t seq, EntryType type, const Slice &key,
                    const Slice &value);

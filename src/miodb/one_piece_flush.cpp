@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "sim/failpoint.h"
 #include "util/clock.h"
 
 namespace mio::miodb {
@@ -34,8 +35,10 @@ onePieceFlush(lsm::MemTable *mem, sim::NvmDevice *device,
     // arena itself must not double-charge allocations.
     auto dst = std::make_shared<Arena>(src.capacity(), device,
                                        /*charge_allocations=*/false);
+    MIO_FAILPOINT("flush.before_copy");
     device->write(dst->base(), old_base, used);
     device->persist(dst->base(), used);
+    MIO_FAILPOINT("flush.after_copy");
     dst->setUsed(used);
     stats->flushed_bytes.fetch_add(used, std::memory_order_relaxed);
     stats->storage_bytes_written.fetch_add(used,
@@ -47,9 +50,11 @@ onePieceFlush(lsm::MemTable *mem, sim::NvmDevice *device,
 
     // Pointer swizzling: every next pointer moves by the same delta.
     // This runs on the flush thread (background w.r.t. the writer).
+    MIO_FAILPOINT("flush.before_swizzle");
     size_t fixed = SkipList::relocate(head, delta, old_base, used);
     device->chargeWrite(fixed * sizeof(void *));
     device->persist(dst->base(), used);
+    MIO_FAILPOINT("flush.after_swizzle");
     stats->storage_bytes_written.fetch_add(fixed * sizeof(void *),
                                            std::memory_order_relaxed);
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <vector>
 
+#include "sim/failpoint.h"
 #include "miodb/one_piece_flush.h"
 #include "miodb/skiplist_merge_util.h"
 #include "util/clock.h"
@@ -92,6 +93,9 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
         op->mark.store(n, std::memory_order_release);
         src.unlinkFirst();
         pointer_stores += n->height;
+        // The node now lives ONLY in the insertion mark; recovery
+        // must re-insert it from there.
+        MIO_FAILPOINT("zcm.detached");
 
         if (throttle && !throttle(moved)) {
             // Simulated crash at the protocol's most delicate point:
@@ -109,6 +113,9 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
             last_key = n->key().toString();
             has_last = true;
         }
+        // Linked into the oldtable but the mark still points at it; a
+        // resumed merge re-examines the node and must find it idempotent.
+        MIO_FAILPOINT("zcm.relinked");
         op->mark.store(nullptr, std::memory_order_release);
         moved++;
     }

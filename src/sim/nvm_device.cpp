@@ -6,6 +6,7 @@
 #include <new>
 #include <thread>
 
+#include "sim/failpoint.h"
 #include "util/clock.h"
 
 namespace mio::sim {
@@ -94,6 +95,8 @@ NvmDevice::freeRegion(char *ptr)
         size = it->second;
         regions_.erase(it);
     }
+    if (shadow_enabled_.load(std::memory_order_relaxed))
+        shadowDropRange(ptr, size);
     bytes_allocated_.fetch_sub(size, std::memory_order_relaxed);
     free(ptr);
 }
@@ -115,6 +118,8 @@ NvmDevice::chargeTime(double ns)
 void
 NvmDevice::write(char *dst, const char *src, size_t n)
 {
+    if (shadow_enabled_.load(std::memory_order_relaxed))
+        shadowSave(dst, n);
     memcpy(dst, src, n);
     chargeWrite(n);
 }
@@ -151,9 +156,123 @@ NvmDevice::chargeRandomReads(int count, size_t bytes_each)
 void
 NvmDevice::persist(const void *addr, size_t n)
 {
-    (void)addr;
-    (void)n;
+    // The failpoint fires BEFORE the barrier takes effect: a crash
+    // here loses everything the caller was about to make durable.
+    MIO_FAILPOINT("nvm.persist");
+    if (shadow_enabled_.load(std::memory_order_relaxed))
+        shadowPersist(static_cast<const char *>(addr), n);
     persist_ops_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+NvmDevice::setCrashShadow(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow_enabled_.store(enabled, std::memory_order_relaxed);
+    if (!enabled)
+        shadow_log_.clear();
+}
+
+void
+NvmDevice::shadowSave(char *dst, size_t n)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow_log_.push_back(ShadowEntry{dst, std::string(dst, n)});
+}
+
+void
+NvmDevice::shadowPersist(const char *addr, size_t n)
+{
+    const uintptr_t p_beg = reinterpret_cast<uintptr_t>(addr);
+    const uintptr_t p_end = p_beg + n;
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    for (size_t i = 0; i < shadow_log_.size();) {
+        ShadowEntry &e = shadow_log_[i];
+        const uintptr_t e_beg = reinterpret_cast<uintptr_t>(e.dst);
+        const uintptr_t e_end = e_beg + e.old_bytes.size();
+        if (e_end <= p_beg || e_beg >= p_end) {
+            i++;
+            continue;
+        }
+        if (e_beg >= p_beg && e_end <= p_end) {
+            // Fully durable: retire the whole entry. Stable erase --
+            // discard depends on chronological order.
+            shadow_log_.erase(shadow_log_.begin() +
+                              static_cast<ptrdiff_t>(i));
+            continue;
+        }
+        if (e_beg < p_beg && e_end > p_end) {
+            // Barrier covers the middle: split into head + tail.
+            ShadowEntry tail;
+            tail.dst = e.dst + (p_end - e_beg);
+            tail.old_bytes = e.old_bytes.substr(p_end - e_beg);
+            e.old_bytes.resize(p_beg - e_beg);
+            shadow_log_.insert(shadow_log_.begin() +
+                                   static_cast<ptrdiff_t>(i) + 1,
+                               std::move(tail));
+            i += 2;
+            continue;
+        }
+        if (e_beg < p_beg) {
+            // Right part durable: keep the head.
+            e.old_bytes.resize(p_beg - e_beg);
+        } else {
+            // Left part durable: keep the tail.
+            e.old_bytes.erase(0, p_end - e_beg);
+            e.dst += p_end - e_beg;
+        }
+        i++;
+    }
+}
+
+void
+NvmDevice::shadowDropRange(const char *base, size_t size)
+{
+    const uintptr_t r_beg = reinterpret_cast<uintptr_t>(base);
+    const uintptr_t r_end = r_beg + size;
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    for (size_t i = 0; i < shadow_log_.size();) {
+        const uintptr_t e_beg =
+            reinterpret_cast<uintptr_t>(shadow_log_[i].dst);
+        if (e_beg >= r_beg && e_beg < r_end) {
+            shadow_log_.erase(shadow_log_.begin() +
+                              static_cast<ptrdiff_t>(i));
+        } else {
+            i++;
+        }
+    }
+}
+
+uint64_t
+NvmDevice::unpersistedBytes() const
+{
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    uint64_t total = 0;
+    for (const auto &e : shadow_log_)
+        total += e.old_bytes.size();
+    return total;
+}
+
+uint64_t
+NvmDevice::discardUnpersisted()
+{
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    uint64_t bytes = 0;
+    // Reverse chronological order: the oldest pre-write image wins
+    // where writes stacked on the same range.
+    for (auto it = shadow_log_.rbegin(); it != shadow_log_.rend();
+         ++it) {
+        // Raw memcpy on purpose: rolling back bytes that never hit
+        // the media is not device traffic (no chargeWrite/meters).
+        memcpy(it->dst, it->old_bytes.data(), it->old_bytes.size());
+        bytes += it->old_bytes.size();
+    }
+    shadow_log_.clear();
+    shadow_discards_.fetch_add(1, std::memory_order_relaxed);
+    shadow_discarded_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return bytes;
 }
 
 NvmMeters
@@ -166,6 +285,9 @@ NvmDevice::meters() const
     m.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
     m.peak_allocated = peak_allocated_.load(std::memory_order_relaxed);
     m.total_allocated = total_allocated_.load(std::memory_order_relaxed);
+    m.shadow_discards = shadow_discards_.load(std::memory_order_relaxed);
+    m.shadow_discarded_bytes =
+        shadow_discarded_bytes_.load(std::memory_order_relaxed);
     return m;
 }
 

@@ -23,7 +23,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "util/slice.h"
 
@@ -78,13 +80,23 @@ struct NvmMeters {
     uint64_t bytes_allocated = 0;  //!< currently live
     uint64_t peak_allocated = 0;
     uint64_t total_allocated = 0;  //!< cumulative
+    /**
+     * Crash shadow model bookkeeping (see setCrashShadow). Kept apart
+     * from the traffic meters: a discard's restore memcpys are the
+     * *absence* of device writes, so they must never inflate
+     * bytes_written/persist_ops and thus write amplification.
+     */
+    uint64_t shadow_discards = 0;         //!< discardUnpersisted calls
+    uint64_t shadow_discarded_bytes = 0;  //!< bytes rolled back
 };
 
 /**
  * The emulated NVM module. Thread safe. Regions are malloc-backed; the
- * "non-volatile" property is exercised through the WAL/recovery protocol
- * tests rather than through actual power-fail persistence, which the
- * simulation substitutes per DESIGN.md.
+ * "non-volatile" property is exercised through the WAL/recovery
+ * protocol tests plus the crash shadow model below: with the shadow
+ * enabled, bytes written through write() but not yet covered by a
+ * persist() barrier are rolled back on a simulated power failure, so
+ * crash tests observe real loss of unpersisted data.
  */
 class NvmDevice
 {
@@ -122,6 +134,42 @@ class NvmDevice
     /** Persistence barrier (clwb+sfence stand-in); counted. */
     void persist(const void *addr, size_t n);
 
+    // ---- crash shadow model ----------------------------------------
+    //
+    // Real NVM loses the contents of CPU caches on power failure:
+    // stores become durable only once a persist barrier (clwb+sfence)
+    // covers them. With the shadow model enabled, every bulk write()
+    // records the bytes it overwrites; persist(addr, n) retires the
+    // recorded ranges it covers; discardUnpersisted() restores the
+    // leftover (i.e. written-but-never-persisted) ranges to their
+    // pre-write contents -- the crash harness calls it between tearing
+    // a store down and reopening it, so a simulated crash genuinely
+    // loses unpersisted data instead of relying on DRAM goodwill.
+    //
+    // Scope: only the sanctioned bulk-write path (write()) is
+    // shadowed. Direct 8-byte pointer stores (skip-list relinks,
+    // in-place node builds) are modelled as failure-atomic and
+    // immediately durable, matching the paper's reliance on atomic
+    // pointer updates for its recovery protocol.
+
+    /** Enable/disable the shadow model. Disabling clears the log. */
+    void setCrashShadow(bool enabled);
+    bool
+    crashShadowEnabled() const
+    {
+        return shadow_enabled_.load(std::memory_order_relaxed);
+    }
+    /** Bytes currently written but not persisted (shadow mode only). */
+    uint64_t unpersistedBytes() const;
+    /**
+     * Simulated power failure: roll every unpersisted range back to
+     * its pre-write contents. Traffic meters are untouched -- the
+     * rollback models bytes that never reached the media, so charging
+     * them would double-count write amplification.
+     * @return number of bytes rolled back.
+     */
+    uint64_t discardUnpersisted();
+
     MemoryPerfModel model() const { return model_; }
     void setModel(const MemoryPerfModel &m) { model_ = m; }
 
@@ -130,6 +178,16 @@ class NvmDevice
 
   private:
     void chargeTime(double ns);
+    void shadowSave(char *dst, size_t n);
+    void shadowPersist(const char *addr, size_t n);
+    /** Drop shadow entries inside a region about to be freed. */
+    void shadowDropRange(const char *base, size_t size);
+
+    /** One written-but-unpersisted range and its pre-write bytes. */
+    struct ShadowEntry {
+        char *dst;
+        std::string old_bytes;
+    };
 
     MemoryPerfModel model_;
     mutable std::mutex mu_;
@@ -140,6 +198,14 @@ class NvmDevice
     std::atomic<uint64_t> bytes_allocated_{0};
     std::atomic<uint64_t> peak_allocated_{0};
     std::atomic<uint64_t> total_allocated_{0};
+
+    std::atomic<bool> shadow_enabled_{false};
+    mutable std::mutex shadow_mu_;
+    /** Chronological; discard restores in reverse order so stacked
+     *  overwrites unwind correctly. */
+    std::vector<ShadowEntry> shadow_log_;
+    std::atomic<uint64_t> shadow_discards_{0};
+    std::atomic<uint64_t> shadow_discarded_bytes_{0};
 };
 
 /**

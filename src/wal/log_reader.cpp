@@ -27,7 +27,7 @@ LogReader::readRecord(std::string *record)
             return false;
         }
         const char *payload = chunk.data + offset_ + 8;
-        if (recordChecksum(payload, len) != crc) {
+        if (segment_->frameChecksum(payload, len) != crc) {
             saw_corruption_ = true;
             return false;
         }

@@ -1,13 +1,29 @@
 #include "wal/log_writer.h"
 
+#include <atomic>
 #include <cstring>
 
+#include "sim/failpoint.h"
 #include "util/coding.h"
 #include "util/hash.h"
 
 namespace mio::wal {
 
-LogSegment::LogSegment(sim::NvmDevice *device) : device_(device) {}
+namespace {
+std::atomic<uint64_t> g_segment_nonce{0x5eed};
+}
+
+LogSegment::LogSegment(sim::NvmDevice *device)
+    : device_(device),
+      salt_(g_segment_nonce.fetch_add(0x9E3779B97F4A7C15ULL))
+{}
+
+uint32_t
+LogSegment::frameChecksum(const char *data, size_t len) const
+{
+    return recordChecksum(data, len) ^
+           static_cast<uint32_t>(salt_ ^ (salt_ >> 32));
+}
 
 LogSegment::~LogSegment()
 {
@@ -21,6 +37,7 @@ LogSegment::append(const Slice &record)
     // Frame: [crc u32][len u32][payload]. The frame never spans chunks.
     const size_t framed = 8 + record.size();
     std::lock_guard<std::mutex> lock(mu_);
+    MIO_FAILPOINT("wal.append.before_frame");
     if (chunks_.empty() ||
         chunks_.back().used + framed > chunks_.back().cap) {
         size_t cap = framed > kChunkSize ? framed : kChunkSize;
@@ -32,13 +49,18 @@ LogSegment::append(const Slice &record)
     }
     Chunk &c = chunks_.back();
     char header[8];
-    encodeFixed32(header, recordChecksum(record.data(), record.size()));
+    encodeFixed32(header,
+                  frameChecksum(record.data(), record.size()));
     encodeFixed32(header + 4, static_cast<uint32_t>(record.size()));
     device_->write(c.data + c.used, header, 8);
     device_->write(c.data + c.used + 8, record.data(), record.size());
-    device_->persist(c.data + c.used, framed);
+    // Expose the frame to readers before the barrier: a crash in this
+    // window leaves a torn frame that replay must drop via its CRC.
     c.used += framed;
     size_ += framed;
+    MIO_FAILPOINT("wal.append.torn_frame");
+    device_->persist(c.data + c.used - framed, framed);
+    MIO_FAILPOINT("wal.append.after_frame");
     return Status::ok();
 }
 

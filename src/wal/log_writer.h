@@ -59,10 +59,20 @@ class LogSegment
         size_t cap;
     };
 
+    /** Frame CRC bound to this segment instance (see salt_). */
+    uint32_t frameChecksum(const char *data, size_t len) const;
+
     sim::NvmDevice *device_;
     mutable std::mutex mu_;
     std::vector<Chunk> chunks_;
     uint64_t size_ = 0;
+    // Per-instance nonce mixed into every frame CRC. Recycled NVM can
+    // hand a fresh segment bytes that still spell a CRC-valid frame
+    // from a dead segment's life; without the salt a crash that rolls
+    // such bytes back would let replay resurrect the stale record. (A
+    // persistent implementation would stamp the nonce in a durable
+    // segment header.)
+    uint64_t salt_;
 };
 
 /** Shared-ownership registry of live WAL segments, keyed by name. */

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "miodb/miodb.h"
+#include "sim/failpoint.h"
 #include "util/random.h"
 
 namespace mio::miodb {
@@ -306,6 +307,132 @@ TEST(GroupCommitTest, RotationMidGroupLosesNothing)
             ASSERT_TRUE(
                 db.get(makeKey(w * 100000 + i), &v).isOk())
                 << "w" << w << " i" << i;
+        }
+    }
+}
+
+TEST(GroupCommitTest, LeaderCrashAroundWalAppendIsAtomic)
+{
+    // Crash matrix, rows 1-3: the leader dies just before the
+    // combined WAL append (nothing logged: the batch must vanish
+    // wholesale), just after it (logged: replay must restore it
+    // wholesale), or mid-apply (logged: same). In every row the
+    // writer sees an error and recovery is all-or-nothing.
+    struct Row {
+        const char *point;
+        bool durable;  //!< batch survives the crash via WAL replay
+    };
+    const Row rows[] = {
+        {"group.before_wal", false},
+        {"group.after_wal", true},
+        {"group.apply_op", true},
+    };
+    for (const Row &row : rows) {
+        SCOPED_TRACE(row.point);
+        auto &fp = sim::FailpointRegistry::instance();
+        fp.disarmAll();
+        sim::NvmDevice nvm;
+        nvm.setCrashShadow(true);
+        wal::WalRegistry registry;
+        MioOptions o = smallOptions();
+        std::shared_ptr<NvmState> state;
+        {
+            MioDB db(o, &nvm, nullptr, &registry);
+            state = db.nvmState();
+            for (int i = 0; i < 20; i++)
+                ASSERT_TRUE(db.put(makeKey(i), "acked").isOk());
+            fp.armCrash(row.point, 1);
+            WriteBatch batch;
+            for (int b = 0; b < 5; b++)
+                batch.put(makeKey(1000 + b), "doomed");
+            Status s = db.write(batch);
+            EXPECT_TRUE(s.isIOError()) << s.toString();
+            EXPECT_TRUE(fp.fired(row.point));
+            fp.disarmAll();
+            db.simulateCrash();
+        }
+        nvm.discardUnpersisted();
+
+        MioDB db2(o, &nvm, nullptr, &registry, state);
+        std::string v;
+        for (int i = 0; i < 20; i++) {
+            ASSERT_TRUE(db2.get(makeKey(i), &v).isOk());
+            EXPECT_EQ(v, "acked");
+        }
+        for (int b = 0; b < 5; b++) {
+            Status s = db2.get(makeKey(1000 + b), &v);
+            if (row.durable) {
+                ASSERT_TRUE(s.isOk())
+                    << "logged batch key " << b << " lost";
+                EXPECT_EQ(v, "doomed");
+            } else {
+                EXPECT_TRUE(s.isNotFound())
+                    << "unlogged batch key " << b << " leaked";
+            }
+        }
+    }
+}
+
+TEST(GroupCommitTest, FollowerObservesNoPartialGroupOnLeaderCrash)
+{
+    // Crash matrix, row 4: contended writers; the leader of some
+    // mid-stream group dies before the combined WAL append. Every
+    // writer in (or after) that group gets an error, every previously
+    // acked op survives recovery, and none of the failed ops leak --
+    // a follower never surfaces a partially committed group.
+    auto &fp = sim::FailpointRegistry::instance();
+    fp.disarmAll();
+    sim::NvmDevice nvm(sim::MemoryPerfModel::optaneDefault());
+    nvm.setCrashShadow(true);
+    wal::WalRegistry registry;
+    MioOptions o = smallOptions();
+    o.memtable_size = 256 << 10;
+    std::shared_ptr<NvmState> state;
+
+    constexpr int kWriters = 6;
+    constexpr int kOpsPerWriter = 400;
+    std::vector<std::vector<int>> acked(kWriters), failed(kWriters);
+    {
+        MioDB db(o, &nvm, nullptr, &registry);
+        state = db.nvmState();
+        // Let a few groups commit first, then kill a leader.
+        fp.armCrash("group.before_wal", 20);
+        std::vector<std::thread> writers;
+        for (int w = 0; w < kWriters; w++) {
+            writers.emplace_back([&, w] {
+                for (int i = 0; i < kOpsPerWriter; i++) {
+                    Status s = db.put(makeKey(w * 100000 + i),
+                                      "w" + std::to_string(w));
+                    if (s.isOk()) {
+                        acked[w].push_back(i);
+                    } else {
+                        EXPECT_TRUE(s.isIOError()) << s.toString();
+                        failed[w].push_back(i);
+                        break;  // store is frozen from here on
+                    }
+                }
+            });
+        }
+        for (auto &t : writers)
+            t.join();
+        EXPECT_TRUE(fp.fired("group.before_wal"));
+        fp.disarmAll();
+        db.simulateCrash();
+    }
+    nvm.discardUnpersisted();
+
+    MioDB db2(o, &nvm, nullptr, &registry, state);
+    std::string v;
+    for (int w = 0; w < kWriters; w++) {
+        for (int i : acked[w]) {
+            ASSERT_TRUE(db2.get(makeKey(w * 100000 + i), &v).isOk())
+                << "acked op lost: w" << w << " i" << i;
+            EXPECT_EQ(v, "w" + std::to_string(w));
+        }
+        for (int i : failed[w]) {
+            EXPECT_TRUE(
+                db2.get(makeKey(w * 100000 + i), &v).isNotFound())
+                << "unlogged group op leaked: w" << w << " i" << i;
         }
     }
 }

@@ -1,11 +1,14 @@
 /** @file Tests for lazy-copy compaction and the data repositories. */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <thread>
 
 #include "lsm/memtable.h"
 #include "miodb/lazy_copy_merge.h"
 #include "miodb/one_piece_flush.h"
+#include "sim/failpoint.h"
 #include "util/random.h"
 
 namespace mio::miodb {
@@ -164,6 +167,77 @@ TEST(PmRepositoryTest, LargeMergeKeepsSortedOrder)
         EXPECT_EQ(iter->value().toString(), model_it->second);
     }
     EXPECT_EQ(model_it, model.end());
+}
+
+TEST(PmRepositoryTest, ReadersSurviveCrashMidMerge)
+{
+    // A lazy-copy migration crashes halfway through publishing its
+    // nodes while reader threads run gets concurrently. Publication
+    // is per-node atomic, so each key must always resolve to its old
+    // or its new value -- never vanish, never tear. Recovery re-runs
+    // the same migration (that is what finishMigration does after a
+    // crash) under the same read load and must converge.
+    constexpr int kKeys = 50;
+    auto &fp = sim::FailpointRegistry::instance();
+    fp.disarmAll();
+    sim::NvmDevice nvm;
+    StatsCounters stats;
+    PmRepository repo(&nvm, &stats);
+
+    std::vector<std::tuple<std::string, std::string, uint64_t,
+                           EntryType>> gen1, gen2;
+    for (int i = 0; i < kKeys; i++) {
+        gen1.emplace_back(makeKey(i), "old-" + std::to_string(i),
+                          static_cast<uint64_t>(i + 1),
+                          EntryType::kValue);
+        gen2.emplace_back(makeKey(i), "new-" + std::to_string(i),
+                          static_cast<uint64_t>(1000 + i),
+                          EntryType::kValue);
+    }
+    repo.mergeTable(makeTable(&nvm, &stats, gen1, 1).get());
+    auto src = makeTable(&nvm, &stats, gen2, 2);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; r++) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                for (int i = 0; i < kKeys; i++) {
+                    std::string v;
+                    EntryType t;
+                    EXPECT_TRUE(repo.get(Slice(makeKey(i)), &v, &t,
+                                         nullptr))
+                        << "key " << i << " vanished mid-migration";
+                    EXPECT_TRUE(v == "old-" + std::to_string(i) ||
+                                v == "new-" + std::to_string(i))
+                        << "key " << i << " torn: " << v;
+                }
+            }
+        });
+    }
+
+    fp.armCrash("lcm.publish_node", kKeys / 2);
+    bool crashed = false;
+    try {
+        repo.mergeTable(src.get());
+    } catch (const sim::SimCrash &) {
+        crashed = true;
+    }
+    EXPECT_TRUE(crashed);
+    fp.disarmAll();
+
+    ASSERT_TRUE(repo.mergeTable(src.get()).isOk());
+    stop.store(true);
+    for (auto &t : readers)
+        t.join();
+
+    EXPECT_EQ(repo.entryCount(), static_cast<uint64_t>(kKeys));
+    std::string v;
+    EntryType t;
+    for (int i = 0; i < kKeys; i++) {
+        ASSERT_TRUE(repo.get(Slice(makeKey(i)), &v, &t, nullptr)) << i;
+        EXPECT_EQ(v, "new-" + std::to_string(i)) << i;
+    }
 }
 
 TEST(SsdRepositoryTest, MergeFlushesToLsm)

@@ -98,5 +98,112 @@ TEST(NvmDeviceTest, DoubleFreeIsIgnored)
     EXPECT_EQ(dev.meters().bytes_allocated, 0u);
 }
 
+TEST(NvmDeviceTest, ShadowDiscardRollsBackUnpersistedWrites)
+{
+    NvmDevice dev;
+    dev.setCrashShadow(true);
+    char *r = dev.allocateRegion(64);
+    memset(r, 'o', 64);
+
+    dev.write(r, "AAAA", 4);       // persisted below: survives
+    dev.persist(r, 4);
+    dev.write(r + 8, "BBBB", 4);   // never persisted: lost
+    EXPECT_EQ(dev.unpersistedBytes(), 4u);
+
+    uint64_t rolled = dev.discardUnpersisted();
+    EXPECT_EQ(rolled, 4u);
+    EXPECT_EQ(memcmp(r, "AAAA", 4), 0);
+    EXPECT_EQ(memcmp(r + 8, "oooo", 4), 0);
+    dev.freeRegion(r);
+}
+
+TEST(NvmDeviceTest, ShadowPersistRetiresPartialCoverage)
+{
+    NvmDevice dev;
+    dev.setCrashShadow(true);
+    char *r = dev.allocateRegion(64);
+    memset(r, 'o', 64);
+
+    // One 12-byte write, then a persist barrier covering only its
+    // middle third: the head and tail must still roll back.
+    dev.write(r, "XXXXYYYYZZZZ", 12);
+    dev.persist(r + 4, 4);
+    EXPECT_EQ(dev.unpersistedBytes(), 8u);
+    dev.discardUnpersisted();
+    EXPECT_EQ(memcmp(r, "oooo", 4), 0);
+    EXPECT_EQ(memcmp(r + 4, "YYYY", 4), 0);
+    EXPECT_EQ(memcmp(r + 8, "oooo", 4), 0);
+    dev.freeRegion(r);
+}
+
+TEST(NvmDeviceTest, ShadowDiscardUnwindsStackedWritesInOrder)
+{
+    NvmDevice dev;
+    dev.setCrashShadow(true);
+    char *r = dev.allocateRegion(16);
+    memset(r, 'o', 16);
+
+    dev.write(r, "1111", 4);
+    dev.write(r, "2222", 4);  // overwrites the first, both unpersisted
+    dev.discardUnpersisted();
+    // The oldest pre-write image (the original bytes) must win.
+    EXPECT_EQ(memcmp(r, "oooo", 4), 0);
+    dev.freeRegion(r);
+}
+
+TEST(NvmDeviceTest, ShadowDiscardDoesNotInflateTrafficMeters)
+{
+    // The WA audit: rolling back unpersisted bytes models writes that
+    // never reached the media, so bytes_written/persist_ops (the WA
+    // numerator) must be identical before and after a discard.
+    NvmDevice dev;
+    dev.setCrashShadow(true);
+    char *r = dev.allocateRegion(256);
+    for (int i = 0; i < 8; i++)
+        dev.write(r + i * 16, "0123456789abcdef", 16);
+    dev.persist(r, 64);  // half persisted, half to roll back
+
+    auto before = dev.meters();
+    uint64_t rolled = dev.discardUnpersisted();
+    EXPECT_EQ(rolled, 64u);
+    auto after = dev.meters();
+    EXPECT_EQ(after.bytes_written, before.bytes_written);
+    EXPECT_EQ(after.bytes_read, before.bytes_read);
+    EXPECT_EQ(after.persist_ops, before.persist_ops);
+    // The rollback is visible only through its own counters.
+    EXPECT_EQ(after.shadow_discards, before.shadow_discards + 1);
+    EXPECT_EQ(after.shadow_discarded_bytes,
+              before.shadow_discarded_bytes + 64);
+    dev.freeRegion(r);
+}
+
+TEST(NvmDeviceTest, ShadowEntriesDropWithFreedRegion)
+{
+    NvmDevice dev;
+    dev.setCrashShadow(true);
+    char *r = dev.allocateRegion(32);
+    dev.write(r, "unpersisted", 11);
+    dev.freeRegion(r);
+    // The freed region's entries are gone: discard must not touch
+    // the (now invalid) pointer.
+    EXPECT_EQ(dev.unpersistedBytes(), 0u);
+    EXPECT_EQ(dev.discardUnpersisted(), 0u);
+}
+
+TEST(NvmDeviceTest, ShadowDisabledByDefaultAndClearsOnDisable)
+{
+    NvmDevice dev;
+    char *r = dev.allocateRegion(16);
+    dev.write(r, "abcd", 4);
+    EXPECT_FALSE(dev.crashShadowEnabled());
+    EXPECT_EQ(dev.unpersistedBytes(), 0u);
+
+    dev.setCrashShadow(true);
+    dev.write(r + 4, "efgh", 4);
+    dev.setCrashShadow(false);
+    EXPECT_EQ(dev.unpersistedBytes(), 0u);  // log cleared
+    dev.freeRegion(r);
+}
+
 } // namespace
 } // namespace mio::sim

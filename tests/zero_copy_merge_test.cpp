@@ -2,11 +2,14 @@
  *  interrupted-merge recovery protocol (Sec. 4.7). */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <thread>
 
 #include "lsm/memtable.h"
 #include "miodb/one_piece_flush.h"
 #include "miodb/zero_copy_merge.h"
+#include "sim/failpoint.h"
 #include "util/random.h"
 
 namespace mio::miodb {
@@ -235,6 +238,84 @@ TEST(ZeroCopyMergeTest, ResumeAfterEveryPausePoint)
             EXPECT_EQ(v, val) << "k=" << k << " key=" << key;
         }
         EXPECT_EQ(op->oldt->entryCount(), expect.size()) << "k=" << k;
+    }
+}
+
+TEST(ZeroCopyMergeTest, ReadersSurviveCrashMidMerge)
+{
+    // Readers run merge-aware gets continuously while the merge
+    // thread crashes at each zero-copy failpoint (node detached into
+    // the mark / node relinked but mark not yet cleared). No key may
+    // ever disappear from a reader's view, and resuming the merge
+    // under the same read load must converge to the clean result.
+    const std::map<std::string, std::string> expect = {
+        {"a", "a-new"}, {"b", "b-old"}, {"d", "d-new"},
+        {"f", "f-old"}, {"g", "g-new"}};
+    for (const char *point : {"zcm.detached", "zcm.relinked"}) {
+        SCOPED_TRACE(point);
+        auto &fp = sim::FailpointRegistry::instance();
+        fp.disarmAll();
+        sim::NvmDevice nvm;
+        StatsCounters stats;
+        auto op = std::make_shared<MergeOp>();
+        op->oldt = makeTable(&nvm, &stats,
+                             {{"b", {"b-old", 1}},
+                              {"d", {"d-old", 2}},
+                              {"f", {"f-old", 3}}},
+                             1);
+        op->newt = makeTable(&nvm, &stats,
+                             {{"a", {"a-new", 10}},
+                              {"d", {"d-new", 11}},
+                              {"g", {"g-new", 12}}},
+                             2);
+
+        std::atomic<bool> stop{false};
+        std::vector<std::thread> readers;
+        for (int r = 0; r < 3; r++) {
+            readers.emplace_back([&] {
+                while (!stop.load()) {
+                    for (const auto &[k, val] : expect) {
+                        std::string v;
+                        EntryType t;
+                        uint64_t seq;
+                        EXPECT_TRUE(mergeAwareGet(op.get(), Slice(k),
+                                                  &v, &t, &seq))
+                            << "key " << k << " vanished mid-merge";
+                        EXPECT_EQ(v, val) << k;
+                    }
+                }
+            });
+        }
+
+        fp.armCrash(point, 1);
+        std::atomic<bool> crashed{false};
+        std::thread merger([&] {
+            try {
+                zeroCopyMerge(op.get(), &nvm, &stats);
+            } catch (const sim::SimCrash &) {
+                crashed.store(true);
+            }
+        });
+        merger.join();
+        EXPECT_TRUE(crashed.load());
+        fp.disarmAll();
+
+        // Recovery resumes from the persistent mark while readers are
+        // still hammering the tables.
+        ASSERT_TRUE(resumeZeroCopyMerge(op.get(), &nvm, &stats));
+        stop.store(true);
+        for (auto &t : readers)
+            t.join();
+
+        EXPECT_TRUE(op->done.load());
+        std::string v;
+        EntryType t;
+        for (const auto &[key, val] : expect) {
+            ASSERT_TRUE(op->oldt->list().get(Slice(key), &v, &t))
+                << key;
+            EXPECT_EQ(v, val) << key;
+        }
+        EXPECT_EQ(op->oldt->entryCount(), expect.size());
     }
 }
 
