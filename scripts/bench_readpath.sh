@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Read-path perf trajectory: build and run bench/micro_readpath, then
+# emit BENCH_readpath.json at the repo root.
+#
+# Usage:
+#   scripts/bench_readpath.sh [extra micro_readpath flags...]
+#
+# If scripts/baseline/BENCH_readpath_baseline.json exists (captured
+# against the pre-overhaul read path), the output records BOTH runs as
+# {"baseline": ..., "current": ...} so the improvement is auditable;
+# otherwise the fresh run alone becomes the file's "current" entry.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target micro_readpath >/dev/null
+
+CURRENT=$(mktemp)
+trap 'rm -f "$CURRENT"' EXIT
+build/bench/micro_readpath --json="$CURRENT" "$@"
+
+BASELINE=scripts/baseline/BENCH_readpath_baseline.json
+{
+    echo '{'
+    if [ -f "$BASELINE" ]; then
+        echo '"baseline":'
+        cat "$BASELINE"
+        echo ','
+    fi
+    echo '"current":'
+    cat "$CURRENT"
+    echo '}'
+} > BENCH_readpath.json
+echo "wrote BENCH_readpath.json"

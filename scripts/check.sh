@@ -17,13 +17,15 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # assertion needs the writer to outrun background migration, which
 # TSan's slowdown prevents (no race involved -- it runs in the
 # normal-build suite).
-TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test}"
+TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test}"
 
 if [ "${1:-}" != "--tsan-only" ]; then
     echo "=== tier-1: build + full test suite"
     cmake -B build -S . >/dev/null
     cmake --build build -j "$JOBS"
     (cd build && ctest --output-on-failure -j "$JOBS")
+    echo "=== read-path bench smoke (keeps bench/micro_readpath honest)"
+    build/bench/micro_readpath --smoke
 fi
 
 echo "=== TSan: rebuild with MIO_SANITIZE=thread"

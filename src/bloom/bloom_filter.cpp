@@ -64,6 +64,12 @@ bool
 BloomFilter::mayContain(const Slice &key) const
 {
     auto [h1, h2] = keyHashes(key);
+    return mayContainHashes(h1, h2);
+}
+
+bool
+BloomFilter::mayContainHashes(uint64_t h1, uint64_t h2) const
+{
     for (int i = 0; i < num_probes_; i++) {
         uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
         if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0)
@@ -80,6 +86,18 @@ BloomFilter::merge(const BloomFilter &other)
            "mergeable filters must share geometry");
     for (size_t i = 0; i < words_.size(); i++)
         words_[i] |= other.words_[i];
+}
+
+bool
+BloomFilter::isSupersetOf(const BloomFilter &other) const
+{
+    if (!sameGeometry(other))
+        return false;
+    for (size_t i = 0; i < words_.size(); i++) {
+        if ((other.words_[i] & ~words_[i]) != 0)
+            return false;
+    }
+    return true;
 }
 
 void

@@ -45,6 +45,9 @@ class BloomFilter
     static std::pair<uint64_t, uint64_t> keyHashes(const Slice &key);
     /** Add a key by its precomputed hash pair. */
     void addHashes(uint64_t h1, uint64_t h2);
+    /** mayContain() by precomputed hash pair -- a read path probing
+     *  many same-keyed filters hashes once and reuses the pair. */
+    bool mayContainHashes(uint64_t h1, uint64_t h2) const;
 
     /** Serialize to [probes u32][bits u64][words...]. */
     void encodeTo(std::string *dst) const;
@@ -56,6 +59,21 @@ class BloomFilter
      * geometry (bit count and probe count).
      */
     void merge(const BloomFilter &other);
+
+    /**
+     * True when every bit set in @p other is also set here (and the
+     * geometries match) -- the invariant an OR-merged summary filter
+     * maintains over its member filters.
+     */
+    bool isSupersetOf(const BloomFilter &other) const;
+
+    /** True when bit count and probe count match (OR-merge legal). */
+    bool
+    sameGeometry(const BloomFilter &other) const
+    {
+        return num_bits_ == other.num_bits_ &&
+               num_probes_ == other.num_probes_;
+    }
 
     size_t numBits() const { return num_bits_; }
     int numProbes() const { return num_probes_; }

@@ -30,6 +30,8 @@ snapshotOf(const StatsCounters &c)
     s.deletes = get(c.deletes);
     s.scans = get(c.scans);
     s.bloom_filter_skips = get(c.bloom_filter_skips);
+    s.bloom_summary_skips = get(c.bloom_summary_skips);
+    s.read_retries = get(c.read_retries);
     s.groups_committed = get(c.groups_committed);
     s.group_writers = get(c.group_writers);
     s.wal_appends_saved = get(c.wal_appends_saved);
@@ -62,6 +64,9 @@ statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
     d.deletes = a.deletes - b.deletes;
     d.scans = a.scans - b.scans;
     d.bloom_filter_skips = a.bloom_filter_skips - b.bloom_filter_skips;
+    d.bloom_summary_skips =
+        a.bloom_summary_skips - b.bloom_summary_skips;
+    d.read_retries = a.read_retries - b.read_retries;
     d.groups_committed = a.groups_committed - b.groups_committed;
     d.group_writers = a.group_writers - b.group_writers;
     d.wal_appends_saved = a.wal_appends_saved - b.wal_appends_saved;

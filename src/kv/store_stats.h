@@ -51,6 +51,10 @@ struct StatsCounters {
     std::atomic<uint64_t> deletes{0};
     std::atomic<uint64_t> scans{0};
     std::atomic<uint64_t> bloom_filter_skips{0};
+    /** Whole buffer levels skipped by the per-level bloom summary. */
+    std::atomic<uint64_t> bloom_summary_skips{0};
+    /** Per-level lookup retries after a concurrent manifest publish. */
+    std::atomic<uint64_t> read_retries{0};
 
     // -- group commit (write pipeline) --
     /** Log2-ish buckets of writers-per-group: 1, 2, 3-4, 5-8, ... */
@@ -97,6 +101,8 @@ struct StatsSnapshot {
     uint64_t deletes = 0;
     uint64_t scans = 0;
     uint64_t bloom_filter_skips = 0;
+    uint64_t bloom_summary_skips = 0;
+    uint64_t read_retries = 0;
     uint64_t groups_committed = 0;
     uint64_t group_writers = 0;
     uint64_t wal_appends_saved = 0;

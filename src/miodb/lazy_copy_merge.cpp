@@ -17,6 +17,7 @@ makeHeadIn(ChunkedNvmArena *arena)
                    SkipList::kMaxHeight * sizeof(std::atomic<void *>);
     auto *head = reinterpret_cast<SkipList::Node *>(arena->allocate(bytes));
     head->seq = 0;
+    head->prefix = 0;
     head->key_len = 0;
     head->value_len = 0;
     head->height = SkipList::kMaxHeight;

@@ -2,11 +2,120 @@
 
 namespace mio::miodb {
 
+BufferLevel::BufferLevel()
+{
+    // Publish an empty manifest eagerly so readers never see nullptr
+    // and the retry protocol (compare the pointer after a miss) works
+    // from the very first push.
+    current_ = std::make_shared<const LevelManifest>();
+    published_.store(current_.get(), std::memory_order_release);
+}
+
+std::shared_ptr<const BloomFilter>
+BufferLevel::buildSummaryLocked(const LevelManifest &m) const
+{
+    std::vector<std::shared_ptr<const BloomFilter>> members;
+    members.reserve(m.tables.size() + 3);
+    for (const auto &ref : m.tables)
+        members.push_back(ref.bloom);
+    if (m.merge) {
+        members.push_back(m.merge_newt_bloom);
+        members.push_back(m.merge_oldt_bloom);
+    }
+    if (m.migrating)
+        members.push_back(m.migrating_bloom);
+    if (members.empty())
+        return nullptr;
+    for (const auto &f : members) {
+        if (f == nullptr || !members[0]->sameGeometry(*f))
+            return nullptr;  // OR would be unsound; never skip
+    }
+    if (members.size() == 1)
+        return members[0];  // immutable, so sharing is free
+    auto sum = std::make_shared<BloomFilter>(*members[0]);
+    for (size_t i = 1; i < members.size(); i++)
+        sum->merge(*members[i]);
+    return sum;
+}
+
+void
+BufferLevel::republishLocked(std::shared_ptr<const BloomFilter> added)
+{
+    auto m = std::make_shared<LevelManifest>();
+    m->tables.reserve(tables_.size());
+    for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+        LevelManifest::TableRef ref;
+        ref.table = *it;
+        ref.bloom = (*it)->bloomRef();
+        ref.min_key = (*it)->minKey();
+        ref.max_key = (*it)->maxKey();
+        m->tables.push_back(std::move(ref));
+    }
+    m->merge = merge_;
+    if (merge_) {
+        m->merge_newt_bloom = merge_->newt->bloomRef();
+        m->merge_oldt_bloom = merge_->oldt->bloomRef();
+    }
+    m->migrating = migrating_;
+    if (migrating_) {
+        m->migrating_bloom = migrating_->bloomRef();
+        m->migrating_min = migrating_->minKey();
+        m->migrating_max = migrating_->maxKey();
+    }
+    if (summary_enabled_) {
+        const std::shared_ptr<const BloomFilter> &prev =
+            current_->summary;
+        if (added != nullptr && prev != nullptr &&
+            prev->sameGeometry(*added)) {
+            // Membership grew by one table: one OR extends the proof.
+            auto sum = std::make_shared<BloomFilter>(*prev);
+            sum->merge(*added);
+            m->summary = std::move(sum);
+        } else if (added != nullptr && !current_->hasMembers()) {
+            m->summary = std::move(added);
+        } else {
+            m->summary = buildSummaryLocked(*m);
+        }
+    }
+    std::shared_ptr<const LevelManifest> old = std::move(current_);
+    current_ = std::move(m);
+    published_.store(current_.get(), std::memory_order_release);
+    if (retire_)
+        retire_(std::move(old));
+}
+
 void
 BufferLevel::push(std::shared_ptr<PMTable> table)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<const BloomFilter> added = table->bloomRef();
     tables_.push_back(std::move(table));
+    republishLocked(std::move(added));
+}
+
+std::shared_ptr<const LevelManifest>
+BufferLevel::manifestSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+}
+
+void
+BufferLevel::setRetireCallback(
+    std::function<void(std::shared_ptr<const void>)> cb)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    retire_ = std::move(cb);
+}
+
+void
+BufferLevel::enableBloomSummary(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (summary_enabled_ == enabled)
+        return;
+    summary_enabled_ = enabled;
+    republishLocked(nullptr);
 }
 
 BufferLevel::Snapshot
@@ -45,9 +154,23 @@ BufferLevel::beginMerge()
     auto op = std::make_shared<MergeOp>();
     op->oldt = tables_[0];
     op->newt = tables_[1];
+    // Capture the pair's combined range before any reader can see the
+    // op; it is invariant for the whole merge (absorb only ever
+    // extends oldt toward this union).
+    op->min_key = op->oldt->minKey();
+    if (std::string k = op->newt->minKey();
+        Slice(k).compare(Slice(op->min_key)) < 0)
+        op->min_key = std::move(k);
+    op->max_key = op->oldt->maxKey();
+    if (std::string k = op->newt->maxKey();
+        Slice(k).compare(Slice(op->max_key)) > 0)
+        op->max_key = std::move(k);
     tables_.pop_front();
     tables_.pop_front();
     merge_ = op;
+    // Membership is unchanged (the pair moved deque -> MergeOp), but
+    // readers need the op published to run the three-step protocol.
+    republishLocked(nullptr);
     return op;
 }
 
@@ -55,8 +178,10 @@ void
 BufferLevel::finishMerge(const std::shared_ptr<MergeOp> &op)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (merge_ == op)
-        merge_ = nullptr;
+    if (merge_ != op)
+        return;
+    merge_ = nullptr;
+    republishLocked(nullptr);
 }
 
 std::shared_ptr<PMTable>
@@ -67,6 +192,7 @@ BufferLevel::beginMigration()
         return nullptr;
     migrating_ = tables_.front();
     tables_.pop_front();
+    republishLocked(nullptr);
     return migrating_;
 }
 
@@ -75,6 +201,7 @@ BufferLevel::finishMigration()
 {
     std::lock_guard<std::mutex> lock(mu_);
     migrating_ = nullptr;
+    republishLocked(nullptr);
 }
 
 size_t

@@ -94,6 +94,20 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
         }
     }
 
+    // NvmState outlives any single MioDB instance, so per-instance
+    // plumbing must be rebound on every open (like rebindStats above):
+    // retired manifests route through THIS instance's reader epoch,
+    // and the summary filters follow THIS instance's bloom config.
+    // bits_per_key <= 0 builds empty dummy filters, whose OR would
+    // wrongly skip whole levels -- summaries stay off there.
+    for (int i = 0; i < state_->levels.numLevels(); i++) {
+        BufferLevel &bl = state_->levels.level(i);
+        bl.setRetireCallback([this](std::shared_ptr<const void> m) {
+            retireToGraveyard(std::move(m));
+        });
+        bl.enableBloomSummary(options_.bits_per_key > 0);
+    }
+
     mem_ = std::make_shared<lsm::MemTable>(options_.memtable_size,
                                            /*rng_seed=*/0x11);
     if (options_.enable_wal) {
@@ -108,7 +122,10 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
     // MemTables and may rotate several times, which requires a live
     // flusher to drain the immutable queue.
     flush_thread_ = std::thread([this] { flushThreadLoop(); });
-    if (options_.parallel_compaction) {
+    if (!options_.auto_compaction) {
+        // No compaction workers: levels hold whatever is pushed into
+        // them (read-path benches/tests freeze the buffer shape).
+    } else if (options_.parallel_compaction) {
         for (int i = 0; i < options_.elastic_levels; i++) {
             compaction_threads_.emplace_back(
                 [this, i] { compactionThreadLoop(i); });
@@ -149,6 +166,10 @@ MioDB::~MioDB()
     flush_thread_.join();
     for (auto &t : compaction_threads_)
         t.join();
+    // The levels survive in NvmState; drop their references into this
+    // dying instance (the next open rebinds its own).
+    for (int i = 0; i < state_->levels.numLevels(); i++)
+        state_->levels.level(i).setRetireCallback(nullptr);
     if (!crashed_.load() && options_.enable_wal && mem_wal_)
         registry_->remove(walName(mem_wal_id_));
 }
@@ -615,47 +636,91 @@ MioDB::remove(const Slice &key)
 }
 
 bool
+MioDB::probeLevelManifest(const LevelManifest &m, const Slice &key,
+                          uint64_t h1, uint64_t h2, std::string *value,
+                          EntryType *type, uint64_t *seq,
+                          bool use_bloom)
+{
+    if (!m.hasMembers())
+        return false;
+    if (m.summary != nullptr && !m.summary->mayContainHashes(h1, h2)) {
+        // One probe proved the key is in no member table of this
+        // level (OR-merged bits are a superset of every member's).
+        stats_.bloom_summary_skips.fetch_add(1,
+                                             std::memory_order_relaxed);
+        return false;
+    }
+    for (const auto &ref : m.tables) {
+        if (!ref.coversKey(key))
+            continue;
+        if (use_bloom && !ref.bloom->mayContainHashes(h1, h2)) {
+            stats_.bloom_filter_skips.fetch_add(
+                1, std::memory_order_relaxed);
+            continue;
+        }
+        // The descent walks NVM-resident nodes: charge media reads.
+        nvm_->chargeRandomReads(
+            sim::skipDescentDepth(ref.table->entryCount()));
+        if (ref.table->list().get(key, value, type, seq))
+            return true;
+    }
+    if (m.merge && m.merge->coversKey(key)) {
+        bool may = !use_bloom ||
+                   m.merge_newt_bloom->mayContainHashes(h1, h2) ||
+                   m.merge_oldt_bloom->mayContainHashes(h1, h2);
+        if (may) {
+            nvm_->chargeRandomReads(sim::skipDescentDepth(
+                m.merge->newt->entryCount() +
+                m.merge->oldt->entryCount()));
+            if (mergeAwareGet(m.merge.get(), key, value, type, seq))
+                return true;
+        } else {
+            stats_.bloom_filter_skips.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+    if (m.migrating && Slice(m.migrating_min).compare(key) <= 0 &&
+        key.compare(Slice(m.migrating_max)) <= 0) {
+        if (!use_bloom || m.migrating_bloom->mayContainHashes(h1, h2)) {
+            nvm_->chargeRandomReads(
+                sim::skipDescentDepth(m.migrating->entryCount()));
+            if (m.migrating->list().get(key, value, type, seq))
+                return true;
+        } else {
+            stats_.bloom_filter_skips.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+    return false;
+}
+
+bool
 MioDB::lookupBufferAndRepo(const Slice &key, std::string *value,
                            EntryType *type, uint64_t *seq)
 {
     const bool use_bloom = options_.bits_per_key > 0;
+    // Hash once; every filter probe on this path reuses the pair.
+    const auto [h1, h2] = BloomFilter::keyHashes(key);
     for (int i = 0; i < state_->levels.numLevels(); i++) {
-        BufferLevel::Snapshot snap = state_->levels.level(i).snapshot();
-        for (const auto &table : snap.tables) {
-            if (!table->coversKey(key))
-                continue;
-            if (use_bloom && !table->bloomMayContain(key)) {
-                stats_.bloom_filter_skips.fetch_add(
-                    1, std::memory_order_relaxed);
-                continue;
-            }
-            // The descent walks NVM-resident nodes: charge media reads.
-            nvm_->chargeRandomReads(
-                sim::skipDescentDepth(table->entryCount()));
-            if (table->list().get(key, value, type, seq))
+        const BufferLevel &bl = state_->levels.level(i);
+        const LevelManifest *m = bl.acquireManifest();
+        while (true) {
+            if (probeLevelManifest(*m, key, h1, h2, value, type, seq,
+                                   use_bloom)) {
                 return true;
-        }
-        if (snap.merge) {
-            bool may = !use_bloom ||
-                       snap.merge->newt->bloomMayContain(key) ||
-                       snap.merge->oldt->bloomMayContain(key);
-            if (may) {
-                nvm_->chargeRandomReads(sim::skipDescentDepth(
-                    snap.merge->newt->entryCount() +
-                    snap.merge->oldt->entryCount()));
-                if (mergeAwareGet(snap.merge.get(), key, value, type,
-                                  seq)) {
-                    return true;
-                }
             }
-        }
-        if (snap.migrating && snap.migrating->coversKey(key)) {
-            if (!use_bloom || snap.migrating->bloomMayContain(key)) {
-                nvm_->chargeRandomReads(sim::skipDescentDepth(
-                    snap.migrating->entryCount()));
-                if (snap.migrating->list().get(key, value, type, seq))
-                    return true;
-            }
+            // A miss is conclusive only if the manifest did not change
+            // underneath the probe: a concurrent merge claim can move
+            // a node out of a table after we searched it (and captured
+            // filters go stale the same way). Publication happens
+            // before any node moves, so rechecking the pointer after
+            // the probe catches every such race; a reader that misses
+            // for real sees a stable pointer and descends.
+            const LevelManifest *now = bl.acquireManifest();
+            if (now == m)
+                break;
+            m = now;
+            stats_.read_retries.fetch_add(1, std::memory_order_relaxed);
         }
     }
     return state_->repo->get(key, value, type, seq);
@@ -700,8 +765,14 @@ MioDB::scan(const Slice &start_key, int count,
             std::vector<std::pair<std::string, std::string>> *out)
 {
     stats_.scans.fetch_add(1, std::memory_order_relaxed);
-    ReadGuard guard(this);
     out->clear();
+    if (count <= 0) {
+        // Nothing to return; don't build the full child-iterator
+        // stack (one per memtable/table/merge participant) for an
+        // empty result.
+        return Status::ok();
+    }
+    ReadGuard guard(this);
 
     // Pin every source for the whole scan: the child iterators hold
     // raw list pointers, so the MemTable shared_ptrs and the per-level
@@ -725,6 +796,12 @@ MioDB::scan(const Slice &start_key, int count,
     }
     for (int i = 0; i < state_->levels.numLevels(); i++)
         pinned_snaps.push_back(state_->levels.level(i).snapshot());
+    size_t child_count = children.size() + 1;  // +1 for the repo
+    for (const auto &snap : pinned_snaps) {
+        child_count += snap.tables.size() + (snap.merge ? 3 : 0) +
+                       (snap.migrating ? 1 : 0);
+    }
+    children.reserve(child_count);
     for (const auto &snap : pinned_snaps) {
         for (const auto &table : snap.tables) {
             children.push_back(std::make_unique<lsm::SkipListIterator>(
@@ -990,24 +1067,35 @@ MioDB::singleCompactionThreadLoop()
 void
 MioDB::retireTable(std::shared_ptr<PMTable> table)
 {
-    if (active_readers_.load(std::memory_order_acquire) == 0) {
-        // No reader can hold a snapshot that reaches this chain: the
-        // table was already unpublished from every level.
+    retireToGraveyard(std::move(table));
+}
+
+void
+MioDB::retireToGraveyard(std::shared_ptr<const void> retired)
+{
+    // Pairs with the fence in ReadGuard's constructor. The retired
+    // object was unpublished before this call; if the load below
+    // misses a reader's increment, that reader's first manifest /
+    // snapshot load is guaranteed to observe the replacement
+    // publication (the two seq_cst fences forbid both sides reading
+    // stale), so the immediate drop can never free something a reader
+    // can still reach.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (active_readers_.load(std::memory_order_acquire) == 0)
         return;
-    }
     std::lock_guard<std::mutex> lock(grave_mu_);
-    graveyard_.push_back(std::move(table));
+    graveyard_.push_back(std::move(retired));
 }
 
 void
 MioDB::sweepGraveyard()
 {
-    std::vector<std::shared_ptr<PMTable>> doomed;
+    std::vector<std::shared_ptr<const void>> doomed;
     {
         std::lock_guard<std::mutex> lock(grave_mu_);
         doomed.swap(graveyard_);
     }
-    // Chains free here, outside the lock.
+    // Chains and manifests free here, outside the lock.
 }
 
 void
@@ -1019,7 +1107,10 @@ MioDB::waitIdle()
             if (!imms_.empty())
                 return false;
         }
-        return state_->levels.quiescent() || shutting_down_.load() ||
+        // Without compaction workers the buffer never drains further
+        // than the flusher leaves it; idle == immutables flushed.
+        return !options_.auto_compaction ||
+               state_->levels.quiescent() || shutting_down_.load() ||
                crashed_.load();
     };
     std::unique_lock<std::mutex> lock(sched_mu_);

@@ -16,6 +16,7 @@
 #ifndef MIO_MIODB_MIODB_H_
 #define MIO_MIODB_MIODB_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -216,11 +217,21 @@ class MioDB : public KVStore
         {
             db_->active_readers_.fetch_add(1,
                                            std::memory_order_acquire);
+            // Pairs with the fence in retireToGraveyard(): a retirer
+            // that misses this increment is guaranteed to have
+            // published its replacement manifest before our first
+            // acquireManifest() load (store-buffering resolution), so
+            // an immediately-freed manifest is never reachable here.
+            std::atomic_thread_fence(std::memory_order_seq_cst);
         }
         ~ReadGuard()
         {
+            // acq_rel: the acquire half makes every earlier reader's
+            // in-guard loads (their decrements form a release sequence
+            // on this counter) happen-before the sweep below, so the
+            // last reader out can safely free what they were reading.
             if (db_->active_readers_.fetch_sub(
-                    1, std::memory_order_release) == 1) {
+                    1, std::memory_order_acq_rel) == 1) {
                 db_->sweepGraveyard();
             }
         }
@@ -232,7 +243,25 @@ class MioDB : public KVStore
     };
 
     void retireTable(std::shared_ptr<PMTable> table);
+    /**
+     * Defer destruction of a retired object (PMTable chain or level
+     * manifest) until no reader that could have observed it is in
+     * flight; frees immediately when provably unobserved.
+     */
+    void retireToGraveyard(std::shared_ptr<const void> retired);
     void sweepGraveyard();
+
+    /**
+     * Probe one level's published manifest: summary filter first (one
+     * negative probe skips the level), then resident tables newest
+     * first, the in-flight merge pair (three-step protocol), and the
+     * migrating table -- all via metadata captured at publish time,
+     * no locks.
+     */
+    bool probeLevelManifest(const LevelManifest &m, const Slice &key,
+                            uint64_t h1, uint64_t h2,
+                            std::string *value, EntryType *type,
+                            uint64_t *seq, bool use_bloom);
 
     MioOptions options_;
     sim::NvmDevice *nvm_;
@@ -274,7 +303,7 @@ class MioDB : public KVStore
     // Reader epoch tracking + deferred reclamation (see ReadGuard).
     std::atomic<int> active_readers_{0};
     std::mutex grave_mu_;
-    std::vector<std::shared_ptr<PMTable>> graveyard_;
+    std::vector<std::shared_ptr<const void>> graveyard_;
 
     // Background scheduling.
     std::mutex sched_mu_;

@@ -43,6 +43,14 @@ struct MioOptions {
     bool zero_copy_merge = true;   //!< false: copying merge in the buffer
     bool parallel_compaction = true; //!< false: one thread for all levels
 
+    /**
+     * When false, no compaction threads are started: flushed PMTables
+     * stay where they (or a test/bench) put them, so a populated
+     * multi-level buffer shape can be held static. Read-path benches
+     * and manifest tests use this; production keeps it on.
+     */
+    bool auto_compaction = true;
+
     /** Write-ahead logging (required for crash consistency). */
     bool enable_wal = true;
 

@@ -6,7 +6,8 @@ PMTable::PMTable(std::shared_ptr<Arena> arena, SkipList::Node *head,
                  uint64_t entry_count, BloomFilter bloom,
                  uint64_t table_id, std::string min_key,
                  std::string max_key)
-    : list_(head, entry_count), bloom_(std::move(bloom)),
+    : list_(head, entry_count),
+      bloom_(std::make_shared<const BloomFilter>(std::move(bloom))),
       table_id_(table_id), min_key_(std::move(min_key)),
       max_key_(std::move(max_key))
 {
@@ -38,8 +39,12 @@ PMTable::coversKey(const Slice &key) const
 bool
 PMTable::bloomMayContain(const Slice &key) const
 {
-    std::lock_guard<std::mutex> lock(meta_mu_);
-    return bloom_.mayContain(key);
+    std::shared_ptr<const BloomFilter> filter;
+    {
+        std::lock_guard<std::mutex> lock(meta_mu_);
+        filter = bloom_;
+    }
+    return filter->mayContain(key);
 }
 
 size_t
@@ -61,7 +66,12 @@ PMTable::absorb(PMTable &other)
     std::scoped_lock lock(meta_mu_, other.meta_mu_);
     for (const auto &arena : other.arenas_)
         arenas_.push_back(arena);  // co-own; never steal from readers
-    bloom_.merge(other.bloom_);
+    // Copy-on-write: references captured by level manifests keep
+    // probing the pre-merge filter, which is still sound for the keys
+    // that table held at capture time.
+    auto merged = std::make_shared<BloomFilter>(*bloom_);
+    merged->merge(*other.bloom_);
+    bloom_ = std::move(merged);
     if (Slice(other.min_key_).compare(Slice(min_key_)) < 0)
         min_key_ = other.min_key_;
     if (Slice(other.max_key_).compare(Slice(max_key_)) > 0)

@@ -42,8 +42,21 @@ class PMTable
     SkipList &list() { return list_; }
     const SkipList &list() const { return list_; }
     /** Unsynchronized access; safe only when no merge targets this. */
-    BloomFilter &bloom() { return bloom_; }
-    const BloomFilter &bloom() const { return bloom_; }
+    const BloomFilter &bloom() const { return *bloom_; }
+
+    /**
+     * Current filter as an immutable shared snapshot. absorb() swaps
+     * in a freshly merged filter instead of mutating in place, so a
+     * captured reference stays valid (and probe-safe) forever -- this
+     * is what lets a level manifest probe member filters without
+     * taking meta_mu_ per get.
+     */
+    std::shared_ptr<const BloomFilter>
+    bloomRef() const
+    {
+        std::lock_guard<std::mutex> lock(meta_mu_);
+        return bloom_;
+    }
 
     uint64_t tableId() const { return table_id_; }
     uint64_t entryCount() const { return list_.entryCount(); }
@@ -84,7 +97,8 @@ class PMTable
     /** Guards arenas_, bloom_, and the key range during absorb(). */
     mutable std::mutex meta_mu_;
     std::vector<std::shared_ptr<Arena>> arenas_;
-    BloomFilter bloom_;
+    /** Copy-on-write: absorb() replaces, never mutates (see bloomRef). */
+    std::shared_ptr<const BloomFilter> bloom_;
     uint64_t table_id_;
     std::string min_key_;
     std::string max_key_;
@@ -103,6 +117,21 @@ struct MergeOp {
     /** Node currently being moved; persistent state for recovery. */
     std::atomic<SkipList::Node *> mark{nullptr};
     std::atomic<bool> done{false};
+    /**
+     * Combined key range of the pair, captured at beginMerge(). The
+     * union range is invariant while nodes shuffle between the two
+     * tables, so readers can range-prune the whole in-flight pair
+     * without locking either table's metadata.
+     */
+    std::string min_key;
+    std::string max_key;
+
+    bool
+    coversKey(const Slice &key) const
+    {
+        return Slice(min_key).compare(key) <= 0 &&
+               key.compare(Slice(max_key)) <= 0;
+    }
 };
 
 } // namespace mio::miodb

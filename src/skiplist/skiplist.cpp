@@ -14,6 +14,7 @@ SkipList::newHeadNode(Arena *arena)
     assert(mem != nullptr && "arena too small for skip-list head");
     Node *head = reinterpret_cast<Node *>(mem);
     head->seq = 0;
+    head->prefix = 0;
     head->key_len = 0;
     head->value_len = 0;
     head->height = kMaxHeight;
@@ -68,6 +69,7 @@ SkipList::makeNode(Arena *arena, const Slice &key, uint64_t seq,
         return nullptr;
     Node *n = reinterpret_cast<Node *>(mem);
     n->seq = seq;
+    n->prefix = Node::keyPrefix(key);
     n->key_len = static_cast<uint32_t>(key.size());
     n->value_len = static_cast<uint32_t>(value.size());
     n->height = static_cast<uint16_t>(height);
@@ -91,6 +93,7 @@ SkipList::makeNode(ChunkedNvmArena *arena, const Slice &key, uint64_t seq,
     char *mem = arena->allocate(bytes);
     Node *n = reinterpret_cast<Node *>(mem);
     n->seq = seq;
+    n->prefix = Node::keyPrefix(key);
     n->key_len = static_cast<uint32_t>(key.size());
     n->value_len = static_cast<uint32_t>(value.size());
     n->height = static_cast<uint16_t>(height);
@@ -111,6 +114,7 @@ SkipList::insert(const Slice &key, uint64_t seq, EntryType type,
     assert(arena_ != nullptr && "insert() requires an owning arena");
 
     // Find predecessors for the exact (key asc, seq desc) position.
+    const uint64_t kp = Node::keyPrefix(key);
     Splice splice;
     Node *x = head_;
     int level = maxHeight() - 1;
@@ -118,8 +122,20 @@ SkipList::insert(const Slice &key, uint64_t seq, EntryType type,
         splice.prev[i] = head_;
     while (true) {
         Node *next = x->next(level);
-        if (next != nullptr &&
-            entryBefore(next->key(), next->seq, key, seq)) {
+        bool advance = false;
+        if (next != nullptr) {
+            // Warm the successor's header while comparing this node;
+            // when we advance, its cache miss is already in flight.
+            __builtin_prefetch(next->next(level));
+            if (next->prefix != kp) {
+                // Differing prefixes order exactly like the full keys;
+                // the seq tiebreak only matters for equal keys.
+                advance = next->prefix < kp;
+            } else {
+                advance = entryBefore(next->key(), next->seq, key, seq);
+            }
+        }
+        if (advance) {
             x = next;
         } else {
             splice.prev[level] = x;
@@ -154,13 +170,22 @@ SkipList::insert(const Slice &key, uint64_t seq, EntryType type,
 SkipList::Node *
 SkipList::findGreaterOrEqual(const Slice &key, Splice *splice) const
 {
+    const uint64_t kp = Node::keyPrefix(key);
     Node *x = head_;
     int level = maxHeight() - 1;
     for (int i = kMaxHeight - 1; i > level; i--)
         splice->prev[i] = head_;
     while (true) {
         Node *next = x->next(level);
-        if (next != nullptr && next->key().compare(key) < 0) {
+        bool advance = false;
+        if (next != nullptr) {
+            __builtin_prefetch(next->next(level));
+            if (next->prefix != kp)
+                advance = next->prefix < kp;
+            else
+                advance = next->key().compare(key) < 0;
+        }
+        if (advance) {
             x = next;
         } else {
             splice->prev[level] = x;

@@ -51,6 +51,13 @@ class SkipList
      */
     struct Node {
         uint64_t seq;
+        /**
+         * First 8 key bytes, big-endian, zero-padded: differing
+         * prefixes order exactly like the full keys (see keyPrefix()),
+         * so a descent usually decides its branch from the header cache
+         * line without dereferencing the out-of-line key bytes.
+         */
+        uint64_t prefix;
         uint32_t key_len;
         uint32_t value_len;
         uint16_t height;
@@ -97,6 +104,29 @@ class SkipList
         {
             return sizeof(Node) + height * sizeof(std::atomic<Node *>) +
                    key_len + value_len;
+        }
+
+        /**
+         * Inline comparison prefix for @p key. Big-endian packing with
+         * zero padding means that for any two keys a, b:
+         * keyPrefix(a) != keyPrefix(b) implies
+         * sign(keyPrefix(a) - keyPrefix(b)) == sign(a.compare(b)) --
+         * including short keys and embedded NULs, because a padding
+         * zero can only tie with a real NUL byte, never win against
+         * one. Equal prefixes decide nothing; fall back to the full
+         * compare.
+         */
+        static uint64_t
+        keyPrefix(const Slice &key)
+        {
+            uint64_t p = 0;
+            const size_t n = key.size() < 8 ? key.size() : 8;
+            for (size_t i = 0; i < n; i++) {
+                p |= static_cast<uint64_t>(
+                         static_cast<uint8_t>(key.data()[i]))
+                     << (56 - 8 * i);
+            }
+            return p;
         }
     };
 
