@@ -72,6 +72,7 @@ struct BenchParams {
     size_t value_size = 100;
     int bits_per_key = 16;
     uint64_t seed = 42;
+    uint64_t scrub_interval_ms = 0;  //!< --scrub: background scrubber
 };
 
 struct RunResult {
@@ -105,6 +106,10 @@ struct FrozenStore {
         opt.enable_wal = false;
         opt.elastic_levels = std::max(levels, 2);
         opt.bits_per_key = p.bits_per_key;
+        // --scrub: race the background integrity scrubber against the
+        // measured gets (quantifies the scrub overhead on the read
+        // path; see EXPERIMENTS.md).
+        opt.scrub_interval_ms = p.scrub_interval_ms;
         db = std::make_unique<MioDB>(opt, &nvm);
 
         total_keys = p.table_keys * p.tables_per_level *
@@ -245,14 +250,21 @@ main(int argc, char **argv)
     p.value_size = flags.getSize("value_size", 100);
     p.bits_per_key = static_cast<int>(flags.getInt("bits_per_key", 16));
     p.seed = flags.getInt("seed", 42);
+    if (flags.getBool("scrub", false))
+        p.scrub_interval_ms = flags.getInt("scrub_interval_ms", 5);
 
     std::vector<int> level_sweep =
         smoke ? std::vector<int>{2, 4} : std::vector<int>{1, 2, 4, 8};
 
     printExperimentHeader(
         "micro_readpath",
-        "Point-get read path vs populated buffer depth (uniform / "
-        "zipfian hits, uniform misses; frozen elastic buffer)");
+        std::string("Point-get read path vs populated buffer depth "
+                    "(uniform / zipfian hits, uniform misses; frozen "
+                    "elastic buffer") +
+            (p.scrub_interval_ms
+                 ? ", background scrubber every " +
+                       std::to_string(p.scrub_interval_ms) + " ms)"
+                 : ")"));
 
     TableReporter tbl(
         "Point gets, " + std::to_string(p.tables_per_level) +

@@ -9,17 +9,57 @@
 # against the pre-overhaul read path), the output records BOTH runs as
 # {"baseline": ..., "current": ...} so the improvement is auditable;
 # otherwise the fresh run alone becomes the file's "current" entry.
+# A third "scrub" entry re-runs the sweep with the background
+# integrity scrubber armed (--scrub), so the scrub overhead versus
+# "current" is auditable from the same machine and session.
+#
+# Each mode runs MIO_BENCH_REPS times (default 3) and records the
+# per-row best KIOPS: on small/shared machines single runs are noisy
+# (+-10% observed on one core), and best-of-N estimates the
+# throughput ceiling the configuration can sustain. Reps alternate
+# current/scrub so slow host-speed drift cannot systematically bias
+# whichever mode would otherwise run second.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
+REPS="${MIO_BENCH_REPS:-3}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target micro_readpath >/dev/null
 
-CURRENT=$(mktemp)
-trap 'rm -f "$CURRENT"' EXIT
-build/bench/micro_readpath --json="$CURRENT" "$@"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Interleaved reps: one current sweep, one scrub sweep, repeat.
+for rep in $(seq 1 "$REPS"); do
+    build/bench/micro_readpath --json="$WORK/current.$rep.json" "$@" \
+        >/dev/null
+    build/bench/micro_readpath --scrub \
+        --json="$WORK/scrub.$rep.json" "$@" >/dev/null
+done
+
+# merge_mode <name>: keep each (levels, workload) row from the rep
+# with the best KIOPS.
+merge_mode() {
+    python3 - "$WORK/$1" "$REPS" <<'EOF'
+import json, sys
+prefix, reps = sys.argv[1], int(sys.argv[2])
+docs = [json.load(open(f"{prefix}.{r}.json")) for r in range(1, reps + 1)]
+best = docs[0]
+rows = {}
+for d in docs:
+    for row in d["runs"]:
+        key = (row["levels"], row["workload"])
+        if key not in rows or row["kiops"] > rows[key]["kiops"]:
+            rows[key] = row
+best["runs"] = [rows[(r["levels"], r["workload"])] for r in docs[0]["runs"]]
+json.dump(best, open(f"{prefix}.json", "w"), indent=1)
+EOF
+}
+
+merge_mode current
+merge_mode scrub
 
 BASELINE=scripts/baseline/BENCH_readpath_baseline.json
 {
@@ -30,7 +70,10 @@ BASELINE=scripts/baseline/BENCH_readpath_baseline.json
         echo ','
     fi
     echo '"current":'
-    cat "$CURRENT"
+    cat "$WORK/current.json"
+    echo ','
+    echo '"scrub":'
+    cat "$WORK/scrub.json"
     echo '}'
 } > BENCH_readpath.json
-echo "wrote BENCH_readpath.json"
+echo "wrote BENCH_readpath.json (best of $REPS reps per mode)"

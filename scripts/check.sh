@@ -17,7 +17,7 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # assertion needs the writer to outrun background migration, which
 # TSan's slowdown prevents (no race involved -- it runs in the
 # normal-build suite).
-TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test}"
+TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test|fault_soak_test}"
 
 if [ "${1:-}" != "--tsan-only" ]; then
     echo "=== tier-1: build + full test suite"
@@ -26,6 +26,8 @@ if [ "${1:-}" != "--tsan-only" ]; then
     (cd build && ctest --output-on-failure -j "$JOBS")
     echo "=== read-path bench smoke (keeps bench/micro_readpath honest)"
     build/bench/micro_readpath --smoke
+    echo "=== fault suite (fault model, scrubber, backpressure)"
+    (cd build && ctest --output-on-failure -L fault)
 fi
 
 echo "=== TSan: rebuild with MIO_SANITIZE=thread"

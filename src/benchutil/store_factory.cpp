@@ -59,6 +59,10 @@ BenchConfig::fromFlags(const Flags &flags)
     c.group_commit = flags.getBool("group_commit", c.group_commit);
     c.max_group_bytes =
         flags.getSize("max_group_bytes", c.max_group_bytes);
+    c.scrub_interval_ms =
+        flags.getInt("scrub_interval_ms", c.scrub_interval_ms);
+    c.write_stall_timeout_ms = flags.getInt("write_stall_timeout_ms",
+                                            c.write_stall_timeout_ms);
     return c;
 }
 
@@ -109,6 +113,8 @@ makeStore(const BenchConfig &config)
         o.group_commit = config.group_commit;
         o.max_group_bytes = config.max_group_bytes;
         o.nvm_buffer_cap_bytes = config.miodb_buffer_cap;
+        o.scrub_interval_ms = config.scrub_interval_ms;
+        o.write_stall_timeout_ms = config.write_stall_timeout_ms;
         o.use_ssd_repository = config.ssd_mode;
         o.ssd_lsm = scaledLsmOptions(config);
         bundle.store = std::make_unique<miodb::MioDB>(

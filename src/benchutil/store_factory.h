@@ -61,6 +61,11 @@ struct BenchConfig {
     // Write-pipeline toggles (bench/micro_multiwriter sweeps these).
     bool group_commit = true;
     uint64_t max_group_bytes = 1u << 20;
+    // Media-fault ops knobs (MioDB only; DESIGN.md Sec. 5e). Pair
+    // with MIO_NVM_FAULTS="capacity=..." to drive exhaustion
+    // backpressure from any bench binary.
+    uint64_t scrub_interval_ms = 0;
+    uint64_t write_stall_timeout_ms = 1000;
 
     uint64_t
     numKeys() const

@@ -37,6 +37,15 @@ snapshotOf(const StatsCounters &c)
     s.wal_appends_saved = get(c.wal_appends_saved);
     for (int i = 0; i < StatsCounters::kGroupSizeBuckets; i++)
         s.group_size_hist[i] = get(c.group_size_hist[i]);
+    s.write_slowdowns = get(c.write_slowdowns);
+    s.write_stalls = get(c.write_stalls);
+    s.busy_rejections = get(c.busy_rejections);
+    s.scrub_passes = get(c.scrub_passes);
+    s.scrub_bytes = get(c.scrub_bytes);
+    s.corruptions_detected = get(c.corruptions_detected);
+    s.tables_quarantined = get(c.tables_quarantined);
+    s.ssd_io_retries = get(c.ssd_io_retries);
+    s.wal_corrupt_frames = get(c.wal_corrupt_frames);
     return s;
 }
 
@@ -72,6 +81,16 @@ statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
     d.wal_appends_saved = a.wal_appends_saved - b.wal_appends_saved;
     for (int i = 0; i < StatsCounters::kGroupSizeBuckets; i++)
         d.group_size_hist[i] = a.group_size_hist[i] - b.group_size_hist[i];
+    d.write_slowdowns = a.write_slowdowns - b.write_slowdowns;
+    d.write_stalls = a.write_stalls - b.write_stalls;
+    d.busy_rejections = a.busy_rejections - b.busy_rejections;
+    d.scrub_passes = a.scrub_passes - b.scrub_passes;
+    d.scrub_bytes = a.scrub_bytes - b.scrub_bytes;
+    d.corruptions_detected =
+        a.corruptions_detected - b.corruptions_detected;
+    d.tables_quarantined = a.tables_quarantined - b.tables_quarantined;
+    d.ssd_io_retries = a.ssd_io_retries - b.ssd_io_retries;
+    d.wal_corrupt_frames = a.wal_corrupt_frames - b.wal_corrupt_frames;
     return d;
 }
 
@@ -94,7 +113,22 @@ StatsSnapshot::toString() const
              static_cast<unsigned long long>(groups_committed),
              averageGroupSize(),
              static_cast<unsigned long long>(wal_appends_saved));
-    return buf;
+    std::string out(buf);
+    snprintf(buf, sizeof(buf),
+             "\nfaults: slowdowns=%llu stalls=%llu busy=%llu "
+             "scrubs=%llu scrub_bytes=%llu corruptions=%llu "
+             "quarantined=%llu ssd_retries=%llu wal_corrupt=%llu",
+             static_cast<unsigned long long>(write_slowdowns),
+             static_cast<unsigned long long>(write_stalls),
+             static_cast<unsigned long long>(busy_rejections),
+             static_cast<unsigned long long>(scrub_passes),
+             static_cast<unsigned long long>(scrub_bytes),
+             static_cast<unsigned long long>(corruptions_detected),
+             static_cast<unsigned long long>(tables_quarantined),
+             static_cast<unsigned long long>(ssd_io_retries),
+             static_cast<unsigned long long>(wal_corrupt_frames));
+    out += buf;
+    return out;
 }
 
 } // namespace mio

@@ -67,6 +67,25 @@ struct StatsCounters {
     std::atomic<uint64_t> wal_appends_saved{0};
     std::atomic<uint64_t> group_size_hist[kGroupSizeBuckets]{};
 
+    // -- media-fault tolerance (NVM watermarks, scrubber, retries) --
+    /** Writes slowed down above the soft NVM watermark. */
+    std::atomic<uint64_t> write_slowdowns{0};
+    /** Writers that entered a bounded hard-watermark stall. */
+    std::atomic<uint64_t> write_stalls{0};
+    /** Writes rejected with Status::busy after a stall timed out. */
+    std::atomic<uint64_t> busy_rejections{0};
+    std::atomic<uint64_t> scrub_passes{0};
+    /** Payload bytes whose checksums the scrubber verified. */
+    std::atomic<uint64_t> scrub_bytes{0};
+    /** Checksum mismatches found (scrubber or read-path verify). */
+    std::atomic<uint64_t> corruptions_detected{0};
+    /** PMTables/SSTables quarantined after a checksum mismatch. */
+    std::atomic<uint64_t> tables_quarantined{0};
+    /** Transient SSD I/O errors absorbed by retry-with-backoff. */
+    std::atomic<uint64_t> ssd_io_retries{0};
+    /** WAL frames dropped by recovery as corrupt (torn/flipped). */
+    std::atomic<uint64_t> wal_corrupt_frames{0};
+
     /** Bucket index for a group of @p writers members. */
     static int
     groupSizeBucket(uint64_t writers)
@@ -107,6 +126,15 @@ struct StatsSnapshot {
     uint64_t group_writers = 0;
     uint64_t wal_appends_saved = 0;
     uint64_t group_size_hist[StatsCounters::kGroupSizeBuckets] = {};
+    uint64_t write_slowdowns = 0;
+    uint64_t write_stalls = 0;
+    uint64_t busy_rejections = 0;
+    uint64_t scrub_passes = 0;
+    uint64_t scrub_bytes = 0;
+    uint64_t corruptions_detected = 0;
+    uint64_t tables_quarantined = 0;
+    uint64_t ssd_io_retries = 0;
+    uint64_t wal_corrupt_frames = 0;
 
     /** Mean writers per commit group (1.0 when grouping never fired). */
     double

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <chrono>
+#include <functional>
+#include <thread>
 
 #include "sim/failpoint.h"
 #include "util/clock.h"
@@ -47,17 +49,41 @@ LsmTree::installBlob(std::string contents, uint64_t number,
     meta->file_size = contents.size();
     meta->num_entries = num_entries;
 
-    Status s = medium_->writeBlob(meta->blob_name, Slice(contents));
-    assert(s.isOk());
+    // Transient I/O errors (a flaky simulated SSD) are retried with
+    // exponential backoff; the caller sees nullptr only after the
+    // retry budget is spent, and propagates a clean error upward.
+    auto with_retries = [&](const std::function<Status()> &io) {
+        Status s;
+        for (int attempt = 0;; attempt++) {
+            s = io();
+            if (s.isOk() || attempt >= options_.io_retries)
+                return s;
+            stats_->ssd_io_retries.fetch_add(1,
+                                             std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                options_.io_retry_backoff_us << attempt));
+        }
+    };
+
+    Status s = with_retries([&] {
+        return medium_->writeBlob(meta->blob_name, Slice(contents));
+    });
+    if (!s.isOk())
+        return nullptr;
     // The blob exists but no version references it yet; a crash here
     // merely orphans it (the version set is rebuilt from NvmState).
     MIO_FAILPOINT("ssd.sstable.after_write");
     stats_->storage_bytes_written.fetch_add(contents.size(),
                                             std::memory_order_relaxed);
-    s = TableReader::open(medium_, meta->blob_name, &meta->reader,
-                          &stats_->deserialization_ns);
-    assert(s.isOk());
-    (void)s;
+    s = with_retries([&] {
+        return TableReader::open(medium_, meta->blob_name,
+                                 &meta->reader,
+                                 &stats_->deserialization_ns);
+    });
+    if (!s.isOk()) {
+        medium_->deleteBlob(meta->blob_name);
+        return nullptr;
+    }
     return meta;
 }
 
@@ -69,18 +95,26 @@ LsmTree::writeTables(KVIterator *iter, bool drop_tombstones,
     std::string last_user_key;
     bool has_last = false;
 
-    auto finish_table = [&]() {
+    auto finish_table = [&]() -> Status {
         if (!builder || builder->numEntries() == 0)
-            return;
+            return Status::ok();
         uint64_t number = versions_.nextFileNumber();
         std::string smallest = builder->smallestKey();
         std::string largest = builder->largestKey();
         uint64_t entries = builder->numEntries();
         std::string contents = builder->finish();
-        outputs->push_back(installBlob(std::move(contents), number,
-                                       entries, std::move(smallest),
-                                       std::move(largest)));
+        auto meta = installBlob(std::move(contents), number, entries,
+                                std::move(smallest),
+                                std::move(largest));
+        if (meta == nullptr) {
+            // Retries exhausted. Earlier outputs stay as orphaned
+            // blobs (same as a crash mid-flush); the caller re-runs
+            // the whole flush/compaction.
+            return Status::ioError("sstable install failed");
+        }
+        outputs->push_back(std::move(meta));
         builder.reset();
+        return Status::ok();
     };
 
     for (iter->seekToFirst(); iter->valid(); iter->next()) {
@@ -101,11 +135,13 @@ LsmTree::writeTables(KVIterator *iter, bool drop_tombstones,
                 options_.block_size, options_.bits_per_key);
         }
         builder->add(iter->key(), iter->value());
-        if (builder->estimatedSize() >= options_.sstable_target_size)
-            finish_table();
+        if (builder->estimatedSize() >= options_.sstable_target_size) {
+            Status s = finish_table();
+            if (!s.isOk())
+                return s;
+        }
     }
-    finish_table();
-    return Status::ok();
+    return finish_table();
 }
 
 Status
@@ -181,8 +217,18 @@ LsmTree::mergeIntoLevel(int level, KVIterator *iter, const Slice &lo_user,
 
 bool
 LsmTree::get(const Slice &user_key, std::string *value, EntryType *type,
-             uint64_t *seq)
+             uint64_t *seq, bool *corrupt)
 {
+    // A quarantined (or checksum-failing) file that could hold the key
+    // poisons the lookup: continuing to an older file or deeper level
+    // would present stale data as current.
+    auto damaged = [&](const std::shared_ptr<FileMeta> &f) {
+        if (!f->quarantined.load(std::memory_order_acquire))
+            return false;
+        if (corrupt != nullptr)
+            *corrupt = true;
+        return true;
+    };
     for (int attempt = 0; attempt < 3; attempt++) {
         bool retry = false;
         // L0: newest file first (files overlap).
@@ -193,9 +239,16 @@ LsmTree::get(const Slice &user_key, std::string *value, EntryType *type,
                 user_key.compare(extractUserKey(Slice(f->largest))) > 0) {
                 continue;
             }
+            if (damaged(f))
+                return false;
             Status s = f->reader->get(user_key, value, type, seq);
             if (s.isOk())
                 return true;
+            if (s.isCorruption()) {
+                if (corrupt != nullptr)
+                    *corrupt = true;
+                return false;
+            }
             if (s.isIOError()) {
                 retry = true;
                 break;
@@ -214,9 +267,16 @@ LsmTree::get(const Slice &user_key, std::string *value, EntryType *type,
                         0) {
                     continue;
                 }
+                if (damaged(f))
+                    return false;
                 Status s = f->reader->get(user_key, value, type, seq);
                 if (s.isOk())
                     return true;
+                if (s.isCorruption()) {
+                    if (corrupt != nullptr)
+                        *corrupt = true;
+                    return false;
+                }
                 if (s.isIOError()) {
                     retry = true;
                     break;
@@ -230,6 +290,24 @@ LsmTree::get(const Slice &user_key, std::string *value, EntryType *type,
             return false;
     }
     return false;
+}
+
+void
+LsmTree::scrubTables(uint64_t *bytes, uint64_t *corruptions,
+                     uint64_t *quarantined)
+{
+    for (int level = 0; level < versions_.numLevels(); level++) {
+        for (const auto &f : versions_.levelFiles(level)) {
+            if (f->quarantined.load(std::memory_order_acquire))
+                continue;
+            *bytes += f->file_size;
+            if (!f->reader->verifyBody()) {
+                f->quarantined.store(true, std::memory_order_release);
+                (*corruptions)++;
+                (*quarantined)++;
+            }
+        }
+    }
 }
 
 std::unique_ptr<KVIterator>

@@ -60,9 +60,19 @@ class LsmTree
     /**
      * Find the newest version of @p user_key across all levels.
      * @return true when any version (including a tombstone) exists.
+     * @param corrupt set when the key falls in a quarantined or
+     *        checksum-failing file; the search stops there (deeper
+     *        levels would return stale data as if current).
      */
     bool get(const Slice &user_key, std::string *value, EntryType *type,
-             uint64_t *seq = nullptr);
+             uint64_t *seq = nullptr, bool *corrupt = nullptr);
+
+    /**
+     * Verify the body checksum of every live SSTable; quarantine the
+     * failures. Accumulates into the caller's counters.
+     */
+    void scrubTables(uint64_t *bytes, uint64_t *corruptions,
+                     uint64_t *quarantined);
 
     /** Internal-key merged iterator over every file (for scans). */
     std::unique_ptr<KVIterator> newIterator() const;

@@ -214,7 +214,10 @@ VersionSet::pickCompaction()
     job.level = best_level;
 
     auto claimed = [this](const FileMeta &f) {
-        return in_flight_.count(f.number) > 0;
+        // Quarantined files are permanently ineligible: compacting
+        // one would launder its corrupt entries into a fresh file.
+        return in_flight_.count(f.number) > 0 ||
+               f.quarantined.load(std::memory_order_acquire);
     };
 
     if (best_level == 0) {

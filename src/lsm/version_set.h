@@ -31,6 +31,12 @@ struct FileMeta {
     uint64_t file_size = 0;
     uint64_t num_entries = 0;
     std::shared_ptr<TableReader> reader;
+    /**
+     * Scrubber verdict: the body checksum no longer matches. Reads
+     * whose key the file covers answer corruption instead of serving
+     * from it, and compaction stops consuming it.
+     */
+    std::atomic<bool> quarantined{false};
 };
 
 /** Inputs of one compaction: level -> level+1. */
@@ -55,6 +61,10 @@ struct LsmOptions {
     int compaction_threads = 1;
     /** Drop tombstones when compacting into the last populated level. */
     bool drop_tombstones_at_bottom = true;
+    /** Transient blob I/O errors: attempts before giving up, and the
+     *  base of the exponential backoff between attempts. */
+    int io_retries = 5;
+    uint64_t io_retry_backoff_us = 100;
 };
 
 class VersionSet

@@ -43,7 +43,7 @@ char *
 Arena::allocate(size_t n)
 {
     n = align8(n);
-    if (used_ + n > capacity_)
+    if (base_ == nullptr || used_ + n > capacity_)
         return nullptr;
     char *result = base_ + used_;
     used_ += n;
@@ -69,7 +69,10 @@ ChunkedNvmArena::allocate(size_t n)
     n = align8(n);
     if (current_used_ + n > current_cap_) {
         size_t cap = n > chunk_size_ ? n : chunk_size_;
-        current_ = device_->allocateRegion(cap);
+        char *chunk = device_->allocateRegion(cap);
+        if (chunk == nullptr)
+            return nullptr;  // budget denied; caller surfaces Status
+        current_ = chunk;
         chunks_.push_back(current_);
         current_used_ = 0;
         current_cap_ = cap;

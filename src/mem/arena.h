@@ -34,6 +34,13 @@ class Arena
      */
     Arena(size_t capacity, sim::NvmDevice *device, bool charge_allocations);
 
+    /**
+     * False when the NVM device denied the region (capacity budget
+     * exhausted): every allocate() returns nullptr and the caller
+     * must surface Status::busy / retry instead of using the arena.
+     */
+    bool valid() const { return base_ != nullptr; }
+
     ~Arena();
 
     Arena(const Arena &) = delete;

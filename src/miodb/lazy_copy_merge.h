@@ -30,12 +30,33 @@ class Repository
   public:
     virtual ~Repository() = default;
 
-    /** Lazy-copy @p src's live entries in; src is spent afterwards. */
+    /** Result of one scrub pass over the repository's data. */
+    struct ScrubReport {
+        uint64_t bytes = 0;        //!< payload bytes verified
+        uint64_t corruptions = 0;  //!< checksum mismatches found
+        uint64_t quarantined = 0;  //!< tables newly quarantined
+    };
+
+    /**
+     * Lazy-copy @p src's live entries in; src is spent afterwards.
+     * A non-ok status (NVM budget, SSD I/O) leaves the repository
+     * consistent; the caller retries -- the merge is idempotent per
+     * key/sequence.
+     */
     virtual Status mergeTable(PMTable *src) = 0;
 
-    /** @return true if any version of @p key exists here. */
+    /**
+     * @return true if any version of @p key exists here. With
+     * @p verify, entry integrity is checked and a failure sets
+     * @p corrupt instead of returning damaged bytes.
+     */
     virtual bool get(const Slice &key, std::string *value,
-                     EntryType *type, uint64_t *seq) const = 0;
+                     EntryType *type, uint64_t *seq,
+                     bool verify = false,
+                     bool *corrupt = nullptr) const = 0;
+
+    /** Verify stored checksums; quarantine what fails (scrubber). */
+    virtual ScrubReport scrub() { return ScrubReport{}; }
 
     /** Internal-key iterator over the whole repository. */
     virtual std::unique_ptr<lsm::KVIterator> newIterator() const = 0;
@@ -68,10 +89,16 @@ class PmRepository : public Repository
 
     Status mergeTable(PMTable *src) override;
     bool get(const Slice &key, std::string *value, EntryType *type,
-             uint64_t *seq) const override;
+             uint64_t *seq, bool verify = false,
+             bool *corrupt = nullptr) const override;
     std::unique_ptr<lsm::KVIterator> newIterator() const override;
-    uint64_t entryCount() const override { return list_->entryCount(); }
+    uint64_t
+    entryCount() const override
+    {
+        return list_ ? list_->entryCount() : 0;
+    }
     void rebindStats(StatsCounters *stats) override { stats_ = stats; }
+    ScrubReport scrub() override;
 
     const SkipList &list() const { return *list_; }
     size_t memoryUsage() const { return arena_.memoryUsage(); }
@@ -95,10 +122,12 @@ class SsdRepository : public Repository
 
     Status mergeTable(PMTable *src) override;
     bool get(const Slice &key, std::string *value, EntryType *type,
-             uint64_t *seq) const override;
+             uint64_t *seq, bool verify = false,
+             bool *corrupt = nullptr) const override;
     std::unique_ptr<lsm::KVIterator> newIterator() const override;
     uint64_t entryCount() const override;
     void waitIdle() override { lsm_.waitIdle(); }
+    ScrubReport scrub() override;
     void
     rebindStats(StatsCounters *stats) override
     {

@@ -151,6 +151,8 @@ BufferLevel::beginMerge()
     std::lock_guard<std::mutex> lock(mu_);
     if (merge_ != nullptr || tables_.size() < 2)
         return nullptr;
+    if (tables_[0]->isQuarantined() || tables_[1]->isQuarantined())
+        return nullptr;  // corrupt tables stay pinned in place
     auto op = std::make_shared<MergeOp>();
     op->oldt = tables_[0];
     op->newt = tables_[1];
@@ -190,9 +192,18 @@ BufferLevel::beginMigration()
     std::lock_guard<std::mutex> lock(mu_);
     if (migrating_ != nullptr || tables_.empty())
         return nullptr;
+    if (tables_.front()->isQuarantined())
+        return nullptr;  // corrupt tables stay pinned in place
     migrating_ = tables_.front();
     tables_.pop_front();
     republishLocked(nullptr);
+    return migrating_;
+}
+
+std::shared_ptr<PMTable>
+BufferLevel::migratingTable() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
     return migrating_;
 }
 

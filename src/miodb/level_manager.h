@@ -143,8 +143,10 @@ class BufferLevel
     /**
      * Claim the two oldest tables for a zero-copy merge; they leave
      * the deque but stay reader-visible through the returned MergeOp.
-     * @return nullptr if fewer than two tables are resident or a merge
-     * is already active.
+     * @return nullptr if fewer than two tables are resident, a merge
+     * is already active, or either candidate is quarantined (a corrupt
+     * table must stay pinned in place so reads covering it keep
+     * answering corruption; consuming it would launder its entries).
      */
     std::shared_ptr<MergeOp> beginMerge();
 
@@ -153,9 +155,17 @@ class BufferLevel
 
     /**
      * Claim the oldest table for lazy-copy migration; it stays
-     * reader-visible until finishMigration.
+     * reader-visible until finishMigration. @return nullptr if a
+     * migration is in flight, the level is empty, or the oldest table
+     * is quarantined (see beginMerge).
      */
     std::shared_ptr<PMTable> beginMigration();
+    /**
+     * The migration already in flight, if any: a migration whose
+     * repository merge failed transiently stays claimed, and the
+     * level's compactor uses this to retry it.
+     */
+    std::shared_ptr<PMTable> migratingTable() const;
     void finishMigration();
 
     /** Total NVM bytes referenced by this level's tables. */

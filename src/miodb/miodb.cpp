@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <thread>
 
 #include "lsm/merging_iterator.h"
 #include "miodb/one_piece_flush.h"
@@ -134,6 +135,8 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
         compaction_threads_.emplace_back(
             [this] { singleCompactionThreadLoop(); });
     }
+    if (options_.scrub_interval_ms > 0)
+        scrub_thread_ = std::thread([this] { scrubThreadLoop(); });
 
     replayWal();
 }
@@ -154,15 +157,22 @@ MioDB::~MioDB()
         sched_cv_.notify_all();
         {
             std::unique_lock<std::mutex> il(imm_mu_);
+            // flush_blocked_: with the NVM budget exhausted the queue
+            // cannot drain; stop waiting -- the data stays durable in
+            // its WAL segments and replays on the next open.
             imm_cv_.wait(il, [this] {
-                return imms_.empty() || crashed_.load();
+                return imms_.empty() || crashed_.load() ||
+                       flush_blocked_.load();
             });
         }
     }
     shutting_down_.store(true);
     sched_cv_.notify_all();
     imm_cv_.notify_all();
+    scrub_cv_.notify_all();
     notifyCapWaiters();
+    if (scrub_thread_.joinable())
+        scrub_thread_.join();
     flush_thread_.join();
     for (auto &t : compaction_threads_)
         t.join();
@@ -190,6 +200,7 @@ MioDB::onSimCrash()
     sched_cv_.notify_all();
     imm_cv_.notify_all();
     idle_cv_.notify_all();
+    scrub_cv_.notify_all();
 }
 
 void
@@ -207,14 +218,27 @@ MioDB::recoverInterruptedCompactions()
             resumeZeroCopyMerge(snap.merge.get(), nvm_, &stats_);
             if (i + 1 < state_->levels.numLevels()) {
                 state_->levels.level(i + 1).push(snap.merge->oldt);
+                bl.finishMerge(snap.merge);
             } else {
-                state_->repo->mergeTable(snap.merge->oldt.get());
+                Status ms =
+                    state_->repo->mergeTable(snap.merge->oldt.get());
+                for (int retry = 0; !ms.isOk() && retry < 3; retry++) {
+                    ms = state_->repo->mergeTable(
+                        snap.merge->oldt.get());
+                }
+                // On persistent failure leave the merge published:
+                // readers still reach oldt through the manifest, so
+                // the level is wedged but no data is lost.
+                if (ms.isOk())
+                    bl.finishMerge(snap.merge);
             }
-            bl.finishMerge(snap.merge);
         }
         if (snap.migrating) {
-            state_->repo->mergeTable(snap.migrating.get());
-            bl.finishMigration();
+            Status ms = state_->repo->mergeTable(snap.migrating.get());
+            // On failure the migration stays in flight (still
+            // readable); compactLevelOnce retries it once workers run.
+            if (ms.isOk())
+                bl.finishMigration();
         }
     }
 }
@@ -233,7 +257,7 @@ constexpr char kWalTagSingle = 1;
 constexpr char kWalTagBatch = 2;
 } // namespace
 
-void
+Status
 MioDB::appendWal(uint64_t seq, EntryType type, const Slice &key,
                  const Slice &value)
 {
@@ -243,12 +267,15 @@ MioDB::appendWal(uint64_t seq, EntryType type, const Slice &key,
     record.push_back(static_cast<char>(type));
     putLengthPrefixedSlice(&record, key);
     putLengthPrefixedSlice(&record, value);
-    mem_wal_->append(Slice(record));
-    stats_.wal_bytes_written.fetch_add(record.size() + 8,
-                                       std::memory_order_relaxed);
+    Status s = mem_wal_->append(Slice(record));
+    if (s.isOk()) {
+        stats_.wal_bytes_written.fetch_add(record.size() + 8,
+                                           std::memory_order_relaxed);
+    }
+    return s;
 }
 
-void
+Status
 MioDB::appendWalOps(const std::vector<OpRef> &ops, size_t from,
                     uint64_t first_seq)
 {
@@ -277,9 +304,12 @@ MioDB::appendWalOps(const std::vector<OpRef> &ops, size_t from,
             putLengthPrefixedSlice(&record, ops[i].value);
         }
     }
-    mem_wal_->append(Slice(record));
-    stats_.wal_bytes_written.fetch_add(record.size() + 8,
-                                       std::memory_order_relaxed);
+    Status s = mem_wal_->append(Slice(record));
+    if (s.isOk()) {
+        stats_.wal_bytes_written.fetch_add(record.size() + 8,
+                                           std::memory_order_relaxed);
+    }
+    return s;
 }
 
 void
@@ -295,6 +325,7 @@ MioDB::replayWal()
     // be neither replayed nor removed. Ids are monotonic and names
     // zero-padded, so a string compare is an id compare.
     const std::string own_floor = walName(first_own_wal_id_);
+    bool relog_failed = false;
     for (const auto &name : names) {
         if (name >= own_floor)
             continue;  // a fresh segment of this instance
@@ -304,16 +335,25 @@ MioDB::replayWal()
         wal::LogReader reader(segment.get());
         std::string record;
         while (reader.readRecord(&record))
-            replayRecord(Slice(record), &max_seq);
+            replayRecord(Slice(record), &max_seq, &relog_failed);
+        if (reader.sawCorruption()) {
+            stats_.wal_corrupt_frames.fetch_add(
+                1, std::memory_order_relaxed);
+        }
         replayed.push_back(name);
     }
-    for (const auto &name : replayed)
-        registry_->remove(name);
+    // If a re-log was denied (NVM budget), the old segments are the
+    // only durable copy of some replayed records: keep them.
+    if (!relog_failed) {
+        for (const auto &name : replayed)
+            registry_->remove(name);
+    }
     seq_.store(max_seq);
 }
 
 void
-MioDB::replayRecord(const Slice &record, uint64_t *max_seq)
+MioDB::replayRecord(const Slice &record, uint64_t *max_seq,
+                    bool *relog_failed)
 {
     Slice input = record;
     if (input.size() < 10)
@@ -336,8 +376,10 @@ MioDB::replayRecord(const Slice &record, uint64_t *max_seq)
             assert(ok && "replayed entry exceeds MemTable size");
             (void)ok;
         }
-        if (options_.enable_wal)
-            appendWal(op_seq, type, key, value);
+        if (options_.enable_wal &&
+            !appendWal(op_seq, type, key, value).isOk()) {
+            *relog_failed = true;
+        }
         *max_seq = std::max(*max_seq, op_seq + 1);
     };
 
@@ -409,6 +451,74 @@ MioDB::applyBufferCap()
     }
 }
 
+bool
+MioDB::nvmOverSoftWatermark() const
+{
+    uint64_t cap = nvm_->capacityBytes();
+    if (cap == 0)
+        return false;
+    return static_cast<double>(nvm_->meters().bytes_allocated) >
+           options_.nvm_soft_watermark * static_cast<double>(cap);
+}
+
+Status
+MioDB::applyNvmWatermarks()
+{
+    const uint64_t cap = nvm_->capacityBytes();
+    if (cap == 0)
+        return Status::ok();
+    auto usage = [&] {
+        return static_cast<double>(nvm_->meters().bytes_allocated) /
+               static_cast<double>(cap);
+    };
+    // A parked flusher with a full immutable backlog is exhaustion
+    // regardless of the usage fraction: a budget smaller than one
+    // chunk ask denies allocations while bytes_allocated/cap still
+    // sits below the watermarks. Without this, the next rotation
+    // would wait forever on a backlog nothing can drain.
+    auto flushWedged = [this] {
+        if (!flush_blocked_.load())
+            return false;
+        std::lock_guard<std::mutex> il(imm_mu_);
+        return static_cast<int>(imms_.size()) >
+               options_.max_immutable_memtables;
+    };
+    double u = usage();
+    if (u < options_.nvm_soft_watermark && !flushWedged())
+        return Status::ok();
+    // Urgency boost: migration toward the repository is what frees
+    // NVM, so wake the compaction workers before throttling anyone.
+    sched_cv_.notify_all();
+    if (u < options_.nvm_hard_watermark && !flushWedged()) {
+        stats_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
+        ScopedTimer stall(&stats_.cumulative_stall_ns);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.write_slowdown_micros));
+        return Status::ok();
+    }
+    // Hard watermark (or wedged flusher): stall the leader (bounded)
+    // waiting for migration/flush to make room, then fail the group
+    // with busy -- callers see a clean retryable error, never an
+    // abort.
+    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+    ScopedTimer stall(&stats_.interval_stall_ns);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.write_stall_timeout_ms);
+    std::unique_lock<std::mutex> cl(cap_mu_);
+    while ((usage() >= options_.nvm_hard_watermark || flushWedged()) &&
+           !shutting_down_.load() && !crashed_.load()) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            stats_.busy_rejections.fetch_add(
+                1, std::memory_order_relaxed);
+            return Status::busy("nvm hard watermark");
+        }
+        sched_cv_.notify_all();
+        cap_cv_.wait_for(cl, std::chrono::milliseconds(1));
+    }
+    return Status::ok();
+}
+
 void
 MioDB::notifyCapWaiters()
 {
@@ -461,10 +571,10 @@ MioDB::writeImpl(Writer *w)
     // later writers enqueue meanwhile -- that window is what forms
     // the next group.
     applyBufferCap();
-    Status s;
+    Status s = applyNvmWatermarks();
     if (crashed_.load()) {
         s = Status::ioError("simulated crash: store is frozen");
-    } else {
+    } else if (s.isOk()) {
         try {
             s = commitGroup(group, base_seq);
         } catch (const sim::SimCrash &crash) {
@@ -520,7 +630,9 @@ MioDB::commitGroup(const std::vector<Writer *> &group,
         // A crash before the combined record loses the WHOLE group; a
         // crash after it makes the whole group durable. Never partial.
         MIO_FAILPOINT("group.before_wal");
-        appendWalOps(ops, 0, base_seq);
+        Status ws = appendWalOps(ops, 0, base_seq);
+        if (!ws.isOk())
+            return ws;  // nothing applied: the group fails cleanly
         MIO_FAILPOINT("group.after_wal");
         wal_appends++;
     }
@@ -537,7 +649,16 @@ MioDB::commitGroup(const std::vector<Writer *> &group,
             // re-log runs inside the rotation, before the old table
             // becomes flushable, so no crash can tear the group.
             if (options_.enable_wal) {
-                rotateMemTable([&] { appendWalOps(ops, i, seq); });
+                Status rs;
+                rotateMemTable(
+                    [&] { rs = appendWalOps(ops, i, seq); });
+                if (!rs.isOk()) {
+                    // NVM budget denied the re-log. The group prefix
+                    // is applied and covered by the old segment; the
+                    // remainder is applied nowhere -- report busy so
+                    // every member treats the write as not committed.
+                    return rs;
+                }
                 wal_appends++;
             } else {
                 rotateMemTable();
@@ -589,10 +710,16 @@ MioDB::rotateMemTable(const std::function<void()> &relog)
         options_.max_immutable_memtables) {
         ScopedTimer stall(&stats_.interval_stall_ns);
         sched_cv_.notify_all();
+        // flush_blocked_ escape: a flusher parked on NVM allocation
+        // failure cannot drain the backlog, so waiting would deadlock
+        // this (already half-committed) rotation. Proceed one table
+        // over the limit; applyNvmWatermarks gates the NEXT group with
+        // bounded-stall-then-busy while the flusher stays wedged.
         imm_cv_.wait(il, [this] {
             return static_cast<int>(imms_.size()) <=
                        options_.max_immutable_memtables ||
-                   shutting_down_.load() || crashed_.load();
+                   shutting_down_.load() || crashed_.load() ||
+                   flush_blocked_.load();
         });
     }
     mem_ = std::make_shared<lsm::MemTable>(
@@ -639,10 +766,11 @@ bool
 MioDB::probeLevelManifest(const LevelManifest &m, const Slice &key,
                           uint64_t h1, uint64_t h2, std::string *value,
                           EntryType *type, uint64_t *seq,
-                          bool use_bloom)
+                          bool use_bloom, bool *corrupt)
 {
     if (!m.hasMembers())
         return false;
+    const bool verify = options_.verify_read_checksums;
     if (m.summary != nullptr && !m.summary->mayContainHashes(h1, h2)) {
         // One probe proved the key is in no member table of this
         // level (OR-merged bits are a superset of every member's).
@@ -658,22 +786,42 @@ MioDB::probeLevelManifest(const LevelManifest &m, const Slice &key,
                 1, std::memory_order_relaxed);
             continue;
         }
+        // A quarantined table that could hold the key poisons the
+        // whole lookup: falling through to an older level would serve
+        // a stale value as if it were current.
+        if (ref.table->isQuarantined()) {
+            *corrupt = true;
+            return false;
+        }
         // The descent walks NVM-resident nodes: charge media reads.
         nvm_->chargeRandomReads(
             sim::skipDescentDepth(ref.table->entryCount()));
-        if (ref.table->list().get(key, value, type, seq))
+        if (ref.table->list().get(key, value, type, seq, verify,
+                                  corrupt)) {
             return true;
+        }
+        if (*corrupt)
+            return false;
     }
     if (m.merge && m.merge->coversKey(key)) {
         bool may = !use_bloom ||
                    m.merge_newt_bloom->mayContainHashes(h1, h2) ||
                    m.merge_oldt_bloom->mayContainHashes(h1, h2);
         if (may) {
+            if (m.merge->newt->isQuarantined() ||
+                m.merge->oldt->isQuarantined()) {
+                *corrupt = true;
+                return false;
+            }
             nvm_->chargeRandomReads(sim::skipDescentDepth(
                 m.merge->newt->entryCount() +
                 m.merge->oldt->entryCount()));
-            if (mergeAwareGet(m.merge.get(), key, value, type, seq))
+            if (mergeAwareGet(m.merge.get(), key, value, type, seq,
+                              verify, corrupt)) {
                 return true;
+            }
+            if (*corrupt)
+                return false;
         } else {
             stats_.bloom_filter_skips.fetch_add(
                 1, std::memory_order_relaxed);
@@ -682,10 +830,18 @@ MioDB::probeLevelManifest(const LevelManifest &m, const Slice &key,
     if (m.migrating && Slice(m.migrating_min).compare(key) <= 0 &&
         key.compare(Slice(m.migrating_max)) <= 0) {
         if (!use_bloom || m.migrating_bloom->mayContainHashes(h1, h2)) {
+            if (m.migrating->isQuarantined()) {
+                *corrupt = true;
+                return false;
+            }
             nvm_->chargeRandomReads(
                 sim::skipDescentDepth(m.migrating->entryCount()));
-            if (m.migrating->list().get(key, value, type, seq))
+            if (m.migrating->list().get(key, value, type, seq, verify,
+                                        corrupt)) {
                 return true;
+            }
+            if (*corrupt)
+                return false;
         } else {
             stats_.bloom_filter_skips.fetch_add(
                 1, std::memory_order_relaxed);
@@ -696,7 +852,8 @@ MioDB::probeLevelManifest(const LevelManifest &m, const Slice &key,
 
 bool
 MioDB::lookupBufferAndRepo(const Slice &key, std::string *value,
-                           EntryType *type, uint64_t *seq)
+                           EntryType *type, uint64_t *seq,
+                           bool *corrupt)
 {
     const bool use_bloom = options_.bits_per_key > 0;
     // Hash once; every filter probe on this path reuses the pair.
@@ -706,9 +863,11 @@ MioDB::lookupBufferAndRepo(const Slice &key, std::string *value,
         const LevelManifest *m = bl.acquireManifest();
         while (true) {
             if (probeLevelManifest(*m, key, h1, h2, value, type, seq,
-                                   use_bloom)) {
+                                   use_bloom, corrupt)) {
                 return true;
             }
+            if (*corrupt)
+                return false;  // never descend past damage
             // A miss is conclusive only if the manifest did not change
             // underneath the probe: a concurrent merge claim can move
             // a node out of a table after we searched it (and captured
@@ -723,7 +882,8 @@ MioDB::lookupBufferAndRepo(const Slice &key, std::string *value,
             stats_.read_retries.fetch_add(1, std::memory_order_relaxed);
         }
     }
-    return state_->repo->get(key, value, type, seq);
+    return state_->repo->get(key, value, type, seq,
+                             options_.verify_read_checksums, corrupt);
 }
 
 Status
@@ -753,9 +913,15 @@ MioDB::get(const Slice &key, std::string *value)
                                              : Status::notFound(key);
         }
     }
-    if (lookupBufferAndRepo(key, value, &type, nullptr)) {
+    bool corrupt = false;
+    if (lookupBufferAndRepo(key, value, &type, nullptr, &corrupt)) {
         return type == EntryType::kValue ? Status::ok()
                                          : Status::notFound(key);
+    }
+    if (corrupt) {
+        stats_.corruptions_detected.fetch_add(
+            1, std::memory_order_relaxed);
+        return Status::corruption(key);
     }
     return Status::notFound(key);
 }
@@ -925,6 +1091,25 @@ MioDB::flushThreadLoop()
                                         options_.bits_per_key,
                                         table_id);
             }
+            if (table == nullptr) {
+                // NVM budget exhausted: leave the imm queued (its WAL
+                // segment keeps it durable), nudge migration to free
+                // space, and retry after a short backoff.
+                flush_blocked_.store(true);
+                imm_cv_.notify_all();
+                sched_cv_.notify_all();
+                // The top-of-loop shutdown check only runs when imms_
+                // is empty; while wedged the queue never drains, so
+                // the retry cycle must observe shutdown itself or the
+                // destructor joins a flusher that spins forever.
+                if (shutting_down_.load() || crashed_.load())
+                    return;
+                std::unique_lock<std::mutex> lock(sched_mu_);
+                sched_cv_.wait_for(lock,
+                                   std::chrono::milliseconds(10));
+                continue;
+            }
+            flush_blocked_.store(false);
             stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
             // A crash before the push loses the PMTable image but the
             // WAL segment survives (it is removed only below); after
@@ -959,13 +1144,26 @@ MioDB::compactLevelOnce(int level)
 
     if (is_last) {
         std::shared_ptr<PMTable> victim = bl.beginMigration();
+        if (!victim) {
+            // A previous round's migration may have failed after its
+            // table moved to the migrating slot; this level's single
+            // compactor retries it here (mergeTable is idempotent per
+            // key/sequence, the same property recovery relies on).
+            victim = bl.migratingTable();
+        }
         if (!victim)
             return false;
         // The migrating table stays readable in the level until
         // finishMigration; a crash anywhere in this window re-runs
         // the (idempotent) migration on reopen.
         MIO_FAILPOINT("lcm.before_publish");
-        state_->repo->mergeTable(victim.get());
+        Status ms = state_->repo->mergeTable(victim.get());
+        if (!ms.isOk()) {
+            // Transient failure (SSD I/O error, NVM budget): leave
+            // the migration in flight and retry next round after the
+            // scheduler's backoff.
+            return false;
+        }
         MIO_FAILPOINT("lcm.after_publish");
         bl.finishMigration();
         MIO_FAILPOINT("lcm.before_reclaim");
@@ -981,10 +1179,14 @@ MioDB::compactLevelOnce(int level)
         // can neither merge (needs a pair) nor migrate (not the last
         // level); demote it one level toward the repository so the
         // footprint can actually shrink below the cap.
+        // NVM pressure above the soft watermark wants the same thing
+        // the buffer cap does: push data toward the repository, which
+        // is what actually frees device bytes (urgency boost).
         bool over_cap =
-            options_.nvm_buffer_cap_bytes != 0 &&
-            state_->levels.totalArenaBytes() >
-                options_.nvm_buffer_cap_bytes;
+            (options_.nvm_buffer_cap_bytes != 0 &&
+             state_->levels.totalArenaBytes() >
+                 options_.nvm_buffer_cap_bytes) ||
+            nvmOverSoftWatermark();
         if (over_cap && bl.size() == 1) {
             std::shared_ptr<PMTable> demoted = bl.beginMigration();
             if (demoted) {
@@ -1005,6 +1207,14 @@ MioDB::compactLevelOnce(int level)
         uint64_t table_id = state_->next_table_id.fetch_add(1);
         auto result = copyingMerge(op->newt, op->oldt, nvm_, &stats_,
                                    table_id, options_.bits_per_key);
+        if (result == nullptr) {
+            // The NVM budget denied the copy target; degrade to the
+            // allocation-free zero-copy merge instead of failing.
+            zeroCopyMerge(op.get(), nvm_, &stats_);
+            state_->levels.level(level + 1).push(op->oldt);
+            bl.finishMerge(op);
+            return true;
+        }
         state_->levels.level(level + 1).push(std::move(result));
         bl.finishMerge(op);
     }
@@ -1098,13 +1308,115 @@ MioDB::sweepGraveyard()
     // Chains and manifests free here, outside the lock.
 }
 
+uint64_t
+MioDB::scrubNow()
+{
+    ReadGuard guard(this);
+    uint64_t corruptions = 0;
+    uint64_t pm_bytes = 0;
+    // Pace the pass to scrub_rate_mb_per_sec in 256 KiB chunks so the
+    // scrubber never competes with foreground gets for a full memory
+    // bandwidth share. The guard stays pinned across the sleeps --
+    // acceptable because a paced pass only delays chain reclamation,
+    // never readers. Shutdown aborts the pacing, not the walk.
+    const uint64_t rate_bps = options_.scrub_rate_mb_per_sec << 20;
+    uint64_t unpaced = 0;
+    auto pace = [&](uint64_t bytes) {
+        if (rate_bps == 0)
+            return;
+        unpaced += bytes;
+        constexpr uint64_t kPaceChunk = 256u << 10;
+        if (unpaced < kPaceChunk)
+            return;
+        if (!shutting_down_.load(std::memory_order_relaxed) &&
+            !crashed_.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                unpaced * 1000000000ull / rate_bps));
+        }
+        unpaced = 0;
+    };
+    // One table: walk the (possibly merge-entangled) level-0 chain and
+    // verify every entry checksum. Quarantine on the first mismatch --
+    // an entry cannot be trusted once its neighbours lied, and reads
+    // covering the table must answer corruption, not maybe-stale data.
+    auto scrubTable = [&](const std::shared_ptr<PMTable> &t) {
+        if (t == nullptr || t->isQuarantined())
+            return;
+        uint64_t bad = 0;
+        for (const SkipList::Node *n = t->list().first(); n != nullptr;
+             n = n->next(0)) {
+            const uint64_t entry_bytes =
+                sizeof(SkipList::Node) + n->key_len + n->value_len;
+            pm_bytes += entry_bytes;
+            pace(entry_bytes);
+            if (!n->checksumOk())
+                bad++;
+        }
+        if (bad != 0) {
+            t->quarantine();
+            stats_.tables_quarantined.fetch_add(
+                1, std::memory_order_relaxed);
+            corruptions += bad;
+        }
+    };
+    for (int i = 0; i < state_->levels.numLevels(); i++) {
+        BufferLevel::Snapshot snap = state_->levels.level(i).snapshot();
+        for (const auto &t : snap.tables)
+            scrubTable(t);
+        if (snap.merge) {
+            scrubTable(snap.merge->newt);
+            scrubTable(snap.merge->oldt);
+        }
+        scrubTable(snap.migrating);
+    }
+    // Charging the walked bytes as media reads both keeps the meters
+    // honest and throttles the scrubber under a real perf model.
+    nvm_->chargeRead(pm_bytes);
+
+    Repository::ScrubReport repo = state_->repo->scrub();
+    // The repository reports its walked bytes in one lump; settle the
+    // pacing debt after the fact (the burst is one repository scan).
+    pace(repo.bytes);
+
+    stats_.scrub_passes.fetch_add(1, std::memory_order_relaxed);
+    stats_.scrub_bytes.fetch_add(pm_bytes + repo.bytes,
+                                 std::memory_order_relaxed);
+    stats_.tables_quarantined.fetch_add(repo.quarantined,
+                                        std::memory_order_relaxed);
+    corruptions += repo.corruptions;
+    if (corruptions != 0) {
+        stats_.corruptions_detected.fetch_add(
+            corruptions, std::memory_order_relaxed);
+    }
+    return corruptions;
+}
+
+void
+MioDB::scrubThreadLoop()
+{
+    sim::markSimBackgroundThread();
+    std::unique_lock<std::mutex> lock(scrub_mu_);
+    while (!shutting_down_.load() && !crashed_.load()) {
+        scrub_cv_.wait_for(
+            lock,
+            std::chrono::milliseconds(options_.scrub_interval_ms));
+        if (shutting_down_.load() || crashed_.load())
+            return;
+        lock.unlock();
+        scrubNow();
+        lock.lock();
+    }
+}
+
 void
 MioDB::waitIdle()
 {
     auto drained = [this] {
         {
             std::lock_guard<std::mutex> il(imm_mu_);
-            if (!imms_.empty())
+            // An exhausted NVM budget can pin the queue forever;
+            // treat that as "as idle as the store can get".
+            if (!imms_.empty() && !flush_blocked_.load())
                 return false;
         }
         // Without compaction workers the buffer never drains further
@@ -1113,10 +1425,35 @@ MioDB::waitIdle()
                state_->levels.quiescent() || shutting_down_.load() ||
                crashed_.load();
     };
+    // Wedge detection: an exhausted budget can leave levels that are
+    // not quiescent yet can never drain (every migration retry is
+    // denied allocation). If no background counter moves while the
+    // device keeps denying allocations, further waiting would hang
+    // every caller; the store is as idle as it can get.
+    auto progress = [this] {
+        return stats_.flush_count.load(std::memory_order_relaxed) +
+               stats_.compaction_count.load(
+                   std::memory_order_relaxed) +
+               stats_.zero_copy_merges.load(
+                   std::memory_order_relaxed) +
+               stats_.lazy_copy_merges.load(std::memory_order_relaxed);
+    };
     std::unique_lock<std::mutex> lock(sched_mu_);
+    uint64_t last_progress = progress();
+    uint64_t last_denials = nvm_->faultMeters().alloc_failures;
+    int stagnant = 0;
     while (!drained()) {
         sched_cv_.notify_all();
         idle_cv_.wait_for(lock, std::chrono::milliseconds(20));
+        const uint64_t p = progress();
+        const uint64_t d = nvm_->faultMeters().alloc_failures;
+        if (p != last_progress) {
+            last_progress = p;
+            stagnant = 0;
+        } else if (d > last_denials && ++stagnant >= 25) {
+            break;
+        }
+        last_denials = d;
     }
     lock.unlock();
     state_->repo->waitIdle();

@@ -119,6 +119,17 @@ class MioDB : public KVStore
     std::string debugString();
 
     /**
+     * Run one synchronous scrub pass over every PMTable (buffer
+     * levels, in-flight merges, migrations) and the data repository,
+     * verifying per-entry checksums and quarantining corrupt tables.
+     * The background scrubber thread (options.scrub_interval_ms > 0)
+     * calls this on its period; tests call it directly for
+     * deterministic coverage.
+     * @return checksum mismatches found in this pass.
+     */
+    uint64_t scrubNow();
+
+    /**
      * Simulate a power failure: background threads stop where they
      * are and the destructor will NOT flush buffered data, leaving
      * the WAL segments in the registry for replay by the next open.
@@ -168,6 +179,16 @@ class MioDB : public KVStore
     Status validateEntry(const Slice &key, const Slice &value) const;
     /** Throttle writers while the elastic buffer exceeds its cap. */
     void applyBufferCap();
+    /**
+     * NVM exhaustion backpressure (only when the device has a capacity
+     * budget). Above the soft watermark each commit sleeps
+     * write_slowdown_micros and migration urgency is boosted; above
+     * the hard watermark the leader stalls (bounded by
+     * write_stall_timeout_ms) and then fails the group with busy.
+     */
+    Status applyNvmWatermarks();
+    /** True when NVM usage exceeds the soft watermark (boost hint). */
+    bool nvmOverSoftWatermark() const;
     /** Wake writers throttled by applyBufferCap (footprint dropped). */
     void notifyCapWaiters();
     /**
@@ -180,16 +201,19 @@ class MioDB : public KVStore
      */
     void rotateMemTable(const std::function<void()> &relog = nullptr);
     std::string walName(uint64_t id) const;
-    void appendWal(uint64_t seq, EntryType type, const Slice &key,
-                   const Slice &value);
+    /** @return busy when the NVM capacity budget denied the frame. */
+    Status appendWal(uint64_t seq, EntryType type, const Slice &key,
+                     const Slice &value);
     /**
      * Log group ops [from, end) as one combined record whose first op
      * has @p first_seq; single-op spans keep the singleton encoding.
+     * @return busy when the NVM capacity budget denied the frame.
      */
-    void appendWalOps(const std::vector<OpRef> &ops, size_t from,
-                      uint64_t first_seq);
+    Status appendWalOps(const std::vector<OpRef> &ops, size_t from,
+                        uint64_t first_seq);
     void replayWal();
-    void replayRecord(const Slice &record, uint64_t *max_seq);
+    void replayRecord(const Slice &record, uint64_t *max_seq,
+                      bool *relog_failed);
 
     void flushThreadLoop();
     void compactionThreadLoop(int level);
@@ -199,8 +223,15 @@ class MioDB : public KVStore
     /** Finish merges/migrations interrupted by a crash (Sec. 4.7). */
     void recoverInterruptedCompactions();
 
+    /**
+     * @param corrupt set when the lookup hit a checksum-failing entry
+     *        or a quarantined table that could hold @p key; the caller
+     *        must answer corruption, never fall through to stale data.
+     */
     bool lookupBufferAndRepo(const Slice &key, std::string *value,
-                             EntryType *type, uint64_t *seq);
+                             EntryType *type, uint64_t *seq,
+                             bool *corrupt);
+    void scrubThreadLoop();
 
     /**
      * Quiescent-state reclamation for merged PMTable chains. Zero-copy
@@ -261,7 +292,8 @@ class MioDB : public KVStore
     bool probeLevelManifest(const LevelManifest &m, const Slice &key,
                             uint64_t h1, uint64_t h2,
                             std::string *value, EntryType *type,
-                            uint64_t *seq, bool use_bloom);
+                            uint64_t *seq, bool use_bloom,
+                            bool *corrupt);
 
     MioOptions options_;
     sim::NvmDevice *nvm_;
@@ -312,8 +344,20 @@ class MioDB : public KVStore
     std::atomic<bool> shutting_down_{false};
     std::atomic<bool> crashed_{false};
     std::atomic<int> active_workers_{0};
+    /**
+     * Set while the flush thread cannot materialize a PMTable because
+     * the NVM budget is exhausted; lets the destructor stop waiting
+     * for the immutable queue to drain (the data stays durable in its
+     * WAL segments and replays on the next open).
+     */
+    std::atomic<bool> flush_blocked_{false};
     std::thread flush_thread_;
     std::vector<std::thread> compaction_threads_;
+
+    // Background scrubber (options_.scrub_interval_ms > 0).
+    std::mutex scrub_mu_;
+    std::condition_variable scrub_cv_;
+    std::thread scrub_thread_;
 };
 
 } // namespace mio::miodb

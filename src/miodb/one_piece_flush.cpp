@@ -35,8 +35,12 @@ onePieceFlush(lsm::MemTable *mem, sim::NvmDevice *device,
     // arena itself must not double-charge allocations.
     auto dst = std::make_shared<Arena>(src.capacity(), device,
                                        /*charge_allocations=*/false);
+    if (!dst->valid())
+        return nullptr;  // NVM budget exhausted; flush retries later
     MIO_FAILPOINT("flush.before_copy");
-    device->write(dst->base(), old_base, used);
+    // kImage: a raw structure image whose link words must stay intact
+    // (payload integrity is covered by per-entry checksums instead).
+    device->write(dst->base(), old_base, used, sim::WriteKind::kImage);
     device->persist(dst->base(), used);
     MIO_FAILPOINT("flush.after_copy");
     dst->setUsed(used);
@@ -87,6 +91,8 @@ nodeByNodeFlush(lsm::MemTable *mem, sim::NvmDevice *device,
     capacity += capacity / 3 + 4096;
     auto dst = std::make_shared<Arena>(capacity, device,
                                        /*charge_allocations=*/true);
+    if (!dst->valid())
+        return nullptr;  // NVM budget exhausted; flush retries later
     auto list = std::make_unique<SkipList>(dst.get(), table_id * 31 + 7);
 
     BloomFilter bloom = makePmtableBloom(mem->arena().capacity(),

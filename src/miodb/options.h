@@ -77,6 +77,47 @@ struct MioOptions {
      */
     bool use_ssd_repository = false;
     lsm::LsmOptions ssd_lsm;  //!< geometry of the SSD-mode repository
+
+    // ---- media-fault tolerance (see DESIGN.md Sec. 5e) -------------
+
+    /**
+     * Verify the per-entry checksum on every NVM-resident hit
+     * (PMTables and PM repository): a mismatch surfaces
+     * Status::corruption instead of the corrupt or a stale value.
+     * MemTable reads (DRAM, outside the modelled fault domain) are
+     * not verified.
+     */
+    bool verify_read_checksums = true;
+
+    /**
+     * Background scrubber period in milliseconds; 0 disables the
+     * scrubber thread. Each pass walks every PMTable, the data
+     * repository and (SSD mode) all SSTables, verifies checksums and
+     * quarantines corrupt tables.
+     */
+    uint64_t scrub_interval_ms = 0;
+
+    /**
+     * Scrub throttle: a pass paces itself so checksum verification
+     * consumes at most this much media bandwidth (0 = unthrottled).
+     * Keeps the scrubber's read traffic from competing with
+     * foreground gets for memory bandwidth; see EXPERIMENTS.md for
+     * the measured overhead.
+     */
+    uint64_t scrub_rate_mb_per_sec = 16;
+
+    /**
+     * NVM exhaustion watermarks, as fractions of the device's
+     * capacity budget (NvmDevice::capacityBytes(); ignored when the
+     * device has no budget). Above the soft watermark every write is
+     * slowed by write_slowdown_micros and migration to the repository
+     * is boosted; above the hard watermark writers stall (bounded by
+     * write_stall_timeout_ms) and then receive Status::busy.
+     */
+    double nvm_soft_watermark = 0.85;
+    double nvm_hard_watermark = 0.95;
+    uint64_t write_slowdown_micros = 100;
+    uint64_t write_stall_timeout_ms = 1000;
 };
 
 } // namespace mio::miodb

@@ -92,6 +92,20 @@ class PMTable
     /** Number of zero-copy merges that produced this table. */
     int mergeDepth() const { return merge_depth_; }
 
+    // ---- integrity quarantine (scrubber, see DESIGN.md Sec. 5e) ----
+
+    /**
+     * Mark this table corrupt: reads whose key could live here answer
+     * Status::corruption instead of serving (or skipping past) its
+     * entries, and compaction stops consuming it.
+     */
+    void quarantine() { quarantined_.store(true, std::memory_order_release); }
+    bool
+    isQuarantined() const
+    {
+        return quarantined_.load(std::memory_order_acquire);
+    }
+
   private:
     SkipList list_;
     /** Guards arenas_, bloom_, and the key range during absorb(). */
@@ -103,6 +117,7 @@ class PMTable
     std::string min_key_;
     std::string max_key_;
     int merge_depth_ = 0;
+    std::atomic<bool> quarantined_{false};
 };
 
 /**

@@ -148,14 +148,22 @@ resumeZeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
 
 bool
 mergeAwareGet(const MergeOp *op, const Slice &key, std::string *value,
-              EntryType *type, uint64_t *seq)
+              EntryType *type, uint64_t *seq, bool verify,
+              bool *corrupt)
 {
     // Step 1: the newtable (newest data of the pair).
-    if (op->newt->list().get(key, value, type, seq))
+    if (op->newt->list().get(key, value, type, seq, verify, corrupt))
         return true;
+    if (corrupt != nullptr && *corrupt)
+        return false;
     // Step 2: the insertion mark -- the node in transit.
     Node *marked = op->mark.load(std::memory_order_acquire);
     if (marked != nullptr && marked->key() == key) {
+        if (verify && !marked->checksumOk()) {
+            if (corrupt != nullptr)
+                *corrupt = true;
+            return false;
+        }
         *type = marked->entryType();
         if (seq != nullptr)
             *seq = marked->seq;
@@ -166,7 +174,8 @@ mergeAwareGet(const MergeOp *op, const Slice &key, std::string *value,
         return true;
     }
     // Step 3: the oldtable.
-    return op->oldt->list().get(key, value, type, seq);
+    return op->oldt->list().get(key, value, type, seq, verify,
+                                corrupt);
 }
 
 std::shared_ptr<PMTable>
@@ -183,6 +192,8 @@ copyingMerge(const std::shared_ptr<PMTable> &newt,
     capacity += capacity / 4 + 4096;
     auto arena = std::make_shared<Arena>(capacity, device,
                                          /*charge_allocations=*/true);
+    if (!arena->valid())
+        return nullptr;  // NVM budget denied; caller degrades
     SkipList out(arena.get(), table_id * 131 + 3);
 
     SkipList::Iterator a(&newt->list());

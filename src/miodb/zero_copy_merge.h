@@ -56,7 +56,9 @@ bool resumeZeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
 /**
  * Ablation baseline: merge by physically copying every live entry of
  * both tables into a freshly allocated PMTable (classic compaction --
- * full write amplification). @return the new table.
+ * full write amplification). @return the new table, or nullptr when
+ * the NVM capacity budget denies the target arena (the caller falls
+ * back to the allocation-free zero-copy merge).
  */
 std::shared_ptr<PMTable>
 copyingMerge(const std::shared_ptr<PMTable> &newt,
@@ -67,10 +69,13 @@ copyingMerge(const std::shared_ptr<PMTable> &newt,
 /**
  * Query a merging pair with the paper's three-step protocol:
  * newtable -> insertion mark -> oldtable.
- * @return true if any version of @p key was found.
+ * @return true if any version of @p key was found. With @p verify,
+ * entry checksums are checked and a mismatch sets @p corrupt instead
+ * of returning the damaged value.
  */
 bool mergeAwareGet(const MergeOp *op, const Slice &key, std::string *value,
-                   EntryType *type, uint64_t *seq);
+                   EntryType *type, uint64_t *seq, bool verify = false,
+                   bool *corrupt = nullptr);
 
 } // namespace mio::miodb
 

@@ -25,7 +25,8 @@ makeHeadIn(ChunkedNvmArena *arena)
     head->height = SkipList::kMaxHeight;
     head->type = static_cast<uint8_t>(EntryType::kValue);
     head->reserved = 0;
-    head->pad = 0;
+    head->checksum =
+        SkipList::entryChecksum(Slice(), 0, EntryType::kValue, Slice());
     for (int i = 0; i < SkipList::kMaxHeight; i++)
         head->setNextRelaxed(i, nullptr);
     return head;

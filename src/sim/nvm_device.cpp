@@ -1,5 +1,6 @@
 #include "sim/nvm_device.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -52,7 +53,49 @@ paySimDelay(uint64_t ns)
     }
 }
 
-NvmDevice::NvmDevice(MemoryPerfModel model) : model_(model) {}
+NvmFaultSpec
+NvmFaultSpec::parse(const std::string &spec)
+{
+    NvmFaultSpec out;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(';', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string token = spec.substr(pos, end - pos);
+        pos = end + 1;
+        size_t eq = token.find('=');
+        if (eq == std::string::npos)
+            continue;
+        std::string key = token.substr(0, eq);
+        std::string val = token.substr(eq + 1);
+        try {
+            if (key == "capacity")
+                out.capacity_bytes = std::stoull(val);
+            else if (key == "bitflip_rate" || key == "bitflip")
+                out.bitflip_rate = std::stod(val);
+            else if (key == "torn_rate" || key == "torn")
+                out.torn_rate = std::stod(val);
+            else if (key == "stuck_rate" || key == "stuck")
+                out.stuck_rate = std::stod(val);
+            else if (key == "spike_rate")
+                out.spike_rate = std::stod(val);
+            else if (key == "spike_ns")
+                out.spike_ns = std::stoull(val);
+        } catch (const std::exception &) {
+            // Malformed value: skip the token, keep the rest armed.
+        }
+    }
+    return out;
+}
+
+NvmDevice::NvmDevice(MemoryPerfModel model) : model_(model)
+{
+    if (const char *env = getenv("MIO_NVM_FAULTS");
+        env != nullptr && env[0] != '\0') {
+        setFaultSpec(NvmFaultSpec::parse(env));
+    }
+}
 
 NvmDevice::~NvmDevice()
 {
@@ -65,15 +108,28 @@ NvmDevice::~NvmDevice()
 char *
 NvmDevice::allocateRegion(size_t size)
 {
+    // Reserve against the capacity budget first so concurrent
+    // allocators cannot jointly overshoot it.
+    uint64_t cap = capacity_bytes_.load(std::memory_order_relaxed);
+    uint64_t live = bytes_allocated_.load(std::memory_order_relaxed);
+    do {
+        if (cap != 0 && live + size > cap) {
+            alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+    } while (!bytes_allocated_.compare_exchange_weak(
+        live, live + size, std::memory_order_relaxed));
     auto *ptr = static_cast<char *>(malloc(size));
-    if (ptr == nullptr)
-        throw std::bad_alloc();
+    if (ptr == nullptr) {
+        bytes_allocated_.fetch_sub(size, std::memory_order_relaxed);
+        alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
     {
         std::lock_guard<std::mutex> lock(mu_);
         regions_.emplace(ptr, size);
     }
-    uint64_t live =
-        bytes_allocated_.fetch_add(size, std::memory_order_relaxed) + size;
+    live += size;
     total_allocated_.fetch_add(size, std::memory_order_relaxed);
     uint64_t peak = peak_allocated_.load(std::memory_order_relaxed);
     while (live > peak &&
@@ -116,17 +172,64 @@ NvmDevice::chargeTime(double ns)
 }
 
 void
-NvmDevice::write(char *dst, const char *src, size_t n)
+NvmDevice::write(char *dst, const char *src, size_t n, WriteKind kind)
 {
     if (shadow_enabled_.load(std::memory_order_relaxed))
         shadowSave(dst, n);
-    memcpy(dst, src, n);
+    bool eligible =
+        kind == WriteKind::kFramed && n > 0 &&
+        (fault_spec_.bitflip_rate > 0.0 || fault_spec_.torn_rate > 0.0 ||
+         fault_spec_.stuck_rate > 0.0 ||
+         armed_bitflips_.load(std::memory_order_relaxed) > 0 ||
+         armed_torn_.load(std::memory_order_relaxed) > 0 ||
+         armed_stuck_.load(std::memory_order_relaxed) > 0);
+    if (!eligible) {
+        memcpy(dst, src, n);
+        chargeWrite(n);
+        return;
+    }
+    // Torn write: the trailing cacheline never reaches the media
+    // (power cut mid-burst); the destination keeps its old bytes.
+    size_t copy_n = n;
+    if (faultFires(armed_torn_, fault_spec_.torn_rate)) {
+        copy_n = n - std::min<size_t>(64, n);
+        torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Stuck cacheline: one interior 64B line silently keeps its old
+    // contents (failed line write-back).
+    char stuck_save[64];
+    size_t stuck_off = 0, stuck_n = 0;
+    if (faultFires(armed_stuck_, fault_spec_.stuck_rate)) {
+        size_t lines = (n + 63) / 64;
+        stuck_off =
+            static_cast<size_t>(faultRand() * static_cast<double>(lines)) *
+            64;
+        if (stuck_off >= n)
+            stuck_off = 0;
+        stuck_n = std::min<size_t>(64, n - stuck_off);
+        memcpy(stuck_save, dst + stuck_off, stuck_n);
+        stuck_cachelines_.fetch_add(1, std::memory_order_relaxed);
+    }
+    memcpy(dst, src, copy_n);
+    if (stuck_n != 0)
+        memcpy(dst + stuck_off, stuck_save, stuck_n);
+    if (faultFires(armed_bitflips_, fault_spec_.bitflip_rate)) {
+        size_t byte =
+            static_cast<size_t>(faultRand() * static_cast<double>(n));
+        if (byte >= n)
+            byte = n - 1;
+        int bit = static_cast<int>(faultRand() * 8.0) & 7;
+        dst[byte] = static_cast<char>(
+            static_cast<unsigned char>(dst[byte]) ^ (1u << bit));
+        bits_flipped_.fetch_add(1, std::memory_order_relaxed);
+    }
     chargeWrite(n);
 }
 
 void
 NvmDevice::chargeWrite(size_t n)
 {
+    maybeSpike();
     bytes_written_.fetch_add(n, std::memory_order_relaxed);
     chargeTime(model_.write_ns_per_byte * static_cast<double>(n) +
                static_cast<double>(model_.write_latency_ns));
@@ -135,6 +238,7 @@ NvmDevice::chargeWrite(size_t n)
 void
 NvmDevice::chargeRead(size_t n)
 {
+    maybeSpike();
     bytes_read_.fetch_add(n, std::memory_order_relaxed);
     chargeTime(model_.read_ns_per_byte * static_cast<double>(n) +
                static_cast<double>(model_.read_latency_ns));
@@ -145,6 +249,7 @@ NvmDevice::chargeRandomReads(int count, size_t bytes_each)
 {
     if (count <= 0)
         return;
+    maybeSpike();
     size_t total = static_cast<size_t>(count) * bytes_each;
     bytes_read_.fetch_add(total, std::memory_order_relaxed);
     chargeTime(static_cast<double>(count) *
@@ -273,6 +378,122 @@ NvmDevice::discardUnpersisted()
     shadow_discards_.fetch_add(1, std::memory_order_relaxed);
     shadow_discarded_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     return bytes;
+}
+
+void
+NvmDevice::setFaultSpec(const NvmFaultSpec &spec)
+{
+    fault_spec_ = spec;
+    capacity_bytes_.store(spec.capacity_bytes,
+                          std::memory_order_relaxed);
+}
+
+void
+NvmDevice::setCapacityBytes(uint64_t bytes)
+{
+    fault_spec_.capacity_bytes = bytes;
+    capacity_bytes_.store(bytes, std::memory_order_relaxed);
+}
+
+void
+NvmDevice::armBitFlips(uint64_t n)
+{
+    armed_bitflips_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+NvmDevice::armTornWrites(uint64_t n)
+{
+    armed_torn_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+NvmDevice::armStuckCachelines(uint64_t n)
+{
+    armed_stuck_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+NvmDevice::armLatencySpikes(uint64_t n, uint64_t ns)
+{
+    armed_spike_ns_.store(ns, std::memory_order_relaxed);
+    armed_spikes_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+NvmDevice::injectBitFlipAt(char *addr, size_t byte, int bit)
+{
+    addr[byte] = static_cast<char>(
+        static_cast<unsigned char>(addr[byte]) ^ (1u << (bit & 7)));
+    bits_flipped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double
+NvmDevice::faultRand()
+{
+    // splitmix64 over an atomic counter: deterministic per device,
+    // race-free under concurrent draws.
+    uint64_t z = fault_rng_.fetch_add(0x9e3779b97f4a7c15ULL,
+                                      std::memory_order_relaxed) +
+                 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool
+NvmDevice::tryConsume(std::atomic<uint64_t> &armed)
+{
+    uint64_t n = armed.load(std::memory_order_relaxed);
+    while (n > 0) {
+        if (armed.compare_exchange_weak(n, n - 1,
+                                        std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+bool
+NvmDevice::faultFires(std::atomic<uint64_t> &armed, double rate)
+{
+    if (tryConsume(armed))
+        return true;
+    return rate > 0.0 && faultRand() < rate;
+}
+
+void
+NvmDevice::maybeSpike()
+{
+    uint64_t ns = 0;
+    if (tryConsume(armed_spikes_)) {
+        ns = armed_spike_ns_.load(std::memory_order_relaxed);
+    } else if (fault_spec_.spike_rate > 0.0 &&
+               fault_spec_.spike_ns > 0 &&
+               faultRand() < fault_spec_.spike_rate) {
+        ns = fault_spec_.spike_ns;
+    }
+    if (ns == 0)
+        return;
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+    // Paid immediately, not via the debt accumulator: a spike is a
+    // tail-latency event, which batching would average away.
+    paySimDelay(ns);
+}
+
+NvmFaultMeters
+NvmDevice::faultMeters() const
+{
+    NvmFaultMeters m;
+    m.alloc_failures =
+        alloc_failures_.load(std::memory_order_relaxed);
+    m.bits_flipped = bits_flipped_.load(std::memory_order_relaxed);
+    m.torn_writes = torn_writes_.load(std::memory_order_relaxed);
+    m.stuck_cachelines =
+        stuck_cachelines_.load(std::memory_order_relaxed);
+    m.latency_spikes =
+        latency_spikes_.load(std::memory_order_relaxed);
+    return m;
 }
 
 NvmMeters

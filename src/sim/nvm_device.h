@@ -91,6 +91,65 @@ struct NvmMeters {
 };
 
 /**
+ * Injectable media-fault model for the emulated NVM module, armable
+ * from the environment in the style of sim::FailpointRegistry:
+ *
+ *   MIO_NVM_FAULTS="capacity=33554432;bitflip_rate=1e-4;spike_ns=50000;spike_rate=0.01"
+ *
+ * Recognised keys: capacity (bytes; 0 = unlimited), bitflip_rate,
+ * torn_rate, stuck_rate, spike_rate (probabilities per eligible op)
+ * and spike_ns (added latency when a spike fires). Rate faults draw
+ * from a deterministic per-device PRNG so runs are reproducible.
+ *
+ * Fault scope: bit flips, torn writes and stuck cachelines apply to
+ * *framed* writes (WAL frames, NVM-resident blobs) whose payloads are
+ * self-verifying via CRCs/checksums, so corruption is detected, never
+ * silently served. Bulk one-piece-flush image copies are exempt at
+ * device level: their link words are modelled as failure-atomic
+ * (matching the crash shadow model's scope) and their payload
+ * integrity is exercised through targeted injection
+ * (injectBitFlipAt) against the per-entry checksums instead.
+ */
+struct NvmFaultSpec {
+    uint64_t capacity_bytes = 0;  //!< allocation budget; 0 = unlimited
+    double bitflip_rate = 0.0;    //!< per framed write: flip one bit
+    double torn_rate = 0.0;       //!< per framed write: tail line lost
+    double stuck_rate = 0.0;      //!< per framed write: one line stuck
+    double spike_rate = 0.0;      //!< per charged op: add spike_ns
+    uint64_t spike_ns = 0;
+
+    bool
+    anyRateFault() const
+    {
+        return bitflip_rate > 0.0 || torn_rate > 0.0 ||
+               stuck_rate > 0.0 || spike_rate > 0.0;
+    }
+    /** Parse a "k=v;k=v" spec; unknown/malformed tokens are skipped. */
+    static NvmFaultSpec parse(const std::string &spec);
+};
+
+/**
+ * Fault-injection counters, kept apart from NvmMeters so injected
+ * faults never pollute the write-amplification accounting.
+ */
+struct NvmFaultMeters {
+    uint64_t alloc_failures = 0;    //!< budget-denied allocations
+    uint64_t bits_flipped = 0;
+    uint64_t torn_writes = 0;
+    uint64_t stuck_cachelines = 0;
+    uint64_t latency_spikes = 0;
+};
+
+/**
+ * How a bulk write's integrity is protected, deciding media-fault
+ * eligibility (see NvmFaultSpec).
+ */
+enum class WriteKind {
+    kFramed,  //!< self-verifying payload (CRC/checksum): fault-eligible
+    kImage,   //!< raw structure image: exempt, verified entry-by-entry
+};
+
+/**
  * The emulated NVM module. Thread safe. Regions are malloc-backed; the
  * "non-volatile" property is exercised through the WAL/recovery
  * protocol tests plus the crash shadow model below: with the shadow
@@ -107,7 +166,12 @@ class NvmDevice
     NvmDevice(const NvmDevice &) = delete;
     NvmDevice &operator=(const NvmDevice &) = delete;
 
-    /** Allocate a region of @p size bytes; aborts on OOM like new[]. */
+    /**
+     * Allocate a region of @p size bytes. Returns nullptr (never
+     * aborts) when the configured capacity budget would be exceeded or
+     * the host allocation fails; callers surface Status::busy /
+     * Status::ioError instead of crashing.
+     */
     char *allocateRegion(size_t size);
     /** Release a region previously returned by allocateRegion. */
     void freeRegion(char *ptr);
@@ -115,8 +179,10 @@ class NvmDevice
     /**
      * Copy @p n bytes into NVM at @p dst, charging write time and
      * metering traffic. This is the only sanctioned bulk-write path.
+     * @p kind selects media-fault eligibility (see NvmFaultSpec).
      */
-    void write(char *dst, const char *src, size_t n);
+    void write(char *dst, const char *src, size_t n,
+               WriteKind kind = WriteKind::kFramed);
 
     /** Charge a write performed via direct stores (pointer updates). */
     void chargeWrite(size_t n);
@@ -176,8 +242,51 @@ class NvmDevice
     NvmMeters meters() const;
     void resetTrafficMeters();
 
+    // ---- media-fault injection -------------------------------------
+
+    /**
+     * Install a fault spec (rates + capacity budget). Call before
+     * concurrent traffic starts; the env-armed spec (MIO_NVM_FAULTS,
+     * read in the constructor) follows the same rule.
+     */
+    void setFaultSpec(const NvmFaultSpec &spec);
+    const NvmFaultSpec &faultSpec() const { return fault_spec_; }
+    /** Set/clear the allocation budget at runtime (0 = unlimited). */
+    void setCapacityBytes(uint64_t bytes);
+    uint64_t
+    capacityBytes() const
+    {
+        return capacity_bytes_.load(std::memory_order_relaxed);
+    }
+
+    /** Arm the next @p n framed writes to each lose one random bit. */
+    void armBitFlips(uint64_t n);
+    /** Arm the next @p n framed writes to lose their tail cacheline. */
+    void armTornWrites(uint64_t n);
+    /** Arm the next @p n framed writes to keep one old cacheline. */
+    void armStuckCachelines(uint64_t n);
+    /** Arm the next @p n charged ops to each stall @p ns extra. */
+    void armLatencySpikes(uint64_t n, uint64_t ns);
+
+    /**
+     * Flip one bit at @p addr (byte offset @p byte, bit @p bit),
+     * metering it as an injected media fault. Lets tests target
+     * payload bytes precisely (e.g. a value inside a PMTable node)
+     * while keeping the meters device-owned.
+     */
+    void injectBitFlipAt(char *addr, size_t byte = 0, int bit = 0);
+
+    NvmFaultMeters faultMeters() const;
+
   private:
     void chargeTime(double ns);
+    /** Deterministic per-device PRNG draw in [0,1). */
+    double faultRand();
+    /** True if a one-shot armed count was consumed. */
+    static bool tryConsume(std::atomic<uint64_t> &armed);
+    bool faultFires(std::atomic<uint64_t> &armed, double rate);
+    /** Latency-spike hook shared by every charge path. */
+    void maybeSpike();
     void shadowSave(char *dst, size_t n);
     void shadowPersist(const char *addr, size_t n);
     /** Drop shadow entries inside a region about to be freed. */
@@ -206,6 +315,23 @@ class NvmDevice
     std::vector<ShadowEntry> shadow_log_;
     std::atomic<uint64_t> shadow_discards_{0};
     std::atomic<uint64_t> shadow_discarded_bytes_{0};
+
+    // Fault injection (see NvmFaultSpec). The spec is written only
+    // before concurrent traffic; the armed counts and meters are
+    // atomics so tests can arm/inspect at runtime.
+    NvmFaultSpec fault_spec_;
+    std::atomic<uint64_t> capacity_bytes_{0};
+    std::atomic<uint64_t> armed_bitflips_{0};
+    std::atomic<uint64_t> armed_torn_{0};
+    std::atomic<uint64_t> armed_stuck_{0};
+    std::atomic<uint64_t> armed_spikes_{0};
+    std::atomic<uint64_t> armed_spike_ns_{0};
+    std::atomic<uint64_t> fault_rng_{0x9e3779b97f4a7c15ULL};
+    std::atomic<uint64_t> alloc_failures_{0};
+    std::atomic<uint64_t> bits_flipped_{0};
+    std::atomic<uint64_t> torn_writes_{0};
+    std::atomic<uint64_t> stuck_cachelines_{0};
+    std::atomic<uint64_t> latency_spikes_{0};
 };
 
 /**

@@ -31,9 +31,49 @@ SsdDevice::chargeRead(size_t n) const
         paySimDelay(static_cast<uint64_t>(ns));
 }
 
+void
+SsdDevice::armWriteErrors(uint64_t n)
+{
+    armed_write_errors_.store(static_cast<int64_t>(n),
+                              std::memory_order_relaxed);
+}
+
+void
+SsdDevice::armReadErrors(uint64_t n)
+{
+    armed_read_errors_.store(static_cast<int64_t>(n),
+                             std::memory_order_relaxed);
+}
+
+bool
+SsdDevice::consumeArmedError(std::atomic<int64_t> &armed) const
+{
+    // Decrement-and-test; restore on underflow so disarmed stays 0.
+    if (armed.load(std::memory_order_relaxed) <= 0)
+        return false;
+    return armed.fetch_sub(1, std::memory_order_relaxed) > 0;
+}
+
+bool
+SsdDevice::corruptBlobByteForTesting(const std::string &name,
+                                     uint64_t offset)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(name);
+    if (it == blobs_.end() || offset >= it->second->size())
+        return false;
+    // Copy-on-write like appendBlob, so snapshot holders see old bytes.
+    auto mutated = std::make_shared<std::string>(*it->second);
+    (*mutated)[offset] ^= 0x40;
+    it->second = std::move(mutated);
+    return true;
+}
+
 Status
 SsdDevice::writeBlob(const std::string &name, const Slice &data)
 {
+    if (consumeArmedError(armed_write_errors_))
+        return Status::ioError("injected ssd write error: " + name);
     {
         std::lock_guard<std::mutex> lock(mu_);
         blobs_[name] = std::make_shared<std::string>(data.toString());
@@ -45,6 +85,8 @@ SsdDevice::writeBlob(const std::string &name, const Slice &data)
 Status
 SsdDevice::appendBlob(const std::string &name, const Slice &data)
 {
+    if (consumeArmedError(armed_write_errors_))
+        return Status::ioError("injected ssd write error: " + name);
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto &blob = blobs_[name];
@@ -63,6 +105,8 @@ SsdDevice::appendBlob(const std::string &name, const Slice &data)
 Status
 SsdDevice::readBlob(const std::string &name, std::string *out) const
 {
+    if (consumeArmedError(armed_read_errors_))
+        return Status::ioError("injected ssd read error: " + name);
     std::shared_ptr<std::string> blob;
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -80,6 +124,8 @@ Status
 SsdDevice::readBlobRange(const std::string &name, uint64_t offset,
                          size_t len, char *scratch) const
 {
+    if (consumeArmedError(armed_read_errors_))
+        return Status::ioError("injected ssd read error: " + name);
     std::shared_ptr<std::string> blob;
     {
         std::lock_guard<std::mutex> lock(mu_);

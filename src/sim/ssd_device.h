@@ -87,7 +87,21 @@ class SsdDevice
     SsdMeters meters() const;
     void resetTrafficMeters();
 
+    /**
+     * Fault injection: the next @p n write (resp. read) operations fail
+     * with an IO error before touching any data. Models transient
+     * device errors so retry-with-backoff paths can be exercised.
+     */
+    void armWriteErrors(uint64_t n);
+    void armReadErrors(uint64_t n);
+
+    /** Flip one stored byte in place (at-rest media corruption). */
+    bool corruptBlobByteForTesting(const std::string &name,
+                                   uint64_t offset);
+
   private:
+    bool consumeArmedError(std::atomic<int64_t> &armed) const;
+
     void chargeWrite(size_t n) const;
     void chargeRead(size_t n) const;
 
@@ -98,6 +112,8 @@ class SsdDevice
     mutable std::atomic<uint64_t> bytes_read_{0};
     mutable std::atomic<uint64_t> write_ios_{0};
     mutable std::atomic<uint64_t> read_ios_{0};
+    mutable std::atomic<int64_t> armed_write_errors_{0};
+    mutable std::atomic<int64_t> armed_read_errors_{0};
 };
 
 } // namespace mio::sim

@@ -3,7 +3,29 @@
 #include <cassert>
 #include <cstring>
 
+#include "util/hash.h"
+
 namespace mio {
+
+uint32_t
+SkipList::entryChecksum(const Slice &key, uint64_t seq, EntryType type,
+                        const Slice &value)
+{
+    // Seed folds in seq and type so metadata corruption (not just
+    // payload bytes) is detected too; chained hash covers key+value.
+    uint32_t seed = 0x8f1bbcdcu ^ static_cast<uint32_t>(seq) ^
+                    static_cast<uint32_t>(seq >> 32) ^
+                    (static_cast<uint32_t>(type) << 8);
+    uint32_t h = hash32(key.data(), key.size(), seed);
+    return hash32(value.data(), value.size(), h);
+}
+
+bool
+SkipList::Node::checksumOk() const
+{
+    return checksum ==
+           entryChecksum(key(), seq, entryType(), value());
+}
 
 SkipList::Node *
 SkipList::newHeadNode(Arena *arena)
@@ -20,7 +42,8 @@ SkipList::newHeadNode(Arena *arena)
     head->height = kMaxHeight;
     head->type = static_cast<uint8_t>(EntryType::kValue);
     head->reserved = 0;
-    head->pad = 0;
+    head->checksum =
+        entryChecksum(Slice(), 0, EntryType::kValue, Slice());
     for (int i = 0; i < kMaxHeight; i++)
         head->setNextRelaxed(i, nullptr);
     return head;
@@ -75,7 +98,7 @@ SkipList::makeNode(Arena *arena, const Slice &key, uint64_t seq,
     n->height = static_cast<uint16_t>(height);
     n->type = static_cast<uint8_t>(type);
     n->reserved = 0;
-    n->pad = 0;
+    n->checksum = entryChecksum(key, seq, type, value);
     for (int i = 0; i < height; i++)
         n->setNextRelaxed(i, nullptr);
     memcpy(n->keyData(), key.data(), key.size());
@@ -91,6 +114,8 @@ SkipList::makeNode(ChunkedNvmArena *arena, const Slice &key, uint64_t seq,
                    height * sizeof(std::atomic<Node *>) + key.size() +
                    value.size();
     char *mem = arena->allocate(bytes);
+    if (mem == nullptr)
+        return nullptr;  // NVM budget exhausted (device denied growth)
     Node *n = reinterpret_cast<Node *>(mem);
     n->seq = seq;
     n->prefix = Node::keyPrefix(key);
@@ -99,7 +124,7 @@ SkipList::makeNode(ChunkedNvmArena *arena, const Slice &key, uint64_t seq,
     n->height = static_cast<uint16_t>(height);
     n->type = static_cast<uint8_t>(type);
     n->reserved = 0;
-    n->pad = 0;
+    n->checksum = entryChecksum(key, seq, type, value);
     for (int i = 0; i < height; i++)
         n->setNextRelaxed(i, nullptr);
     memcpy(n->keyData(), key.data(), key.size());
@@ -198,18 +223,33 @@ SkipList::findGreaterOrEqual(const Slice &key, Splice *splice) const
 
 bool
 SkipList::get(const Slice &key, std::string *value, EntryType *type,
-              uint64_t *seq) const
+              uint64_t *seq, bool verify, bool *corrupt) const
 {
     Splice ignored;
     Node *n = findGreaterOrEqual(key, &ignored);
     if (n == nullptr || n->key() != key)
         return false;
+    if (verify && !n->checksumOk()) {
+        if (corrupt != nullptr)
+            *corrupt = true;
+        return false;
+    }
     *type = n->entryType();
     if (seq != nullptr)
         *seq = n->seq;
     if (n->entryType() == EntryType::kValue)
         value->assign(n->value().data(), n->value().size());
     return true;
+}
+
+const SkipList::Node *
+SkipList::findEntry(const Slice &key) const
+{
+    Splice ignored;
+    Node *n = findGreaterOrEqual(key, &ignored);
+    if (n == nullptr || n->key() != key)
+        return nullptr;
+    return n;
 }
 
 void

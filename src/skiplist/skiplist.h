@@ -63,7 +63,17 @@ class SkipList
         uint16_t height;
         uint8_t type;
         uint8_t reserved;
-        uint32_t pad;
+        /**
+         * Integrity checksum over (key bytes, value bytes, seq, type),
+         * computed once when the node is built (makeNode) and carried
+         * for free ever after: one-piece flushing memcpys the header
+         * with the payload, and zero-copy/lazy-copy merges relink
+         * nodes without touching payload bytes. Verified on reads
+         * (MioOptions::verify_read_checksums) and by the background
+         * scrubber to turn silent NVM corruption into
+         * Status::corruption.
+         */
+        uint32_t checksum;
 
         std::atomic<Node *> *nexts() {
             return reinterpret_cast<std::atomic<Node *> *>(this + 1);
@@ -97,6 +107,9 @@ class SkipList
         EntryType entryType() const {
             return static_cast<EntryType>(type);
         }
+
+        /** Recompute and compare this node's payload checksum. */
+        bool checksumOk() const;
 
         /** Total bytes this node occupies in its arena. */
         size_t
@@ -157,9 +170,22 @@ class SkipList
     /**
      * Point lookup: finds the newest entry for @p key.
      * @return true if any entry exists; *type distinguishes tombstones.
+     *
+     * With @p verify set, the matching node's checksum is recomputed
+     * first; on mismatch the lookup reports a miss and sets
+     * @p corrupt so the caller surfaces Status::corruption instead of
+     * falling through to stale data.
      */
     bool get(const Slice &key, std::string *value, EntryType *type,
-             uint64_t *seq = nullptr) const;
+             uint64_t *seq = nullptr, bool verify = false,
+             bool *corrupt = nullptr) const;
+
+    /** Newest node for @p key, or nullptr (scrubber/verify hook). */
+    const Node *findEntry(const Slice &key) const;
+
+    /** The checksum makeNode stamps into Node::checksum. */
+    static uint32_t entryChecksum(const Slice &key, uint64_t seq,
+                                  EntryType type, const Slice &value);
 
     Node *head() const { return head_; }
     uint64_t entryCount() const
@@ -241,7 +267,8 @@ class SkipList
      */
     static Node *makeNode(Arena *arena, const Slice &key, uint64_t seq,
                           EntryType type, const Slice &value, int height);
-    /** Same, from a growable NVM arena (never fails short of OOM). */
+    /** Same, from a growable NVM arena; nullptr when the device's
+     *  capacity budget denies the growth. */
     static Node *makeNode(ChunkedNvmArena *arena, const Slice &key,
                           uint64_t seq, EntryType type, const Slice &value,
                           int height);

@@ -5,6 +5,7 @@
 #include "bloom/bloom_filter.h"
 #include "sstable/internal_key.h"
 #include "util/coding.h"
+#include "util/hash.h"
 
 namespace mio {
 
@@ -90,12 +91,18 @@ TableBuilder::finish()
     index_handle.size = index_contents.size();
     buffer_.append(index_contents.data(), index_contents.size());
 
+    // Body checksum over everything before the footer (data + bloom +
+    // index): the scrubber's at-rest integrity check.
+    uint64_t body_checksum = recordChecksum(buffer_.data(),
+                                            buffer_.size());
+
     // Footer.
     putFixed64(&buffer_, bloom_handle.offset);
     putFixed64(&buffer_, bloom_handle.size);
     putFixed64(&buffer_, index_handle.offset);
     putFixed64(&buffer_, index_handle.size);
     putFixed64(&buffer_, num_entries_);
+    putFixed64(&buffer_, body_checksum);
     putFixed64(&buffer_, kTableMagic);
 
     return std::move(buffer_);

@@ -8,7 +8,11 @@
  *   [data block]*
  *   [bloom filter block]
  *   [index block]   (last-key-of-block -> BlockHandle)
- *   [footer]        (bloom handle, index handle, entry count, magic)
+ *   [footer]        (bloom handle, index handle, entry count,
+ *                    body checksum, magic)
+ *
+ * The body checksum covers every byte before the footer; the scrubber
+ * re-reads tables against it to catch at-rest media corruption.
  */
 #ifndef MIO_SSTABLE_TABLE_BUILDER_H_
 #define MIO_SSTABLE_TABLE_BUILDER_H_
@@ -28,8 +32,8 @@ struct BlockHandle {
     uint64_t size = 0;
 };
 
-/** Fixed-size footer: 6 x fixed64. */
-constexpr size_t kTableFooterSize = 48;
+/** Fixed-size footer: 7 x fixed64 (magic last). */
+constexpr size_t kTableFooterSize = 56;
 constexpr uint64_t kTableMagic = 0x4d696f4442744231ULL; // "MioDBtB1"
 
 class TableBuilder

@@ -4,6 +4,7 @@
 
 #include "util/clock.h"
 #include "util/coding.h"
+#include "util/hash.h"
 
 namespace mio {
 
@@ -45,7 +46,7 @@ TableReader::open(const sim::StorageMedium *medium, const std::string &name,
                                      kTableFooterSize, footer);
     if (!s.isOk())
         return s;
-    if (decodeFixed64(footer + 40) != kTableMagic)
+    if (decodeFixed64(footer + 48) != kTableMagic)
         return Status::corruption("bad table magic: " + name);
 
     auto table = std::shared_ptr<TableReader>(new TableReader());
@@ -58,6 +59,8 @@ TableReader::open(const sim::StorageMedium *medium, const std::string &name,
     BlockHandle index_handle{decodeFixed64(footer + 16),
                              decodeFixed64(footer + 24)};
     table->num_entries_ = decodeFixed64(footer + 32);
+    table->body_checksum_ = decodeFixed64(footer + 40);
+    table->body_size_ = blob_size - kTableFooterSize;
 
     std::string bloom_bytes(bloom_handle.size, '\0');
     s = medium->readBlobRange(name, bloom_handle.offset, bloom_handle.size,
@@ -101,6 +104,16 @@ Slice
 TableReader::largestKey() const
 {
     return Slice(largest_key_);
+}
+
+bool
+TableReader::verifyBody() const
+{
+    std::string body(body_size_, '\0');
+    Status s = medium_->readBlobRange(name_, 0, body_size_, body.data());
+    if (!s.isOk())
+        return false;
+    return recordChecksum(body.data(), body.size()) == body_checksum_;
 }
 
 Status

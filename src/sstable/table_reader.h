@@ -51,6 +51,13 @@ class TableReader
     Slice smallestKey() const;
     Slice largestKey() const;
 
+    /**
+     * Re-read the whole table body and compare it against the footer's
+     * body checksum (the scrubber's at-rest integrity check).
+     * @return false when the stored bytes no longer match.
+     */
+    bool verifyBody() const;
+
     /** Forward iterator over all (internal key, value) entries. */
     class Iterator
     {
@@ -82,6 +89,8 @@ class TableReader
     const sim::StorageMedium *medium_ = nullptr;
     std::string name_;
     uint64_t num_entries_ = 0;
+    uint64_t body_checksum_ = 0; //!< footer checksum of the body bytes
+    uint64_t body_size_ = 0;     //!< bytes before the footer
     BloomFilter bloom_{64, 1};
     std::unique_ptr<Block> index_block_;
     std::string smallest_key_;

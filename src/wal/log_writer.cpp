@@ -43,6 +43,11 @@ LogSegment::append(const Slice &record)
         size_t cap = framed > kChunkSize ? framed : kChunkSize;
         Chunk c;
         c.data = device_->allocateRegion(cap);
+        if (c.data == nullptr) {
+            // NVM budget exhausted: the record was NOT logged. The
+            // caller fails the write with busy instead of crashing.
+            return Status::busy("wal: nvm capacity exhausted");
+        }
         c.used = 0;
         c.cap = cap;
         chunks_.push_back(c);

@@ -1,0 +1,163 @@
+/** @file NVM exhaustion backpressure: a full device degrades through
+ *  slowdown -> stall -> Status::busy (never an abort), drains back to
+ *  service when capacity returns, and loses nothing acknowledged. */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "miodb/miodb.h"
+#include "util/random.h"
+
+namespace mio::miodb {
+namespace {
+
+/**
+ * Large enough that the inter-watermark band (85%..95%) dwarfs the
+ * store's own chunked allocations (1 MiB WAL segments, 4 MiB
+ * repository arena chunks): between the watermarks only the
+ * backpressure policy decides a write's fate, not chunk granularity.
+ */
+constexpr uint64_t kCapacity = 32 << 20;
+
+MioOptions
+smallOptions()
+{
+    MioOptions o;
+    o.memtable_size = 16 << 10;
+    o.elastic_levels = 3;
+    // Keep the hard-watermark stall short so exhaustion tests are fast.
+    o.write_stall_timeout_ms = 25;
+    o.write_slowdown_micros = 10;
+    return o;
+}
+
+/** Grow device usage to @p target_pct of the budget with one ballast
+ *  region (stands in for other tenants of the NVM module). */
+char *
+ballastTo(sim::NvmDevice *nvm, int target_pct)
+{
+    uint64_t target = kCapacity * target_pct / 100;
+    uint64_t live = nvm->meters().bytes_allocated;
+    EXPECT_LT(live, target) << "store already past the target usage";
+    char *ballast = nvm->allocateRegion(target - live);
+    EXPECT_NE(ballast, nullptr);
+    return ballast;
+}
+
+TEST(ExhaustionTest, WatermarksEscalateSlowdownStallBusyThenDrain)
+{
+    sim::NvmDevice nvm;
+    nvm.setCapacityBytes(kCapacity);
+    MioDB db(smallOptions(), &nvm);
+
+    std::string value(512, 'e');
+    for (int i = 0; i < 50; i++)
+        ASSERT_TRUE(db.put(Slice(makeKey(i)), Slice(value)).isOk());
+    db.waitIdle();
+    EXPECT_EQ(db.stats().write_slowdowns.load(), 0u);
+
+    // Above the soft watermark (85%): writes succeed but slow down.
+    char *soft_ballast = ballastTo(&nvm, 90);
+    for (int i = 50; i < 60; i++)
+        ASSERT_TRUE(db.put(Slice(makeKey(i)), Slice(value)).isOk());
+    EXPECT_GT(db.stats().write_slowdowns.load(), 0u);
+    EXPECT_EQ(db.stats().busy_rejections.load(), 0u);
+
+    // Above the hard watermark (95%): writers stall for the bounded
+    // timeout, then are rejected with busy -- never an abort.
+    char *hard_ballast = ballastTo(&nvm, 97);
+    Status s = db.put(Slice("stalled-key"), Slice(value));
+    EXPECT_TRUE(s.isBusy()) << s.toString();
+    EXPECT_GT(db.stats().write_stalls.load(), 0u);
+    EXPECT_GT(db.stats().busy_rejections.load(), 0u);
+    EXPECT_GT(db.stats().interval_stall_ns.load(), 0u);
+
+    // Capacity returns: service resumes without reopening.
+    nvm.freeRegion(hard_ballast);
+    Status resumed;
+    for (int attempt = 0; attempt < 100; attempt++) {
+        resumed = db.put(Slice("resume-key"), Slice("resume-value"));
+        if (resumed.isOk())
+            break;
+    }
+    ASSERT_TRUE(resumed.isOk()) << resumed.toString();
+    db.waitIdle();
+
+    // Every acknowledged write is still readable.
+    std::string v;
+    for (int i = 0; i < 60; i++) {
+        ASSERT_TRUE(db.get(Slice(makeKey(i)), &v).isOk()) << i;
+        EXPECT_EQ(v, value);
+    }
+    ASSERT_TRUE(db.get(Slice("resume-key"), &v).isOk());
+    EXPECT_EQ(v, "resume-value");
+    nvm.freeRegion(soft_ballast);
+}
+
+TEST(ExhaustionTest, ExhaustedShutdownKeepsAckedWritesDurable)
+{
+    sim::NvmDevice nvm;
+    nvm.setCapacityBytes(kCapacity);
+    wal::WalRegistry registry;
+    std::shared_ptr<NvmState> state;
+    std::string value(512, 'd');
+    std::vector<int> acked;
+    char *ballast = nullptr;
+    {
+        MioDB db(smallOptions(), &nvm, nullptr, &registry);
+        state = db.nvmState();
+        for (int i = 0; i < 40; i++) {
+            ASSERT_TRUE(db.put(Slice(makeKey(i)), Slice(value)).isOk());
+            acked.push_back(i);
+        }
+        db.waitIdle();
+
+        // Exhaust the budget outright (watermarks included): WAL
+        // rotation and PMTable flushes can no longer allocate, so
+        // writes degrade to busy while earlier acks stay durable.
+        ballast = ballastTo(&nvm, 100);
+        bool saw_busy = false;
+        for (int i = 40; i < 400 && !saw_busy; i++) {
+            Status s = db.put(Slice(makeKey(i)), Slice(value));
+            if (s.isOk())
+                acked.push_back(i);
+            else if (s.isBusy())
+                saw_busy = true;
+            else
+                FAIL() << s.toString();
+        }
+        EXPECT_TRUE(saw_busy);
+        EXPECT_GT(nvm.faultMeters().alloc_failures +
+                      db.stats().busy_rejections.load(),
+                  0u);
+        // Destructor must not hang even if the flush thread cannot
+        // materialize PMTables any more.
+    }
+
+    // Reopen with restored capacity: the surviving NVM image plus WAL
+    // replay recover everything that was acknowledged.
+    nvm.freeRegion(ballast);
+    MioDB db2(smallOptions(), &nvm, nullptr, &registry, state);
+    db2.waitIdle();
+    std::string v;
+    for (int i : acked) {
+        ASSERT_TRUE(db2.get(Slice(makeKey(i)), &v).isOk()) << i;
+        EXPECT_EQ(v, value);
+    }
+}
+
+TEST(ExhaustionTest, WatermarksIgnoredWithoutBudget)
+{
+    sim::NvmDevice nvm;  // no capacity budget
+    MioDB db(smallOptions(), &nvm);
+    std::string value(512, 'u');
+    for (int i = 0; i < 500; i++)
+        ASSERT_TRUE(db.put(Slice(makeKey(i)), Slice(value)).isOk());
+    EXPECT_EQ(db.stats().write_slowdowns.load(), 0u);
+    EXPECT_EQ(db.stats().write_stalls.load(), 0u);
+    EXPECT_EQ(db.stats().busy_rejections.load(), 0u);
+}
+
+} // namespace
+} // namespace mio::miodb

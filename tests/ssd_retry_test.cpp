@@ -1,0 +1,108 @@
+/** @file Retry-with-backoff for transient SSD I/O errors: SSTable
+ *  installs survive a bounded burst of injected write failures and
+ *  propagate a clean error (no data loss, no abort) past the limit. */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "lsm/lsm_tree.h"
+#include "lsm/memtable.h"
+#include "miodb/miodb.h"
+#include "util/random.h"
+
+namespace mio::lsm {
+namespace {
+
+struct SsdLsmFixture {
+    sim::SsdDevice ssd;
+    sim::SsdMedium medium{&ssd};
+    StatsCounters stats;
+    LsmOptions options;
+    std::unique_ptr<LsmTree> tree;
+
+    SsdLsmFixture()
+    {
+        options.sstable_target_size = 8 << 10;
+        options.l0_compaction_trigger = 100;  // keep compaction out
+        tree = std::make_unique<LsmTree>(options, &medium, &stats);
+    }
+
+    Status
+    flush(const std::map<std::string, std::string> &entries,
+          uint64_t base_seq)
+    {
+        MemTable mem(1 << 20);
+        uint64_t seq = base_seq;
+        for (const auto &[k, v] : entries)
+            EXPECT_TRUE(
+                mem.add(Slice(k), seq++, EntryType::kValue, Slice(v)));
+        SkipListIterator it(&mem.list());
+        return tree->flushToL0(&it);
+    }
+};
+
+TEST(SsdRetryTest, TransientWriteErrorsAreRetriedAndCounted)
+{
+    SsdLsmFixture f;
+    f.ssd.armWriteErrors(2);  // first two attempts fail, third lands
+    ASSERT_TRUE(f.flush({{"a", "1"}, {"b", "2"}}, 1).isOk());
+    EXPECT_EQ(f.stats.ssd_io_retries.load(), 2u);
+    EXPECT_EQ(f.tree->l0FileCount(), 1);
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(f.tree->get(Slice("a"), &v, &t));
+    EXPECT_EQ(v, "1");
+}
+
+TEST(SsdRetryTest, PersistentErrorsPropagateCleanlyAfterRetryLimit)
+{
+    SsdLsmFixture f;
+    ASSERT_GT(f.options.io_retries, 0);
+    // More failures than the retry budget: the install gives up.
+    f.ssd.armWriteErrors(100);
+    Status s = f.flush({{"c", "3"}}, 10);
+    EXPECT_TRUE(s.isIOError()) << s.toString();
+    EXPECT_EQ(f.tree->l0FileCount(), 0);
+    EXPECT_EQ(f.stats.ssd_io_retries.load(),
+              static_cast<uint64_t>(f.options.io_retries));
+
+    // The device heals: the same flush succeeds on retry, and earlier
+    // failures left no half-installed table behind.
+    f.ssd.armWriteErrors(0);
+    ASSERT_TRUE(f.flush({{"c", "3"}}, 10).isOk());
+    EXPECT_EQ(f.tree->l0FileCount(), 1);
+    EXPECT_EQ(f.ssd.listBlobs().size(), 1u);
+    std::string v;
+    EntryType t;
+    ASSERT_TRUE(f.tree->get(Slice("c"), &v, &t));
+    EXPECT_EQ(v, "3");
+}
+
+TEST(SsdRetryTest, StoreSurvivesFlakySsdEndToEnd)
+{
+    sim::NvmDevice nvm;
+    sim::SsdDevice ssd;
+    mio::miodb::MioOptions o;
+    o.memtable_size = 8 << 10;
+    o.elastic_levels = 2;
+    o.nvm_buffer_cap_bytes = 16 << 10;  // force migration to the SSD
+    o.use_ssd_repository = true;
+    mio::miodb::MioDB db(o, &nvm, &ssd);
+
+    std::string value(256, 'f');
+    ssd.armWriteErrors(3);  // transient burst during migration
+    for (int i = 0; i < 400; i++)
+        ASSERT_TRUE(db.put(Slice(makeKey(i)), Slice(value)).isOk());
+    db.waitIdle();
+    EXPECT_GT(db.stats().ssd_io_retries.load(), 0u);
+
+    std::string v;
+    for (int i = 0; i < 400; i += 13) {
+        ASSERT_TRUE(db.get(Slice(makeKey(i)), &v).isOk()) << i;
+        EXPECT_EQ(v, value);
+    }
+}
+
+} // namespace
+} // namespace mio::lsm
