@@ -28,6 +28,7 @@
 #include "lsm/memtable.h"
 #include "miodb/miodb.h"
 #include "miodb/one_piece_flush.h"
+#include "sched/background_scheduler.h"
 #include "util/clock.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -234,6 +235,72 @@ writeJson(const std::string &path, const BenchParams &p,
     out << "  ]\n}\n";
 }
 
+/**
+ * --stats: per-job-class scheduler activity aggregated over every
+ * store the sweep built (scrub mode is where this is interesting:
+ * queue/run latencies of scrub passes racing the measured gets).
+ */
+void
+printSchedStats(const StatsSnapshot &agg)
+{
+    static const char *kBucketLabels[] = {"<1us",  "<10us", "<100us",
+                                          "<1ms",  "<10ms", "<100ms",
+                                          "<1s",   ">=1s"};
+    static_assert(sizeof(kBucketLabels) / sizeof(kBucketLabels[0]) ==
+                  StatsCounters::kSchedLatBuckets);
+    TableReporter tbl("Background scheduler, per job class "
+                      "(queue = submit->dispatch, run = execution)",
+                      {"class", "submitted", "done", "dropped",
+                       "avg queue us", "avg run us"});
+    for (int j = 0; j < StatsCounters::kJobClasses; j++) {
+        if (agg.sched_submitted[j] == 0 && agg.sched_completed[j] == 0)
+            continue;
+        double done = static_cast<double>(
+            std::max<uint64_t>(agg.sched_completed[j], 1));
+        tbl.addRow({sched::jobClassName(static_cast<sched::JobClass>(j)),
+                    std::to_string(agg.sched_submitted[j]),
+                    std::to_string(agg.sched_completed[j]),
+                    std::to_string(agg.sched_dropped[j]),
+                    TableReporter::num(
+                        agg.sched_queue_ns[j] / 1e3 / done, 1),
+                    TableReporter::num(
+                        agg.sched_run_ns[j] / 1e3 / done, 1)});
+    }
+    tbl.print();
+    printf("\n  run-latency histograms (completions per decade "
+           "bucket):\n");
+    for (int j = 0; j < StatsCounters::kJobClasses; j++) {
+        if (agg.sched_completed[j] == 0)
+            continue;
+        printf("    %-12s", sched::jobClassName(
+                                static_cast<sched::JobClass>(j)));
+        for (int b = 0; b < StatsCounters::kSchedLatBuckets; b++)
+            if (agg.sched_run_hist[j][b])
+                printf(" %s:%llu", kBucketLabels[b],
+                       static_cast<unsigned long long>(
+                           agg.sched_run_hist[j][b]));
+        printf("\n");
+    }
+}
+
+/** Accumulate the scheduler slice of @p s into @p agg. */
+void
+addSchedStats(StatsSnapshot *agg, const StatsSnapshot &s)
+{
+    for (int j = 0; j < StatsCounters::kJobClasses; j++) {
+        agg->sched_submitted[j] += s.sched_submitted[j];
+        agg->sched_completed[j] += s.sched_completed[j];
+        agg->sched_dropped[j] += s.sched_dropped[j];
+        agg->sched_queue_ns[j] += s.sched_queue_ns[j];
+        agg->sched_run_ns[j] += s.sched_run_ns[j];
+        for (int b = 0; b < StatsCounters::kSchedLatBuckets; b++) {
+            agg->sched_queue_hist[j][b] += s.sched_queue_hist[j][b];
+            agg->sched_run_hist[j][b] += s.sched_run_hist[j][b];
+        }
+    }
+    agg->sched_escalations += s.sched_escalations;
+}
+
 } // namespace
 
 int
@@ -241,6 +308,7 @@ main(int argc, char **argv)
 {
     Flags flags(argc, argv);
     const bool smoke = flags.getBool("smoke", false);
+    const bool want_stats = flags.getBool("stats", false);
 
     BenchParams p;
     p.table_keys = flags.getInt("table_keys", smoke ? 500 : 4000);
@@ -273,6 +341,7 @@ main(int argc, char **argv)
         {"levels", "workload", "KIOPS", "found", "tbl skips",
          "lvl skips", "retries", "charged MB"});
     std::vector<RunResult> runs;
+    StatsSnapshot sched_agg;
     for (int levels : level_sweep) {
         FrozenStore fs(p, levels);
         for (const char *w : {"uniform", "zipfian", "miss"}) {
@@ -287,8 +356,14 @@ main(int argc, char **argv)
                         TableReporter::num(
                             r.nvm_charged_read_bytes / 1e6, 1)});
         }
+        if (want_stats)
+            addSchedStats(&sched_agg, snapshotOf(fs.db->stats()));
     }
     tbl.print();
+    if (want_stats) {
+        printf("\n");
+        printSchedStats(sched_agg);
+    }
 
     if (flags.has("json"))
         writeJson(flags.getString("json", ""), p, level_sweep, runs);

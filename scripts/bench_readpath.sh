@@ -5,6 +5,12 @@
 # Usage:
 #   scripts/bench_readpath.sh [extra micro_readpath flags...]
 #
+# --stats: after the timed reps, run one extra (untimed) sweep with
+# the scrubber armed and print micro_readpath's per-job-class
+# scheduler tables -- queue/run latency histograms of the background
+# work racing the measured gets. The timed reps themselves never
+# carry the flag, so the recorded KIOPS are undisturbed.
+#
 # If scripts/baseline/BENCH_readpath_baseline.json exists (captured
 # against the pre-overhaul read path), the output records BOTH runs as
 # {"baseline": ..., "current": ...} so the improvement is auditable;
@@ -25,6 +31,12 @@ cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 REPS="${MIO_BENCH_REPS:-3}"
 
+STATS=0
+ARGS=()
+for a in "$@"; do
+    if [ "$a" = "--stats" ]; then STATS=1; else ARGS+=("$a"); fi
+done
+
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target micro_readpath >/dev/null
 
@@ -33,11 +45,16 @@ trap 'rm -rf "$WORK"' EXIT
 
 # Interleaved reps: one current sweep, one scrub sweep, repeat.
 for rep in $(seq 1 "$REPS"); do
-    build/bench/micro_readpath --json="$WORK/current.$rep.json" "$@" \
-        >/dev/null
+    build/bench/micro_readpath --json="$WORK/current.$rep.json" \
+        ${ARGS[@]+"${ARGS[@]}"} >/dev/null
     build/bench/micro_readpath --scrub \
-        --json="$WORK/scrub.$rep.json" "$@" >/dev/null
+        --json="$WORK/scrub.$rep.json" ${ARGS[@]+"${ARGS[@]}"} >/dev/null
 done
+
+if [ "$STATS" = 1 ]; then
+    echo "=== scheduler activity (scrub-armed sweep, untimed)"
+    build/bench/micro_readpath --scrub --stats ${ARGS[@]+"${ARGS[@]}"}
+fi
 
 # merge_mode <name>: keep each (levels, workload) row from the rep
 # with the best KIOPS.

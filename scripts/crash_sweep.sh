@@ -10,6 +10,23 @@
 # every canonical failpoint and the randomized crash-stress run. The
 # quick in-suite default is 56 seeds; this script dials the randomized
 # pass up for a pre-merge soak.
+#
+# Deterministic-mode mapping: maintenance (flush, merges, WAL
+# recycling, scrub) runs as typed jobs on the store's
+# BackgroundScheduler. A job that hits an armed failpoint throws
+# SimCrash; the scheduler catches it (the single thread boundary that
+# replaced the old per-path thread loops), freezes -- dropping queued
+# jobs through their on_drop hooks -- and fires the store's crash
+# transition. The sweep runs twice:
+#   leg 1 (threaded):       the default worker pool; failpoint hits
+#                           interleave across workers like production.
+#   leg 2 (deterministic):  MIO_CRASH_DETERMINISTIC=1 maps the store
+#                           onto the scheduler's inline mode -- zero
+#                           worker threads, jobs run in strict
+#                           priority order on the harness thread
+#                           inside waitUntil()/drain() -- so a seed's
+#                           Nth-hit crash site is exactly
+#                           reproducible under a debugger.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,8 +37,13 @@ echo "=== crash sweep: build"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "=== crash sweep: ctest -L crash (MIO_CRASH_SEEDS=$SEEDS)"
+echo "=== crash sweep: leg 1, threaded (MIO_CRASH_SEEDS=$SEEDS)"
 (cd build &&
      MIO_CRASH_SEEDS="$SEEDS" \
      ctest --output-on-failure -L crash)
-echo "crash sweep passed ($SEEDS randomized seeds)"
+
+echo "=== crash sweep: leg 2, deterministic inline scheduler"
+(cd build &&
+     MIO_CRASH_SEEDS="$SEEDS" MIO_CRASH_DETERMINISTIC=1 \
+     ctest --output-on-failure -L crash)
+echo "crash sweep passed ($SEEDS randomized seeds x 2 legs)"

@@ -46,6 +46,18 @@ snapshotOf(const StatsCounters &c)
     s.tables_quarantined = get(c.tables_quarantined);
     s.ssd_io_retries = get(c.ssd_io_retries);
     s.wal_corrupt_frames = get(c.wal_corrupt_frames);
+    for (int j = 0; j < StatsCounters::kJobClasses; j++) {
+        s.sched_submitted[j] = get(c.sched_submitted[j]);
+        s.sched_completed[j] = get(c.sched_completed[j]);
+        s.sched_dropped[j] = get(c.sched_dropped[j]);
+        s.sched_queue_ns[j] = get(c.sched_queue_ns[j]);
+        s.sched_run_ns[j] = get(c.sched_run_ns[j]);
+        for (int b = 0; b < StatsCounters::kSchedLatBuckets; b++) {
+            s.sched_queue_hist[j][b] = get(c.sched_queue_hist[j][b]);
+            s.sched_run_hist[j][b] = get(c.sched_run_hist[j][b]);
+        }
+    }
+    s.sched_escalations = get(c.sched_escalations);
     return s;
 }
 
@@ -91,6 +103,20 @@ statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
     d.tables_quarantined = a.tables_quarantined - b.tables_quarantined;
     d.ssd_io_retries = a.ssd_io_retries - b.ssd_io_retries;
     d.wal_corrupt_frames = a.wal_corrupt_frames - b.wal_corrupt_frames;
+    for (int j = 0; j < StatsCounters::kJobClasses; j++) {
+        d.sched_submitted[j] = a.sched_submitted[j] - b.sched_submitted[j];
+        d.sched_completed[j] = a.sched_completed[j] - b.sched_completed[j];
+        d.sched_dropped[j] = a.sched_dropped[j] - b.sched_dropped[j];
+        d.sched_queue_ns[j] = a.sched_queue_ns[j] - b.sched_queue_ns[j];
+        d.sched_run_ns[j] = a.sched_run_ns[j] - b.sched_run_ns[j];
+        for (int k = 0; k < StatsCounters::kSchedLatBuckets; k++) {
+            d.sched_queue_hist[j][k] =
+                a.sched_queue_hist[j][k] - b.sched_queue_hist[j][k];
+            d.sched_run_hist[j][k] =
+                a.sched_run_hist[j][k] - b.sched_run_hist[j][k];
+        }
+    }
+    d.sched_escalations = a.sched_escalations - b.sched_escalations;
     return d;
 }
 
@@ -128,6 +154,29 @@ StatsSnapshot::toString() const
              static_cast<unsigned long long>(ssd_io_retries),
              static_cast<unsigned long long>(wal_corrupt_frames));
     out += buf;
+    uint64_t total_jobs = 0;
+    for (int j = 0; j < StatsCounters::kJobClasses; j++)
+        total_jobs += sched_submitted[j];
+    if (total_jobs > 0) {
+        static const char *kClassNames[StatsCounters::kJobClasses] = {
+            "flush", "lcm", "zcm", "ssd", "walrec", "scrub"};
+        snprintf(buf, sizeof(buf), "\nsched: escalations=%llu",
+                 static_cast<unsigned long long>(sched_escalations));
+        out += buf;
+        for (int j = 0; j < StatsCounters::kJobClasses; j++) {
+            if (sched_submitted[j] == 0)
+                continue;
+            snprintf(buf, sizeof(buf),
+                     "\n  %-6s sub=%llu done=%llu drop=%llu "
+                     "queue=%.3fms run=%.3fms",
+                     kClassNames[j],
+                     static_cast<unsigned long long>(sched_submitted[j]),
+                     static_cast<unsigned long long>(sched_completed[j]),
+                     static_cast<unsigned long long>(sched_dropped[j]),
+                     sched_queue_ns[j] / 1e6, sched_run_ns[j] / 1e6);
+            out += buf;
+        }
+    }
     return out;
 }
 

@@ -86,6 +86,24 @@ struct StatsCounters {
     /** WAL frames dropped by recovery as corrupt (torn/flipped). */
     std::atomic<uint64_t> wal_corrupt_frames{0};
 
+    // -- background scheduler (per-job-class observability) --
+    /** Job classes: flush, lcm, zcm, ssd, wal-recycle, scrub. */
+    static constexpr int kJobClasses = 6;
+    /** Decade latency buckets: <1us, <10us, ..., <1s, >=1s. */
+    static constexpr int kSchedLatBuckets = 8;
+    std::atomic<uint64_t> sched_submitted[kJobClasses]{};
+    std::atomic<uint64_t> sched_completed[kJobClasses]{};
+    /** Jobs discarded unexecuted (freeze/shutdown). */
+    std::atomic<uint64_t> sched_dropped[kJobClasses]{};
+    /** Total submit->dispatch wait per class. */
+    std::atomic<uint64_t> sched_queue_ns[kJobClasses]{};
+    /** Total execution time per class. */
+    std::atomic<uint64_t> sched_run_ns[kJobClasses]{};
+    std::atomic<uint64_t> sched_queue_hist[kJobClasses][kSchedLatBuckets]{};
+    std::atomic<uint64_t> sched_run_hist[kJobClasses][kSchedLatBuckets]{};
+    /** Dispatches where an urgency probe overrode base priority. */
+    std::atomic<uint64_t> sched_escalations{0};
+
     /** Bucket index for a group of @p writers members. */
     static int
     groupSizeBucket(uint64_t writers)
@@ -93,6 +111,18 @@ struct StatsCounters {
         int b = 0;
         while (writers > 1 && b < kGroupSizeBuckets - 1) {
             writers = (writers + 1) >> 1;
+            b++;
+        }
+        return b;
+    }
+
+    /** Decade bucket index for a latency of @p ns nanoseconds. */
+    static int
+    schedLatBucket(uint64_t ns)
+    {
+        int b = 0;
+        while (ns >= 1000 && b < kSchedLatBuckets - 1) {
+            ns /= 10;
             b++;
         }
         return b;
@@ -135,6 +165,16 @@ struct StatsSnapshot {
     uint64_t tables_quarantined = 0;
     uint64_t ssd_io_retries = 0;
     uint64_t wal_corrupt_frames = 0;
+    uint64_t sched_submitted[StatsCounters::kJobClasses] = {};
+    uint64_t sched_completed[StatsCounters::kJobClasses] = {};
+    uint64_t sched_dropped[StatsCounters::kJobClasses] = {};
+    uint64_t sched_queue_ns[StatsCounters::kJobClasses] = {};
+    uint64_t sched_run_ns[StatsCounters::kJobClasses] = {};
+    uint64_t sched_queue_hist[StatsCounters::kJobClasses]
+                             [StatsCounters::kSchedLatBuckets] = {};
+    uint64_t sched_run_hist[StatsCounters::kJobClasses]
+                           [StatsCounters::kSchedLatBuckets] = {};
+    uint64_t sched_escalations = 0;
 
     /** Mean writers per commit group (1.0 when grouping never fired). */
     double

@@ -1,39 +1,50 @@
 #include "lsm/lsm_tree.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <functional>
-#include <thread>
 
 #include "sim/failpoint.h"
 #include "util/clock.h"
 
 namespace mio::lsm {
 
-LsmTree::LsmTree(const LsmOptions &options, sim::StorageMedium *medium,
-                 StatsCounters *stats, std::string name_prefix)
-    : options_(options), medium_(medium), stats_(stats),
-      name_prefix_(std::move(name_prefix)), versions_(options)
+std::unique_ptr<sched::BackgroundScheduler>
+LsmTree::makePrivateScheduler()
 {
-    int threads = options_.compaction_threads;
-    if (threads < 1)
-        threads = 1;
-    compaction_threads_.reserve(threads);
-    for (int i = 0; i < threads; i++) {
-        compaction_threads_.emplace_back(
-            [this] { compactionThreadLoop(); });
+    sched::BackgroundScheduler::Options so;
+    so.num_workers = std::max(options_.compaction_threads, 1);
+    so.stats = stats_;
+    // A SimCrash escaping a job freezes the pool; mirror that into
+    // the tree's own flag so waitIdle and scheduling stand down.
+    so.on_crash = [this] { crashed_.store(true); };
+    return std::make_unique<sched::BackgroundScheduler>(so);
+}
+
+LsmTree::LsmTree(const LsmOptions &options, sim::StorageMedium *medium,
+                 StatsCounters *stats, std::string name_prefix,
+                 sched::BackgroundScheduler *sched)
+    : options_(options), medium_(medium), stats_(stats),
+      name_prefix_(std::move(name_prefix)), versions_(options),
+      sched_(sched)
+{
+    if (sched_ == nullptr) {
+        owned_sched_ = makePrivateScheduler();
+        sched_ = owned_sched_.get();
     }
 }
 
 LsmTree::~LsmTree()
 {
-    {
-        std::unique_lock<std::mutex> lock(work_mu_);
-        shutting_down_ = true;
+    if (owned_sched_) {
+        // Drop (not drain) queued compactions: their on_drop hooks
+        // release the file claims, and SSTables + the version set are
+        // already durable without them.
+        owned_sched_->shutdown(/*run_pending=*/false);
     }
-    work_cv_.notify_all();
-    for (auto &t : compaction_threads_)
-        t.join();
+    // External scheduler: the owner quiesced it and detached us
+    // (rebindScheduler(nullptr)) before destruction.
 }
 
 std::shared_ptr<FileMeta>
@@ -60,8 +71,13 @@ LsmTree::installBlob(std::string contents, uint64_t number,
                 return s;
             stats_->ssd_io_retries.fetch_add(1,
                                              std::memory_order_relaxed);
-            std::this_thread::sleep_for(std::chrono::microseconds(
-                options_.io_retry_backoff_us << attempt));
+            // Interruptible backoff: wakes early when the scheduler
+            // freezes (SimCrash) or shuts down, so a retry storm never
+            // delays teardown.
+            if (sched_ != nullptr) {
+                sched_->waitFor(std::chrono::microseconds(
+                    options_.io_retry_backoff_us << attempt));
+            }
         }
     };
 
@@ -327,7 +343,58 @@ LsmTree::newIterator() const
 void
 LsmTree::maybeScheduleCompaction()
 {
-    work_cv_.notify_all();
+    if (sched_ == nullptr || crashed_.load())
+        return;
+    // Claim-at-submit: each runnable job is claimed from the version
+    // set here (so no two jobs overlap) and carries an on_drop hook
+    // that releases the claim if the scheduler discards it unexecuted
+    // (freeze or shutdown) -- the durable tree is reused by the next
+    // store instance, which must find every file unclaimed.
+    const int max_outstanding = std::max(options_.compaction_threads, 1);
+    while (outstanding_.load(std::memory_order_acquire) <
+           max_outstanding) {
+        CompactionJob job = versions_.pickCompaction();
+        if (!job.valid())
+            return;
+        outstanding_.fetch_add(1, std::memory_order_acq_rel);
+        bool accepted = sched_->submit(
+            sched::JobClass::kSsdCompaction,
+            [this, job] { runCompactionJob(job); },
+            [this, job] {
+                versions_.releaseJob(job);
+                outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+            });
+        if (!accepted)
+            return;
+    }
+}
+
+void
+LsmTree::runCompactionJob(const CompactionJob &job)
+{
+    try {
+        doCompaction(job);
+    } catch (const sim::SimCrash &) {
+        versions_.releaseJob(job);
+        crashed_.store(true);
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+        // Rethrow so the scheduler performs the store-wide freeze and
+        // fires the owner's crash callback.
+        throw;
+    }
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    sched_->notifyEvent();
+    maybeScheduleCompaction();
+}
+
+void
+LsmTree::rebindScheduler(sched::BackgroundScheduler *sched)
+{
+    assert(owned_sched_ == nullptr &&
+           "only externally-scheduled trees change owners");
+    assert(outstanding_.load() == 0 &&
+           "rebinding requires a quiesced scheduler");
+    sched_ = sched;
 }
 
 void
@@ -335,86 +402,42 @@ LsmTree::recoverFromCrash()
 {
     if (!crashed_.load())
         return;
-    // Drain the surviving workers, then restart a full complement.
-    {
-        std::unique_lock<std::mutex> lock(work_mu_);
-        shutting_down_ = true;
+    crashed_.store(false);
+    if (owned_sched_) {
+        // The frozen pool is unusable (it drops every submission);
+        // replace it wholesale. Queued claims were already released
+        // through on_drop at freeze time.
+        owned_sched_->shutdown(/*run_pending=*/false);
+        owned_sched_ = makePrivateScheduler();
+        sched_ = owned_sched_.get();
     }
-    work_cv_.notify_all();
-    for (auto &t : compaction_threads_)
-        t.join();
-    compaction_threads_.clear();
-    {
-        std::unique_lock<std::mutex> lock(work_mu_);
-        shutting_down_ = false;
-        crashed_.store(false);
-    }
-    int threads = options_.compaction_threads;
-    if (threads < 1)
-        threads = 1;
-    for (int i = 0; i < threads; i++) {
-        compaction_threads_.emplace_back(
-            [this] { compactionThreadLoop(); });
-    }
+    // External scheduler: the adopting store attached a fresh pool
+    // via rebindScheduler before calling this.
+    maybeScheduleCompaction();
 }
 
 void
 LsmTree::waitIdle()
 {
-    std::unique_lock<std::mutex> lock(work_mu_);
-    idle_cv_.wait(lock, [this] {
-        if (crashed_.load())
+    if (sched_ == nullptr)
+        return;
+    maybeScheduleCompaction();
+    sched_->waitUntil([this] {
+        if (crashed_.load() || sched_->frozen())
             return true;
-        if (running_compactions_ > 0)
+        if (outstanding_.load(std::memory_order_acquire) > 0)
             return false;
+        // Probe for runnable work the pipeline hasn't claimed yet
+        // (e.g. a compaction made the next level over-threshold while
+        // outstanding_ was draining).
         CompactionJob job = versions_.pickCompaction();
         if (job.valid()) {
             versions_.releaseJob(job);
-            work_cv_.notify_all();
+            maybeScheduleCompaction();
             return false;
         }
         return true;
     });
-}
-
-void
-LsmTree::compactionThreadLoop()
-{
-    sim::markSimBackgroundThread();
-    std::unique_lock<std::mutex> lock(work_mu_);
-    while (!shutting_down_ && !crashed_.load()) {
-        CompactionJob job = versions_.pickCompaction();
-        if (!job.valid()) {
-            idle_cv_.notify_all();
-            work_cv_.wait_for(lock, std::chrono::milliseconds(20));
-            continue;
-        }
-        running_compactions_++;
-        lock.unlock();
-        try {
-            doCompaction(job);
-        } catch (const sim::SimCrash &) {
-            versions_.releaseJob(job);
-            crashed_.store(true);
-            lock.lock();
-            running_compactions_--;
-            idle_cv_.notify_all();
-            return;
-        }
-        lock.lock();
-        running_compactions_--;
-        idle_cv_.notify_all();
-    }
-}
-
-bool
-LsmTree::runOneCompaction()
-{
-    CompactionJob job = versions_.pickCompaction();
-    if (!job.valid())
-        return false;
-    doCompaction(job);
-    return true;
 }
 
 void

@@ -1,25 +1,29 @@
 /**
  * @file
  * LsmTree: a LevelDB-style leveled engine of SSTables over a
- * StorageMedium, with background compaction threads. It deliberately
- * does NOT own a MemTable or WAL -- each store composes it with its
- * own buffering architecture (NoveLSM's NVM MemTables, MatrixKV's
- * matrix container, MioDB's SSD-mode bottom level).
+ * StorageMedium, with background compaction. It deliberately does NOT
+ * own a MemTable or WAL -- each store composes it with its own
+ * buffering architecture (NoveLSM's NVM MemTables, MatrixKV's matrix
+ * container, MioDB's SSD-mode bottom level).
+ *
+ * Compactions run as kSsdCompaction jobs on a BackgroundScheduler:
+ * either a private one (standalone trees, the baselines) or the
+ * owning store's shared pool (MioDB's SSD mode), so one executor
+ * arbitrates NVM-buffer merges against SSD compactions.
  */
 #ifndef MIO_LSM_LSM_TREE_H_
 #define MIO_LSM_LSM_TREE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "kv/store_stats.h"
 #include "lsm/iterator.h"
 #include "lsm/merging_iterator.h"
 #include "lsm/version_set.h"
+#include "sched/background_scheduler.h"
 #include "sim/storage_medium.h"
 
 namespace mio::lsm {
@@ -33,9 +37,14 @@ class LsmTree
      * @param stats the owning store's counters (serialization,
      *        compaction, storage traffic are charged here)
      * @param name_prefix distinguishes blobs of co-located trees
+     * @param sched scheduler compactions are submitted to; nullptr
+     *        creates a private pool of options.compaction_threads
+     *        workers. An external scheduler is borrowed, never owned
+     *        -- see rebindScheduler for the ownership-change protocol.
      */
     LsmTree(const LsmOptions &options, sim::StorageMedium *medium,
-            StatsCounters *stats, std::string name_prefix = "sst");
+            StatsCounters *stats, std::string name_prefix = "sst",
+            sched::BackgroundScheduler *sched = nullptr);
     ~LsmTree();
 
     LsmTree(const LsmTree &) = delete;
@@ -77,7 +86,11 @@ class LsmTree
     /** Internal-key merged iterator over every file (for scans). */
     std::unique_ptr<KVIterator> newIterator() const;
 
-    /** Wake compaction threads if any level is over threshold. */
+    /**
+     * Claim runnable compactions and submit them as jobs, up to
+     * options.compaction_threads outstanding at once. No-op while
+     * crashed or between scheduler owners.
+     */
     void maybeScheduleCompaction();
 
     /** Block until no compaction is runnable or running. */
@@ -103,17 +116,30 @@ class LsmTree
     void rebindStats(StatsCounters *stats) { stats_ = stats; }
 
     /**
-     * Revive the tree after a SimCrash killed a compaction thread:
-     * clear the crashed flag and respawn the dead workers. SSTables
-     * and the version set are the durable state; nothing to repair.
+     * Re-point the tree at a new external scheduler, or detach it
+     * (nullptr). The tree's durable state (NvmState in MioDB's SSD
+     * mode) outlives the store instance whose scheduler it borrows, so
+     * each dying owner detaches the tree and each adopting owner
+     * attaches its own pool before reviving compactions. Only valid
+     * for trees constructed with an external scheduler, and only while
+     * no compaction jobs are in flight (the old pool was quiesced).
+     */
+    void rebindScheduler(sched::BackgroundScheduler *sched);
+
+    /**
+     * Revive the tree after a SimCrash froze its compactions: clear
+     * the crashed flag, replace a private scheduler's frozen pool, and
+     * reschedule. SSTables and the version set are the durable state;
+     * nothing to repair.
      */
     void recoverFromCrash();
 
   private:
-    void compactionThreadLoop();
-    /** @return true if a job ran. */
-    bool runOneCompaction();
+    /** Job body: run @p job, then keep the pipeline primed. */
+    void runCompactionJob(const CompactionJob &job);
     void doCompaction(const CompactionJob &job);
+    /** Build the private worker pool (no external scheduler). */
+    std::unique_ptr<sched::BackgroundScheduler> makePrivateScheduler();
 
     /**
      * Consume @p iter writing output tables split at the target size;
@@ -135,15 +161,15 @@ class LsmTree
     std::string name_prefix_;
     VersionSet versions_;
 
-    std::mutex work_mu_;
-    std::condition_variable work_cv_;
-    std::condition_variable idle_cv_;
-    int running_compactions_ = 0;
-    bool shutting_down_ = false;
-    /** A failpoint (sim::SimCrash) killed a compaction thread: no
-     *  further compactions run, and waitIdle returns immediately. */
+    /** Private pool when no external scheduler was provided. */
+    std::unique_ptr<sched::BackgroundScheduler> owned_sched_;
+    /** Jobs go here; nullptr only between external owners. */
+    sched::BackgroundScheduler *sched_;
+    /** Compaction jobs submitted or running (claims held). */
+    std::atomic<int> outstanding_{0};
+    /** A failpoint (sim::SimCrash) froze this tree's compactions: no
+     *  further jobs are submitted, and waitIdle returns immediately. */
     std::atomic<bool> crashed_{false};
-    std::vector<std::thread> compaction_threads_;
 };
 
 } // namespace mio::lsm

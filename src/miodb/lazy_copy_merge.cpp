@@ -181,8 +181,9 @@ PmRepository::scrub()
 
 SsdRepository::SsdRepository(const lsm::LsmOptions &options,
                              sim::StorageMedium *medium,
-                             StatsCounters *stats)
-    : lsm_(options, medium, stats, "mio-ssd"), stats_(stats)
+                             StatsCounters *stats,
+                             sched::BackgroundScheduler *sched)
+    : lsm_(options, medium, stats, "mio-ssd", sched), stats_(stats)
 {}
 
 Status

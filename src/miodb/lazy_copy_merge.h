@@ -75,10 +75,19 @@ class Repository
 
     /**
      * Restart repository-internal background machinery that a
-     * SimCrash froze (SSD-mode compaction threads). The data itself
-     * is durable; only the worker state needs reviving.
+     * SimCrash froze (SSD-mode compaction jobs). The data itself is
+     * durable; only the worker state needs reviving.
      */
     virtual void recoverAfterCrash() {}
+
+    /**
+     * Re-point repository-internal background work at the adopting
+     * store's scheduler (nullptr detaches: the old owner is dying and
+     * its pool with it). The durable repository outlives any one
+     * store instance, so like rebindStats this is part of the
+     * adoption protocol; call it before recoverAfterCrash.
+     */
+    virtual void rebindScheduler(sched::BackgroundScheduler *) {}
 };
 
 /** Huge persistent skip list in NVM (the paper's primary design). */
@@ -117,8 +126,12 @@ class PmRepository : public Repository
 class SsdRepository : public Repository
 {
   public:
+    /** @param sched the owning store's scheduler -- MioDB passes its
+     *  unified pool so SSD-tier compactions share it; nullptr
+     *  (standalone tests) gives the inner LsmTree a private pool. */
     SsdRepository(const lsm::LsmOptions &options,
-                  sim::StorageMedium *medium, StatsCounters *stats);
+                  sim::StorageMedium *medium, StatsCounters *stats,
+                  sched::BackgroundScheduler *sched = nullptr);
 
     Status mergeTable(PMTable *src) override;
     bool get(const Slice &key, std::string *value, EntryType *type,
@@ -135,6 +148,11 @@ class SsdRepository : public Repository
         lsm_.rebindStats(stats);
     }
     void recoverAfterCrash() override { lsm_.recoverFromCrash(); }
+    void
+    rebindScheduler(sched::BackgroundScheduler *sched) override
+    {
+        lsm_.rebindScheduler(sched);
+    }
 
     lsm::LsmTree &lsm() { return lsm_; }
 

@@ -1,0 +1,704 @@
+/**
+ * @file
+ * MioDB's background maintenance half: every job body (flush,
+ * zero-copy merges, lazy-copy migration, WAL recycling, scrubbing),
+ * the scheduling glue that keeps the unified BackgroundScheduler
+ * primed, and the backpressure/wait paths that park on it. The
+ * API/read/write paths live in miodb.cpp.
+ *
+ * Scheduling invariant: at most one flush job and one compaction job
+ * per level is ever queued or running, enforced by the "scheduled"
+ * tokens. Each job drains its work stream in a loop, releases its
+ * token, and then re-checks for work that arrived during the release
+ * window -- so no wakeup is ever lost and no stream ever runs
+ * concurrently with itself (the old dedicated-thread serialization,
+ * kept under a shared pool).
+ */
+#include "miodb/miodb.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "miodb/one_piece_flush.h"
+#include "sim/failpoint.h"
+#include "util/clock.h"
+
+namespace mio::miodb {
+
+int
+MioDB::backgroundWorkerCount() const
+{
+    if (options_.deterministic_background)
+        return 0;
+    if (options_.background_workers > 0)
+        return options_.background_workers;
+    // Auto: mirror the old dedicated-thread census -- one flusher,
+    // one compactor per level (or one total), a scrubber slot when
+    // periodic scrubbing is on, plus the SSD tier's compaction pool
+    // in hierarchy mode.
+    int n = 1;
+    if (options_.auto_compaction) {
+        n += options_.parallel_compaction ? options_.elastic_levels
+                                          : 1;
+    }
+    if (options_.scrub_interval_ms > 0)
+        n += 1;
+    if (options_.use_ssd_repository)
+        n += std::max(1, options_.ssd_lsm.compaction_threads);
+    return n;
+}
+
+void
+MioDB::startScheduler()
+{
+    sched::BackgroundScheduler::Options so;
+    so.deterministic = options_.deterministic_background;
+    so.num_workers = backgroundWorkerCount();
+    so.stats = &stats_;
+    so.on_crash = [this] { onSimCrash(); };
+    sched_ = std::make_unique<sched::BackgroundScheduler>(so);
+    compact_scheduled_ =
+        std::make_unique<std::atomic<bool>[]>(options_.elastic_levels);
+    for (int i = 0; i < options_.elastic_levels; i++)
+        compact_scheduled_[i].store(false);
+    // Memory pressure escalates the merge classes ahead of everything
+    // else: movement toward the repository is what actually frees NVM
+    // bytes (and shrinks the elastic buffer under its cap).
+    auto pressed = [this] {
+        return nvmOverSoftWatermark() ||
+               (options_.nvm_buffer_cap_bytes != 0 &&
+                state_->levels.totalArenaBytes() >
+                    options_.nvm_buffer_cap_bytes);
+    };
+    sched_->setUrgencyProbe(sched::JobClass::kLazyCopyMerge, pressed);
+    sched_->setUrgencyProbe(sched::JobClass::kZeroCopyMerge, pressed);
+}
+
+void
+MioDB::scheduleFlush()
+{
+    if (sched_ == nullptr || crashed_.load())
+        return;
+    if (flush_scheduled_.exchange(true))
+        return;  // the queued/running flush job will observe the work
+    sched_->submit(
+        sched::JobClass::kFlush, [this] { flushJob(); },
+        [this] { flush_scheduled_.store(false); });
+}
+
+void
+MioDB::flushJob()
+{
+    while (!shutting_down_.load() && !crashed_.load()) {
+        Immutable imm;
+        {
+            std::lock_guard<std::mutex> il(imm_mu_);
+            if (imms_.empty())
+                break;
+            imm = imms_.front();
+        }
+        uint64_t table_id = state_->next_table_id.fetch_add(1);
+        std::shared_ptr<PMTable> table;
+        if (options_.one_piece_flush) {
+            table = onePieceFlush(imm.mem.get(), nvm_, &stats_,
+                                  options_.bits_per_key, table_id);
+        } else {
+            table = nodeByNodeFlush(imm.mem.get(), nvm_, &stats_,
+                                    options_.bits_per_key, table_id);
+        }
+        if (table == nullptr) {
+            // NVM budget exhausted: leave the imm queued (its WAL
+            // segment keeps it durable), nudge migration to free
+            // space, and retry after a short backoff. The retry keeps
+            // the flush token so no duplicate flush job can appear;
+            // its on_drop releases the token if a freeze/shutdown
+            // discards the retry.
+            flush_blocked_.store(true);
+            sched_->notifyEvent();
+            kickCompaction();
+            sched_->submitAfter(
+                sched::JobClass::kFlush, 10, [this] { flushJob(); },
+                [this] {
+                    flush_scheduled_.store(false);
+                    sched_->notifyEvent();
+                });
+            return;
+        }
+        flush_blocked_.store(false);
+        stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
+        // A crash before the push loses the PMTable image but the WAL
+        // segment survives (it is recycled only after the push);
+        // after the push, replay of the same segment merely
+        // re-inserts entries that sequence-number dedup discards.
+        MIO_FAILPOINT("flush.before_publish");
+        state_->levels.level(0).push(std::move(table));
+        MIO_FAILPOINT("flush.after_publish");
+        {
+            std::lock_guard<std::mutex> il(imm_mu_);
+            if (!imms_.empty())
+                imms_.pop_front();
+        }
+        if (options_.enable_wal)
+            scheduleWalRecycle(imm.wal_id);
+        sched_->notifyEvent();
+        notifyCapWaiters();
+        scheduleCompaction(0);
+    }
+    // Release the token, then close the submit/observe race: an imm
+    // pushed after the emptiness check above (its scheduleFlush lost
+    // to our token) reschedules here.
+    flush_scheduled_.store(false);
+    sched_->notifyEvent();
+    bool more;
+    {
+        std::lock_guard<std::mutex> il(imm_mu_);
+        more = !imms_.empty();
+    }
+    if (more && !shutting_down_.load())
+        scheduleFlush();
+}
+
+void
+MioDB::scheduleWalRecycle(uint64_t wal_id)
+{
+    // Dropping the job on a crash-freeze is safe: replaying a flushed
+    // segment only re-inserts entries that sequence dedup discards --
+    // the exact crash window between flush.after_publish and the old
+    // synchronous removal, now widened to "until the job runs".
+    sched_->submit(sched::JobClass::kWalRecycle, [this, wal_id] {
+        registry_->remove(walName(wal_id));
+    });
+}
+
+void
+MioDB::scheduleCompaction(int level)
+{
+    if (sched_ == nullptr || crashed_.load())
+        return;
+    if (!options_.auto_compaction || level < 0 ||
+        level >= options_.elastic_levels) {
+        return;
+    }
+    if (compact_scheduled_[level].exchange(true))
+        return;
+    const sched::JobClass cls =
+        (level == options_.elastic_levels - 1)
+            ? sched::JobClass::kLazyCopyMerge
+            : sched::JobClass::kZeroCopyMerge;
+    sched_->submit(
+        cls, [this, level] { compactionJob(level); },
+        [this, level] { compact_scheduled_[level].store(false); });
+}
+
+void
+MioDB::compactionJob(int level)
+{
+    const sched::JobClass cls =
+        (level == options_.elastic_levels - 1)
+            ? sched::JobClass::kLazyCopyMerge
+            : sched::JobClass::kZeroCopyMerge;
+    while (!shutting_down_.load() && !crashed_.load()) {
+        CompactResult r = compactLevelOnce(level);
+        if (r == CompactResult::kWorked) {
+            notifyCapWaiters();
+            sched_->notifyEvent();
+            // The merge/migration output landed one level down; keep
+            // the cascade moving without waiting for a kick.
+            scheduleCompaction(level + 1);
+            continue;
+        }
+        if (r == CompactResult::kRetryLater) {
+            // Transient denial (NVM budget, SSD I/O): back off. The
+            // retry keeps this level's token; its on_drop releases it
+            // if a freeze/shutdown discards the retry.
+            sched_->submitAfter(
+                cls, 10, [this, level] { compactionJob(level); },
+                [this, level] {
+                    compact_scheduled_[level].store(false);
+                    sched_->notifyEvent();
+                });
+            return;
+        }
+        break;  // kNoWork
+    }
+    compact_scheduled_[level].store(false);
+    sched_->notifyEvent();
+    // Close the submit/observe race: a push that raced the final
+    // no-work check reschedules here.
+    if (!shutting_down_.load() && !crashed_.load() &&
+        levelHasWork(level)) {
+        scheduleCompaction(level);
+    }
+}
+
+MioDB::CompactResult
+MioDB::compactLevelOnce(int level)
+{
+    BufferLevel &bl = state_->levels.level(level);
+    const bool is_last = (level == options_.elastic_levels - 1);
+
+    if (is_last) {
+        std::shared_ptr<PMTable> victim = bl.beginMigration();
+        if (!victim) {
+            // A previous round's migration may have failed after its
+            // table moved to the migrating slot; this level's single
+            // compaction job retries it here (mergeTable is
+            // idempotent per key/sequence, the same property recovery
+            // relies on).
+            victim = bl.migratingTable();
+        }
+        if (!victim)
+            return CompactResult::kNoWork;
+        // The migrating table stays readable in the level until
+        // finishMigration; a crash anywhere in this window re-runs
+        // the (idempotent) migration on reopen.
+        MIO_FAILPOINT("lcm.before_publish");
+        Status ms = state_->repo->mergeTable(victim.get());
+        if (!ms.isOk()) {
+            // Transient failure (SSD I/O error, NVM budget): leave
+            // the migration in flight and retry after a backoff.
+            return CompactResult::kRetryLater;
+        }
+        MIO_FAILPOINT("lcm.after_publish");
+        bl.finishMigration();
+        MIO_FAILPOINT("lcm.before_reclaim");
+        // Reclaim the whole arena chain (the lazy memory-freeing step
+        // of Sec. 4.4) -- deferred past any in-flight readers.
+        retireTable(std::move(victim));
+        return CompactResult::kWorked;
+    }
+
+    std::shared_ptr<MergeOp> op = bl.beginMerge();
+    if (!op) {
+        // Under buffer-cap pressure a level's single leftover table
+        // can neither merge (needs a pair) nor migrate (not the last
+        // level); demote it one level toward the repository so the
+        // footprint can actually shrink below the cap.
+        // NVM pressure above the soft watermark wants the same thing
+        // the buffer cap does: push data toward the repository, which
+        // is what actually frees device bytes (urgency boost).
+        bool over_cap =
+            (options_.nvm_buffer_cap_bytes != 0 &&
+             state_->levels.totalArenaBytes() >
+                 options_.nvm_buffer_cap_bytes) ||
+            nvmOverSoftWatermark();
+        if (over_cap && bl.size() == 1) {
+            std::shared_ptr<PMTable> demoted = bl.beginMigration();
+            if (demoted) {
+                state_->levels.level(level + 1).push(demoted);
+                bl.finishMigration();
+                return CompactResult::kWorked;
+            }
+        }
+        return CompactResult::kNoWork;
+    }
+    if (options_.zero_copy_merge) {
+        zeroCopyMerge(op.get(), nvm_, &stats_);
+        // Publish the result downstream before retiring the merge so
+        // readers never lose sight of the data.
+        state_->levels.level(level + 1).push(op->oldt);
+        bl.finishMerge(op);
+    } else {
+        uint64_t table_id = state_->next_table_id.fetch_add(1);
+        auto result = copyingMerge(op->newt, op->oldt, nvm_, &stats_,
+                                   table_id, options_.bits_per_key);
+        if (result == nullptr) {
+            // The NVM budget denied the copy target; degrade to the
+            // allocation-free zero-copy merge instead of failing.
+            zeroCopyMerge(op.get(), nvm_, &stats_);
+            state_->levels.level(level + 1).push(op->oldt);
+            bl.finishMerge(op);
+            return CompactResult::kWorked;
+        }
+        state_->levels.level(level + 1).push(std::move(result));
+        bl.finishMerge(op);
+    }
+    return CompactResult::kWorked;
+}
+
+bool
+MioDB::levelHasWork(int level) const
+{
+    BufferLevel &bl = state_->levels.level(level);
+    if (level == options_.elastic_levels - 1)
+        return bl.size() > 0 || bl.migratingTable() != nullptr;
+    if (bl.size() >= 2)
+        return true;
+    // A single table is work only under pressure (demotion path).
+    bool pressed = (options_.nvm_buffer_cap_bytes != 0 &&
+                    state_->levels.totalArenaBytes() >
+                        options_.nvm_buffer_cap_bytes) ||
+                   nvmOverSoftWatermark();
+    return pressed && bl.size() == 1;
+}
+
+void
+MioDB::kickCompaction()
+{
+    if (!options_.auto_compaction)
+        return;
+    // Last level first: migration is what frees NVM, and its job
+    // class already outranks the in-buffer merges.
+    for (int i = options_.elastic_levels - 1; i >= 0; i--) {
+        if (levelHasWork(i))
+            scheduleCompaction(i);
+    }
+}
+
+void
+MioDB::kickMaintenance()
+{
+    bool pending;
+    {
+        std::lock_guard<std::mutex> il(imm_mu_);
+        pending = !imms_.empty();
+    }
+    if (pending)
+        scheduleFlush();
+    kickCompaction();
+}
+
+void
+MioDB::simulateCrash()
+{
+    onSimCrash();
+}
+
+void
+MioDB::onSimCrash()
+{
+    crashed_.store(true);
+    if (sched_ != nullptr) {
+        // Freeze is idempotent, so this composes with the scheduler's
+        // own SimCrash handling (which froze before calling us) and
+        // with foreground crash sites (writeImpl's catch, and
+        // simulateCrash), which freeze here.
+        sched_->freeze();
+        sched_->notifyEvent();
+    }
+}
+
+void
+MioDB::recoverInterruptedCompactions()
+{
+    // A crash can leave each level with an in-flight zero-copy merge
+    // (pair claimed, insertion mark possibly set) and the last level
+    // with an in-flight migration. Both are completed before serving:
+    // the merge resumes from the persistent mark (Sec. 4.7), and the
+    // migration re-runs -- lazy-copy is idempotent per key/sequence.
+    for (int i = 0; i < state_->levels.numLevels(); i++) {
+        BufferLevel &bl = state_->levels.level(i);
+        BufferLevel::Snapshot snap = bl.snapshot();
+        if (snap.merge) {
+            resumeZeroCopyMerge(snap.merge.get(), nvm_, &stats_);
+            if (i + 1 < state_->levels.numLevels()) {
+                state_->levels.level(i + 1).push(snap.merge->oldt);
+                bl.finishMerge(snap.merge);
+            } else {
+                Status ms =
+                    state_->repo->mergeTable(snap.merge->oldt.get());
+                for (int retry = 0; !ms.isOk() && retry < 3; retry++) {
+                    ms = state_->repo->mergeTable(
+                        snap.merge->oldt.get());
+                }
+                // On persistent failure leave the merge published:
+                // readers still reach oldt through the manifest, so
+                // the level is wedged but no data is lost.
+                if (ms.isOk())
+                    bl.finishMerge(snap.merge);
+            }
+        }
+        if (snap.migrating) {
+            Status ms = state_->repo->mergeTable(snap.migrating.get());
+            // On failure the migration stays in flight (still
+            // readable); compactLevelOnce retries it once jobs run.
+            if (ms.isOk())
+                bl.finishMigration();
+        }
+    }
+}
+
+void
+MioDB::applyBufferCap()
+{
+    if (options_.nvm_buffer_cap_bytes == 0)
+        return;
+    auto overCap = [this] {
+        return state_->levels.totalArenaBytes() >
+               options_.nvm_buffer_cap_bytes;
+    };
+    if (!overCap())
+        return;
+    // Elastic-buffer ceiling reached: throttle until migration makes
+    // room (counted as a cumulative stall, like the baselines').
+    // Every tick re-kicks compaction in case a level has demotable
+    // work no completion event announced.
+    ScopedTimer stall(&stats_.cumulative_stall_ns);
+    sched::WaitOptions wo;
+    wo.kick = [this] { kickCompaction(); };
+    wo.tick_ms = 1;
+    sched_->waitUntil(
+        [&] {
+            return !overCap() || shutting_down_.load() ||
+                   crashed_.load();
+        },
+        wo);
+}
+
+bool
+MioDB::nvmOverSoftWatermark() const
+{
+    uint64_t cap = nvm_->capacityBytes();
+    if (cap == 0)
+        return false;
+    return static_cast<double>(nvm_->meters().bytes_allocated) >
+           options_.nvm_soft_watermark * static_cast<double>(cap);
+}
+
+Status
+MioDB::applyNvmWatermarks()
+{
+    const uint64_t cap = nvm_->capacityBytes();
+    if (cap == 0)
+        return Status::ok();
+    auto usage = [&] {
+        return static_cast<double>(nvm_->meters().bytes_allocated) /
+               static_cast<double>(cap);
+    };
+    // A parked flush job with a full immutable backlog is exhaustion
+    // regardless of the usage fraction: a budget smaller than one
+    // chunk ask denies allocations while bytes_allocated/cap still
+    // sits below the watermarks. Without this, the next rotation
+    // would wait forever on a backlog nothing can drain.
+    auto flushWedged = [this] {
+        if (!flush_blocked_.load())
+            return false;
+        std::lock_guard<std::mutex> il(imm_mu_);
+        return static_cast<int>(imms_.size()) >
+               options_.max_immutable_memtables;
+    };
+    double u = usage();
+    if (u < options_.nvm_soft_watermark && !flushWedged())
+        return Status::ok();
+    // Urgency boost: migration toward the repository is what frees
+    // NVM. Kicking schedules the merge jobs; the urgency probes lift
+    // them ahead of everything else while pressure lasts.
+    kickMaintenance();
+    if (u < options_.nvm_hard_watermark && !flushWedged()) {
+        stats_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
+        ScopedTimer stall(&stats_.cumulative_stall_ns);
+        sched_->waitFor(
+            std::chrono::microseconds(options_.write_slowdown_micros));
+        return Status::ok();
+    }
+    // Hard watermark (or wedged flusher): stall the leader (bounded)
+    // waiting for migration/flush to make room, then fail the group
+    // with busy -- callers see a clean retryable error, never an
+    // abort.
+    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+    ScopedTimer stall(&stats_.interval_stall_ns);
+    sched::WaitOptions wo;
+    wo.has_deadline = true;
+    wo.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.write_stall_timeout_ms);
+    wo.kick = [this] { kickMaintenance(); };
+    wo.tick_ms = 1;
+    bool drained = sched_->waitUntil(
+        [&] {
+            return (usage() < options_.nvm_hard_watermark &&
+                    !flushWedged()) ||
+                   shutting_down_.load() || crashed_.load();
+        },
+        wo);
+    if (!drained) {
+        stats_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
+        return Status::busy("nvm hard watermark");
+    }
+    return Status::ok();
+}
+
+void
+MioDB::notifyCapWaiters()
+{
+    if (options_.nvm_buffer_cap_bytes == 0)
+        return;
+    // The scheduler's event sequence orders this bump after any
+    // waiter's predicate check, so a footprint drop cannot be missed.
+    sched_->notifyEvent();
+}
+
+void
+MioDB::retireTable(std::shared_ptr<PMTable> table)
+{
+    retireToGraveyard(std::move(table));
+}
+
+void
+MioDB::retireToGraveyard(std::shared_ptr<const void> retired)
+{
+    // Pairs with the fence in ReadGuard's constructor. The retired
+    // object was unpublished before this call; if the load below
+    // misses a reader's increment, that reader's first manifest /
+    // snapshot load is guaranteed to observe the replacement
+    // publication (the two seq_cst fences forbid both sides reading
+    // stale), so the immediate drop can never free something a reader
+    // can still reach.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (active_readers_.load(std::memory_order_acquire) == 0)
+        return;
+    std::lock_guard<std::mutex> lock(grave_mu_);
+    graveyard_.push_back(std::move(retired));
+}
+
+void
+MioDB::sweepGraveyard()
+{
+    std::vector<std::shared_ptr<const void>> doomed;
+    {
+        std::lock_guard<std::mutex> lock(grave_mu_);
+        doomed.swap(graveyard_);
+    }
+    // Chains and manifests free here, outside the lock.
+}
+
+uint64_t
+MioDB::scrubNow()
+{
+    ReadGuard guard(this);
+    uint64_t corruptions = 0;
+    uint64_t pm_bytes = 0;
+    // Pace the pass to scrub_rate_mb_per_sec in 256 KiB chunks so the
+    // scrubber never competes with foreground gets for a full memory
+    // bandwidth share. The guard stays pinned across the waits --
+    // acceptable because a paced pass only delays chain reclamation,
+    // never readers. Shutdown/freeze aborts the pacing (waitFor
+    // returns early), not the walk.
+    const uint64_t rate_bps = options_.scrub_rate_mb_per_sec << 20;
+    uint64_t unpaced = 0;
+    auto pace = [&](uint64_t bytes) {
+        if (rate_bps == 0)
+            return;
+        unpaced += bytes;
+        constexpr uint64_t kPaceChunk = 256u << 10;
+        if (unpaced < kPaceChunk)
+            return;
+        if (!shutting_down_.load(std::memory_order_relaxed) &&
+            !crashed_.load(std::memory_order_relaxed)) {
+            sched_->waitFor(std::chrono::microseconds(
+                unpaced * 1000000ull / rate_bps));
+        }
+        unpaced = 0;
+    };
+    // One table: walk the (possibly merge-entangled) level-0 chain and
+    // verify every entry checksum. Quarantine on the first mismatch --
+    // an entry cannot be trusted once its neighbours lied, and reads
+    // covering the table must answer corruption, not maybe-stale data.
+    auto scrubTable = [&](const std::shared_ptr<PMTable> &t) {
+        if (t == nullptr || t->isQuarantined())
+            return;
+        uint64_t bad = 0;
+        for (const SkipList::Node *n = t->list().first(); n != nullptr;
+             n = n->next(0)) {
+            const uint64_t entry_bytes =
+                sizeof(SkipList::Node) + n->key_len + n->value_len;
+            pm_bytes += entry_bytes;
+            pace(entry_bytes);
+            if (!n->checksumOk())
+                bad++;
+        }
+        if (bad != 0) {
+            t->quarantine();
+            stats_.tables_quarantined.fetch_add(
+                1, std::memory_order_relaxed);
+            corruptions += bad;
+        }
+    };
+    for (int i = 0; i < state_->levels.numLevels(); i++) {
+        BufferLevel::Snapshot snap = state_->levels.level(i).snapshot();
+        for (const auto &t : snap.tables)
+            scrubTable(t);
+        if (snap.merge) {
+            scrubTable(snap.merge->newt);
+            scrubTable(snap.merge->oldt);
+        }
+        scrubTable(snap.migrating);
+    }
+    // Charging the walked bytes as media reads both keeps the meters
+    // honest and throttles the scrubber under a real perf model.
+    nvm_->chargeRead(pm_bytes);
+
+    Repository::ScrubReport repo = state_->repo->scrub();
+    // The repository reports its walked bytes in one lump; settle the
+    // pacing debt after the fact (the burst is one repository scan).
+    pace(repo.bytes);
+
+    stats_.scrub_passes.fetch_add(1, std::memory_order_relaxed);
+    stats_.scrub_bytes.fetch_add(pm_bytes + repo.bytes,
+                                 std::memory_order_relaxed);
+    stats_.tables_quarantined.fetch_add(repo.quarantined,
+                                        std::memory_order_relaxed);
+    corruptions += repo.corruptions;
+    if (corruptions != 0) {
+        stats_.corruptions_detected.fetch_add(
+            corruptions, std::memory_order_relaxed);
+    }
+    return corruptions;
+}
+
+void
+MioDB::waitIdle()
+{
+    auto drained = [this] {
+        {
+            std::lock_guard<std::mutex> il(imm_mu_);
+            // An exhausted NVM budget can pin the queue forever;
+            // treat that as "as idle as the store can get".
+            if (!imms_.empty() && !flush_blocked_.load())
+                return false;
+        }
+        if (shutting_down_.load() || crashed_.load())
+            return true;
+        auto idle = [this](sched::JobClass c) {
+            return sched_->queued(c) == 0 && sched_->running(c) == 0;
+        };
+        // Without compaction jobs the buffer never drains further
+        // than the flusher leaves it; idle == immutables flushed.
+        // quiescent() alone is not enough: a still-queued merge job
+        // (e.g. a pressure demotion) would keep reshaping the buffer
+        // -- and freeing NVM -- after waitIdle returned.
+        if (options_.auto_compaction &&
+            (!state_->levels.quiescent() ||
+             !idle(sched::JobClass::kZeroCopyMerge) ||
+             !idle(sched::JobClass::kLazyCopyMerge)))
+            return false;
+        // Housekeeping counts: callers rely on waitIdle meaning every
+        // flushed segment's WAL has been recycled (the old flusher did
+        // it synchronously), e.g. when measuring NVM occupancy.
+        return idle(sched::JobClass::kWalRecycle);
+    };
+    // Wedge detection (WaitOptions): an exhausted budget can leave
+    // levels that are not quiescent yet can never drain (every
+    // migration retry is denied allocation). If no background counter
+    // moves while the device keeps denying allocations, further
+    // waiting would hang every caller.
+    sched::WaitOptions wo;
+    wo.kick = [this] { kickMaintenance(); };
+    wo.progress = [this] {
+        return stats_.flush_count.load(std::memory_order_relaxed) +
+               stats_.compaction_count.load(
+                   std::memory_order_relaxed) +
+               stats_.zero_copy_merges.load(
+                   std::memory_order_relaxed) +
+               stats_.lazy_copy_merges.load(std::memory_order_relaxed);
+    };
+    wo.denials = [this] {
+        return nvm_->faultMeters().alloc_failures;
+    };
+    kickMaintenance();
+    sched_->waitUntil(drained, wo);
+    state_->repo->waitIdle();
+}
+
+} // namespace mio::miodb

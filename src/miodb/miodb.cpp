@@ -1,12 +1,16 @@
+/**
+ * @file
+ * MioDB's foreground half: open/close, the WAL, the group-commit
+ * write path, and the read paths. Background job bodies and the
+ * scheduling glue live in maintenance.cpp.
+ */
 #include "miodb/miodb.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <thread>
 
 #include "lsm/merging_iterator.h"
-#include "miodb/one_piece_flush.h"
 #include "sim/failpoint.h"
 #include "util/clock.h"
 #include "util/coding.h"
@@ -78,10 +82,19 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
     } else {
         state_ = std::make_shared<NvmState>(options_.elastic_levels);
     }
+
+    // The scheduler exists before the repository: in SSD mode the
+    // repository's LSM submits its compactions to this shared pool,
+    // and WAL replay below may rotate MemTables, which needs a live
+    // flush path.
+    startScheduler();
+
     if (state_->repo != nullptr) {
         // Adopted image: its repository must charge this instance,
-        // and any worker machinery a SimCrash froze must restart.
+        // route background work through this instance's scheduler,
+        // and any machinery a SimCrash froze must restart.
         state_->repo->rebindStats(&stats_);
+        state_->repo->rebindScheduler(sched_.get());
         state_->repo->recoverAfterCrash();
     } else {
         if (options_.use_ssd_repository) {
@@ -89,7 +102,8 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
                    "SSD repository mode requires an SsdDevice");
             state_->ssd_medium = std::make_unique<sim::SsdMedium>(ssd_);
             state_->repo = std::make_unique<SsdRepository>(
-                options_.ssd_lsm, state_->ssd_medium.get(), &stats_);
+                options_.ssd_lsm, state_->ssd_medium.get(), &stats_,
+                sched_.get());
         } else {
             state_->repo = std::make_unique<PmRepository>(nvm_, &stats_);
         }
@@ -117,28 +131,24 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
         mem_wal_ = registry_->open(walName(mem_wal_id_), nvm_);
     }
 
+    // Interrupted compactions complete in the foreground, before any
+    // reads or background jobs can observe the half-merged levels; a
+    // SimCrash here propagates out of the constructor as before.
     recoverInterruptedCompactions();
 
-    // Background threads start before WAL replay: replay re-fills
-    // MemTables and may rotate several times, which requires a live
-    // flusher to drain the immutable queue.
-    flush_thread_ = std::thread([this] { flushThreadLoop(); });
-    if (!options_.auto_compaction) {
-        // No compaction workers: levels hold whatever is pushed into
-        // them (read-path benches/tests freeze the buffer shape).
-    } else if (options_.parallel_compaction) {
-        for (int i = 0; i < options_.elastic_levels; i++) {
-            compaction_threads_.emplace_back(
-                [this, i] { compactionThreadLoop(i); });
-        }
-    } else {
-        compaction_threads_.emplace_back(
-            [this] { singleCompactionThreadLoop(); });
+    if (options_.scrub_interval_ms > 0) {
+        scrub_job_id_ = sched_->submitPeriodic(
+            sched::JobClass::kScrub, options_.scrub_interval_ms,
+            [this] {
+                if (!shutting_down_.load() && !crashed_.load())
+                    scrubNow();
+            });
     }
-    if (options_.scrub_interval_ms > 0)
-        scrub_thread_ = std::thread([this] { scrubThreadLoop(); });
 
     replayWal();
+    // Prime the pipeline: an adopted image (or the replay) may have
+    // left flushable immutables and mergeable levels behind.
+    kickMaintenance();
 }
 
 MioDB::~MioDB()
@@ -147,100 +157,39 @@ MioDB::~MioDB()
         // Clean shutdown: persist the active MemTable and drain.
         {
             std::lock_guard<std::mutex> wl(write_mu_);
-            std::unique_lock<std::mutex> il(imm_mu_);
+            std::lock_guard<std::mutex> il(imm_mu_);
             if (mem_ && mem_->entryCount() > 0) {
                 imms_.push_back(Immutable{mem_, mem_wal_id_});
                 mem_.reset();
                 mem_wal_.reset();
             }
         }
-        sched_cv_.notify_all();
-        {
-            std::unique_lock<std::mutex> il(imm_mu_);
-            // flush_blocked_: with the NVM budget exhausted the queue
-            // cannot drain; stop waiting -- the data stays durable in
-            // its WAL segments and replays on the next open.
-            imm_cv_.wait(il, [this] {
-                return imms_.empty() || crashed_.load() ||
-                       flush_blocked_.load();
-            });
-        }
+        scheduleFlush();
+        // flush_blocked_: with the NVM budget exhausted the queue
+        // cannot drain; stop waiting -- the data stays durable in
+        // its WAL segments and replays on the next open.
+        sched_->waitUntil([this] {
+            std::lock_guard<std::mutex> il(imm_mu_);
+            return imms_.empty() || crashed_.load() ||
+                   flush_blocked_.load();
+        });
     }
     shutting_down_.store(true);
-    sched_cv_.notify_all();
-    imm_cv_.notify_all();
-    scrub_cv_.notify_all();
-    notifyCapWaiters();
-    if (scrub_thread_.joinable())
-        scrub_thread_.join();
-    flush_thread_.join();
-    for (auto &t : compaction_threads_)
-        t.join();
+    sched_->notifyEvent();
+    if (scrub_job_id_ != 0)
+        sched_->cancelPeriodic(scrub_job_id_);
+    // Clean shutdown runs the already-queued jobs (flush/compaction
+    // bodies see shutting_down_ and finish fast; WAL recycling runs
+    // for real); after a crash everything queued is dropped.
+    sched_->shutdown(/*run_pending=*/!crashed_.load());
     // The levels survive in NvmState; drop their references into this
-    // dying instance (the next open rebinds its own).
+    // dying instance (the next open rebinds its own), and detach the
+    // repository from the pool that just went away.
     for (int i = 0; i < state_->levels.numLevels(); i++)
         state_->levels.level(i).setRetireCallback(nullptr);
+    state_->repo->rebindScheduler(nullptr);
     if (!crashed_.load() && options_.enable_wal && mem_wal_)
         registry_->remove(walName(mem_wal_id_));
-}
-
-void
-MioDB::simulateCrash()
-{
-    onSimCrash();
-}
-
-void
-MioDB::onSimCrash()
-{
-    crashed_.store(true);
-    notifyCapWaiters();
-    // Wake everything that could be parked on store progress: a leader
-    // stalled in rotateMemTable, waitIdle callers, worker loops.
-    sched_cv_.notify_all();
-    imm_cv_.notify_all();
-    idle_cv_.notify_all();
-    scrub_cv_.notify_all();
-}
-
-void
-MioDB::recoverInterruptedCompactions()
-{
-    // A crash can leave each level with an in-flight zero-copy merge
-    // (pair claimed, insertion mark possibly set) and the last level
-    // with an in-flight migration. Both are completed before serving:
-    // the merge resumes from the persistent mark (Sec. 4.7), and the
-    // migration re-runs -- lazy-copy is idempotent per key/sequence.
-    for (int i = 0; i < state_->levels.numLevels(); i++) {
-        BufferLevel &bl = state_->levels.level(i);
-        BufferLevel::Snapshot snap = bl.snapshot();
-        if (snap.merge) {
-            resumeZeroCopyMerge(snap.merge.get(), nvm_, &stats_);
-            if (i + 1 < state_->levels.numLevels()) {
-                state_->levels.level(i + 1).push(snap.merge->oldt);
-                bl.finishMerge(snap.merge);
-            } else {
-                Status ms =
-                    state_->repo->mergeTable(snap.merge->oldt.get());
-                for (int retry = 0; !ms.isOk() && retry < 3; retry++) {
-                    ms = state_->repo->mergeTable(
-                        snap.merge->oldt.get());
-                }
-                // On persistent failure leave the merge published:
-                // readers still reach oldt through the manifest, so
-                // the level is wedged but no data is lost.
-                if (ms.isOk())
-                    bl.finishMerge(snap.merge);
-            }
-        }
-        if (snap.migrating) {
-            Status ms = state_->repo->mergeTable(snap.migrating.get());
-            // On failure the migration stays in flight (still
-            // readable); compactLevelOnce retries it once workers run.
-            if (ms.isOk())
-                bl.finishMigration();
-        }
-    }
 }
 
 std::string
@@ -427,109 +376,6 @@ MioDB::validateEntry(const Slice &key, const Slice &value) const
     return Status::ok();
 }
 
-void
-MioDB::applyBufferCap()
-{
-    if (options_.nvm_buffer_cap_bytes == 0)
-        return;
-    auto overCap = [this] {
-        return state_->levels.totalArenaBytes() >
-               options_.nvm_buffer_cap_bytes;
-    };
-    if (!overCap())
-        return;
-    // Elastic-buffer ceiling reached: throttle until migration makes
-    // room (counted as a cumulative stall, like the baselines').
-    // Compaction workers signal cap_cv_ whenever the footprint drops;
-    // the short wait_for is only a backstop for paths that shrink the
-    // buffer without notifying.
-    ScopedTimer stall(&stats_.cumulative_stall_ns);
-    std::unique_lock<std::mutex> cl(cap_mu_);
-    while (overCap() && !shutting_down_.load() && !crashed_.load()) {
-        sched_cv_.notify_all();
-        cap_cv_.wait_for(cl, std::chrono::milliseconds(1));
-    }
-}
-
-bool
-MioDB::nvmOverSoftWatermark() const
-{
-    uint64_t cap = nvm_->capacityBytes();
-    if (cap == 0)
-        return false;
-    return static_cast<double>(nvm_->meters().bytes_allocated) >
-           options_.nvm_soft_watermark * static_cast<double>(cap);
-}
-
-Status
-MioDB::applyNvmWatermarks()
-{
-    const uint64_t cap = nvm_->capacityBytes();
-    if (cap == 0)
-        return Status::ok();
-    auto usage = [&] {
-        return static_cast<double>(nvm_->meters().bytes_allocated) /
-               static_cast<double>(cap);
-    };
-    // A parked flusher with a full immutable backlog is exhaustion
-    // regardless of the usage fraction: a budget smaller than one
-    // chunk ask denies allocations while bytes_allocated/cap still
-    // sits below the watermarks. Without this, the next rotation
-    // would wait forever on a backlog nothing can drain.
-    auto flushWedged = [this] {
-        if (!flush_blocked_.load())
-            return false;
-        std::lock_guard<std::mutex> il(imm_mu_);
-        return static_cast<int>(imms_.size()) >
-               options_.max_immutable_memtables;
-    };
-    double u = usage();
-    if (u < options_.nvm_soft_watermark && !flushWedged())
-        return Status::ok();
-    // Urgency boost: migration toward the repository is what frees
-    // NVM, so wake the compaction workers before throttling anyone.
-    sched_cv_.notify_all();
-    if (u < options_.nvm_hard_watermark && !flushWedged()) {
-        stats_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
-        ScopedTimer stall(&stats_.cumulative_stall_ns);
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(options_.write_slowdown_micros));
-        return Status::ok();
-    }
-    // Hard watermark (or wedged flusher): stall the leader (bounded)
-    // waiting for migration/flush to make room, then fail the group
-    // with busy -- callers see a clean retryable error, never an
-    // abort.
-    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
-    ScopedTimer stall(&stats_.interval_stall_ns);
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(options_.write_stall_timeout_ms);
-    std::unique_lock<std::mutex> cl(cap_mu_);
-    while ((usage() >= options_.nvm_hard_watermark || flushWedged()) &&
-           !shutting_down_.load() && !crashed_.load()) {
-        if (std::chrono::steady_clock::now() >= deadline) {
-            stats_.busy_rejections.fetch_add(
-                1, std::memory_order_relaxed);
-            return Status::busy("nvm hard watermark");
-        }
-        sched_cv_.notify_all();
-        cap_cv_.wait_for(cl, std::chrono::milliseconds(1));
-    }
-    return Status::ok();
-}
-
-void
-MioDB::notifyCapWaiters()
-{
-    if (options_.nvm_buffer_cap_bytes == 0)
-        return;
-    // Acquiring cap_mu_ orders this notify after any waiter's
-    // predicate check, so a footprint drop cannot be missed.
-    { std::lock_guard<std::mutex> cl(cap_mu_); }
-    cap_cv_.notify_all();
-}
-
 Status
 MioDB::writeImpl(Writer *w)
 {
@@ -703,30 +549,37 @@ MioDB::rotateMemTable(const std::function<void()> &relog)
     if (relog)
         relog();
     imms_.push_back(Immutable{old_mem, old_wal_id});
+    const bool backlogged = static_cast<int>(imms_.size()) >
+                            options_.max_immutable_memtables;
+    // The wait below runs without imm_mu_ (the flush job needs it; in
+    // deterministic mode the flush even runs inline on THIS thread).
+    // mem_ still pointing at old_mem meanwhile is benign: leadership
+    // is exclusive, and a reader that captures both mem_ and the
+    // queued copy merely probes the same (live) table twice.
+    il.unlock();
+    scheduleFlush();
     // One-piece flushing is fast, but if the flusher falls behind the
     // writer must wait: this is the only stall MioDB can experience
     // (an interval stall in the paper's terminology).
-    if (static_cast<int>(imms_.size()) >
-        options_.max_immutable_memtables) {
+    if (backlogged) {
         ScopedTimer stall(&stats_.interval_stall_ns);
-        sched_cv_.notify_all();
         // flush_blocked_ escape: a flusher parked on NVM allocation
         // failure cannot drain the backlog, so waiting would deadlock
         // this (already half-committed) rotation. Proceed one table
         // over the limit; applyNvmWatermarks gates the NEXT group with
         // bounded-stall-then-busy while the flusher stays wedged.
-        imm_cv_.wait(il, [this] {
+        sched_->waitUntil([this] {
+            std::lock_guard<std::mutex> l(imm_mu_);
             return static_cast<int>(imms_.size()) <=
                        options_.max_immutable_memtables ||
                    shutting_down_.load() || crashed_.load() ||
                    flush_blocked_.load();
         });
     }
+    il.lock();
     mem_ = std::make_shared<lsm::MemTable>(
         options_.memtable_size, /*rng_seed=*/state_->next_table_id.load() * 7 + 1);
     il.unlock();
-    imm_cv_.notify_all();
-    sched_cv_.notify_all();
     // The old segment still holds the rotated MemTable's records (it
     // is only removed after the flush lands), so a crash here simply
     // replays from both segments.
@@ -1057,406 +910,6 @@ MioDB::debugString()
              snapshotOf(stats_).toString().c_str());
     out += line;
     return out;
-}
-
-void
-MioDB::flushThreadLoop()
-{
-    sim::markSimBackgroundThread();
-    for (;;) {
-        Immutable imm;
-        {
-            std::unique_lock<std::mutex> il(imm_mu_);
-            imm_cv_.notify_all();
-            while (imms_.empty()) {
-                if (shutting_down_.load())
-                    return;
-                // Reuse imm_mu_ for flush wakeups via a short poll so
-                // a rotate that races the wait cannot be missed.
-                imm_cv_.wait_for(il, std::chrono::milliseconds(5));
-            }
-            imm = imms_.front();
-        }
-        if (crashed_.load())
-            return;
-
-        try {
-            uint64_t table_id = state_->next_table_id.fetch_add(1);
-            std::shared_ptr<PMTable> table;
-            if (options_.one_piece_flush) {
-                table = onePieceFlush(imm.mem.get(), nvm_, &stats_,
-                                      options_.bits_per_key, table_id);
-            } else {
-                table = nodeByNodeFlush(imm.mem.get(), nvm_, &stats_,
-                                        options_.bits_per_key,
-                                        table_id);
-            }
-            if (table == nullptr) {
-                // NVM budget exhausted: leave the imm queued (its WAL
-                // segment keeps it durable), nudge migration to free
-                // space, and retry after a short backoff.
-                flush_blocked_.store(true);
-                imm_cv_.notify_all();
-                sched_cv_.notify_all();
-                // The top-of-loop shutdown check only runs when imms_
-                // is empty; while wedged the queue never drains, so
-                // the retry cycle must observe shutdown itself or the
-                // destructor joins a flusher that spins forever.
-                if (shutting_down_.load() || crashed_.load())
-                    return;
-                std::unique_lock<std::mutex> lock(sched_mu_);
-                sched_cv_.wait_for(lock,
-                                   std::chrono::milliseconds(10));
-                continue;
-            }
-            flush_blocked_.store(false);
-            stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
-            // A crash before the push loses the PMTable image but the
-            // WAL segment survives (it is removed only below); after
-            // the push, replay of the same segment merely re-inserts
-            // entries that sequence-number dedup discards.
-            MIO_FAILPOINT("flush.before_publish");
-            state_->levels.level(0).push(std::move(table));
-            MIO_FAILPOINT("flush.after_publish");
-
-            {
-                std::lock_guard<std::mutex> il(imm_mu_);
-                if (!imms_.empty())
-                    imms_.pop_front();
-            }
-            if (options_.enable_wal)
-                registry_->remove(walName(imm.wal_id));
-        } catch (const sim::SimCrash &) {
-            onSimCrash();
-            return;
-        }
-        imm_cv_.notify_all();
-        sched_cv_.notify_all();
-        idle_cv_.notify_all();
-    }
-}
-
-bool
-MioDB::compactLevelOnce(int level)
-{
-    BufferLevel &bl = state_->levels.level(level);
-    const bool is_last = (level == options_.elastic_levels - 1);
-
-    if (is_last) {
-        std::shared_ptr<PMTable> victim = bl.beginMigration();
-        if (!victim) {
-            // A previous round's migration may have failed after its
-            // table moved to the migrating slot; this level's single
-            // compactor retries it here (mergeTable is idempotent per
-            // key/sequence, the same property recovery relies on).
-            victim = bl.migratingTable();
-        }
-        if (!victim)
-            return false;
-        // The migrating table stays readable in the level until
-        // finishMigration; a crash anywhere in this window re-runs
-        // the (idempotent) migration on reopen.
-        MIO_FAILPOINT("lcm.before_publish");
-        Status ms = state_->repo->mergeTable(victim.get());
-        if (!ms.isOk()) {
-            // Transient failure (SSD I/O error, NVM budget): leave
-            // the migration in flight and retry next round after the
-            // scheduler's backoff.
-            return false;
-        }
-        MIO_FAILPOINT("lcm.after_publish");
-        bl.finishMigration();
-        MIO_FAILPOINT("lcm.before_reclaim");
-        // Reclaim the whole arena chain (the lazy memory-freeing step
-        // of Sec. 4.4) -- deferred past any in-flight readers.
-        retireTable(std::move(victim));
-        return true;
-    }
-
-    std::shared_ptr<MergeOp> op = bl.beginMerge();
-    if (!op) {
-        // Under buffer-cap pressure a level's single leftover table
-        // can neither merge (needs a pair) nor migrate (not the last
-        // level); demote it one level toward the repository so the
-        // footprint can actually shrink below the cap.
-        // NVM pressure above the soft watermark wants the same thing
-        // the buffer cap does: push data toward the repository, which
-        // is what actually frees device bytes (urgency boost).
-        bool over_cap =
-            (options_.nvm_buffer_cap_bytes != 0 &&
-             state_->levels.totalArenaBytes() >
-                 options_.nvm_buffer_cap_bytes) ||
-            nvmOverSoftWatermark();
-        if (over_cap && bl.size() == 1) {
-            std::shared_ptr<PMTable> demoted = bl.beginMigration();
-            if (demoted) {
-                state_->levels.level(level + 1).push(demoted);
-                bl.finishMigration();
-                return true;
-            }
-        }
-        return false;
-    }
-    if (options_.zero_copy_merge) {
-        zeroCopyMerge(op.get(), nvm_, &stats_);
-        // Publish the result downstream before retiring the merge so
-        // readers never lose sight of the data.
-        state_->levels.level(level + 1).push(op->oldt);
-        bl.finishMerge(op);
-    } else {
-        uint64_t table_id = state_->next_table_id.fetch_add(1);
-        auto result = copyingMerge(op->newt, op->oldt, nvm_, &stats_,
-                                   table_id, options_.bits_per_key);
-        if (result == nullptr) {
-            // The NVM budget denied the copy target; degrade to the
-            // allocation-free zero-copy merge instead of failing.
-            zeroCopyMerge(op.get(), nvm_, &stats_);
-            state_->levels.level(level + 1).push(op->oldt);
-            bl.finishMerge(op);
-            return true;
-        }
-        state_->levels.level(level + 1).push(std::move(result));
-        bl.finishMerge(op);
-    }
-    return true;
-}
-
-void
-MioDB::compactionThreadLoop(int level)
-{
-    sim::markSimBackgroundThread();
-    while (!shutting_down_.load()) {
-        bool worked = false;
-        if (!crashed_.load()) {
-            try {
-                worked = compactLevelOnce(level);
-            } catch (const sim::SimCrash &) {
-                onSimCrash();
-                return;
-            }
-        }
-        if (worked) {
-            notifyCapWaiters();
-            sched_cv_.notify_all();
-            idle_cv_.notify_all();
-            continue;
-        }
-        std::unique_lock<std::mutex> lock(sched_mu_);
-        idle_cv_.notify_all();
-        sched_cv_.wait_for(lock, std::chrono::milliseconds(10));
-    }
-}
-
-void
-MioDB::singleCompactionThreadLoop()
-{
-    sim::markSimBackgroundThread();
-    while (!shutting_down_.load()) {
-        bool worked = false;
-        if (!crashed_.load()) {
-            try {
-                for (int i = 0; i < options_.elastic_levels; i++)
-                    worked = compactLevelOnce(i) || worked;
-            } catch (const sim::SimCrash &) {
-                onSimCrash();
-                return;
-            }
-        }
-        if (worked) {
-            notifyCapWaiters();
-            sched_cv_.notify_all();
-            idle_cv_.notify_all();
-            continue;
-        }
-        std::unique_lock<std::mutex> lock(sched_mu_);
-        idle_cv_.notify_all();
-        sched_cv_.wait_for(lock, std::chrono::milliseconds(10));
-    }
-}
-
-void
-MioDB::retireTable(std::shared_ptr<PMTable> table)
-{
-    retireToGraveyard(std::move(table));
-}
-
-void
-MioDB::retireToGraveyard(std::shared_ptr<const void> retired)
-{
-    // Pairs with the fence in ReadGuard's constructor. The retired
-    // object was unpublished before this call; if the load below
-    // misses a reader's increment, that reader's first manifest /
-    // snapshot load is guaranteed to observe the replacement
-    // publication (the two seq_cst fences forbid both sides reading
-    // stale), so the immediate drop can never free something a reader
-    // can still reach.
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (active_readers_.load(std::memory_order_acquire) == 0)
-        return;
-    std::lock_guard<std::mutex> lock(grave_mu_);
-    graveyard_.push_back(std::move(retired));
-}
-
-void
-MioDB::sweepGraveyard()
-{
-    std::vector<std::shared_ptr<const void>> doomed;
-    {
-        std::lock_guard<std::mutex> lock(grave_mu_);
-        doomed.swap(graveyard_);
-    }
-    // Chains and manifests free here, outside the lock.
-}
-
-uint64_t
-MioDB::scrubNow()
-{
-    ReadGuard guard(this);
-    uint64_t corruptions = 0;
-    uint64_t pm_bytes = 0;
-    // Pace the pass to scrub_rate_mb_per_sec in 256 KiB chunks so the
-    // scrubber never competes with foreground gets for a full memory
-    // bandwidth share. The guard stays pinned across the sleeps --
-    // acceptable because a paced pass only delays chain reclamation,
-    // never readers. Shutdown aborts the pacing, not the walk.
-    const uint64_t rate_bps = options_.scrub_rate_mb_per_sec << 20;
-    uint64_t unpaced = 0;
-    auto pace = [&](uint64_t bytes) {
-        if (rate_bps == 0)
-            return;
-        unpaced += bytes;
-        constexpr uint64_t kPaceChunk = 256u << 10;
-        if (unpaced < kPaceChunk)
-            return;
-        if (!shutting_down_.load(std::memory_order_relaxed) &&
-            !crashed_.load(std::memory_order_relaxed)) {
-            std::this_thread::sleep_for(std::chrono::nanoseconds(
-                unpaced * 1000000000ull / rate_bps));
-        }
-        unpaced = 0;
-    };
-    // One table: walk the (possibly merge-entangled) level-0 chain and
-    // verify every entry checksum. Quarantine on the first mismatch --
-    // an entry cannot be trusted once its neighbours lied, and reads
-    // covering the table must answer corruption, not maybe-stale data.
-    auto scrubTable = [&](const std::shared_ptr<PMTable> &t) {
-        if (t == nullptr || t->isQuarantined())
-            return;
-        uint64_t bad = 0;
-        for (const SkipList::Node *n = t->list().first(); n != nullptr;
-             n = n->next(0)) {
-            const uint64_t entry_bytes =
-                sizeof(SkipList::Node) + n->key_len + n->value_len;
-            pm_bytes += entry_bytes;
-            pace(entry_bytes);
-            if (!n->checksumOk())
-                bad++;
-        }
-        if (bad != 0) {
-            t->quarantine();
-            stats_.tables_quarantined.fetch_add(
-                1, std::memory_order_relaxed);
-            corruptions += bad;
-        }
-    };
-    for (int i = 0; i < state_->levels.numLevels(); i++) {
-        BufferLevel::Snapshot snap = state_->levels.level(i).snapshot();
-        for (const auto &t : snap.tables)
-            scrubTable(t);
-        if (snap.merge) {
-            scrubTable(snap.merge->newt);
-            scrubTable(snap.merge->oldt);
-        }
-        scrubTable(snap.migrating);
-    }
-    // Charging the walked bytes as media reads both keeps the meters
-    // honest and throttles the scrubber under a real perf model.
-    nvm_->chargeRead(pm_bytes);
-
-    Repository::ScrubReport repo = state_->repo->scrub();
-    // The repository reports its walked bytes in one lump; settle the
-    // pacing debt after the fact (the burst is one repository scan).
-    pace(repo.bytes);
-
-    stats_.scrub_passes.fetch_add(1, std::memory_order_relaxed);
-    stats_.scrub_bytes.fetch_add(pm_bytes + repo.bytes,
-                                 std::memory_order_relaxed);
-    stats_.tables_quarantined.fetch_add(repo.quarantined,
-                                        std::memory_order_relaxed);
-    corruptions += repo.corruptions;
-    if (corruptions != 0) {
-        stats_.corruptions_detected.fetch_add(
-            corruptions, std::memory_order_relaxed);
-    }
-    return corruptions;
-}
-
-void
-MioDB::scrubThreadLoop()
-{
-    sim::markSimBackgroundThread();
-    std::unique_lock<std::mutex> lock(scrub_mu_);
-    while (!shutting_down_.load() && !crashed_.load()) {
-        scrub_cv_.wait_for(
-            lock,
-            std::chrono::milliseconds(options_.scrub_interval_ms));
-        if (shutting_down_.load() || crashed_.load())
-            return;
-        lock.unlock();
-        scrubNow();
-        lock.lock();
-    }
-}
-
-void
-MioDB::waitIdle()
-{
-    auto drained = [this] {
-        {
-            std::lock_guard<std::mutex> il(imm_mu_);
-            // An exhausted NVM budget can pin the queue forever;
-            // treat that as "as idle as the store can get".
-            if (!imms_.empty() && !flush_blocked_.load())
-                return false;
-        }
-        // Without compaction workers the buffer never drains further
-        // than the flusher leaves it; idle == immutables flushed.
-        return !options_.auto_compaction ||
-               state_->levels.quiescent() || shutting_down_.load() ||
-               crashed_.load();
-    };
-    // Wedge detection: an exhausted budget can leave levels that are
-    // not quiescent yet can never drain (every migration retry is
-    // denied allocation). If no background counter moves while the
-    // device keeps denying allocations, further waiting would hang
-    // every caller; the store is as idle as it can get.
-    auto progress = [this] {
-        return stats_.flush_count.load(std::memory_order_relaxed) +
-               stats_.compaction_count.load(
-                   std::memory_order_relaxed) +
-               stats_.zero_copy_merges.load(
-                   std::memory_order_relaxed) +
-               stats_.lazy_copy_merges.load(std::memory_order_relaxed);
-    };
-    std::unique_lock<std::mutex> lock(sched_mu_);
-    uint64_t last_progress = progress();
-    uint64_t last_denials = nvm_->faultMeters().alloc_failures;
-    int stagnant = 0;
-    while (!drained()) {
-        sched_cv_.notify_all();
-        idle_cv_.wait_for(lock, std::chrono::milliseconds(20));
-        const uint64_t p = progress();
-        const uint64_t d = nvm_->faultMeters().alloc_failures;
-        if (p != last_progress) {
-            last_progress = p;
-            stagnant = 0;
-        } else if (d > last_denials && ++stagnant >= 25) {
-            break;
-        }
-        last_denials = d;
-    }
-    lock.unlock();
-    state_->repo->waitIdle();
 }
 
 } // namespace mio::miodb

@@ -4,9 +4,13 @@
  *
  * Write path: WAL append (NVM) -> DRAM MemTable -> one-piece flush to
  * an L0 PMTable -> cascading zero-copy merges through the elastic
- * buffer (one compaction thread per level) -> lazy-copy into the data
- * repository (huge NVM skip list, or a leveled SSTable LSM on SSD in
- * hierarchy mode).
+ * buffer -> lazy-copy into the data repository (huge NVM skip list,
+ * or a leveled SSTable LSM on SSD in hierarchy mode).
+ *
+ * All maintenance (flush, per-level merges, WAL recycling, scrubbing,
+ * and in SSD mode the repository LSM's compactions) runs as typed jobs
+ * on one BackgroundScheduler, which arbitrates them by class priority
+ * and escalates merge classes under memory pressure.
  *
  * Read path: MemTable -> immutable MemTables -> buffer levels top to
  * bottom (newest table first, bloom filters prune; in-flight merges
@@ -21,7 +25,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "kv/kv_store.h"
@@ -30,6 +33,7 @@
 #include "miodb/level_manager.h"
 #include "miodb/options.h"
 #include "miodb/zero_copy_merge.h"
+#include "sched/background_scheduler.h"
 #include "sim/storage_medium.h"
 #include "wal/log_reader.h"
 #include "wal/log_writer.h"
@@ -122,20 +126,24 @@ class MioDB : public KVStore
      * Run one synchronous scrub pass over every PMTable (buffer
      * levels, in-flight merges, migrations) and the data repository,
      * verifying per-entry checksums and quarantining corrupt tables.
-     * The background scrubber thread (options.scrub_interval_ms > 0)
-     * calls this on its period; tests call it directly for
-     * deterministic coverage.
+     * The periodic scrub job (options.scrub_interval_ms > 0) calls
+     * this on its period; tests call it directly for deterministic
+     * coverage.
      * @return checksum mismatches found in this pass.
      */
     uint64_t scrubNow();
 
     /**
-     * Simulate a power failure: background threads stop where they
-     * are and the destructor will NOT flush buffered data, leaving
-     * the WAL segments in the registry for replay by the next open.
-     * A fired failpoint (sim::SimCrash) triggers the same transition.
+     * Simulate a power failure: the scheduler freezes (queued jobs are
+     * dropped, workers stop where they are) and the destructor will
+     * NOT flush buffered data, leaving the WAL segments in the
+     * registry for replay by the next open. A fired failpoint
+     * (sim::SimCrash) triggers the same transition.
      */
     void simulateCrash();
+
+    /** The store's maintenance executor (tests/benches introspect). */
+    sched::BackgroundScheduler &scheduler() { return *sched_; }
 
   private:
     /**
@@ -215,11 +223,36 @@ class MioDB : public KVStore
     void replayRecord(const Slice &record, uint64_t *max_seq,
                       bool *relog_failed);
 
-    void flushThreadLoop();
-    void compactionThreadLoop(int level);
-    void singleCompactionThreadLoop();  //!< parallel_compaction=false
-    /** @return true if any work was performed at @p level. */
-    bool compactLevelOnce(int level);
+    // ---- background maintenance (maintenance.cpp) ----
+
+    /** Outcome of one compaction attempt at a level. */
+    enum class CompactResult {
+        kWorked,      //!< made progress; look again immediately
+        kNoWork,      //!< nothing runnable at this level
+        kRetryLater,  //!< transient denial (NVM budget); back off
+    };
+
+    /** Build + start the unified maintenance executor. */
+    void startScheduler();
+    /** Worker-pool size implied by options (0 in deterministic mode). */
+    int backgroundWorkerCount() const;
+    /** Ensure a flush job is queued (token-deduplicated). */
+    void scheduleFlush();
+    /** Ensure a compaction job for @p level is queued (token-dedup). */
+    void scheduleCompaction(int level);
+    /** Queue async recycling of a flushed segment's WAL file. */
+    void scheduleWalRecycle(uint64_t wal_id);
+    /** Schedule every level that may have runnable work. */
+    void kickCompaction();
+    /** Schedule flush + compactions (waiters' wedge-escape kick). */
+    void kickMaintenance();
+    /** Job body: drain the immutable queue into L0 PMTables. */
+    void flushJob();
+    /** Job body: compact @p level until no work or a transient denial. */
+    void compactionJob(int level);
+    CompactResult compactLevelOnce(int level);
+    /** True when @p level has (or may soon have) runnable work. */
+    bool levelHasWork(int level) const;
     /** Finish merges/migrations interrupted by a crash (Sec. 4.7). */
     void recoverInterruptedCompactions();
 
@@ -231,7 +264,6 @@ class MioDB : public KVStore
     bool lookupBufferAndRepo(const Slice &key, std::string *value,
                              EntryType *type, uint64_t *seq,
                              bool *corrupt);
-    void scrubThreadLoop();
 
     /**
      * Quiescent-state reclamation for merged PMTable chains. Zero-copy
@@ -318,17 +350,11 @@ class MioDB : public KVStore
 
     // Immutable queue (guarded by imm_mu_).
     std::mutex imm_mu_;
-    std::condition_variable imm_cv_;
     struct Immutable {
         std::shared_ptr<lsm::MemTable> mem;
         uint64_t wal_id;
     };
     std::deque<Immutable> imms_;
-
-    // Buffer-cap throttling: writers wait here; compaction workers
-    // notify after shrinking the elastic buffer's footprint.
-    std::mutex cap_mu_;
-    std::condition_variable cap_cv_;
 
     std::shared_ptr<NvmState> state_;
 
@@ -337,27 +363,24 @@ class MioDB : public KVStore
     std::mutex grave_mu_;
     std::vector<std::shared_ptr<const void>> graveyard_;
 
-    // Background scheduling.
-    std::mutex sched_mu_;
-    std::condition_variable sched_cv_;
-    std::condition_variable idle_cv_;
+    // Background maintenance: one scheduler runs every job class. The
+    // per-class "scheduled" tokens deduplicate submissions -- at most
+    // one flush job and one compaction job per level is ever queued or
+    // running, preserving the old dedicated-thread serialization per
+    // work stream while letting the pool interleave streams.
+    std::unique_ptr<sched::BackgroundScheduler> sched_;
+    std::atomic<bool> flush_scheduled_{false};
+    std::unique_ptr<std::atomic<bool>[]> compact_scheduled_;
+    uint64_t scrub_job_id_ = 0;  //!< periodic registration handle
     std::atomic<bool> shutting_down_{false};
     std::atomic<bool> crashed_{false};
-    std::atomic<int> active_workers_{0};
     /**
-     * Set while the flush thread cannot materialize a PMTable because
+     * Set while the flush job cannot materialize a PMTable because
      * the NVM budget is exhausted; lets the destructor stop waiting
      * for the immutable queue to drain (the data stays durable in its
      * WAL segments and replays on the next open).
      */
     std::atomic<bool> flush_blocked_{false};
-    std::thread flush_thread_;
-    std::vector<std::thread> compaction_threads_;
-
-    // Background scrubber (options_.scrub_interval_ms > 0).
-    std::mutex scrub_mu_;
-    std::condition_variable scrub_cv_;
-    std::thread scrub_thread_;
 };
 
 } // namespace mio::miodb

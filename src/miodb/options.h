@@ -51,6 +51,27 @@ struct MioOptions {
      */
     bool auto_compaction = true;
 
+    /**
+     * Worker threads in the unified background scheduler (flush,
+     * zero-copy / lazy-copy merges, SSD compaction, WAL recycling,
+     * scrubbing all run there as typed jobs). 0 sizes the pool
+     * automatically: elastic_levels + 2 with parallel compaction
+     * (one slot per level plus flush and housekeeping, matching the
+     * paper's thread-per-level design), 1 without, plus the SSD
+     * tier's compaction_threads in hierarchy mode. Ignored when
+     * deterministic_background is set.
+     */
+    int background_workers = 0;
+
+    /**
+     * Deterministic mode for the crash/failpoint harness: the
+     * scheduler spawns no worker threads, and queued maintenance jobs
+     * run inline -- in strict priority order -- on whichever thread
+     * blocks on store progress (rotation stalls, waitIdle). One
+     * thread of execution, fully reproducible interleavings.
+     */
+    bool deterministic_background = false;
+
     /** Write-ahead logging (required for crash consistency). */
     bool enable_wal = true;
 

@@ -16,9 +16,13 @@
  * crash site. The env var MIO_FAILPOINTS ("point=crash@3;other=crash")
  * arms points at process start for use outside the test harness.
  *
- * Store code catches SimCrash at thread boundaries and transitions to
- * the frozen "crashed" state (MioDB::simulateCrash semantics); the
- * crash harness then discards unpersisted NVM bytes
+ * A SimCrash escaping a background job is caught by the
+ * BackgroundScheduler's job runner -- the one thread boundary that
+ * replaced the old per-path thread loops -- which freezes the
+ * scheduler and fires the store's crash transition
+ * (MioDB::simulateCrash semantics). Foreground paths (writes, the
+ * constructor's recovery) let it propagate to the caller. The crash
+ * harness then discards unpersisted NVM bytes
  * (NvmDevice::discardUnpersisted) and reopens the store to check that
  * recovery restores a prefix-consistent state.
  */
@@ -165,8 +169,8 @@ void failpointHit(const char *point);
 
 /**
  * Declare a failpoint. Zero cost unless some test armed the registry.
- * May throw sim::SimCrash; callers on background threads catch it at
- * the thread's top loop and freeze the store.
+ * May throw sim::SimCrash; in background jobs the scheduler's job
+ * runner catches it and freezes the store.
  */
 #define MIO_FAILPOINT(point)                                          \
     do {                                                              \

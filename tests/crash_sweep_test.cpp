@@ -39,6 +39,13 @@ sweepOptions(bool ssd_mode)
     o.memtable_size = 8 << 10;  // rotate + flush often
     o.elastic_levels = 2;       // L0 merges, L1 migrates
     o.max_immutable_memtables = 4;
+    // MIO_CRASH_DETERMINISTIC=1: run maintenance on the scheduler's
+    // deterministic inline mode -- no worker threads, jobs execute in
+    // strict priority order on this thread inside waitUntil()/drain().
+    // Every failpoint hit count is then a pure function of the
+    // workload, so a failing seed replays to the identical crash site.
+    if (const char *det = getenv("MIO_CRASH_DETERMINISTIC"))
+        o.deterministic_background = det[0] != '0';
     if (ssd_mode) {
         o.use_ssd_repository = true;
         o.ssd_lsm.sstable_target_size = 8 << 10;

@@ -64,6 +64,11 @@ TEST(ExhaustionTest, WatermarksEscalateSlowdownStallBusyThenDrain)
     EXPECT_GT(db.stats().write_slowdowns.load(), 0u);
     EXPECT_EQ(db.stats().busy_rejections.load(), 0u);
 
+    // Drain maintenance the slowed puts queued up (flushes, WAL
+    // recycling) so no stale background free can land mid-stall and
+    // mask the rejection below.
+    db.waitIdle();
+
     // Above the hard watermark (95%): writers stall for the bounded
     // timeout, then are rejected with busy -- never an abort.
     char *hard_ballast = ballastTo(&nvm, 97);

@@ -149,8 +149,11 @@ TEST(MioDBTest, NoWriteStallsUnderBurst)
     for (int i = 0; i < 3000; i++)
         db.put(Slice(makeKey(i)), Slice("burst-burst-burst-burst"));
     db.waitIdle();
-    // Interval stalls should be zero or negligible (< 1% of a second).
-    EXPECT_LT(db.stats().interval_stall_ns.load(), 10'000'000u);
+    // Interval stalls should be zero or negligible. The budget (50 ms
+    // over a 3000-put burst) leaves headroom for a loaded CI machine
+    // starving the flush worker; a real stall regression (flushes
+    // serialized behind compaction) costs hundreds of ms here.
+    EXPECT_LT(db.stats().interval_stall_ns.load(), 50'000'000u);
     EXPECT_EQ(db.stats().cumulative_stall_ns.load(), 0u);
 }
 
