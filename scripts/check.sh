@@ -17,7 +17,7 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # assertion needs the writer to outrun background migration, which
 # TSan's slowdown prevents (no race involved -- it runs in the
 # normal-build suite).
-TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test|fault_soak_test|sched_test}"
+TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test|fault_soak_test|sched_test|sharded_store_test}"
 
 if [ "${1:-}" != "--tsan-only" ]; then
     echo "=== tier-1: build + full test suite"
@@ -30,8 +30,12 @@ if [ "${1:-}" != "--tsan-only" ]; then
     (cd build && ctest --output-on-failure -L fault)
     echo "=== sched suite (unified background-job scheduler)"
     (cd build && ctest --output-on-failure -L sched)
+    echo "=== shard suite (horizontal sharding facade)"
+    (cd build && ctest --output-on-failure -L shard)
+    echo "=== shard bench smoke (keeps the scale-out sweep honest)"
+    build/bench/micro_multiwriter --shard_sweep --smoke
     echo "=== no bare sleep-polling on background control paths"
-    if grep -rn "sleep_for" src/sched src/miodb src/lsm; then
+    if grep -rn "sleep_for" src/sched src/miodb src/lsm src/shard; then
         echo "error: background paths must wait on the scheduler" >&2
         exit 1
     fi

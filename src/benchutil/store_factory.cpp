@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "shard/sharded_kv_store.h"
+#include "shard/sharded_miodb.h"
 
 namespace mio::bench {
 
@@ -9,6 +13,7 @@ StoreBundle::~StoreBundle()
 {
     // The store references the devices: tear it down first.
     store.reset();
+    shard_media.clear();
     sstable_medium.reset();
     ssd.reset();
     nvm.reset();
@@ -63,6 +68,7 @@ BenchConfig::fromFlags(const Flags &flags)
         flags.getInt("scrub_interval_ms", c.scrub_interval_ms);
     c.write_stall_timeout_ms = flags.getInt("write_stall_timeout_ms",
                                             c.write_stall_timeout_ms);
+    c.shards = static_cast<int>(flags.getInt("shards", c.shards));
     return c;
 }
 
@@ -84,6 +90,95 @@ scaledLsmOptions(const BenchConfig &config)
     return o;
 }
 
+namespace {
+
+miodb::MioOptions
+miodbOptionsFrom(const BenchConfig &config)
+{
+    miodb::MioOptions o;
+    o.memtable_size = config.memtable_size;
+    o.elastic_levels = config.miodb_levels;
+    o.bits_per_key = config.bits_per_key;
+    o.one_piece_flush = config.one_piece_flush;
+    o.zero_copy_merge = config.zero_copy;
+    o.parallel_compaction = config.parallel_compaction;
+    o.group_commit = config.group_commit;
+    o.max_group_bytes = config.max_group_bytes;
+    o.nvm_buffer_cap_bytes = config.miodb_buffer_cap;
+    o.scrub_interval_ms = config.scrub_interval_ms;
+    o.write_stall_timeout_ms = config.write_stall_timeout_ms;
+    o.use_ssd_repository = config.ssd_mode;
+    o.ssd_lsm = scaledLsmOptions(config);
+    return o;
+}
+
+/**
+ * Per-shard view of a machine-wide config: the DRAM/NVM budgets are
+ * divided (with floors so tiny sweeps stay functional), everything
+ * else is inherited. Derived geometry (scaledLsmOptions) then scales
+ * from the per-shard memtable automatically.
+ */
+BenchConfig
+perShardConfig(const BenchConfig &config)
+{
+    BenchConfig c = config;
+    const uint64_t n = static_cast<uint64_t>(config.shards);
+    c.memtable_size = std::max<size_t>(32u << 10,
+                                       config.memtable_size / n);
+    c.nvm_buffer_bytes = std::max<uint64_t>(
+        c.memtable_size, config.nvm_buffer_bytes / n);
+    if (config.miodb_buffer_cap != 0) {
+        c.miodb_buffer_cap = std::max<uint64_t>(
+            2 * c.memtable_size, config.miodb_buffer_cap / n);
+    }
+    c.shards = 1;
+    return c;
+}
+
+/** The single-store construction every shape funnels through. */
+std::unique_ptr<KVStore>
+buildOneStore(const BenchConfig &config, sim::NvmDevice *nvm,
+              sim::SsdDevice *ssd, sim::StorageMedium *medium)
+{
+    if (config.store == "miodb") {
+        return std::make_unique<miodb::MioDB>(miodbOptionsFrom(config),
+                                              nvm, ssd);
+    } else if (config.store == "matrixkv") {
+        matrixkv::MatrixkvOptions o;
+        o.memtable_size = config.memtable_size;
+        o.matrix_capacity = config.nvm_buffer_bytes;
+        o.column_budget =
+            std::max<uint64_t>(config.memtable_size,
+                               config.nvm_buffer_bytes / 2);
+        o.lsm = scaledLsmOptions(config);
+        // MatrixKV supports parallel compaction (paper Fig. 9a).
+        o.lsm.compaction_threads = 4;
+        return std::make_unique<matrixkv::MatrixKV>(o, nvm, medium);
+    } else if (config.store == "novelsm") {
+        novelsm::NovelsmOptions o;
+        o.variant = novelsm::Variant::kFlat;
+        o.dram_memtable_size = config.memtable_size;
+        o.nvm_memtable_size = config.nvm_buffer_bytes;
+        o.lsm = scaledLsmOptions(config);
+        return std::make_unique<novelsm::NoveLSM>(o, nvm, medium);
+    } else if (config.store == "novelsm-hier") {
+        novelsm::NovelsmOptions o;
+        o.variant = novelsm::Variant::kHierarchical;
+        o.dram_memtable_size = config.memtable_size;
+        o.nvm_memtable_size = config.nvm_buffer_bytes;
+        o.lsm = scaledLsmOptions(config);
+        return std::make_unique<novelsm::NoveLSM>(o, nvm, medium);
+    } else if (config.store == "novelsm-nosst") {
+        novelsm::NovelsmOptions o;
+        o.variant = novelsm::Variant::kNoSST;
+        return std::make_unique<novelsm::NoveLSM>(o, nvm, medium);
+    }
+    assert(false && "unknown store name");
+    return nullptr;
+}
+
+} // namespace
+
 StoreBundle
 makeStore(const BenchConfig &config)
 {
@@ -102,59 +197,46 @@ makeStore(const BenchConfig &config)
             std::make_unique<sim::NvmMedium>(bundle.nvm.get());
     }
 
-    if (config.store == "miodb") {
-        miodb::MioOptions o;
-        o.memtable_size = config.memtable_size;
-        o.elastic_levels = config.miodb_levels;
-        o.bits_per_key = config.bits_per_key;
-        o.one_piece_flush = config.one_piece_flush;
-        o.zero_copy_merge = config.zero_copy;
-        o.parallel_compaction = config.parallel_compaction;
-        o.group_commit = config.group_commit;
-        o.max_group_bytes = config.max_group_bytes;
-        o.nvm_buffer_cap_bytes = config.miodb_buffer_cap;
-        o.scrub_interval_ms = config.scrub_interval_ms;
-        o.write_stall_timeout_ms = config.write_stall_timeout_ms;
-        o.use_ssd_repository = config.ssd_mode;
-        o.ssd_lsm = scaledLsmOptions(config);
-        bundle.store = std::make_unique<miodb::MioDB>(
-            o, bundle.nvm.get(), bundle.ssd.get());
-    } else if (config.store == "matrixkv") {
-        matrixkv::MatrixkvOptions o;
-        o.memtable_size = config.memtable_size;
-        o.matrix_capacity = config.nvm_buffer_bytes;
-        o.column_budget =
-            std::max<uint64_t>(config.memtable_size,
-                               config.nvm_buffer_bytes / 2);
-        o.lsm = scaledLsmOptions(config);
-        // MatrixKV supports parallel compaction (paper Fig. 9a).
-        o.lsm.compaction_threads = 4;
-        bundle.store = std::make_unique<matrixkv::MatrixKV>(
-            o, bundle.nvm.get(), bundle.sstable_medium.get());
-    } else if (config.store == "novelsm") {
-        novelsm::NovelsmOptions o;
-        o.variant = novelsm::Variant::kFlat;
-        o.dram_memtable_size = config.memtable_size;
-        o.nvm_memtable_size = config.nvm_buffer_bytes;
-        o.lsm = scaledLsmOptions(config);
-        bundle.store = std::make_unique<novelsm::NoveLSM>(
-            o, bundle.nvm.get(), bundle.sstable_medium.get());
-    } else if (config.store == "novelsm-hier") {
-        novelsm::NovelsmOptions o;
-        o.variant = novelsm::Variant::kHierarchical;
-        o.dram_memtable_size = config.memtable_size;
-        o.nvm_memtable_size = config.nvm_buffer_bytes;
-        o.lsm = scaledLsmOptions(config);
-        bundle.store = std::make_unique<novelsm::NoveLSM>(
-            o, bundle.nvm.get(), bundle.sstable_medium.get());
-    } else if (config.store == "novelsm-nosst") {
-        novelsm::NovelsmOptions o;
-        o.variant = novelsm::Variant::kNoSST;
-        bundle.store = std::make_unique<novelsm::NoveLSM>(
-            o, bundle.nvm.get(), bundle.sstable_medium.get());
-    } else {
-        assert(false && "unknown store name");
+    if (config.shards <= 1) {
+        bundle.store = buildOneStore(config, bundle.nvm.get(),
+                                     bundle.ssd.get(),
+                                     bundle.sstable_medium.get());
+        return bundle;
     }
+
+    const BenchConfig per = perShardConfig(config);
+    if (config.store == "miodb") {
+        // MioDB shards share one maintenance pool and get their SSD
+        // namespacing from the facade itself.
+        bundle.store = std::make_unique<shard::ShardedMioDB>(
+            miodbOptionsFrom(per), config.shards, bundle.nvm.get(),
+            bundle.ssd.get());
+        return bundle;
+    }
+
+    // Baselines: N independent engine instances behind the generic
+    // facade. Each needs its own blob namespace on the shared SSD
+    // (the NVM medium is stateless, but one per shard keeps teardown
+    // uniform).
+    std::vector<std::unique_ptr<KVStore>> shards;
+    shards.reserve(config.shards);
+    for (int i = 0; i < config.shards; i++) {
+        std::unique_ptr<sim::StorageMedium> medium;
+        if (config.ssd_mode) {
+            medium = std::make_unique<sim::PrefixedMedium>(
+                "s" + std::to_string(i) + "/",
+                std::make_unique<sim::SsdMedium>(bundle.ssd.get()));
+        } else {
+            medium =
+                std::make_unique<sim::NvmMedium>(bundle.nvm.get());
+        }
+        shards.push_back(buildOneStore(per, bundle.nvm.get(),
+                                       bundle.ssd.get(),
+                                       medium.get()));
+        bundle.shard_media.push_back(std::move(medium));
+    }
+    bundle.store =
+        std::make_unique<shard::ShardedKvStore>(std::move(shards));
     return bundle;
 }
 

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "kv/kv_store.h"
 #include "matrixkv/matrixkv.h"
@@ -28,6 +29,8 @@ struct StoreBundle {
     std::unique_ptr<sim::NvmDevice> nvm;
     std::unique_ptr<sim::SsdDevice> ssd;
     std::unique_ptr<sim::StorageMedium> sstable_medium;
+    /** Sharded baselines: one namespaced medium per shard. */
+    std::vector<std::unique_ptr<sim::StorageMedium>> shard_media;
     std::unique_ptr<KVStore> store;
 
     /** Bytes written to NVM+SSD (the WA numerator's device view). */
@@ -66,6 +69,16 @@ struct BenchConfig {
     // backpressure from any bench binary.
     uint64_t scrub_interval_ms = 0;
     uint64_t write_stall_timeout_ms = 1000;
+    /**
+     * Horizontal shards behind one ShardedKvStore facade (DESIGN.md
+     * Sec. 5g). 1 (the default) takes the exact unsharded code path.
+     * N > 1 splits the machine-wide budgets (memtable_size,
+     * nvm_buffer_bytes, miodb_buffer_cap) across N shards of the
+     * selected engine -- same total DRAM/NVM, N independent write
+     * pipelines. Works for the baselines too, so scale-out can be
+     * compared engine-to-engine.
+     */
+    int shards = 1;
 
     uint64_t
     numKeys() const

@@ -120,6 +120,113 @@ statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
     return d;
 }
 
+void
+statsAdd(StatsSnapshot *acc, const StatsSnapshot &b)
+{
+    acc->interval_stall_ns += b.interval_stall_ns;
+    acc->cumulative_stall_ns += b.cumulative_stall_ns;
+    acc->flush_ns += b.flush_ns;
+    acc->flush_count += b.flush_count;
+    acc->flushed_bytes += b.flushed_bytes;
+    acc->serialization_ns += b.serialization_ns;
+    acc->deserialization_ns += b.deserialization_ns;
+    acc->user_bytes_written += b.user_bytes_written;
+    acc->wal_bytes_written += b.wal_bytes_written;
+    acc->storage_bytes_written += b.storage_bytes_written;
+    acc->compaction_count += b.compaction_count;
+    acc->compaction_ns += b.compaction_ns;
+    acc->zero_copy_merges += b.zero_copy_merges;
+    acc->lazy_copy_merges += b.lazy_copy_merges;
+    acc->puts += b.puts;
+    acc->gets += b.gets;
+    acc->deletes += b.deletes;
+    acc->scans += b.scans;
+    acc->bloom_filter_skips += b.bloom_filter_skips;
+    acc->bloom_summary_skips += b.bloom_summary_skips;
+    acc->read_retries += b.read_retries;
+    acc->groups_committed += b.groups_committed;
+    acc->group_writers += b.group_writers;
+    acc->wal_appends_saved += b.wal_appends_saved;
+    for (int i = 0; i < StatsCounters::kGroupSizeBuckets; i++)
+        acc->group_size_hist[i] += b.group_size_hist[i];
+    acc->write_slowdowns += b.write_slowdowns;
+    acc->write_stalls += b.write_stalls;
+    acc->busy_rejections += b.busy_rejections;
+    acc->scrub_passes += b.scrub_passes;
+    acc->scrub_bytes += b.scrub_bytes;
+    acc->corruptions_detected += b.corruptions_detected;
+    acc->tables_quarantined += b.tables_quarantined;
+    acc->ssd_io_retries += b.ssd_io_retries;
+    acc->wal_corrupt_frames += b.wal_corrupt_frames;
+    for (int j = 0; j < StatsCounters::kJobClasses; j++) {
+        acc->sched_submitted[j] += b.sched_submitted[j];
+        acc->sched_completed[j] += b.sched_completed[j];
+        acc->sched_dropped[j] += b.sched_dropped[j];
+        acc->sched_queue_ns[j] += b.sched_queue_ns[j];
+        acc->sched_run_ns[j] += b.sched_run_ns[j];
+        for (int k = 0; k < StatsCounters::kSchedLatBuckets; k++) {
+            acc->sched_queue_hist[j][k] += b.sched_queue_hist[j][k];
+            acc->sched_run_hist[j][k] += b.sched_run_hist[j][k];
+        }
+    }
+    acc->sched_escalations += b.sched_escalations;
+}
+
+void
+loadInto(const StatsSnapshot &s, StatsCounters *out)
+{
+    auto set = [](std::atomic<uint64_t> &a, uint64_t v) {
+        a.store(v, std::memory_order_relaxed);
+    };
+    set(out->interval_stall_ns, s.interval_stall_ns);
+    set(out->cumulative_stall_ns, s.cumulative_stall_ns);
+    set(out->flush_ns, s.flush_ns);
+    set(out->flush_count, s.flush_count);
+    set(out->flushed_bytes, s.flushed_bytes);
+    set(out->serialization_ns, s.serialization_ns);
+    set(out->deserialization_ns, s.deserialization_ns);
+    set(out->user_bytes_written, s.user_bytes_written);
+    set(out->wal_bytes_written, s.wal_bytes_written);
+    set(out->storage_bytes_written, s.storage_bytes_written);
+    set(out->compaction_count, s.compaction_count);
+    set(out->compaction_ns, s.compaction_ns);
+    set(out->zero_copy_merges, s.zero_copy_merges);
+    set(out->lazy_copy_merges, s.lazy_copy_merges);
+    set(out->puts, s.puts);
+    set(out->gets, s.gets);
+    set(out->deletes, s.deletes);
+    set(out->scans, s.scans);
+    set(out->bloom_filter_skips, s.bloom_filter_skips);
+    set(out->bloom_summary_skips, s.bloom_summary_skips);
+    set(out->read_retries, s.read_retries);
+    set(out->groups_committed, s.groups_committed);
+    set(out->group_writers, s.group_writers);
+    set(out->wal_appends_saved, s.wal_appends_saved);
+    for (int i = 0; i < StatsCounters::kGroupSizeBuckets; i++)
+        set(out->group_size_hist[i], s.group_size_hist[i]);
+    set(out->write_slowdowns, s.write_slowdowns);
+    set(out->write_stalls, s.write_stalls);
+    set(out->busy_rejections, s.busy_rejections);
+    set(out->scrub_passes, s.scrub_passes);
+    set(out->scrub_bytes, s.scrub_bytes);
+    set(out->corruptions_detected, s.corruptions_detected);
+    set(out->tables_quarantined, s.tables_quarantined);
+    set(out->ssd_io_retries, s.ssd_io_retries);
+    set(out->wal_corrupt_frames, s.wal_corrupt_frames);
+    for (int j = 0; j < StatsCounters::kJobClasses; j++) {
+        set(out->sched_submitted[j], s.sched_submitted[j]);
+        set(out->sched_completed[j], s.sched_completed[j]);
+        set(out->sched_dropped[j], s.sched_dropped[j]);
+        set(out->sched_queue_ns[j], s.sched_queue_ns[j]);
+        set(out->sched_run_ns[j], s.sched_run_ns[j]);
+        for (int k = 0; k < StatsCounters::kSchedLatBuckets; k++) {
+            set(out->sched_queue_hist[j][k], s.sched_queue_hist[j][k]);
+            set(out->sched_run_hist[j][k], s.sched_run_hist[j][k]);
+        }
+    }
+    set(out->sched_escalations, s.sched_escalations);
+}
+
 std::string
 StatsSnapshot::toString() const
 {

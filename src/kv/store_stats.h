@@ -210,6 +210,14 @@ StatsSnapshot snapshotOf(const StatsCounters &c);
 /** a - b, fieldwise; for measuring a phase. */
 StatsSnapshot statsDelta(const StatsSnapshot &a, const StatsSnapshot &b);
 
+/** acc + b, fieldwise; for aggregating across shards. */
+void statsAdd(StatsSnapshot *acc, const StatsSnapshot &b);
+
+/** Store @p s into @p out, fieldwise (relaxed); the inverse of
+ *  snapshotOf, used to publish an aggregated snapshot through the
+ *  KVStore::stats() counter interface. */
+void loadInto(const StatsSnapshot &s, StatsCounters *out);
+
 } // namespace mio
 
 #endif // MIO_KV_STORE_STATS_H_

@@ -50,29 +50,45 @@ MioDB::backgroundWorkerCount() const
 }
 
 void
-MioDB::startScheduler()
+MioDB::startScheduler(sched::BackgroundScheduler *shared)
 {
-    sched::BackgroundScheduler::Options so;
-    so.deterministic = options_.deterministic_background;
-    so.num_workers = backgroundWorkerCount();
-    so.stats = &stats_;
-    so.on_crash = [this] { onSimCrash(); };
-    sched_ = std::make_unique<sched::BackgroundScheduler>(so);
+    if (shared != nullptr) {
+        // Facade-owned pool: the worker census, stats sink, crash
+        // callback, and urgency probes belong to the owner (only one
+        // probe per class exists pool-wide, and it must aggregate
+        // across every shard, not capture whichever shard bound last).
+        sched_ = shared;
+    } else {
+        sched::BackgroundScheduler::Options so;
+        so.deterministic = options_.deterministic_background;
+        so.num_workers = backgroundWorkerCount();
+        so.stats = &stats_;
+        so.on_crash = [this] { onSimCrash(); };
+        owned_sched_ = std::make_unique<sched::BackgroundScheduler>(so);
+        sched_ = owned_sched_.get();
+        // Memory pressure escalates the merge classes ahead of
+        // everything else: movement toward the repository is what
+        // actually frees NVM bytes (and shrinks the elastic buffer
+        // under its cap).
+        auto pressed = [this] { return underMemoryPressure(); };
+        sched_->setUrgencyProbe(sched::JobClass::kLazyCopyMerge,
+                                pressed);
+        sched_->setUrgencyProbe(sched::JobClass::kZeroCopyMerge,
+                                pressed);
+    }
     compact_scheduled_ =
         std::make_unique<std::atomic<bool>[]>(options_.elastic_levels);
     for (int i = 0; i < options_.elastic_levels; i++)
         compact_scheduled_[i].store(false);
-    // Memory pressure escalates the merge classes ahead of everything
-    // else: movement toward the repository is what actually frees NVM
-    // bytes (and shrinks the elastic buffer under its cap).
-    auto pressed = [this] {
-        return nvmOverSoftWatermark() ||
-               (options_.nvm_buffer_cap_bytes != 0 &&
-                state_->levels.totalArenaBytes() >
-                    options_.nvm_buffer_cap_bytes);
-    };
-    sched_->setUrgencyProbe(sched::JobClass::kLazyCopyMerge, pressed);
-    sched_->setUrgencyProbe(sched::JobClass::kZeroCopyMerge, pressed);
+}
+
+bool
+MioDB::underMemoryPressure() const
+{
+    return nvmOverSoftWatermark() ||
+           (options_.nvm_buffer_cap_bytes != 0 &&
+            state_->levels.totalArenaBytes() >
+                options_.nvm_buffer_cap_bytes);
 }
 
 void
@@ -166,9 +182,13 @@ MioDB::scheduleWalRecycle(uint64_t wal_id)
     // segment only re-inserts entries that sequence dedup discards --
     // the exact crash window between flush.after_publish and the old
     // synchronous removal, now widened to "until the job runs".
-    sched_->submit(sched::JobClass::kWalRecycle, [this, wal_id] {
-        registry_->remove(walName(wal_id));
-    });
+    // Captures are by value (registry outlives the store in every
+    // external-registry configuration) so a shared-pool straggler that
+    // outruns this instance's destructor touches nothing of `this`.
+    wal::WalRegistry *registry = registry_;
+    std::string name = walName(wal_id);
+    sched_->submit(sched::JobClass::kWalRecycle,
+                   [registry, name] { registry->remove(name); });
 }
 
 void
@@ -278,12 +298,7 @@ MioDB::compactLevelOnce(int level)
         // NVM pressure above the soft watermark wants the same thing
         // the buffer cap does: push data toward the repository, which
         // is what actually frees device bytes (urgency boost).
-        bool over_cap =
-            (options_.nvm_buffer_cap_bytes != 0 &&
-             state_->levels.totalArenaBytes() >
-                 options_.nvm_buffer_cap_bytes) ||
-            nvmOverSoftWatermark();
-        if (over_cap && bl.size() == 1) {
+        if (underMemoryPressure() && bl.size() == 1) {
             std::shared_ptr<PMTable> demoted = bl.beginMigration();
             if (demoted) {
                 state_->levels.level(level + 1).push(demoted);
@@ -326,11 +341,7 @@ MioDB::levelHasWork(int level) const
     if (bl.size() >= 2)
         return true;
     // A single table is work only under pressure (demotion path).
-    bool pressed = (options_.nvm_buffer_cap_bytes != 0 &&
-                    state_->levels.totalArenaBytes() >
-                        options_.nvm_buffer_cap_bytes) ||
-                   nvmOverSoftWatermark();
-    return pressed && bl.size() == 1;
+    return underMemoryPressure() && bl.size() == 1;
 }
 
 void
@@ -368,7 +379,7 @@ MioDB::simulateCrash()
 void
 MioDB::onSimCrash()
 {
-    crashed_.store(true);
+    const bool first = !crashed_.exchange(true);
     if (sched_ != nullptr) {
         // Freeze is idempotent, so this composes with the scheduler's
         // own SimCrash handling (which froze before calling us) and
@@ -377,6 +388,11 @@ MioDB::onSimCrash()
         sched_->freeze();
         sched_->notifyEvent();
     }
+    // Power failure is machine-wide: let the facade crash the sibling
+    // shards. Fired once, after this shard froze, so the hook's own
+    // simulateCrash() calls back into the exchange guard and return.
+    if (first && crash_hook_)
+        crash_hook_();
 }
 
 void
@@ -441,7 +457,7 @@ MioDB::applyBufferCap()
     sched_->waitUntil(
         [&] {
             return !overCap() || shutting_down_.load() ||
-                   crashed_.load();
+                   crashed_.load() || sched_->frozen();
         },
         wo);
 }
@@ -658,7 +674,8 @@ MioDB::waitIdle()
             if (!imms_.empty() && !flush_blocked_.load())
                 return false;
         }
-        if (shutting_down_.load() || crashed_.load())
+        if (shutting_down_.load() || crashed_.load() ||
+            sched_->frozen())
             return true;
         auto idle = [this](sched::JobClass c) {
             return sched_->queued(c) == 0 && sched_->running(c) == 0;

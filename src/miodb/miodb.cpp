@@ -64,7 +64,8 @@ class SingleNodeIterator : public lsm::KVIterator
 
 MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
              sim::SsdDevice *ssd, wal::WalRegistry *wal_registry,
-             std::shared_ptr<NvmState> state)
+             std::shared_ptr<NvmState> state,
+             sched::BackgroundScheduler *shared_scheduler)
     : options_(options), nvm_(nvm), ssd_(ssd)
 {
     assert(options_.elastic_levels >= 1);
@@ -87,23 +88,30 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
     // repository's LSM submits its compactions to this shared pool,
     // and WAL replay below may rotate MemTables, which needs a live
     // flush path.
-    startScheduler();
+    startScheduler(shared_scheduler);
 
     if (state_->repo != nullptr) {
         // Adopted image: its repository must charge this instance,
         // route background work through this instance's scheduler,
         // and any machinery a SimCrash froze must restart.
         state_->repo->rebindStats(&stats_);
-        state_->repo->rebindScheduler(sched_.get());
+        state_->repo->rebindScheduler(sched_);
         state_->repo->recoverAfterCrash();
     } else {
         if (options_.use_ssd_repository) {
             assert(ssd_ != nullptr &&
                    "SSD repository mode requires an SsdDevice");
-            state_->ssd_medium = std::make_unique<sim::SsdMedium>(ssd_);
+            auto ssd_medium = std::make_unique<sim::SsdMedium>(ssd_);
+            if (options_.shard_tag.empty()) {
+                state_->ssd_medium = std::move(ssd_medium);
+            } else {
+                state_->ssd_medium =
+                    std::make_unique<sim::PrefixedMedium>(
+                        options_.shard_tag, std::move(ssd_medium));
+            }
             state_->repo = std::make_unique<SsdRepository>(
                 options_.ssd_lsm, state_->ssd_medium.get(), &stats_,
-                sched_.get());
+                sched_);
         } else {
             state_->repo = std::make_unique<PmRepository>(nvm_, &stats_);
         }
@@ -171,17 +179,52 @@ MioDB::~MioDB()
         sched_->waitUntil([this] {
             std::lock_guard<std::mutex> il(imm_mu_);
             return imms_.empty() || crashed_.load() ||
-                   flush_blocked_.load();
+                   flush_blocked_.load() || sched_->frozen();
         });
     }
     shutting_down_.store(true);
     sched_->notifyEvent();
     if (scrub_job_id_ != 0)
         sched_->cancelPeriodic(scrub_job_id_);
-    // Clean shutdown runs the already-queued jobs (flush/compaction
-    // bodies see shutting_down_ and finish fast; WAL recycling runs
-    // for real); after a crash everything queued is dropped.
-    sched_->shutdown(/*run_pending=*/!crashed_.load());
+    if (owned_sched_ != nullptr) {
+        // Clean shutdown runs the already-queued jobs (flush/compaction
+        // bodies see shutting_down_ and finish fast; WAL recycling runs
+        // for real); after a crash everything queued is dropped.
+        sched_->shutdown(/*run_pending=*/!crashed_.load());
+    } else if (!crashed_.load()) {
+        // Shared pool, clean close: the pool belongs to the facade and
+        // other shards may still be using it, so quiesce only THIS
+        // shard's streams. The tokens cover flush/compaction (queued,
+        // running, or backoff-delayed -- retries fire within 10 ms,
+        // see shutting_down_, and release their token without
+        // resubmitting). Scrub/SSD/WAL-recycle jobs carry no token;
+        // their class counters are pool-global, which over-waits but
+        // terminates (none of those bodies retry-loop).
+        auto idle = [this](sched::JobClass c) {
+            return sched_->queued(c) == 0 && sched_->running(c) == 0;
+        };
+        sched::WaitOptions wo;
+        // Token releases on the drop path don't bump the event
+        // sequence themselves; tick so the predicate re-checks.
+        wo.kick = [this] { sched_->notifyEvent(); };
+        wo.tick_ms = 2;
+        sched_->waitUntil(
+            [&] {
+                if (flush_scheduled_.load())
+                    return false;
+                for (int i = 0; i < options_.elastic_levels; i++) {
+                    if (compact_scheduled_[i].load())
+                        return false;
+                }
+                return idle(sched::JobClass::kScrub) &&
+                       idle(sched::JobClass::kSsdCompaction) &&
+                       idle(sched::JobClass::kWalRecycle);
+            },
+            wo);
+    }
+    // Shared pool after a crash: frozen, nothing queued (freeze
+    // dropped it), and the facade joins the workers before shards are
+    // destroyed -- nothing left references this instance.
     // The levels survive in NvmState; drop their references into this
     // dying instance (the next open rebinds its own), and detach the
     // repository from the pool that just went away.
@@ -568,12 +611,16 @@ MioDB::rotateMemTable(const std::function<void()> &relog)
         // this (already half-committed) rotation. Proceed one table
         // over the limit; applyNvmWatermarks gates the NEXT group with
         // bounded-stall-then-busy while the flusher stays wedged.
+        // sched_->frozen(): in shared-pool mode a sibling shard's
+        // power failure freezes the pool before the facade marks this
+        // shard crashed; the dropped flush could never drain the
+        // backlog, so waiting on it would hang this rotation.
         sched_->waitUntil([this] {
             std::lock_guard<std::mutex> l(imm_mu_);
             return static_cast<int>(imms_.size()) <=
                        options_.max_immutable_memtables ||
                    shutting_down_.load() || crashed_.load() ||
-                   flush_blocked_.load();
+                   flush_blocked_.load() || sched_->frozen();
         });
     }
     il.lock();

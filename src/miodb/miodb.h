@@ -73,11 +73,21 @@ class MioDB : public KVStore
      * @param state NVM image from a previous (possibly crashed)
      *        instance; nullptr opens a fresh store. Level count must
      *        match options.elastic_levels.
+     * @param shared_scheduler an externally-owned maintenance pool
+     *        (ShardedMioDB hands every shard the same one); nullptr
+     *        builds a private scheduler as before. A shared pool's
+     *        owner keeps the worker census, stats sink, crash
+     *        callback, and urgency probes: this instance only submits
+     *        jobs. The pool must outlive this instance, and after a
+     *        crash the owner must shutdown(false) the pool before
+     *        destroying it (a frozen pool's running job may still
+     *        reference shard memory).
      */
     MioDB(const MioOptions &options, sim::NvmDevice *nvm,
           sim::SsdDevice *ssd = nullptr,
           wal::WalRegistry *wal_registry = nullptr,
-          std::shared_ptr<NvmState> state = nullptr);
+          std::shared_ptr<NvmState> state = nullptr,
+          sched::BackgroundScheduler *shared_scheduler = nullptr);
     ~MioDB() override;
 
     Status put(const Slice &key, const Slice &value) override;
@@ -144,6 +154,25 @@ class MioDB : public KVStore
 
     /** The store's maintenance executor (tests/benches introspect). */
     sched::BackgroundScheduler &scheduler() { return *sched_; }
+
+    /**
+     * True while the elastic buffer exceeds its cap or NVM usage sits
+     * above the soft watermark -- the condition that escalates merge
+     * jobs. Exposed so a shared-scheduler owner can install one
+     * aggregate urgency probe spanning every shard.
+     */
+    bool underMemoryPressure() const;
+
+    /**
+     * Called exactly once when this instance transitions to crashed
+     * (failpoint, scheduler crash propagation, or simulateCrash). A
+     * sharded facade uses it to spread one shard's power failure to
+     * the whole machine. Set before any traffic; must not throw.
+     */
+    void setCrashHook(std::function<void()> hook)
+    {
+        crash_hook_ = std::move(hook);
+    }
 
   private:
     /**
@@ -232,8 +261,8 @@ class MioDB : public KVStore
         kRetryLater,  //!< transient denial (NVM budget); back off
     };
 
-    /** Build + start the unified maintenance executor. */
-    void startScheduler();
+    /** Bind the maintenance executor: adopt @p shared or build one. */
+    void startScheduler(sched::BackgroundScheduler *shared);
     /** Worker-pool size implied by options (0 in deterministic mode). */
     int backgroundWorkerCount() const;
     /** Ensure a flush job is queued (token-deduplicated). */
@@ -368,7 +397,12 @@ class MioDB : public KVStore
     // one flush job and one compaction job per level is ever queued or
     // running, preserving the old dedicated-thread serialization per
     // work stream while letting the pool interleave streams.
-    std::unique_ptr<sched::BackgroundScheduler> sched_;
+    // owned_sched_ is set only in standalone mode (mirrors the
+    // owned_registry_/registry_ pattern); in shared mode sched_ points
+    // at the facade's pool.
+    sched::BackgroundScheduler *sched_ = nullptr;
+    std::unique_ptr<sched::BackgroundScheduler> owned_sched_;
+    std::function<void()> crash_hook_;
     std::atomic<bool> flush_scheduled_{false};
     std::unique_ptr<std::atomic<bool>[]> compact_scheduled_;
     uint64_t scrub_job_id_ = 0;  //!< periodic registration handle

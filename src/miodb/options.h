@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "lsm/version_set.h"
 
@@ -98,6 +99,17 @@ struct MioOptions {
      */
     bool use_ssd_repository = false;
     lsm::LsmOptions ssd_lsm;  //!< geometry of the SSD-mode repository
+
+    /**
+     * Blob-name namespace for this instance's SSD-resident files.
+     * WAL segments and PMTables are namespaced per instance already
+     * (each shard owns its WalRegistry and NvmState), but the
+     * simulated SSD is one global name space: without a tag, two
+     * shards both starting at table id 1 would write the same SSTable
+     * names. ShardedMioDB stamps "s<i>/" here; standalone instances
+     * leave it empty.
+     */
+    std::string shard_tag;
 
     // ---- media-fault tolerance (see DESIGN.md Sec. 5e) -------------
 

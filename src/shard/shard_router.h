@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Key-space partitioning for the sharded store facade: a key belongs
+ * to exactly one shard, chosen by hashing the full key bytes. The
+ * mapping is a pure function of (key, shard count), so routing is
+ * deterministic across processes and restarts -- recovery reopens
+ * each shard against the same slice of the key space it logged.
+ */
+#ifndef MIO_SHARD_SHARD_ROUTER_H_
+#define MIO_SHARD_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "util/hash.h"
+#include "util/slice.h"
+
+namespace mio::shard {
+
+class ShardRouter
+{
+  public:
+    explicit ShardRouter(int num_shards)
+        : num_shards_(num_shards < 1 ? 1 : num_shards)
+    {}
+
+    int numShards() const { return num_shards_; }
+
+    int
+    shardOf(const Slice &key) const
+    {
+        if (num_shards_ == 1)
+            return 0;
+        // FNV-1a over the full key: cheap, and uncorrelated with the
+        // lexicographic ordering scans use, so sequential key ranges
+        // spread evenly instead of hammering one shard.
+        return static_cast<int>(
+            hash64(key.data(), key.size()) %
+            static_cast<uint64_t>(num_shards_));
+    }
+
+  private:
+    int num_shards_;
+};
+
+} // namespace mio::shard
+
+#endif // MIO_SHARD_SHARD_ROUTER_H_

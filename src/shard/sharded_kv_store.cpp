@@ -1,0 +1,198 @@
+#include "shard/sharded_kv_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lsm/iterator.h"
+#include "lsm/merging_iterator.h"
+#include "sstable/internal_key.h"
+
+namespace mio::shard {
+
+namespace {
+
+/**
+ * Internal-key iterator over one shard's already-materialized scan
+ * result (sorted user keys, newest versions only, no tombstones).
+ * Sequence numbers are not comparable across shards, so every row is
+ * synthesized at seq 1: the merge never has to break a tie because
+ * the shards partition the key space.
+ */
+class VectorIterator : public lsm::KVIterator
+{
+  public:
+    explicit VectorIterator(
+        std::vector<std::pair<std::string, std::string>> rows)
+        : rows_(std::move(rows))
+    {}
+
+    bool valid() const override { return pos_ < rows_.size(); }
+    void
+    seekToFirst() override
+    {
+        pos_ = 0;
+        update();
+    }
+    void
+    seek(const Slice &internal_key) override
+    {
+        ParsedInternalKey parsed;
+        if (!parseInternalKey(internal_key, &parsed)) {
+            seekToFirst();
+            return;
+        }
+        const std::string target = parsed.user_key.toString();
+        pos_ = std::lower_bound(
+                   rows_.begin(), rows_.end(), target,
+                   [](const std::pair<std::string, std::string> &row,
+                      const std::string &t) { return row.first < t; }) -
+               rows_.begin();
+        update();
+    }
+    void
+    next() override
+    {
+        pos_++;
+        update();
+    }
+    Slice key() const override { return Slice(key_buf_); }
+    Slice value() const override { return Slice(rows_[pos_].second); }
+
+  private:
+    void
+    update()
+    {
+        key_buf_.clear();
+        if (valid()) {
+            appendInternalKey(&key_buf_, Slice(rows_[pos_].first),
+                              /*seq=*/1, EntryType::kValue);
+        }
+    }
+
+    std::vector<std::pair<std::string, std::string>> rows_;
+    size_t pos_ = 0;
+    std::string key_buf_;
+};
+
+} // namespace
+
+ShardedKvStore::ShardedKvStore(
+    std::vector<std::unique_ptr<KVStore>> shards)
+    : shards_(std::move(shards)),
+      router_(static_cast<int>(shards_.size()))
+{
+    assert(!shards_.empty());
+    name_ = shards_[0]->name();
+    if (shards_.size() > 1)
+        name_ += "-x" + std::to_string(shards_.size());
+}
+
+Status
+ShardedKvStore::put(const Slice &key, const Slice &value)
+{
+    return shards_[router_.shardOf(key)]->put(key, value);
+}
+
+Status
+ShardedKvStore::get(const Slice &key, std::string *value)
+{
+    return shards_[router_.shardOf(key)]->get(key, value);
+}
+
+Status
+ShardedKvStore::remove(const Slice &key)
+{
+    return shards_[router_.shardOf(key)]->remove(key);
+}
+
+Status
+ShardedKvStore::write(const WriteBatch &batch)
+{
+    if (batch.empty())
+        return Status::ok();
+    if (shards_.size() == 1)
+        return shards_[0]->write(batch);
+
+    // Split once, preserving op order within each shard (a batch that
+    // puts then deletes the same key must replay in that order).
+    std::vector<WriteBatch> split(shards_.size());
+    for (const auto &op : batch.ops()) {
+        WriteBatch &sub = split[router_.shardOf(Slice(op.key))];
+        if (op.type == EntryType::kValue)
+            sub.put(Slice(op.key), Slice(op.value));
+        else
+            sub.remove(Slice(op.key));
+    }
+
+    // Commit shard by shard. The first failure aborts the remaining
+    // sub-batches; already-committed shards keep their slice (see the
+    // header: atomicity is per shard, not cross-shard).
+    for (size_t i = 0; i < split.size(); i++) {
+        if (split[i].empty())
+            continue;
+        Status s = shards_[i]->write(split[i]);
+        if (!s.isOk())
+            return s;
+    }
+    return Status::ok();
+}
+
+Status
+ShardedKvStore::scan(
+    const Slice &start_key, int count,
+    std::vector<std::pair<std::string, std::string>> *out)
+{
+    facade_scans_.fetch_add(1, std::memory_order_relaxed);
+    out->clear();
+    if (count <= 0)
+        return Status::ok();
+    if (shards_.size() == 1)
+        return shards_[0]->scan(start_key, count, out);
+
+    // Each shard can contribute at most `count` rows to the merged
+    // prefix, so per-shard scans of the same depth lose nothing.
+    std::vector<std::unique_ptr<lsm::KVIterator>> children;
+    children.reserve(shards_.size());
+    for (auto &shard : shards_) {
+        std::vector<std::pair<std::string, std::string>> part;
+        Status s = shard->scan(start_key, count, &part);
+        if (!s.isOk())
+            return s;
+        children.push_back(
+            std::make_unique<VectorIterator>(std::move(part)));
+    }
+    lsm::DedupingIterator iter(
+        std::make_unique<lsm::MergingIterator>(std::move(children)));
+    for (iter.seek(start_key);
+         iter.valid() && static_cast<int>(out->size()) < count;
+         iter.next()) {
+        out->emplace_back(iter.key().toString(),
+                          iter.value().toString());
+    }
+    return Status::ok();
+}
+
+void
+ShardedKvStore::waitIdle()
+{
+    for (auto &shard : shards_)
+        shard->waitIdle();
+}
+
+const StatsCounters &
+ShardedKvStore::stats() const
+{
+    StatsSnapshot sum;
+    for (const auto &shard : shards_)
+        statsAdd(&sum, snapshotOf(shard->stats()));
+    if (extra_stats_ != nullptr)
+        statsAdd(&sum, snapshotOf(*extra_stats_));
+    // One facade scan fans out to N shard scans; report the caller's
+    // view, not the fan-out.
+    sum.scans = facade_scans_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    loadInto(sum, &agg_);
+    return agg_;
+}
+
+} // namespace mio::shard

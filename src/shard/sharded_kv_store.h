@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ShardedKvStore: a KVStore facade over N independent shards that
+ * partitions the key space by hash. Point ops route to exactly one
+ * shard; batches split into per-shard sub-batches (atomic within each
+ * shard, see write()); scans k-way-merge the per-shard results; stats
+ * aggregate across every shard.
+ *
+ * The facade is engine-agnostic -- any KVStore can be a shard (the
+ * bench factory shards the baselines this way). ShardedMioDB layers
+ * the MioDB-specific machinery (shared scheduler, durable shard-set
+ * state, machine-wide crash propagation) on top.
+ */
+#ifndef MIO_SHARD_SHARDED_KV_STORE_H_
+#define MIO_SHARD_SHARDED_KV_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kv/kv_store.h"
+#include "shard/shard_router.h"
+
+namespace mio::shard {
+
+class ShardedKvStore : public KVStore
+{
+  public:
+    /**
+     * Take ownership of @p shards (at least one). The facade's name
+     * derives from shard 0's (e.g. "MioDB-x4").
+     */
+    explicit ShardedKvStore(std::vector<std::unique_ptr<KVStore>> shards);
+    ~ShardedKvStore() override = default;
+
+    Status put(const Slice &key, const Slice &value) override;
+    Status get(const Slice &key, std::string *value) override;
+    Status remove(const Slice &key) override;
+
+    /**
+     * Split @p batch into per-shard sub-batches (preserving the
+     * caller's op order within each) and commit them shard by shard.
+     * Atomicity holds PER SHARD: each sub-batch is one WAL record in
+     * its shard, so a crash recovers every shard's slice of the batch
+     * all-or-nothing, but different shards' slices can land on
+     * opposite sides of the crash. Cross-shard atomicity would need a
+     * 2PC-style prepare record and is out of scope (documented in
+     * DESIGN.md Sec. 5g).
+     */
+    Status write(const WriteBatch &batch) override;
+
+    /**
+     * Merged range query: each shard scans [start_key, +count) in its
+     * own slice of the key space; the per-shard results (already
+     * sorted, deduped, tombstone-free) merge through a k-way
+     * MergingIterator and the first @p count survivors are returned.
+     */
+    Status scan(const Slice &start_key, int count,
+                std::vector<std::pair<std::string, std::string>> *out)
+        override;
+
+    void waitIdle() override;
+
+    /**
+     * Fieldwise sum of every shard's counters (plus any extra sink
+     * registered by a subclass, e.g. the shared scheduler's), exposed
+     * through one StatsCounters so `--stats` dumps and snapshot deltas
+     * work unchanged. `scans` reports facade-level scans, not the
+     * N-per-call shard fan-out.
+     */
+    const StatsCounters &stats() const override;
+
+    std::string name() const override { return name_; }
+
+    // ---- introspection ----
+
+    int numShards() const { return static_cast<int>(shards_.size()); }
+    KVStore &shardAt(int i) { return *shards_[i]; }
+    const ShardRouter &router() const { return router_; }
+
+  protected:
+    /**
+     * Destroy the shards early. A subclass whose shards reference
+     * subclass-owned infrastructure (ShardedMioDB's scheduler) MUST
+     * call this from its destructor: base members outlive subclass
+     * members, so the default order would tear the infrastructure out
+     * from under live shards.
+     */
+    void clearShards() { shards_.clear(); }
+
+    /** Extra counters folded into stats() (may stay null). */
+    void registerExtraStats(const StatsCounters *extra)
+    {
+        extra_stats_ = extra;
+    }
+
+    std::vector<std::unique_ptr<KVStore>> shards_;
+    ShardRouter router_;
+
+  private:
+    std::string name_;
+    const StatsCounters *extra_stats_ = nullptr;
+    std::atomic<uint64_t> facade_scans_{0};
+    // stats() is const but aggregation materializes here on demand.
+    mutable std::mutex agg_mu_;
+    mutable StatsCounters agg_;
+};
+
+} // namespace mio::shard
+
+#endif // MIO_SHARD_SHARDED_KV_STORE_H_

@@ -159,6 +159,83 @@ class SsdMedium : public StorageMedium
     SsdDevice *device_;
 };
 
+/**
+ * Name-spacing decorator: every blob name is prefixed before reaching
+ * the wrapped medium. Used to give each shard of a sharded store its
+ * own directory on a device whose name space is otherwise global
+ * (SsdMedium passes caller-chosen names straight to the one
+ * SsdDevice, so two shards minting "sst-000001" would collide).
+ */
+class PrefixedMedium : public StorageMedium
+{
+  public:
+    PrefixedMedium(std::string prefix,
+                   std::unique_ptr<StorageMedium> inner)
+        : prefix_(std::move(prefix)), inner_(std::move(inner))
+    {}
+
+    Status
+    writeBlob(const std::string &name, const Slice &data) override
+    {
+        return inner_->writeBlob(prefix_ + name, data);
+    }
+    Status
+    appendBlob(const std::string &name, const Slice &data) override
+    {
+        return inner_->appendBlob(prefix_ + name, data);
+    }
+    Status
+    readBlob(const std::string &name, std::string *out) const override
+    {
+        return inner_->readBlob(prefix_ + name, out);
+    }
+    Status
+    readBlobRange(const std::string &name, uint64_t offset, size_t len,
+                  char *scratch) const override
+    {
+        return inner_->readBlobRange(prefix_ + name, offset, len,
+                                     scratch);
+    }
+    Status
+    deleteBlob(const std::string &name) override
+    {
+        return inner_->deleteBlob(prefix_ + name);
+    }
+    bool
+    blobExists(const std::string &name) const override
+    {
+        return inner_->blobExists(prefix_ + name);
+    }
+    uint64_t
+    blobSize(const std::string &name) const override
+    {
+        return inner_->blobSize(prefix_ + name);
+    }
+    std::vector<std::string>
+    listBlobs() const override
+    {
+        // Only this namespace's blobs, with the prefix stripped, so
+        // recovery-style listings see the same names they wrote.
+        std::vector<std::string> out;
+        for (const auto &name : inner_->listBlobs()) {
+            if (name.compare(0, prefix_.size(), prefix_) == 0)
+                out.push_back(name.substr(prefix_.size()));
+        }
+        return out;
+    }
+
+    uint64_t bytesWritten() const override
+    {
+        return inner_->bytesWritten();
+    }
+    uint64_t bytesRead() const override { return inner_->bytesRead(); }
+    std::string kind() const override { return inner_->kind(); }
+
+  private:
+    std::string prefix_;
+    std::unique_ptr<StorageMedium> inner_;
+};
+
 } // namespace mio::sim
 
 #endif // MIO_SIM_STORAGE_MEDIUM_H_
