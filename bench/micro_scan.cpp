@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Scan benchmark: YCSB E (95% scan / 5% insert, zipfian start keys,
+ * uniform scan lengths) end-to-end against MioDB, NoveLSM, and
+ * MatrixKV, unsharded and sharded. Every scan runs through the
+ * snapshot-pinned DBIterator path (KVStore::scan pins a snapshot,
+ * merges MemTable/PMTable/row/SSTable cursors, and releases), so this
+ * is the bench that lights up the cross-level iterator.
+ *
+ * Two scan-length legs per store: short (max 10 rows, the
+ * range-lookup shape where MioDB's sorted skip-list levels should hold
+ * parity) and long (max 100 rows, YCSB E's default shape where
+ * NoveLSM-NoSST's single big sorted run shines, per the paper's
+ * Fig. 7 discussion).
+ *
+ * Emits a machine-readable JSON results file with --json=<path>
+ * (scripts/bench_scan.sh wraps this to seed BENCH_scan.json), a fast
+ * --smoke mode wired into scripts/check.sh, and --stats for the
+ * per-shard counter breakdown of sharded runs (each shard's slice of
+ * the fan-out plus the facade aggregate).
+ */
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchutil/reporter.h"
+#include "benchutil/store_factory.h"
+#include "shard/sharded_kv_store.h"
+#include "ycsb/runner.h"
+
+using namespace mio;
+using namespace mio::bench;
+
+namespace {
+
+struct ScanRun {
+    std::string store;
+    int shards = 1;
+    int max_scan_length = 0;
+    uint64_t ops = 0;
+    double load_kiops = 0;
+    double e_kiops = 0;
+    double scan_p50_us = 0;
+    double scan_p99_us = 0;
+    uint64_t scans = 0;
+    uint64_t snapshots_live_end = 0;
+};
+
+/**
+ * --stats: per-shard counter slices of a sharded run, proving the
+ * facade's aggregate is the fieldwise sum of its shards (the same
+ * invariant tests/sharded_store_test.cpp asserts).
+ */
+void
+printShardBreakdown(KVStore *store)
+{
+    auto *sharded = dynamic_cast<shard::ShardedKvStore *>(store);
+    if (sharded == nullptr) {
+        printf("  (unsharded store: no per-shard breakdown)\n");
+        return;
+    }
+    TableReporter tbl("Per-shard counters (facade `scans` counts "
+                      "user-facing calls, shard `scans` the fan-out)",
+                      {"shard", "puts", "gets", "scans", "snapshots",
+                       "flushes", "zero-copy", "lazy-copy"});
+    for (int i = 0; i < sharded->numShards(); i++) {
+        const StatsSnapshot s =
+            snapshotOf(sharded->shardAt(i).stats());
+        tbl.addRow({std::to_string(i), std::to_string(s.puts),
+                    std::to_string(s.gets), std::to_string(s.scans),
+                    std::to_string(s.snapshots_live),
+                    std::to_string(s.flush_count),
+                    std::to_string(s.zero_copy_merges),
+                    std::to_string(s.lazy_copy_merges)});
+    }
+    const StatsSnapshot agg = snapshotOf(sharded->stats());
+    tbl.addRow({"sum", std::to_string(agg.puts),
+                std::to_string(agg.gets), std::to_string(agg.scans),
+                std::to_string(agg.snapshots_live),
+                std::to_string(agg.flush_count),
+                std::to_string(agg.zero_copy_merges),
+                std::to_string(agg.lazy_copy_merges)});
+    tbl.print();
+}
+
+void
+writeJson(const std::string &path, const BenchConfig &base,
+          uint64_t ops, const std::vector<ScanRun> &runs)
+{
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"micro_scan\",\n";
+    out << "  \"config\": {\"dataset_bytes\": " << base.dataset_bytes
+        << ", \"value_size\": " << base.value_size
+        << ", \"memtable_size\": " << base.memtable_size
+        << ", \"ops\": " << ops << ", \"seed\": " << base.seed
+        << "},\n  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); i++) {
+        const ScanRun &r = runs[i];
+        char line[512];
+        snprintf(line, sizeof(line),
+                 "    {\"store\": \"%s\", \"shards\": %d, "
+                 "\"max_scan_length\": %d, \"ops\": %llu, "
+                 "\"load_kiops\": %.1f, \"e_kiops\": %.1f, "
+                 "\"scan_p50_us\": %.1f, \"scan_p99_us\": %.1f, "
+                 "\"scans\": %llu, \"snapshots_live_end\": %llu}%s\n",
+                 r.store.c_str(), r.shards, r.max_scan_length,
+                 static_cast<unsigned long long>(r.ops), r.load_kiops,
+                 r.e_kiops, r.scan_p50_us, r.scan_p99_us,
+                 static_cast<unsigned long long>(r.scans),
+                 static_cast<unsigned long long>(r.snapshots_live_end),
+                 i + 1 < runs.size() ? "," : "");
+        out << line;
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    const bool smoke = flags.getBool("smoke", false);
+    const bool want_stats = flags.getBool("stats", false);
+
+    BenchConfig base = BenchConfig::fromFlags(flags);
+    if (!flags.has("dataset_bytes"))
+        base.dataset_bytes = smoke ? (2u << 20) : (16u << 20);
+    if (!flags.has("memtable_size"))
+        base.memtable_size = 256 << 10;
+    if (!flags.has("nvm_buffer_bytes"))
+        base.nvm_buffer_bytes = 8u << 20;
+    if (!flags.has("value_size"))
+        base.value_size = 256;
+    const uint64_t ops = flags.getInt("ops", smoke ? 2000 : 20000);
+
+    std::vector<int> shard_counts{1};
+    if (flags.getInt("shards", 0) > 1) {
+        shard_counts = {static_cast<int>(flags.getInt("shards", 4))};
+    } else if (!smoke) {
+        shard_counts.push_back(4);
+    }
+    const std::vector<int> scan_lengths =
+        smoke ? std::vector<int>{10} : std::vector<int>{10, 100};
+
+    printExperimentHeader(
+        "micro_scan",
+        "YCSB E (95% scan / 5% insert) through snapshot-pinned "
+        "DBIterators, unsharded and sharded");
+
+    TableReporter tbl("YCSB E throughput (KIOPS) and op latency",
+                      {"store", "shards", "max len", "load", "E",
+                       "p50 us", "p99 us"});
+    std::vector<ScanRun> runs;
+    for (int shards : shard_counts) {
+        for (const char *store : {"novelsm", "matrixkv", "miodb"}) {
+            for (int max_len : scan_lengths) {
+                BenchConfig config = base;
+                config.store = store;
+                config.shards = shards;
+                StoreBundle bundle = makeStore(config);
+                ycsb::Runner runner(bundle.store.get(),
+                                    config.value_size, config.seed);
+
+                const uint64_t records = config.numKeys();
+                auto load = runner.load(records);
+                // Settle background merges so the measured phase is
+                // about scans, not leftover load compaction.
+                bundle.store->waitIdle();
+
+                ycsb::WorkloadSpec spec =
+                    ycsb::WorkloadSpec::workloadE();
+                spec.max_scan_length = max_len;
+                auto r = runner.run(spec, records, ops);
+
+                const StatsSnapshot stats =
+                    snapshotOf(bundle.store->stats());
+                ScanRun row;
+                row.store = bundle.store->name();
+                row.shards = shards;
+                row.max_scan_length = max_len;
+                row.ops = ops;
+                row.load_kiops = load.kiops();
+                row.e_kiops = r.kiops();
+                row.scan_p50_us = r.latency_us.percentile(50);
+                row.scan_p99_us = r.latency_us.percentile(99);
+                row.scans = stats.scans;
+                row.snapshots_live_end = stats.snapshots_live;
+                runs.push_back(row);
+
+                tbl.addRow({row.store, std::to_string(shards),
+                            std::to_string(max_len),
+                            TableReporter::num(row.load_kiops, 1),
+                            TableReporter::num(row.e_kiops, 1),
+                            TableReporter::num(row.scan_p50_us, 1),
+                            TableReporter::num(row.scan_p99_us, 1)});
+                if (want_stats) {
+                    printf("\n-- %s shards=%d max_len=%d\n",
+                           row.store.c_str(), shards, max_len);
+                    printShardBreakdown(bundle.store.get());
+                }
+                if (row.snapshots_live_end != 0) {
+                    fprintf(stderr,
+                            "snapshot leak: %llu live at end of %s\n",
+                            static_cast<unsigned long long>(
+                                row.snapshots_live_end),
+                            row.store.c_str());
+                    return 1;
+                }
+            }
+        }
+    }
+    tbl.print();
+
+    if (flags.has("json"))
+        writeJson(flags.getString("json", ""), base, ops, runs);
+
+    printf("\nEvery scan pins a snapshot (MemTables by reference, "
+           "manifest epochs, frozen row cursors, or SSTable file "
+           "versions per engine), merges the levels through one "
+           "DBIterator, and releases; snapshots_live must return to "
+           "zero.\n");
+    return 0;
+}

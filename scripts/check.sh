@@ -17,7 +17,7 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # assertion needs the writer to outrun background migration, which
 # TSan's slowdown prevents (no race involved -- it runs in the
 # normal-build suite).
-TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test|fault_soak_test|sched_test|sharded_store_test}"
+TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test|fault_soak_test|sched_test|sharded_store_test|snapshot_iterator_test}"
 
 if [ "${1:-}" != "--tsan-only" ]; then
     echo "=== tier-1: build + full test suite"
@@ -34,6 +34,16 @@ if [ "${1:-}" != "--tsan-only" ]; then
     (cd build && ctest --output-on-failure -L shard)
     echo "=== shard bench smoke (keeps the scale-out sweep honest)"
     build/bench/micro_multiwriter --shard_sweep --smoke
+    echo "=== snapshot suite (pinned snapshots + cross-level DBIterator)"
+    (cd build && ctest --output-on-failure -L snapshot)
+    echo "=== scan bench smoke (keeps bench/micro_scan honest)"
+    build/bench/micro_scan --smoke
+    echo "=== debug-build leg (snapshot pin-leak assertions are NDEBUG-gated)"
+    cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
+    cmake --build build-debug -j "$JOBS" \
+          --target edge_case_test snapshot_iterator_test
+    (cd build-debug &&
+         ctest --output-on-failure -R "edge_case_test|snapshot_iterator_test")
     echo "=== no bare sleep-polling on background control paths"
     if grep -rn "sleep_for" src/sched src/miodb src/lsm src/shard; then
         echo "error: background paths must wait on the scheduler" >&2

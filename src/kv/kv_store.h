@@ -18,6 +18,22 @@
 
 namespace mio {
 
+/**
+ * A pinned, immutable view of a store at one instant. Obtained from
+ * KVStore::getSnapshot and returned to KVStore::releaseSnapshot;
+ * while held, scans through it (KVStore::scanAt) see exactly the data
+ * visible at capture time, regardless of concurrent writes, flushes,
+ * merges, or compactions.
+ */
+class Snapshot
+{
+  public:
+    virtual ~Snapshot() = default;
+
+    /** Visibility bound: writes sequenced after this are invisible. */
+    virtual uint64_t sequence() const = 0;
+};
+
 class KVStore
 {
   public:
@@ -57,6 +73,31 @@ class KVStore
     virtual Status scan(const Slice &start_key, int count,
                         std::vector<std::pair<std::string, std::string>>
                             *out) = 0;
+
+    /**
+     * Pin a consistent point-in-time view, or nullptr for engines
+     * without snapshot support. Every returned snapshot MUST be given
+     * back via releaseSnapshot -- it pins tables and file versions
+     * that background reclamation defers until release.
+     */
+    virtual Snapshot *getSnapshot() { return nullptr; }
+
+    /** Release @p snapshot's pins. Accepts nullptr (no-op). */
+    virtual void releaseSnapshot(Snapshot *snapshot) { (void)snapshot; }
+
+    /**
+     * Range query against a pinned snapshot: up to @p count live KV
+     * pairs starting at the first key >= @p start_key, as of the
+     * snapshot's capture instant. @p snapshot == nullptr (or an
+     * engine without snapshots) degrades to a live scan().
+     */
+    virtual Status
+    scanAt(const Snapshot *snapshot, const Slice &start_key, int count,
+           std::vector<std::pair<std::string, std::string>> *out)
+    {
+        (void)snapshot;
+        return scan(start_key, count, out);
+    }
 
     /**
      * Block until all background flushing/compaction has drained.

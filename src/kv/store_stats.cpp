@@ -46,6 +46,8 @@ snapshotOf(const StatsCounters &c)
     s.tables_quarantined = get(c.tables_quarantined);
     s.ssd_io_retries = get(c.ssd_io_retries);
     s.wal_corrupt_frames = get(c.wal_corrupt_frames);
+    s.snapshots_live = get(c.snapshots_live);
+    s.snapshots_pinned_manifests = get(c.snapshots_pinned_manifests);
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         s.sched_submitted[j] = get(c.sched_submitted[j]);
         s.sched_completed[j] = get(c.sched_completed[j]);
@@ -103,6 +105,10 @@ statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
     d.tables_quarantined = a.tables_quarantined - b.tables_quarantined;
     d.ssd_io_retries = a.ssd_io_retries - b.ssd_io_retries;
     d.wal_corrupt_frames = a.wal_corrupt_frames - b.wal_corrupt_frames;
+    // Gauges (point-in-time values): carry the current reading rather
+    // than a meaningless difference.
+    d.snapshots_live = a.snapshots_live;
+    d.snapshots_pinned_manifests = a.snapshots_pinned_manifests;
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         d.sched_submitted[j] = a.sched_submitted[j] - b.sched_submitted[j];
         d.sched_completed[j] = a.sched_completed[j] - b.sched_completed[j];
@@ -158,6 +164,8 @@ statsAdd(StatsSnapshot *acc, const StatsSnapshot &b)
     acc->tables_quarantined += b.tables_quarantined;
     acc->ssd_io_retries += b.ssd_io_retries;
     acc->wal_corrupt_frames += b.wal_corrupt_frames;
+    acc->snapshots_live += b.snapshots_live;
+    acc->snapshots_pinned_manifests += b.snapshots_pinned_manifests;
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         acc->sched_submitted[j] += b.sched_submitted[j];
         acc->sched_completed[j] += b.sched_completed[j];
@@ -213,6 +221,8 @@ loadInto(const StatsSnapshot &s, StatsCounters *out)
     set(out->tables_quarantined, s.tables_quarantined);
     set(out->ssd_io_retries, s.ssd_io_retries);
     set(out->wal_corrupt_frames, s.wal_corrupt_frames);
+    set(out->snapshots_live, s.snapshots_live);
+    set(out->snapshots_pinned_manifests, s.snapshots_pinned_manifests);
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         set(out->sched_submitted[j], s.sched_submitted[j]);
         set(out->sched_completed[j], s.sched_completed[j]);
@@ -261,6 +271,14 @@ StatsSnapshot::toString() const
              static_cast<unsigned long long>(ssd_io_retries),
              static_cast<unsigned long long>(wal_corrupt_frames));
     out += buf;
+    if (snapshots_live > 0 || snapshots_pinned_manifests > 0) {
+        snprintf(buf, sizeof(buf),
+                 "\nsnapshots: live=%llu pinned_manifests=%llu",
+                 static_cast<unsigned long long>(snapshots_live),
+                 static_cast<unsigned long long>(
+                     snapshots_pinned_manifests));
+        out += buf;
+    }
     uint64_t total_jobs = 0;
     for (int j = 0; j < StatsCounters::kJobClasses; j++)
         total_jobs += sched_submitted[j];

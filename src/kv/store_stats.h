@@ -86,6 +86,13 @@ struct StatsCounters {
     /** WAL frames dropped by recovery as corrupt (torn/flipped). */
     std::atomic<uint64_t> wal_corrupt_frames{0};
 
+    // -- snapshots (gauges: incremented at pin, decremented at
+    //    release; nonzero at close means a leaked pin) --
+    /** Snapshots currently held by callers. */
+    std::atomic<uint64_t> snapshots_live{0};
+    /** Level manifests (and table sets) pinned by live snapshots. */
+    std::atomic<uint64_t> snapshots_pinned_manifests{0};
+
     // -- background scheduler (per-job-class observability) --
     /** Job classes: flush, lcm, zcm, ssd, wal-recycle, scrub. */
     static constexpr int kJobClasses = 6;
@@ -165,6 +172,8 @@ struct StatsSnapshot {
     uint64_t tables_quarantined = 0;
     uint64_t ssd_io_retries = 0;
     uint64_t wal_corrupt_frames = 0;
+    uint64_t snapshots_live = 0;
+    uint64_t snapshots_pinned_manifests = 0;
     uint64_t sched_submitted[StatsCounters::kJobClasses] = {};
     uint64_t sched_completed[StatsCounters::kJobClasses] = {};
     uint64_t sched_dropped[StatsCounters::kJobClasses] = {};

@@ -32,13 +32,24 @@ class KVIterator
     /** Current internal key (valid until the next move). */
     virtual Slice key() const = 0;
     virtual Slice value() const = 0;
+
+    /**
+     * Integrity of the current entry. Sources with per-entry
+     * checksums (NVM skip lists) override this; a false return means
+     * the entry's bytes cannot be trusted and the consumer should
+     * surface Status::corruption rather than serve or skip it.
+     */
+    virtual bool entryOk() const { return true; }
 };
 
 /** Adapts a SkipList (user key + seq + type) to internal-key form. */
 class SkipListIterator : public KVIterator
 {
   public:
-    explicit SkipListIterator(const SkipList *list) : iter_(list) {}
+    /** @param verify check per-entry checksums on access (entryOk). */
+    explicit SkipListIterator(const SkipList *list, bool verify = false)
+        : iter_(list), verify_(verify)
+    {}
 
     bool valid() const override { return iter_.valid(); }
     void
@@ -74,6 +85,11 @@ class SkipListIterator : public KVIterator
 
     Slice key() const override { return Slice(key_buf_); }
     Slice value() const override { return iter_.value(); }
+    bool
+    entryOk() const override
+    {
+        return !verify_ || !iter_.valid() || iter_.node()->checksumOk();
+    }
 
   private:
     void
@@ -87,6 +103,7 @@ class SkipListIterator : public KVIterator
     }
 
     SkipList::Iterator iter_;
+    bool verify_;
     std::string key_buf_;
 };
 

@@ -224,8 +224,10 @@ LsmTree::mergeIntoLevel(int level, KVIterator *iter, const Slice &lo_user,
         return s;
 
     versions_.replaceFiles(level, victims, std::move(outputs));
+    // Deferred reclamation: the blob dies with the last FileMeta
+    // reference, so a pinned snapshot version keeps it readable.
     for (const auto &f : victims)
-        medium_->deleteBlob(f->blob_name);
+        f->delete_on_drop = medium_;
     stats_->compaction_count.fetch_add(1, std::memory_order_relaxed);
     maybeScheduleCompaction();
     return Status::ok();
@@ -335,6 +337,23 @@ LsmTree::newIterator() const
         children.push_back(std::make_unique<TableIterator>((*it)->reader));
     for (int level = 1; level < versions_.numLevels(); level++) {
         for (const auto &f : versions_.levelFiles(level))
+            children.push_back(std::make_unique<TableIterator>(f->reader));
+    }
+    return std::make_unique<MergingIterator>(std::move(children));
+}
+
+std::unique_ptr<KVIterator>
+LsmTree::newIterator(const VersionPin &pin) const
+{
+    std::vector<std::unique_ptr<KVIterator>> children;
+    if (!pin.empty()) {
+        const auto &l0 = pin[0];
+        for (auto it = l0.rbegin(); it != l0.rend(); ++it)
+            children.push_back(
+                std::make_unique<TableIterator>((*it)->reader));
+    }
+    for (size_t level = 1; level < pin.size(); level++) {
+        for (const auto &f : pin[level])
             children.push_back(std::make_unique<TableIterator>(f->reader));
     }
     return std::make_unique<MergingIterator>(std::move(children));
@@ -471,10 +490,12 @@ LsmTree::doCompaction(const CompactionJob &job)
     }
 
     versions_.applyCompaction(job, std::move(outputs));
+    // Deferred reclamation: a pinned snapshot version may still hold
+    // these files; each blob dies with its last FileMeta reference.
     for (const auto &f : job.inputs)
-        medium_->deleteBlob(f->blob_name);
+        f->delete_on_drop = medium_;
     for (const auto &f : job.overlaps)
-        medium_->deleteBlob(f->blob_name);
+        f->delete_on_drop = medium_;
     stats_->compaction_count.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -87,6 +87,19 @@ class LsmTree
     std::unique_ptr<KVIterator> newIterator() const;
 
     /**
+     * Every level's file list at one instant. Holding the returned
+     * pin keeps those files' blobs readable: compaction retires its
+     * victims by marking them delete-on-last-reference instead of
+     * deleting by name, so a pinned FileMeta defers the blob's death.
+     */
+    using VersionPin = std::vector<std::vector<std::shared_ptr<FileMeta>>>;
+    VersionPin pinVersion() const { return versions_.allLevelFiles(); }
+
+    /** Merged iterator over a pinned version instead of the live one.
+     *  The pin must outlive the iterator (readers hold no extra refs). */
+    std::unique_ptr<KVIterator> newIterator(const VersionPin &pin) const;
+
+    /**
      * Claim runnable compactions and submit them as jobs, up to
      * options.compaction_threads outstanding at once. No-op while
      * crashed or between scheduler owners.

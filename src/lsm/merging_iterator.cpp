@@ -57,4 +57,10 @@ MergingIterator::value() const
     return children_[current_]->value();
 }
 
+bool
+MergingIterator::entryOk() const
+{
+    return children_[current_]->entryOk();
+}
+
 } // namespace mio::lsm

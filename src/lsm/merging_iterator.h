@@ -31,6 +31,7 @@ class MergingIterator : public KVIterator
     void next() override;
     Slice key() const override;
     Slice value() const override;
+    bool entryOk() const override;
 
   private:
     void findSmallest();

@@ -96,6 +96,13 @@ VersionSet::levelFiles(int level) const
     return levels_[level];
 }
 
+std::vector<std::vector<std::shared_ptr<FileMeta>>>
+VersionSet::allLevelFiles() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return levels_;
+}
+
 int
 VersionSet::numFiles(int level) const
 {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/storage_medium.h"
 #include "sstable/table_reader.h"
 
 namespace mio::lsm {
@@ -37,6 +38,25 @@ struct FileMeta {
      * from it, and compaction stops consuming it.
      */
     std::atomic<bool> quarantined{false};
+    /**
+     * Deferred blob reclamation: compaction marks its victims here
+     * instead of deleting by name, so the blob dies with the LAST
+     * FileMeta reference -- a pinned snapshot version keeps the file
+     * readable for as long as it is held.
+     */
+    sim::StorageMedium *delete_on_drop = nullptr;
+
+    ~FileMeta()
+    {
+        if (delete_on_drop != nullptr) {
+            try {
+                delete_on_drop->deleteBlob(blob_name);
+            } catch (...) {
+                // Best-effort cleanup: a simulated crash freezing the
+                // medium must not escape a destructor.
+            }
+        }
+    }
 };
 
 /** Inputs of one compaction: level -> level+1. */
@@ -82,6 +102,14 @@ class VersionSet
 
     /** Copy of a level's file list (L0 ordered oldest->newest). */
     std::vector<std::shared_ptr<FileMeta>> levelFiles(int level) const;
+
+    /**
+     * Every level's file list captured under ONE lock acquisition --
+     * the consistent cut a pinned snapshot needs (per-level copies
+     * could straddle a compaction and miss files mid-move).
+     */
+    std::vector<std::vector<std::shared_ptr<FileMeta>>>
+    allLevelFiles() const;
 
     int numFiles(int level) const;
     uint64_t levelBytes(int level) const;

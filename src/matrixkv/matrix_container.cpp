@@ -227,15 +227,18 @@ MatrixContainer::get(const Slice &key, std::string *value,
 }
 
 RowRangeIterator::RowRangeIterator(std::shared_ptr<RowTable> row,
-                                   std::string hi_key)
+                                   std::string hi_key,
+                                   ptrdiff_t pinned_cursor)
     : row_(std::move(row)), hi_key_(std::move(hi_key)),
-      index_(row_->numEntries()), end_(row_->numEntries())
+      pinned_cursor_(pinned_cursor), index_(row_->numEntries()),
+      end_(row_->numEntries())
 {}
 
 void
 RowRangeIterator::seekToFirst()
 {
-    index_ = row_->cursor();
+    index_ = pinned_cursor_ >= 0 ? static_cast<size_t>(pinned_cursor_)
+                                 : row_->cursor();
     // An empty bound means "the whole live row" (used by scans).
     end_ = hi_key_.empty() ? row_->numEntries()
                            : row_->upperBound(Slice(hi_key_));
@@ -246,10 +249,23 @@ void
 RowRangeIterator::seek(const Slice &internal_key)
 {
     seekToFirst();
-    while (valid() &&
-           compareInternalKey(Slice(key_buf_), internal_key) < 0) {
-        next();
+    // Binary search over the DRAM key index: stepping linearly would
+    // pay one NVM value read per skipped entry, but values only need
+    // deserializing for the entry the seek lands on.
+    size_t lo = index_, hi = end_;
+    std::string probe;
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        const RowTable::Entry &e = row_->entry(mid);
+        probe.clear();
+        appendInternalKey(&probe, Slice(e.user_key), e.seq, e.type);
+        if (compareInternalKey(Slice(probe), internal_key) < 0)
+            lo = mid + 1;
+        else
+            hi = mid;
     }
+    index_ = lo;
+    load();
 }
 
 bool

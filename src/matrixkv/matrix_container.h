@@ -154,8 +154,16 @@ class RowRangeIterator : public lsm::KVIterator
     /**
      * Iterate row entries from the cursor up to user keys <= hi.
      * An empty @p hi_key means unbounded (the whole live row).
+     *
+     * @param pinned_cursor start from this fixed index instead of the
+     *        row's live cursor. A snapshot captures the cursor at pin
+     *        time: column compaction advances the live cursor, but
+     *        the already-compacted entries (still present in the
+     *        row's entry array and NVM region, which live as long as
+     *        the RowTable) must stay visible to the pinned view.
      */
-    RowRangeIterator(std::shared_ptr<RowTable> row, std::string hi_key);
+    RowRangeIterator(std::shared_ptr<RowTable> row, std::string hi_key,
+                     ptrdiff_t pinned_cursor = -1);
 
     bool valid() const override;
     void seekToFirst() override;
@@ -169,6 +177,7 @@ class RowRangeIterator : public lsm::KVIterator
 
     std::shared_ptr<RowTable> row_;
     std::string hi_key_;
+    ptrdiff_t pinned_cursor_;
     size_t index_;
     size_t end_;
     std::string key_buf_;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "lsm/db_iterator.h"
 #include "lsm/merging_iterator.h"
 #include "util/clock.h"
 #include "util/coding.h"
@@ -231,39 +232,103 @@ Status
 MatrixKV::scan(const Slice &start_key, int count,
                std::vector<std::pair<std::string, std::string>> *out)
 {
-    stats_.scans.fetch_add(1, std::memory_order_relaxed);
-    out->clear();
+    // A live scan runs against a view pinned right now.
+    Snapshot *snap = getSnapshot();
+    Status s = scanAt(snap, start_key, count, out);
+    releaseSnapshot(snap);
+    return s;
+}
 
-    // Pin the MemTables for the scan's lifetime (the iterators hold
-    // raw list pointers; a racing flush must not free them).
-    std::vector<std::shared_ptr<lsm::MemTable>> pinned;
-    std::vector<std::unique_ptr<lsm::KVIterator>> children;
+Snapshot *
+MatrixKV::getSnapshot()
+{
+    auto *snap = new MkvSnapshot();
+    {
+        // write_mu_ serializes whole writes (seq allocation through
+        // the final MemTable insert), so every sequence below seq_
+        // is fully applied when the bound is read here.
+        std::lock_guard<std::mutex> wl(write_mu_);
+        snap->bound = seq_.load(std::memory_order_relaxed) - 1;
+    }
     {
         std::lock_guard<std::mutex> il(imm_mu_);
         if (mem_)
-            pinned.push_back(mem_);
+            snap->mems.push_back(mem_);
         for (auto it = imms_.rbegin(); it != imms_.rend(); ++it)
-            pinned.push_back(*it);
+            snap->mems.push_back(*it);
     }
-    for (const auto &mem : pinned) {
+    // Rows before the LSM pin: data flows MemTable -> row -> L1, so
+    // a column compacted between the two captures shows up in the
+    // pinned rows (frozen cursors) AND the pinned files -- a dup the
+    // scan collapses -- never in neither.
+    snap->rows = matrix_.rowsSnapshot();
+    snap->row_cursors.reserve(snap->rows.size());
+    for (const auto &row : snap->rows)
+        snap->row_cursors.push_back(row->cursor());
+    snap->lsm_pin = lsm_->pinVersion();
+    {
+        std::lock_guard<std::mutex> sl(snap_mu_);
+        live_snapshots_.insert(snap);
+    }
+    stats_.snapshots_live.fetch_add(1, std::memory_order_relaxed);
+    return snap;
+}
+
+void
+MatrixKV::releaseSnapshot(Snapshot *snapshot)
+{
+    if (snapshot == nullptr)
+        return;
+    auto *snap = static_cast<MkvSnapshot *>(snapshot);
+    {
+        std::lock_guard<std::mutex> sl(snap_mu_);
+        auto it = live_snapshots_.find(snap);
+        assert(it != live_snapshots_.end() &&
+               "releaseSnapshot: not a live snapshot of this store");
+        if (it == live_snapshots_.end())
+            return;  // double release: leak rather than corrupt
+        live_snapshots_.erase(it);
+    }
+    stats_.snapshots_live.fetch_sub(1, std::memory_order_relaxed);
+    delete snap;
+}
+
+Status
+MatrixKV::scanAt(const Snapshot *snapshot, const Slice &start_key,
+                 int count,
+                 std::vector<std::pair<std::string, std::string>> *out)
+{
+    stats_.scans.fetch_add(1, std::memory_order_relaxed);
+    out->clear();
+    if (count <= 0)
+        return Status::ok();
+    if (snapshot == nullptr)
+        return scan(start_key, count, out);
+    const auto *snap = static_cast<const MkvSnapshot *>(snapshot);
+
+    std::vector<std::unique_ptr<lsm::KVIterator>> children;
+    children.reserve(snap->mems.size() + snap->rows.size() + 1);
+    for (const auto &mem : snap->mems) {
         children.push_back(
             std::make_unique<lsm::SkipListIterator>(&mem->list()));
     }
-    for (const auto &row : matrix_.rowsSnapshot()) {
-        children.push_back(
-            std::make_unique<RowRangeIterator>(row, std::string()));
+    for (size_t i = 0; i < snap->rows.size(); i++) {
+        children.push_back(std::make_unique<RowRangeIterator>(
+            snap->rows[i], std::string(),
+            static_cast<ptrdiff_t>(snap->row_cursors[i])));
     }
-    children.push_back(lsm_->newIterator());
+    children.push_back(lsm_->newIterator(snap->lsm_pin));
 
-    lsm::DedupingIterator iter(std::make_unique<lsm::MergingIterator>(
-        std::move(children)));
+    lsm::DBIterator iter(std::make_unique<lsm::MergingIterator>(
+                             std::move(children)),
+                         snap->bound);
     for (iter.seek(start_key); iter.valid() &&
                                static_cast<int>(out->size()) < count;
          iter.next()) {
         out->emplace_back(iter.key().toString(),
                           iter.value().toString());
     }
-    return Status::ok();
+    return iter.status();
 }
 
 void

@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
+#include <set>
 #include <thread>
 
 #include "kv/kv_store.h"
@@ -48,6 +49,19 @@ class MatrixKV : public KVStore
     Status scan(const Slice &start_key, int count,
                 std::vector<std::pair<std::string, std::string>> *out)
         override;
+    /**
+     * Pin a point-in-time view: MemTables by reference, the matrix
+     * container's rows with their cursors frozen at capture (column
+     * compaction only advances cursors; the entries stay readable in
+     * the pinned RowTables), and the SSTable tree by file-version
+     * pin.
+     */
+    Snapshot *getSnapshot() override;
+    void releaseSnapshot(Snapshot *snapshot) override;
+    Status scanAt(const Snapshot *snapshot, const Slice &start_key,
+                  int count,
+                  std::vector<std::pair<std::string, std::string>> *out)
+        override;
     void waitIdle() override;
     const StatsCounters &stats() const override { return stats_; }
     std::string name() const override { return "MatrixKV"; }
@@ -56,6 +70,18 @@ class MatrixKV : public KVStore
     lsm::LsmTree &lsmTree() { return *lsm_; }
 
   private:
+    /** Pinned view; all members are owning references. */
+    struct MkvSnapshot : public Snapshot {
+        uint64_t bound = 0;
+        /** Pinned MemTables, newest first (mem, imms). */
+        std::vector<std::shared_ptr<lsm::MemTable>> mems;
+        /** Matrix rows (newest first) with cursors frozen at pin. */
+        std::vector<std::shared_ptr<RowTable>> rows;
+        std::vector<size_t> row_cursors;
+        lsm::LsmTree::VersionPin lsm_pin;
+        uint64_t sequence() const override { return bound; }
+    };
+
     Status writeEntry(const Slice &key, EntryType type,
                       const Slice &value);
     void rotateMemTable();  //!< caller holds write_mu_
@@ -83,6 +109,10 @@ class MatrixKV : public KVStore
     wal::WalRegistry wal_registry_;
     std::shared_ptr<wal::LogSegment> wal_;
     uint64_t wal_id_ = 0;
+
+    // Snapshot registry (guarded by snap_mu_).
+    mutable std::mutex snap_mu_;
+    std::set<MkvSnapshot *> live_snapshots_;
 
     std::atomic<bool> shutting_down_{false};
     std::thread flush_thread_;

@@ -59,7 +59,7 @@ PmRepository::PmRepository(sim::NvmDevice *device, StatsCounters *stats)
 }
 
 Status
-PmRepository::mergeTable(PMTable *src)
+PmRepository::mergeTable(PMTable *src, uint64_t keep_seq)
 {
     ScopedTimer timer(&stats_->compaction_ns);
     if (list_ == nullptr) {
@@ -71,62 +71,98 @@ PmRepository::mergeTable(PMTable *src)
     }
 
     size_t pointer_stores = 0;
-    std::string last_key;
-    bool has_last = false;
 
-    for (SkipList::Node *n = src->list().first(); n != nullptr;
-         n = n->nextRelaxed(0)) {
-        // Publishing is idempotent per (key, seq): a crashed merge is
-        // simply re-run from the surviving source table.
-        MIO_FAILPOINT("lcm.publish_node");
-        // Level-0 order is (key asc, seq desc): the first occurrence
-        // of a key is its newest version; skip the rest.
-        if (has_last && n->key() == Slice(last_key))
-            continue;
-        last_key = n->key().toString();
-        has_last = true;
+    auto flush_charges = [&]() {
+        if (pointer_stores > 0) {
+            device_->chargeWrite(pointer_stores * sizeof(void *));
+            stats_->storage_bytes_written.fetch_add(
+                pointer_stores * sizeof(void *),
+                std::memory_order_relaxed);
+            pointer_stores = 0;
+        }
+    };
+
+    SkipList::Node *n = src->list().first();
+    while (n != nullptr) {
+        // Gather this key's whole version run (level-0 order keeps
+        // same-key versions contiguous, newest first).
+        Slice key = n->key();
+        std::vector<SkipList::Node *> run;
+        for (SkipList::Node *v = n; v != nullptr && v->key() == key;
+             v = v->nextRelaxed(0))
+            run.push_back(v);
+        n = run.back()->nextRelaxed(0);
 
         device_->chargeRandomReads(
             sim::skipDescentDepth(list_->entryCount()));
         SkipList::Splice splice;
-        SkipList::Node *succ =
-            list_->findGreaterOrEqual(n->key(), &splice);
-        auto dups = (succ != nullptr && succ->key() == n->key())
-                        ? collectDuplicates(succ, n->key())
-                        : std::vector<SkipList::Node *>{};
+        SkipList::Node *succ = list_->findGreaterOrEqual(key, &splice);
 
-        if (n->entryType() == EntryType::kDeletion) {
-            // Nothing lives below the repository: the tombstone both
-            // deletes the old version and is itself dropped.
-            pointer_stores +=
-                unlinkDuplicates(list_.get(), nullptr, &splice, dups);
-            for (SkipList::Node *d : dups)
-                garbage_bytes_ += d->allocationSize();
-            continue;
-        }
+        // Copy in the run's snapshot-visible prefix: every version
+        // down to (and including) the first with seq <= keep_seq --
+        // everything below that is shadowed for all live snapshots. A
+        // tombstone above keep_seq is stored so newer reads see the
+        // deletion while a pinned snapshot still reaches the value
+        // below it; a tombstone at or below keep_seq keeps today's
+        // delete-and-drop (nothing lives below the repository).
+        // Publishing is idempotent per (key, seq): a crashed or
+        // budget-bounced merge re-runs and reuses the copies that
+        // already landed.
+        bool shadowed = false;
+        for (SkipList::Node *v : run) {
+            MIO_FAILPOINT("lcm.publish_node");
+            if (shadowed)
+                continue;
+            bool shadows_rest = v->seq <= keep_seq;
+            if (shadows_rest)
+                shadowed = true;
+            if (v->entryType() == EntryType::kDeletion && shadows_rest)
+                continue;  // deletes below, itself dropped
 
-        SkipList::Node *copy = SkipList::makeNode(
-            &arena_, n->key(), n->seq, n->entryType(), n->value(),
-            list_->randomHeight());
-        if (copy == nullptr) {
-            // NVM budget exhausted mid-merge. Everything copied so
-            // far is durably linked; the caller retries the whole
-            // table later and idempotence skips those entries.
-            if (pointer_stores > 0) {
-                device_->chargeWrite(pointer_stores * sizeof(void *));
-                stats_->storage_bytes_written.fetch_add(
-                    pointer_stores * sizeof(void *),
-                    std::memory_order_relaxed);
+            succ = advanceSpliceOverNewer(key, v->seq, &splice, succ);
+            if (succ != nullptr && succ->key() == key &&
+                succ->seq == v->seq) {
+                // Already durably copied by an earlier attempt: keep
+                // that copy and step past it.
+                for (int level = 0; level < succ->height; level++)
+                    splice.prev[level] = succ;
+                succ = succ->next(0);
+                continue;
             }
-            return Status::busy("repo: nvm capacity exhausted");
+
+            SkipList::Node *copy = SkipList::makeNode(
+                &arena_, key, v->seq, v->entryType(), v->value(),
+                list_->randomHeight());
+            if (copy == nullptr) {
+                // NVM budget exhausted mid-merge. Everything copied
+                // so far is durably linked; the caller retries the
+                // whole table later and idempotence skips those
+                // entries.
+                flush_charges();
+                return Status::busy("repo: nvm capacity exhausted");
+            }
+            stats_->storage_bytes_written.fetch_add(
+                copy->allocationSize(), std::memory_order_relaxed);
+            list_->linkNode(copy, &splice);
+            pointer_stores += copy->height;
+            for (int level = 0; level < copy->height; level++)
+                splice.prev[level] = copy;
         }
-        stats_->storage_bytes_written.fetch_add(
-            copy->allocationSize(), std::memory_order_relaxed);
-        list_->linkNode(copy, &splice);
-        pointer_stores += copy->height;
+
+        // Reclaim the repository versions the copied-in run shadows;
+        // `succ` now sits on the first same-key node older than every
+        // copy, so the shadow walk continues seamlessly from the run.
+        std::vector<SkipList::Node *> drop;
+        for (SkipList::Node *d = succ;
+             d != nullptr && d->key() == key; d = d->nextRelaxed(0)) {
+            if (shadowed)
+                drop.push_back(d);
+            if (d->seq <= keep_seq)
+                shadowed = true;
+        }
         pointer_stores +=
-            unlinkDuplicates(list_.get(), copy, &splice, dups);
-        for (SkipList::Node *d : dups)
+            unlinkShadowed(list_.get(), key, &splice, drop);
+        for (SkipList::Node *d : drop)
             garbage_bytes_ += d->allocationSize();
     }
 
@@ -158,6 +194,18 @@ PmRepository::newIterator() const
     return std::make_unique<lsm::SkipListIterator>(list_.get());
 }
 
+std::unique_ptr<lsm::KVIterator>
+PmRepository::newSnapshotIterator(const std::shared_ptr<const void> &pin,
+                                  bool verify) const
+{
+    // No pin needed: pinned versions stay linked in place (lazy-copy
+    // merges gate their reclamation on the oldest snapshot bound).
+    (void)pin;
+    if (list_ == nullptr)
+        return std::make_unique<EmptyIterator>();
+    return std::make_unique<lsm::SkipListIterator>(list_.get(), verify);
+}
+
 Repository::ScrubReport
 PmRepository::scrub()
 {
@@ -187,8 +235,14 @@ SsdRepository::SsdRepository(const lsm::LsmOptions &options,
 {}
 
 Status
-SsdRepository::mergeTable(PMTable *src)
+SsdRepository::mergeTable(PMTable *src, uint64_t keep_seq)
 {
+    // The SSD tier needs no seq gating: a pinned snapshot holds the
+    // migrating PMTable itself (migration never mutates its source)
+    // and any pinned SSTable version keeps its files alive, so the
+    // newest-version collapse in the table writer loses nothing a
+    // snapshot can still reach.
+    (void)keep_seq;
     lsm::SkipListIterator iter(&src->list());
     Status s = lsm_.flushToL0(&iter);
     if (s.isOk())
@@ -217,6 +271,46 @@ std::unique_ptr<lsm::KVIterator>
 SsdRepository::newIterator() const
 {
     return lsm_.newIterator();
+}
+
+std::shared_ptr<const void>
+SsdRepository::pinVersion() const
+{
+    return std::make_shared<lsm::LsmTree::VersionPin>(lsm_.pinVersion());
+}
+
+std::unique_ptr<lsm::KVIterator>
+SsdRepository::newSnapshotIterator(
+    const std::shared_ptr<const void> &pin, bool verify) const
+{
+    (void)verify;  // SSTable blocks carry their own checksums
+    if (pin == nullptr)
+        return lsm_.newIterator();
+    auto files =
+        std::static_pointer_cast<const lsm::LsmTree::VersionPin>(pin);
+    return lsm_.newIterator(*files);
+}
+
+bool
+SsdRepository::snapshotCorrupt(const std::shared_ptr<const void> &pin,
+                               const Slice &user_key) const
+{
+    if (pin == nullptr)
+        return false;
+    auto files =
+        std::static_pointer_cast<const lsm::LsmTree::VersionPin>(pin);
+    for (const auto &level : *files) {
+        for (const auto &f : level) {
+            if (!f->quarantined.load(std::memory_order_acquire))
+                continue;
+            if (user_key.compare(extractUserKey(Slice(f->smallest))) >=
+                    0 &&
+                user_key.compare(extractUserKey(Slice(f->largest))) <= 0) {
+                return true;
+            }
+        }
+    }
+    return false;
 }
 
 uint64_t

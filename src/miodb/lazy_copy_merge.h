@@ -21,6 +21,7 @@
 #include "kv/store_stats.h"
 #include "lsm/lsm_tree.h"
 #include "miodb/pmtable.h"
+#include "sstable/internal_key.h"
 
 namespace mio::miodb {
 
@@ -42,8 +43,14 @@ class Repository
      * A non-ok status (NVM budget, SSD I/O) leaves the repository
      * consistent; the caller retries -- the merge is idempotent per
      * key/sequence.
+     *
+     * @param keep_seq oldest pinned snapshot bound: versions (and
+     * tombstones) a snapshot at or above it may still need stay
+     * stored; with kMaxSequence only the newest version per key
+     * survives (the historical behaviour).
      */
-    virtual Status mergeTable(PMTable *src) = 0;
+    virtual Status mergeTable(PMTable *src,
+                              uint64_t keep_seq = kMaxSequence) = 0;
 
     /**
      * @return true if any version of @p key exists here. With
@@ -60,6 +67,44 @@ class Repository
 
     /** Internal-key iterator over the whole repository. */
     virtual std::unique_ptr<lsm::KVIterator> newIterator() const = 0;
+
+    /**
+     * Capture an opaque pin of the repository's current version for a
+     * snapshot. PmRepository needs none (its skip list retains pinned
+     * versions in place, gated by keep_seq); SsdRepository returns a
+     * file-list pin that keeps the captured SSTables' blobs alive.
+     */
+    virtual std::shared_ptr<const void> pinVersion() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Internal-key iterator serving a pinned snapshot: reads the
+     * version captured by @p pin (ignored where versions are in-place)
+     * and verifies per-entry checksums when @p verify is set.
+     */
+    virtual std::unique_ptr<lsm::KVIterator>
+    newSnapshotIterator(const std::shared_ptr<const void> &pin,
+                        bool verify) const
+    {
+        (void)pin;
+        (void)verify;
+        return newIterator();
+    }
+
+    /**
+     * Did post-capture damage poison reads of @p user_key under this
+     * pin? (A pinned SSTable quarantined after capture: its bytes are
+     * untrusted but the snapshot has no older file to fall back to.)
+     */
+    virtual bool snapshotCorrupt(const std::shared_ptr<const void> &pin,
+                                 const Slice &user_key) const
+    {
+        (void)pin;
+        (void)user_key;
+        return false;
+    }
 
     virtual uint64_t entryCount() const = 0;
 
@@ -96,11 +141,15 @@ class PmRepository : public Repository
   public:
     PmRepository(sim::NvmDevice *device, StatsCounters *stats);
 
-    Status mergeTable(PMTable *src) override;
+    Status mergeTable(PMTable *src,
+                      uint64_t keep_seq = kMaxSequence) override;
     bool get(const Slice &key, std::string *value, EntryType *type,
              uint64_t *seq, bool verify = false,
              bool *corrupt = nullptr) const override;
     std::unique_ptr<lsm::KVIterator> newIterator() const override;
+    std::unique_ptr<lsm::KVIterator>
+    newSnapshotIterator(const std::shared_ptr<const void> &pin,
+                        bool verify) const override;
     uint64_t
     entryCount() const override
     {
@@ -133,11 +182,18 @@ class SsdRepository : public Repository
                   sim::StorageMedium *medium, StatsCounters *stats,
                   sched::BackgroundScheduler *sched = nullptr);
 
-    Status mergeTable(PMTable *src) override;
+    Status mergeTable(PMTable *src,
+                      uint64_t keep_seq = kMaxSequence) override;
     bool get(const Slice &key, std::string *value, EntryType *type,
              uint64_t *seq, bool verify = false,
              bool *corrupt = nullptr) const override;
     std::unique_ptr<lsm::KVIterator> newIterator() const override;
+    std::shared_ptr<const void> pinVersion() const override;
+    std::unique_ptr<lsm::KVIterator>
+    newSnapshotIterator(const std::shared_ptr<const void> &pin,
+                        bool verify) const override;
+    bool snapshotCorrupt(const std::shared_ptr<const void> &pin,
+                         const Slice &user_key) const override;
     uint64_t entryCount() const override;
     void waitIdle() override { lsm_.waitIdle(); }
     ScrubReport scrub() override;

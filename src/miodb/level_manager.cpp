@@ -170,6 +170,11 @@ BufferLevel::beginMerge()
     tables_.pop_front();
     tables_.pop_front();
     merge_ = op;
+    // Register the op on both participants BEFORE any node moves:
+    // snapshot iterators anchored on either table consult this to
+    // chase entries through the in-flight merge.
+    op->oldt->setActiveMerge(op);
+    op->newt->setActiveMerge(op);
     // Membership is unchanged (the pair moved deque -> MergeOp), but
     // readers need the op published to run the three-step protocol.
     republishLocked(nullptr);
@@ -182,6 +187,10 @@ BufferLevel::finishMerge(const std::shared_ptr<MergeOp> &op)
     std::lock_guard<std::mutex> lock(mu_);
     if (merge_ != op)
         return;
+    // Only the result sheds its registration; the emptied newtable
+    // keeps the (done) op as its permanent absorbed-into pointer so a
+    // pinned iterator can still reach its entries in the result.
+    op->oldt->clearActiveMerge();
     merge_ = nullptr;
     republishLocked(nullptr);
 }

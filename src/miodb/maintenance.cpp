@@ -257,6 +257,11 @@ MioDB::compactLevelOnce(int level)
 {
     BufferLevel &bl = state_->levels.level(level);
     const bool is_last = (level == options_.elastic_levels - 1);
+    // Version-reclamation bound, captured once per attempt. A
+    // snapshot registered after this capture is still safe: its bound
+    // is at least the committed watermark of this instant, so every
+    // shadow this merge drops under is visible to it too.
+    const uint64_t keep_seq = oldestSnapshotSeq();
 
     if (is_last) {
         std::shared_ptr<PMTable> victim = bl.beginMigration();
@@ -274,7 +279,7 @@ MioDB::compactLevelOnce(int level)
         // finishMigration; a crash anywhere in this window re-runs
         // the (idempotent) migration on reopen.
         MIO_FAILPOINT("lcm.before_publish");
-        Status ms = state_->repo->mergeTable(victim.get());
+        Status ms = state_->repo->mergeTable(victim.get(), keep_seq);
         if (!ms.isOk()) {
             // Transient failure (SSD I/O error, NVM budget): leave
             // the migration in flight and retry after a backoff.
@@ -309,7 +314,7 @@ MioDB::compactLevelOnce(int level)
         return CompactResult::kNoWork;
     }
     if (options_.zero_copy_merge) {
-        zeroCopyMerge(op.get(), nvm_, &stats_);
+        zeroCopyMerge(op.get(), nvm_, &stats_, nullptr, keep_seq);
         // Publish the result downstream before retiring the merge so
         // readers never lose sight of the data.
         state_->levels.level(level + 1).push(op->oldt);
@@ -317,11 +322,12 @@ MioDB::compactLevelOnce(int level)
     } else {
         uint64_t table_id = state_->next_table_id.fetch_add(1);
         auto result = copyingMerge(op->newt, op->oldt, nvm_, &stats_,
-                                   table_id, options_.bits_per_key);
+                                   table_id, options_.bits_per_key,
+                                   keep_seq);
         if (result == nullptr) {
             // The NVM budget denied the copy target; degrade to the
             // allocation-free zero-copy merge instead of failing.
-            zeroCopyMerge(op.get(), nvm_, &stats_);
+            zeroCopyMerge(op.get(), nvm_, &stats_, nullptr, keep_seq);
             state_->levels.level(level + 1).push(op->oldt);
             bl.finishMerge(op);
             return CompactResult::kWorked;
@@ -667,6 +673,12 @@ void
 MioDB::waitIdle()
 {
     auto drained = [this] {
+        // Crashed/frozen first: a crash mid-flush leaves its victim
+        // in imms_ forever, so the queue check below would otherwise
+        // spin on a store that can never drain.
+        if (shutting_down_.load() || crashed_.load() ||
+            sched_->frozen())
+            return true;
         {
             std::lock_guard<std::mutex> il(imm_mu_);
             // An exhausted NVM budget can pin the queue forever;
@@ -674,9 +686,6 @@ MioDB::waitIdle()
             if (!imms_.empty() && !flush_blocked_.load())
                 return false;
         }
-        if (shutting_down_.load() || crashed_.load() ||
-            sched_->frozen())
-            return true;
         auto idle = [this](sched::JobClass c) {
             return sched_->queued(c) == 0 && sched_->running(c) == 0;
         };

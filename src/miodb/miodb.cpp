@@ -10,57 +10,14 @@
 #include <cassert>
 #include <chrono>
 
+#include "lsm/db_iterator.h"
 #include "lsm/merging_iterator.h"
+#include "miodb/table_probe_iterator.h"
 #include "sim/failpoint.h"
 #include "util/clock.h"
 #include "util/coding.h"
 
 namespace mio::miodb {
-
-namespace {
-
-/** Iterator exposing a single skip-list node (the insertion mark). */
-class SingleNodeIterator : public lsm::KVIterator
-{
-  public:
-    explicit SingleNodeIterator(SkipList::Node *node) : node_(node)
-    {
-        if (node_ != nullptr) {
-            appendInternalKey(&key_buf_, node_->key(), node_->seq,
-                              node_->entryType());
-        }
-    }
-
-    bool valid() const override { return node_ != nullptr && !done_; }
-    void seekToFirst() override { done_ = false; checkEnd(); }
-    void
-    seek(const Slice &internal_key) override
-    {
-        done_ = false;
-        if (node_ != nullptr &&
-            compareInternalKey(Slice(key_buf_), internal_key) < 0) {
-            done_ = true;
-        }
-        checkEnd();
-    }
-    void next() override { done_ = true; }
-    Slice key() const override { return Slice(key_buf_); }
-    Slice value() const override { return node_->value(); }
-
-  private:
-    void
-    checkEnd()
-    {
-        if (node_ == nullptr)
-            done_ = true;
-    }
-
-    SkipList::Node *node_;
-    std::string key_buf_;
-    bool done_ = false;
-};
-
-} // namespace
 
 MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
              sim::SsdDevice *ssd, wal::WalRegistry *wal_registry,
@@ -233,6 +190,17 @@ MioDB::~MioDB()
     state_->repo->rebindScheduler(nullptr);
     if (!crashed_.load() && options_.enable_wal && mem_wal_)
         registry_->remove(walName(mem_wal_id_));
+#ifndef NDEBUG
+    {
+        // A snapshot outliving its store keeps the NvmState alive
+        // (its pins stay safe to read), but a pin still registered
+        // here is almost certainly a forgotten releaseSnapshot --
+        // reclamation stayed gated for the store's whole life.
+        std::lock_guard<std::mutex> sl(snap_mu_);
+        assert(live_snapshots_.empty() &&
+               "snapshot leak: getSnapshot without releaseSnapshot");
+    }
+#endif
 }
 
 std::string
@@ -341,6 +309,9 @@ MioDB::replayWal()
             registry_->remove(name);
     }
     seq_.store(max_seq);
+    // Everything replayed is committed by definition (max_seq is the
+    // next sequence to allocate, so the watermark sits one below).
+    visible_seq_.store(max_seq - 1, std::memory_order_release);
 }
 
 void
@@ -557,6 +528,13 @@ MioDB::commitGroup(const std::vector<Writer *> &group,
             (void)ok;
         }
     }
+
+    // The whole group is applied: publish the committed watermark.
+    // Leadership serializes commits, so this only ever moves forward;
+    // release pairs with getSnapshot's acquire -- a snapshot whose
+    // bound covers these sequences also sees their MemTable inserts.
+    visible_seq_.store(base_seq + total_ops - 1,
+                       std::memory_order_release);
 
     stats_.user_bytes_written.fetch_add(user_bytes,
                                         std::memory_order_relaxed);
@@ -830,71 +808,186 @@ Status
 MioDB::scan(const Slice &start_key, int count,
             std::vector<std::pair<std::string, std::string>> *out)
 {
-    stats_.scans.fetch_add(1, std::memory_order_relaxed);
-    out->clear();
-    if (count <= 0) {
-        // Nothing to return; don't build the full child-iterator
-        // stack (one per memtable/table/merge participant) for an
-        // empty result.
-        return Status::ok();
+    // A live scan is a scan against a view pinned right now: pin,
+    // iterate, release. The pin is what lets merges/flushes proceed
+    // at full speed underneath without ever yanking a table (or a
+    // repository file) out from under the cursor.
+    Snapshot *snap = getSnapshot();
+    Status s = scanAt(snap, start_key, count, out);
+    releaseSnapshot(snap);
+    return s;
+}
+
+Snapshot *
+MioDB::getSnapshot()
+{
+    auto *snap = new MioSnapshot();
+    snap->state = state_;
+    {
+        // Register the bound BEFORE pinning any source: a merge whose
+        // keep_seq capture happens after this sees the bound and
+        // retains every version the snapshot can reach. Merges that
+        // captured earlier are covered by the visible_seq_ cap in
+        // oldestSnapshotSeq -- they drop a version only under a
+        // shadow that was already committed, hence <= our bound.
+        std::lock_guard<std::mutex> sl(snap_mu_);
+        snap->bound = visible_seq_.load(std::memory_order_acquire);
+        snap_bounds_.insert(snap->bound);
+        live_snapshots_.insert(snap);
     }
-    ReadGuard guard(this);
-
-    // Pin every source for the whole scan: the child iterators hold
-    // raw list pointers, so the MemTable shared_ptrs and the per-level
-    // snapshots (tables, merge ops, migrating tables) must outlive
-    // the iteration, or a concurrent flush/merge could reclaim them
-    // under the scan.
-    std::vector<std::shared_ptr<lsm::MemTable>> pinned_mems;
-    std::vector<BufferLevel::Snapshot> pinned_snaps;
-
-    std::vector<std::unique_ptr<lsm::KVIterator>> children;
     {
         std::lock_guard<std::mutex> il(imm_mu_);
         if (mem_)
-            pinned_mems.push_back(mem_);
+            snap->mems.push_back(mem_);
         for (auto it = imms_.rbegin(); it != imms_.rend(); ++it)
-            pinned_mems.push_back(it->mem);
+            snap->mems.push_back(it->mem);
     }
-    for (const auto &mem : pinned_mems) {
-        children.push_back(
-            std::make_unique<lsm::SkipListIterator>(&mem->list()));
+    // Top-down: data only ever flows downward (flush to L0, merges
+    // toward the last level, migration into the repository), so an
+    // entry that moves mid-capture is seen by a lower pin; the probe
+    // chain and user-key dedup collapse any duplicate sighting.
+    snap->manifests.reserve(state_->levels.numLevels());
+    for (int i = 0; i < state_->levels.numLevels(); i++) {
+        snap->manifests.push_back(
+            state_->levels.level(i).manifestSnapshot());
     }
-    for (int i = 0; i < state_->levels.numLevels(); i++)
-        pinned_snaps.push_back(state_->levels.level(i).snapshot());
-    size_t child_count = children.size() + 1;  // +1 for the repo
-    for (const auto &snap : pinned_snaps) {
-        child_count += snap.tables.size() + (snap.merge ? 3 : 0) +
-                       (snap.migrating ? 1 : 0);
+    snap->repo_pin = state_->repo->pinVersion();
+
+    stats_.snapshots_live.fetch_add(1, std::memory_order_relaxed);
+    stats_.snapshots_pinned_manifests.fetch_add(
+        snap->manifests.size(), std::memory_order_relaxed);
+    return snap;
+}
+
+void
+MioDB::releaseSnapshot(Snapshot *snapshot)
+{
+    if (snapshot == nullptr)
+        return;
+    auto *snap = static_cast<MioSnapshot *>(snapshot);
+    {
+        std::lock_guard<std::mutex> sl(snap_mu_);
+        auto it = live_snapshots_.find(snap);
+        assert(it != live_snapshots_.end() &&
+               "releaseSnapshot: not a live snapshot of this store "
+               "(double release?)");
+        if (it == live_snapshots_.end())
+            return;  // double release: leak rather than corrupt
+        live_snapshots_.erase(it);
+        snap_bounds_.erase(snap_bounds_.find(snap->bound));
+    }
+    stats_.snapshots_live.fetch_sub(1, std::memory_order_relaxed);
+    stats_.snapshots_pinned_manifests.fetch_sub(
+        snap->manifests.size(), std::memory_order_relaxed);
+    delete snap;
+}
+
+uint64_t
+MioDB::oldestSnapshotSeq() const
+{
+    // Capped by the committed watermark even with no snapshot live:
+    // a version shadowed only by an uncommitted write must survive,
+    // because a snapshot registered after this capture could carry a
+    // bound below that shadow (the write may even fail and vanish).
+    uint64_t keep = visible_seq_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> sl(snap_mu_);
+    if (!snap_bounds_.empty())
+        keep = std::min(keep, *snap_bounds_.begin());
+    return keep;
+}
+
+Status
+MioDB::scanAt(const Snapshot *snapshot, const Slice &start_key,
+              int count,
+              std::vector<std::pair<std::string, std::string>> *out)
+{
+    stats_.scans.fetch_add(1, std::memory_order_relaxed);
+    out->clear();
+    if (count <= 0)
+        return Status::ok();
+    if (snapshot == nullptr)
+        return scan(start_key, count, out);
+    const auto *snap = static_cast<const MioSnapshot *>(snapshot);
+    const bool verify = options_.verify_read_checksums;
+
+    // Children ordered newest source first (MergingIterator resolves
+    // internal-key ties in child order): MemTables, buffer levels top
+    // to bottom -- resident tables newest first, then the in-flight
+    // merge pair and the migrating table -- and the repository last.
+    // TableProbeIterator keeps each pinned table's cursor correct
+    // while zero-copy merges relink its nodes (the merge pair's
+    // insertion mark is covered by the newtable's probe chain).
+    std::vector<std::unique_ptr<lsm::KVIterator>> children;
+    size_t child_count = snap->mems.size() + 1;
+    for (const auto &m : snap->manifests) {
+        child_count += m->tables.size() + (m->merge ? 2 : 0) +
+                       (m->migrating ? 1 : 0);
     }
     children.reserve(child_count);
-    for (const auto &snap : pinned_snaps) {
-        for (const auto &table : snap.tables) {
-            children.push_back(std::make_unique<lsm::SkipListIterator>(
-                &table->list()));
+    for (const auto &mem : snap->mems) {
+        children.push_back(std::make_unique<lsm::SkipListIterator>(
+            &mem->list(), verify));
+    }
+    for (const auto &m : snap->manifests) {
+        for (const auto &ref : m->tables) {
+            children.push_back(
+                std::make_unique<TableProbeIterator>(ref.table,
+                                                     verify));
         }
-        if (snap.merge) {
-            children.push_back(std::make_unique<lsm::SkipListIterator>(
-                &snap.merge->newt->list()));
-            children.push_back(std::make_unique<SingleNodeIterator>(
-                snap.merge->mark.load(std::memory_order_acquire)));
-            children.push_back(std::make_unique<lsm::SkipListIterator>(
-                &snap.merge->oldt->list()));
+        if (m->merge) {
+            children.push_back(std::make_unique<TableProbeIterator>(
+                m->merge->newt, verify));
+            children.push_back(std::make_unique<TableProbeIterator>(
+                m->merge->oldt, verify));
         }
-        if (snap.migrating) {
-            children.push_back(std::make_unique<lsm::SkipListIterator>(
-                &snap.migrating->list()));
+        if (m->migrating) {
+            children.push_back(std::make_unique<TableProbeIterator>(
+                m->migrating, verify));
         }
     }
-    children.push_back(state_->repo->newIterator());
+    children.push_back(
+        state_->repo->newSnapshotIterator(snap->repo_pin, verify));
 
-    lsm::DedupingIterator iter(std::make_unique<lsm::MergingIterator>(
-        std::move(children)));
+    // A table quarantined after capture may be serving the snapshot
+    // damaged bytes (per-entry checksums catch most, but quarantine
+    // also covers structural damage): any key its range covers must
+    // answer corruption, never fall through to a stale version below.
+    auto corrupt_probe = [snap, this](const Slice &user_key) {
+        for (const auto &m : snap->manifests) {
+            for (const auto &ref : m->tables) {
+                if (ref.table->isQuarantined() &&
+                    ref.coversKey(user_key)) {
+                    return true;
+                }
+            }
+            if (m->merge && m->merge->coversKey(user_key) &&
+                (m->merge->newt->isQuarantined() ||
+                 m->merge->oldt->isQuarantined())) {
+                return true;
+            }
+            if (m->migrating && m->migrating->isQuarantined() &&
+                Slice(m->migrating_min).compare(user_key) <= 0 &&
+                user_key.compare(Slice(m->migrating_max)) <= 0) {
+                return true;
+            }
+        }
+        return state_->repo->snapshotCorrupt(snap->repo_pin,
+                                             user_key);
+    };
+
+    lsm::DBIterator iter(std::make_unique<lsm::MergingIterator>(
+                             std::move(children)),
+                         snap->bound, corrupt_probe);
     for (iter.seek(start_key); iter.valid() &&
                                static_cast<int>(out->size()) < count;
          iter.next()) {
         out->emplace_back(iter.key().toString(),
                           iter.value().toString());
+    }
+    if (!iter.status().isOk()) {
+        stats_.corruptions_detected.fetch_add(
+            1, std::memory_order_relaxed);
+        return iter.status();
     }
     return Status::ok();
 }

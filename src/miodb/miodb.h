@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "kv/kv_store.h"
@@ -104,6 +105,20 @@ class MioDB : public KVStore
     Status scan(const Slice &start_key, int count,
                 std::vector<std::pair<std::string, std::string>> *out)
         override;
+    /**
+     * Pin a point-in-time view: the live MemTables, every level's
+     * published manifest (one owning acquire per level), and the
+     * repository's file version. Writes, flushes, merges, and
+     * compactions continue underneath; version reclamation is gated
+     * (oldestSnapshotSeq) so everything the view can reach survives
+     * until releaseSnapshot.
+     */
+    Snapshot *getSnapshot() override;
+    void releaseSnapshot(Snapshot *snapshot) override;
+    Status scanAt(const Snapshot *snapshot, const Slice &start_key,
+                  int count,
+                  std::vector<std::pair<std::string, std::string>> *out)
+        override;
     void waitIdle() override;
     const StatsCounters &stats() const override { return stats_; }
     std::string
@@ -123,6 +138,19 @@ class MioDB : public KVStore
     {
         return seq_.load(std::memory_order_relaxed);
     }
+    /**
+     * The version-reclamation bound compactions run under: a merge
+     * may only drop a version shadowed by a newer one at or below
+     * this sequence. Two components, both required:
+     *  - the oldest live snapshot's bound (that snapshot must keep
+     *    seeing every version visible at its capture), and
+     *  - the committed watermark (visible_seq_), which caps the bound
+     *    ANY future snapshot can capture -- without it, a merge that
+     *    sampled "no snapshots" could drop a version shadowed only by
+     *    a not-yet-committed write, breaking a snapshot registered a
+     *    moment later.
+     */
+    uint64_t oldestSnapshotSeq() const;
     /** NVM bytes referenced by buffer tables (elastic footprint). */
     size_t elasticBufferBytes() const
     {
@@ -356,6 +384,30 @@ class MioDB : public KVStore
                             uint64_t *seq, bool use_bloom,
                             bool *corrupt);
 
+    /**
+     * A pinned view (see getSnapshot). All members are owning
+     * references: the snapshot stays readable even while background
+     * work replaces manifests and compacts files underneath, and its
+     * pins are what the graveyard/ReadGuard machinery never sees --
+     * release drops the references and normal reclamation resumes.
+     */
+    class MioSnapshot : public Snapshot
+    {
+      public:
+        uint64_t sequence() const override { return bound; }
+
+        /** Held first so the NVM image outlives every other pin. */
+        std::shared_ptr<NvmState> state;
+        /** Visibility bound: entries with seq > bound are invisible. */
+        uint64_t bound = 0;
+        /** Live + immutable MemTables at capture, newest first. */
+        std::vector<std::shared_ptr<lsm::MemTable>> mems;
+        /** One published manifest per buffer level, top to bottom. */
+        std::vector<std::shared_ptr<const LevelManifest>> manifests;
+        /** Repository file-version pin (SSD mode; else nullptr). */
+        std::shared_ptr<const void> repo_pin;
+    };
+
     MioOptions options_;
     sim::NvmDevice *nvm_;
     sim::SsdDevice *ssd_;
@@ -386,6 +438,23 @@ class MioDB : public KVStore
     std::deque<Immutable> imms_;
 
     std::shared_ptr<NvmState> state_;
+
+    /**
+     * Highest sequence number whose write has fully committed
+     * (release-stored by the group leader after the last MemTable
+     * insert; acquire-loaded by getSnapshot so a snapshot's bound
+     * covers only entries that are already present in some pinned
+     * source). Also caps oldestSnapshotSeq -- see that method.
+     */
+    std::atomic<uint64_t> visible_seq_{0};
+
+    // Snapshot registry: live pins and their bounds (multiset -- two
+    // snapshots may share a bound), guarded by snap_mu_. getSnapshot
+    // registers the bound BEFORE pinning sources so any merge started
+    // afterwards keeps what the snapshot needs.
+    mutable std::mutex snap_mu_;
+    std::multiset<uint64_t> snap_bounds_;
+    std::set<MioSnapshot *> live_snapshots_;
 
     // Reader epoch tracking + deferred reclamation (see ReadGuard).
     std::atomic<int> active_readers_{0};

@@ -22,6 +22,8 @@
 
 namespace mio::miodb {
 
+struct MergeOp;
+
 class PMTable
 {
   public:
@@ -106,6 +108,30 @@ class PMTable
         return quarantined_.load(std::memory_order_acquire);
     }
 
+    // ---- active-merge registration (snapshot iterators) ----------
+    //
+    // A pinned snapshot iterator anchored on this table must follow
+    // nodes a zero-copy merge moves out from under it. beginMerge()
+    // registers the MergeOp on BOTH participants; finishMerge()
+    // clears only the oldtable's slot -- the emptied newtable keeps
+    // the (done) op forever as its "absorbed into" pointer, so an
+    // iterator pinning it can chase its entries into the result.
+
+    void setActiveMerge(std::shared_ptr<MergeOp> op);
+    void clearActiveMerge();
+    std::shared_ptr<MergeOp> activeMerge() const;
+
+    /**
+     * Bumped on every registration change (never on node movement).
+     * An iterator that sees the same epoch before and after a plain
+     * pointer step knows no merge started or retired in between.
+     */
+    uint64_t
+    mergeEpoch() const
+    {
+        return merge_epoch_.load(std::memory_order_seq_cst);
+    }
+
   private:
     SkipList list_;
     /** Guards arenas_, bloom_, and the key range during absorb(). */
@@ -118,6 +144,10 @@ class PMTable
     std::string max_key_;
     int merge_depth_ = 0;
     std::atomic<bool> quarantined_{false};
+    /** Guards active_merge_ (see setActiveMerge). */
+    mutable std::mutex merge_mu_;
+    std::shared_ptr<MergeOp> active_merge_;
+    std::atomic<uint64_t> merge_epoch_{0};
 };
 
 /**
@@ -148,6 +178,32 @@ struct MergeOp {
                key.compare(Slice(max_key)) <= 0;
     }
 };
+
+// Defined after MergeOp: resetting a shared_ptr<MergeOp> needs the
+// complete type.
+
+inline void
+PMTable::setActiveMerge(std::shared_ptr<MergeOp> op)
+{
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    active_merge_ = std::move(op);
+    merge_epoch_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+inline void
+PMTable::clearActiveMerge()
+{
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    active_merge_.reset();
+    merge_epoch_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+inline std::shared_ptr<MergeOp>
+PMTable::activeMerge() const
+{
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    return active_merge_;
+}
 
 } // namespace mio::miodb
 

@@ -69,6 +69,96 @@ unlinkDuplicates(SkipList *list, SkipList::Node *inserted,
     return stores;
 }
 
+/**
+ * Advance @p splice forward past every same-key node newer than
+ * @p seq, starting from @p succ (the first same-key candidate).
+ * Positions the splice so a node with (key, seq) links in internal-key
+ * order (key asc, seq desc) below its newer siblings.
+ * @return the first node at or after the insert position.
+ */
+inline SkipList::Node *
+advanceSpliceOverNewer(const Slice &key, uint64_t seq,
+                       SkipList::Splice *splice, SkipList::Node *succ)
+{
+    while (succ != nullptr && succ->key() == key && succ->seq > seq) {
+        for (int level = 0; level < succ->height; level++)
+            splice->prev[level] = succ;
+        succ = succ->next(0);
+    }
+    return succ;
+}
+
+/**
+ * Snapshot-aware drop rule: a version is reclaimable iff a newer
+ * version of the same key with seq <= @p keep_seq stays linked -- that
+ * newer version shadows it for every snapshot at or above the oldest
+ * pinned bound (and for all live reads). Walk the same-key run
+ * newest-first from @p newest and return the shadowed versions.
+ * With keep_seq == kMaxSequence this degenerates to "everything but
+ * the newest", the store's historical behaviour.
+ *
+ * @param exclude a node never added to the drop set (the version the
+ *        caller is holding in hand), or nullptr.
+ */
+inline std::vector<SkipList::Node *>
+shadowedVersions(SkipList::Node *newest, const Slice &key,
+                 uint64_t keep_seq, const SkipList::Node *exclude = nullptr)
+{
+    std::vector<SkipList::Node *> drop;
+    bool shadowed = false;
+    for (SkipList::Node *d = newest; d != nullptr && d->key() == key;
+         d = d->nextRelaxed(0)) {
+        if (shadowed && d != exclude)
+            drop.push_back(d);
+        if (d->seq <= keep_seq)
+            shadowed = true;
+    }
+    return drop;
+}
+
+/**
+ * Unlink @p drop (a subset of one key's version run) from @p list,
+ * stepping over the same-key versions that stay linked. Unlike
+ * unlinkDuplicates this tolerates kept versions interleaved before the
+ * dropped run (snapshot-gated merges keep a prefix of versions).
+ *
+ * @param splice predecessors strictly before the key's version run
+ * @return number of pointer stores performed (for NVM metering)
+ */
+inline size_t
+unlinkShadowed(SkipList *list, const Slice &key, SkipList::Splice *splice,
+               const std::vector<SkipList::Node *> &drop)
+{
+    if (drop.empty())
+        return 0;
+    size_t stores = 0;
+    auto is_drop = [&](SkipList::Node *p) {
+        for (SkipList::Node *d : drop) {
+            if (d == p)
+                return true;
+        }
+        return false;
+    };
+    for (int level = 0; level < list->maxHeight(); level++) {
+        SkipList::Node *p = splice->prev[level];
+        while (true) {
+            SkipList::Node *nxt = p->next(level);
+            if (nxt == nullptr)
+                break;
+            if (is_drop(nxt)) {
+                p->setNext(level, nxt->nextRelaxed(level));
+                stores++;
+            } else if (nxt->key() == key) {
+                p = nxt;  // a version that stays linked: step over
+            } else {
+                break;
+            }
+        }
+    }
+    list->bumpEntryCount(-static_cast<int64_t>(drop.size()));
+    return stores;
+}
+
 } // namespace mio::miodb
 
 #endif // MIO_MIODB_SKIPLIST_MERGE_UTIL_H_

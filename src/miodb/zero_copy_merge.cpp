@@ -19,18 +19,20 @@ using Splice = SkipList::Splice;
  * Core merge loop shared by the fresh and resumed paths.
  * @p pending is a node already detached from the newtable that still
  * must be inserted (the recovered insertion mark), or nullptr.
+ * @p keep_seq gates version reclamation: an older version is only
+ * unlinked when a newer version with seq <= keep_seq shadows it for
+ * every pinned snapshot (kMaxSequence when none are pinned).
  */
 bool
 mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
-          const MergeThrottle &throttle, Node *pending)
+          const MergeThrottle &throttle, Node *pending,
+          uint64_t keep_seq)
 {
     SkipList &src = op->newt->list();
     SkipList &dst = op->oldt->list();
 
     uint64_t moved = 0;
     size_t pointer_stores = 0;
-    std::string last_key;
-    bool has_last = false;
 
     auto flush_charges = [&]() {
         if (pointer_stores > 0) {
@@ -46,24 +48,49 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
         device->chargeRandomReads(
             sim::skipDescentDepth(dst.entryCount()));
         Splice splice;
-        Node *succ = dst.findGreaterOrEqual(n->key(), &splice);
+        Node *succ0 = dst.findGreaterOrEqual(n->key(), &splice);
+        // Snapshot-kept versions the merge moved earlier may already
+        // sit in the destination; descend below them so the run stays
+        // in internal-key order (key asc, seq desc).
+        bool shadowed = false;
+        Node *succ = succ0;
+        while (succ != nullptr && succ->key() == n->key() &&
+               succ->seq > n->seq) {
+            if (succ->seq <= keep_seq)
+                shadowed = true;
+            for (int level = 0; level < succ->height; level++)
+                splice.prev[level] = succ;
+            succ = succ->next(0);
+        }
         if (succ != nullptr && succ->key() == n->key() &&
-            succ->seq >= n->seq) {
-            // The destination already holds an equal-or-newer version
+            succ->seq == n->seq) {
+            // The destination already holds this exact version
             // (possible when a resumed merge re-examines the marked
             // node): nothing to do.
             return;
         }
+        if (shadowed) {
+            // A newer version visible to the oldest pinned snapshot
+            // already landed (stale resume): the node stays detached,
+            // its memory reclaimed with the absorbed arenas.
+            return;
+        }
         dst.linkNode(n, &splice);
         pointer_stores += n->height;
-        auto dups = collectDuplicates(n->nextRelaxed(0), n->key());
-        pointer_stores += unlinkDuplicates(&dst, n, &splice, dups);
+        // The same-key run now starts at succ0 only when the descent
+        // stepped over newer kept versions; otherwise n linked at the
+        // run's head.
+        Node *first_same = (succ0 != nullptr &&
+                            succ0->key() == n->key() &&
+                            succ0->seq > n->seq)
+                               ? succ0
+                               : n;
+        auto drop = shadowedVersions(first_same, n->key(), keep_seq);
+        pointer_stores += unlinkShadowed(&dst, n->key(), &splice, drop);
     };
 
     if (pending != nullptr) {
         insert_into_dst(pending);
-        last_key = pending->key().toString();
-        has_last = true;
         op->mark.store(nullptr, std::memory_order_release);
         moved++;
     }
@@ -73,18 +100,19 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
         if (n == nullptr)
             break;
 
-        // All versions of one key are handled in the same step (the
-        // paper drops N_d5 while processing N_d7): unlink the OLDER
-        // newtable duplicates first, while the newest version is
-        // still present, so a concurrent newtable search can never
-        // surface a stale version.
-        auto src_dups = collectDuplicates(n->nextRelaxed(0), n->key());
-        if (!src_dups.empty()) {
+        // All shadowed versions of one key are dropped in the same
+        // step (the paper drops N_d5 while processing N_d7): unlink
+        // them first, while the newest version is still present, so a
+        // concurrent newtable search can never surface a stale
+        // version. Versions a pinned snapshot still needs stay linked
+        // and flow through the mark protocol as their own steps.
+        auto drop = shadowedVersions(n, n->key(), keep_seq);
+        if (!drop.empty()) {
             Splice head_splice;
             for (int level = 0; level < SkipList::kMaxHeight; level++)
                 head_splice.prev[level] = src.head();
             pointer_stores +=
-                unlinkDuplicates(&src, n, &head_splice, src_dups);
+                unlinkShadowed(&src, n->key(), &head_splice, drop);
         }
 
         // Publish the node in the insertion mark, then detach it from
@@ -105,14 +133,7 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
             return false;
         }
 
-        if (has_last && n->key() == Slice(last_key)) {
-            // Possible only on a resumed merge whose recovered mark
-            // carried this key; the newer version already landed.
-        } else {
-            insert_into_dst(n);
-            last_key = n->key().toString();
-            has_last = true;
-        }
+        insert_into_dst(n);
         // Linked into the oldtable but the mark still points at it; a
         // resumed merge re-examines the node and must find it idempotent.
         MIO_FAILPOINT("zcm.relinked");
@@ -131,19 +152,20 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
 
 bool
 zeroCopyMerge(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
-              const MergeThrottle &throttle)
+              const MergeThrottle &throttle, uint64_t keep_seq)
 {
     ScopedTimer timer(&stats->compaction_ns);
-    return mergeLoop(op, device, stats, throttle, nullptr);
+    return mergeLoop(op, device, stats, throttle, nullptr, keep_seq);
 }
 
 bool
 resumeZeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
-                    StatsCounters *stats, const MergeThrottle &throttle)
+                    StatsCounters *stats, const MergeThrottle &throttle,
+                    uint64_t keep_seq)
 {
     ScopedTimer timer(&stats->compaction_ns);
     Node *pending = op->mark.load(std::memory_order_acquire);
-    return mergeLoop(op, device, stats, throttle, pending);
+    return mergeLoop(op, device, stats, throttle, pending, keep_seq);
 }
 
 bool
@@ -182,7 +204,7 @@ std::shared_ptr<PMTable>
 copyingMerge(const std::shared_ptr<PMTable> &newt,
              const std::shared_ptr<PMTable> &oldt,
              sim::NvmDevice *device, StatsCounters *stats,
-             uint64_t table_id, int bits_per_key)
+             uint64_t table_id, int bits_per_key, uint64_t keep_seq)
 {
     (void)bits_per_key;  // geometry comes from the inputs' filters
     ScopedTimer timer(&stats->compaction_ns);
@@ -203,13 +225,20 @@ copyingMerge(const std::shared_ptr<PMTable> &newt,
 
     std::string last_key;
     bool has_last = false;
+    bool last_shadowed = false;
     auto emit = [&](const Slice &key, uint64_t seq, EntryType type,
                     const Slice &val) {
-        if (has_last && key == Slice(last_key))
-            return;  // older duplicate
+        if (has_last && key == Slice(last_key)) {
+            if (last_shadowed)
+                return;  // older duplicate no pinned snapshot needs
+        } else {
+            last_shadowed = false;
+        }
         bool ok = out.insert(key, seq, type, val);
         assert(ok && "copying-merge arena sized for both inputs");
         (void)ok;
+        if (seq <= keep_seq)
+            last_shadowed = true;
         last_key = key.toString();
         has_last = true;
     };

@@ -18,6 +18,7 @@
 #include "kv/store_stats.h"
 #include "miodb/pmtable.h"
 #include "sim/nvm_device.h"
+#include "sstable/internal_key.h"
 
 namespace mio::miodb {
 
@@ -36,12 +37,18 @@ using MergeThrottle = std::function<bool(uint64_t nodes_moved)>;
  * reclamation), op->newt is empty, and op->done is true. Pointer
  * updates are metered as 8-byte NVM writes.
  *
+ * @param keep_seq oldest pinned snapshot bound: an older version is
+ * only unlinked when a newer version with seq <= keep_seq shadows it
+ * for every live snapshot. Pass kMaxSequence (the default) when no
+ * snapshots are pinned to reclaim everything but the newest.
+ *
  * @return true if the merge ran to completion; false if @p throttle
  * paused it (resume with resumeZeroCopyMerge).
  */
 bool zeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
                    StatsCounters *stats,
-                   const MergeThrottle &throttle = nullptr);
+                   const MergeThrottle &throttle = nullptr,
+                   uint64_t keep_seq = kMaxSequence);
 
 /**
  * Crash-recovery entry: finish an interrupted merge. Per the paper's
@@ -51,7 +58,8 @@ bool zeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
  */
 bool resumeZeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
                          StatsCounters *stats,
-                         const MergeThrottle &throttle = nullptr);
+                         const MergeThrottle &throttle = nullptr,
+                         uint64_t keep_seq = kMaxSequence);
 
 /**
  * Ablation baseline: merge by physically copying every live entry of
@@ -64,7 +72,8 @@ std::shared_ptr<PMTable>
 copyingMerge(const std::shared_ptr<PMTable> &newt,
              const std::shared_ptr<PMTable> &oldt,
              sim::NvmDevice *device, StatsCounters *stats,
-             uint64_t table_id, int bits_per_key);
+             uint64_t table_id, int bits_per_key,
+             uint64_t keep_seq = kMaxSequence);
 
 /**
  * Query a merging pair with the paper's three-step protocol:

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "lsm/db_iterator.h"
 #include "lsm/iterator.h"
 #include "util/clock.h"
 #include "util/coding.h"
@@ -90,20 +91,21 @@ NoveLSM::nosstInsert(const Slice &key, uint64_t seq, EntryType type,
     // memory is never reused, as in the real system's persistent log).
     // A big persistent skip list pays one NVM media access per level
     // of the descent (the cost the paper's Sec. 4.1 analysis counts).
+    // Unlinking follows the shadow rule: an old version is dropped
+    // only when a newer version at or below the oldest pinned bound
+    // stays linked (with no snapshots every old version qualifies).
     nvm_->chargeRandomReads(
         sim::skipDescentDepth(nosst_list_->entryCount()));
     SkipList::Splice splice;
-    SkipList::Node *succ = nosst_list_->findGreaterOrEqual(key, &splice);
-    auto dups = (succ != nullptr && succ->key() == key)
-                    ? miodb::collectDuplicates(succ, key)
-                    : std::vector<SkipList::Node *>{};
+    nosst_list_->findGreaterOrEqual(key, &splice);
     SkipList::Node *node = SkipList::makeNode(
         nosst_arena_.get(), key, seq, type, value,
         nosst_list_->randomHeight());
     stats_.storage_bytes_written.fetch_add(node->allocationSize(),
                                            std::memory_order_relaxed);
     nosst_list_->linkNode(node, &splice);
-    miodb::unlinkDuplicates(nosst_list_.get(), node, &splice, dups);
+    auto drop = miodb::shadowedVersions(node, key, keepSeq());
+    miodb::unlinkShadowed(nosst_list_.get(), key, &splice, drop);
 }
 
 void
@@ -335,46 +337,112 @@ Status
 NoveLSM::scan(const Slice &start_key, int count,
               std::vector<std::pair<std::string, std::string>> *out)
 {
+    // A live scan runs against a view pinned right now.
+    Snapshot *snap = getSnapshot();
+    Status s = scanAt(snap, start_key, count, out);
+    releaseSnapshot(snap);
+    return s;
+}
+
+uint64_t
+NoveLSM::keepSeq() const
+{
+    std::lock_guard<std::mutex> sl(snap_mu_);
+    return snap_bounds_.empty() ? kMaxSequence
+                                : *snap_bounds_.begin();
+}
+
+Snapshot *
+NoveLSM::getSnapshot()
+{
+    auto *snap = new NovSnapshot();
+    {
+        // write_mu_ serializes whole writes (seq allocation through
+        // the final insert), so every sequence below seq_ is fully
+        // applied; registering the bound under the same lock means a
+        // NoSST unlink decision never races the registration.
+        std::lock_guard<std::mutex> wl(write_mu_);
+        snap->bound = seq_.load(std::memory_order_relaxed) - 1;
+        std::lock_guard<std::mutex> sl(snap_mu_);
+        snap_bounds_.insert(snap->bound);
+        live_snapshots_.insert(snap);
+    }
+    if (options_.variant != Variant::kNoSST) {
+        std::lock_guard<std::mutex> tl(table_mu_);
+        if (dram_mem_)
+            snap->mems.push_back(dram_mem_);
+        if (nvm_mem_)
+            snap->mems.push_back(nvm_mem_);
+        for (auto it = nvm_imms_.rbegin(); it != nvm_imms_.rend(); ++it)
+            snap->mems.push_back(*it);
+    }
+    if (lsm_) {
+        snap->lsm_pin = lsm_->pinVersion();
+        snap->has_lsm = true;
+    }
+    stats_.snapshots_live.fetch_add(1, std::memory_order_relaxed);
+    return snap;
+}
+
+void
+NoveLSM::releaseSnapshot(Snapshot *snapshot)
+{
+    if (snapshot == nullptr)
+        return;
+    auto *snap = static_cast<NovSnapshot *>(snapshot);
+    {
+        std::lock_guard<std::mutex> sl(snap_mu_);
+        auto it = live_snapshots_.find(snap);
+        assert(it != live_snapshots_.end() &&
+               "releaseSnapshot: not a live snapshot of this store");
+        if (it == live_snapshots_.end())
+            return;  // double release: leak rather than corrupt
+        live_snapshots_.erase(it);
+        snap_bounds_.erase(snap_bounds_.find(snap->bound));
+    }
+    stats_.snapshots_live.fetch_sub(1, std::memory_order_relaxed);
+    delete snap;
+}
+
+Status
+NoveLSM::scanAt(const Snapshot *snapshot, const Slice &start_key,
+                int count,
+                std::vector<std::pair<std::string, std::string>> *out)
+{
     stats_.scans.fetch_add(1, std::memory_order_relaxed);
     out->clear();
+    if (count <= 0)
+        return Status::ok();
+    if (snapshot == nullptr)
+        return scan(start_key, count, out);
+    const auto *snap = static_cast<const NovSnapshot *>(snapshot);
 
-    // Pin the MemTables for the scan's lifetime: the child iterators
-    // keep raw list pointers, and a concurrent flush could otherwise
-    // release a table mid-iteration.
-    std::vector<std::shared_ptr<lsm::MemTable>> pinned;
     std::vector<std::unique_ptr<lsm::KVIterator>> children;
     if (options_.variant == Variant::kNoSST) {
+        // Live list, but versions the bound still needs stay linked
+        // (keepSeq gates nosstInsert's unlinking); newer versions are
+        // filtered by the DBIterator's bound.
         children.push_back(
             std::make_unique<lsm::SkipListIterator>(nosst_list_.get()));
     } else {
-        {
-            std::lock_guard<std::mutex> tl(table_mu_);
-            if (dram_mem_)
-                pinned.push_back(dram_mem_);
-            if (nvm_mem_)
-                pinned.push_back(nvm_mem_);
-            for (auto it = nvm_imms_.rbegin(); it != nvm_imms_.rend();
-                 ++it) {
-                pinned.push_back(*it);
-            }
-        }
-        for (const auto &mem : pinned) {
+        for (const auto &mem : snap->mems) {
             children.push_back(
                 std::make_unique<lsm::SkipListIterator>(&mem->list()));
         }
     }
-    if (lsm_)
-        children.push_back(lsm_->newIterator());
+    if (snap->has_lsm)
+        children.push_back(lsm_->newIterator(snap->lsm_pin));
 
-    lsm::DedupingIterator iter(std::make_unique<lsm::MergingIterator>(
-        std::move(children)));
+    lsm::DBIterator iter(std::make_unique<lsm::MergingIterator>(
+                             std::move(children)),
+                         snap->bound);
     for (iter.seek(start_key); iter.valid() &&
                                static_cast<int>(out->size()) < count;
          iter.next()) {
         out->emplace_back(iter.key().toString(),
                           iter.value().toString());
     }
-    return Status::ok();
+    return iter.status();
 }
 
 void

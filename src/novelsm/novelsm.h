@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
+#include <set>
 #include <thread>
 
 #include "kv/kv_store.h"
@@ -70,6 +71,20 @@ class NoveLSM : public KVStore
     Status scan(const Slice &start_key, int count,
                 std::vector<std::pair<std::string, std::string>> *out)
         override;
+    /**
+     * Pin a point-in-time view. Writes are fully serialized under
+     * write_mu_, so a bound of seq_-1 captured there covers exactly
+     * the completed writes; MemTables are pinned by reference, the
+     * SSTable tree by file-version pin, and the NoSST list stays
+     * readable because in-place version unlinking is gated on the
+     * oldest live bound (see nosstInsert).
+     */
+    Snapshot *getSnapshot() override;
+    void releaseSnapshot(Snapshot *snapshot) override;
+    Status scanAt(const Snapshot *snapshot, const Slice &start_key,
+                  int count,
+                  std::vector<std::pair<std::string, std::string>> *out)
+        override;
     void waitIdle() override;
     const StatsCounters &stats() const override { return stats_; }
     std::string name() const override;
@@ -77,6 +92,24 @@ class NoveLSM : public KVStore
     lsm::LsmTree *lsmTree() { return lsm_.get(); }
 
   private:
+    /** Pinned view; all members are owning references. */
+    struct NovSnapshot : public Snapshot {
+        uint64_t bound = 0;
+        /** Pinned MemTables, newest first (dram, nvm, imms). */
+        std::vector<std::shared_ptr<lsm::MemTable>> mems;
+        lsm::LsmTree::VersionPin lsm_pin;
+        bool has_lsm = false;
+        uint64_t sequence() const override { return bound; }
+    };
+
+    /**
+     * Version-reclamation bound for the NoSST list's in-place
+     * updates: the oldest live snapshot bound, or kMaxSequence when
+     * none is pinned. Writes and snapshot capture both hold
+     * write_mu_, so there is no registration race to close.
+     */
+    uint64_t keepSeq() const;
+
     Status writeEntry(const Slice &key, EntryType type,
                       const Slice &value);
     /** Insert into the unbounded NoSST skip list (in-place update). */
@@ -110,6 +143,11 @@ class NoveLSM : public KVStore
     // NoSST only: one unbounded persistent skip list.
     std::unique_ptr<ChunkedNvmArena> nosst_arena_;
     std::unique_ptr<SkipList> nosst_list_;
+
+    // Snapshot registry (guarded by snap_mu_).
+    mutable std::mutex snap_mu_;
+    std::multiset<uint64_t> snap_bounds_;
+    std::set<NovSnapshot *> live_snapshots_;
 
     std::atomic<bool> shutting_down_{false};
     std::thread flush_thread_;

@@ -126,7 +126,10 @@ ShardedKvStore::write(const WriteBatch &batch)
 
     // Commit shard by shard. The first failure aborts the remaining
     // sub-batches; already-committed shards keep their slice (see the
-    // header: atomicity is per shard, not cross-shard).
+    // header: atomicity is per shard, not cross-shard). Held shared
+    // across every sub-commit so a snapshot capture (exclusive) can
+    // never observe the batch half-landed.
+    std::shared_lock<std::shared_mutex> batch_lock(batch_snap_mu_);
     for (size_t i = 0; i < split.size(); i++) {
         if (split[i].empty())
             continue;
@@ -142,20 +145,73 @@ ShardedKvStore::scan(
     const Slice &start_key, int count,
     std::vector<std::pair<std::string, std::string>> *out)
 {
+    if (shards_.size() == 1) {
+        facade_scans_.fetch_add(1, std::memory_order_relaxed);
+        out->clear();
+        if (count <= 0)
+            return Status::ok();
+        return shards_[0]->scan(start_key, count, out);
+    }
+    // Multi-shard: scan a freshly pinned shard-set view, so a
+    // cross-shard batch committing mid-scan is all-or-nothing.
+    Snapshot *snap = getSnapshot();
+    Status s = scanAt(snap, start_key, count, out);
+    releaseSnapshot(snap);
+    return s;
+}
+
+Snapshot *
+ShardedKvStore::getSnapshot()
+{
+    auto *snap = new ShardSetSnapshot();
+    snap->pins.reserve(shards_.size());
+    // Exclusive vs the multi-shard write path (which holds this
+    // shared): no cross-shard batch is mid-commit while the pins are
+    // taken. Capture itself is cheap -- each shard pin is a handful
+    // of shared_ptr acquires.
+    std::unique_lock<std::shared_mutex> lock(batch_snap_mu_);
+    for (auto &shard : shards_) {
+        Snapshot *pin = shard->getSnapshot();
+        snap->pins.push_back(pin);
+        if (pin != nullptr)
+            snap->max_bound = std::max(snap->max_bound,
+                                       pin->sequence());
+    }
+    return snap;
+}
+
+void
+ShardedKvStore::releaseSnapshot(Snapshot *snapshot)
+{
+    if (snapshot == nullptr)
+        return;
+    auto *snap = static_cast<ShardSetSnapshot *>(snapshot);
+    for (size_t i = 0; i < snap->pins.size(); i++)
+        shards_[i]->releaseSnapshot(snap->pins[i]);
+    delete snap;
+}
+
+Status
+ShardedKvStore::scanAt(
+    const Snapshot *snapshot, const Slice &start_key, int count,
+    std::vector<std::pair<std::string, std::string>> *out)
+{
+    if (snapshot == nullptr)
+        return scan(start_key, count, out);
     facade_scans_.fetch_add(1, std::memory_order_relaxed);
     out->clear();
     if (count <= 0)
         return Status::ok();
-    if (shards_.size() == 1)
-        return shards_[0]->scan(start_key, count, out);
+    const auto *snap = static_cast<const ShardSetSnapshot *>(snapshot);
 
     // Each shard can contribute at most `count` rows to the merged
     // prefix, so per-shard scans of the same depth lose nothing.
     std::vector<std::unique_ptr<lsm::KVIterator>> children;
     children.reserve(shards_.size());
-    for (auto &shard : shards_) {
+    for (size_t i = 0; i < shards_.size(); i++) {
         std::vector<std::pair<std::string, std::string>> part;
-        Status s = shard->scan(start_key, count, &part);
+        Status s = shards_[i]->scanAt(snap->pins[i], start_key, count,
+                                      &part);
         if (!s.isOk())
             return s;
         children.push_back(

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,20 @@ class ShardedKvStore : public KVStore
                 std::vector<std::pair<std::string, std::string>> *out)
         override;
 
+    /**
+     * Pin all N shards as one view. Capture excludes the multi-shard
+     * write path (writers hold the lock shared, capture holds it
+     * exclusive), so a cross-shard batch is either fully visible in
+     * every per-shard pin or in none -- the per-shard all-or-nothing
+     * guarantee lifts to the whole batch under a snapshot scan.
+     */
+    Snapshot *getSnapshot() override;
+    void releaseSnapshot(Snapshot *snapshot) override;
+    Status scanAt(const Snapshot *snapshot, const Slice &start_key,
+                  int count,
+                  std::vector<std::pair<std::string, std::string>> *out)
+        override;
+
     void waitIdle() override;
 
     /**
@@ -100,8 +115,23 @@ class ShardedKvStore : public KVStore
     ShardRouter router_;
 
   private:
+    /** Per-shard pins, captured under batch_snap_mu_ (exclusive). */
+    struct ShardSetSnapshot : public Snapshot {
+        /** One per shard; nullptr where an engine lacks snapshots. */
+        std::vector<Snapshot *> pins;
+        /**
+         * Max of the per-shard bounds. Sequences are per-shard
+         * counters, so this is a label, not a cross-shard ordering;
+         * visibility decisions happen inside each shard's pin.
+         */
+        uint64_t max_bound = 0;
+        uint64_t sequence() const override { return max_bound; }
+    };
+
     std::string name_;
     const StatsCounters *extra_stats_ = nullptr;
+    /** shared: multi-shard write in flight; exclusive: getSnapshot. */
+    mutable std::shared_mutex batch_snap_mu_;
     std::atomic<uint64_t> facade_scans_{0};
     // stats() is const but aggregation materializes here on demand.
     mutable std::mutex agg_mu_;
