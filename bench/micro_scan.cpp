@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "benchutil/reporter.h"
+#include "benchutil/shard_stats.h"
 #include "benchutil/store_factory.h"
 #include "shard/sharded_kv_store.h"
 #include "ycsb/runner.h"
@@ -47,42 +48,8 @@ struct ScanRun {
     uint64_t snapshots_live_end = 0;
 };
 
-/**
- * --stats: per-shard counter slices of a sharded run, proving the
- * facade's aggregate is the fieldwise sum of its shards (the same
- * invariant tests/sharded_store_test.cpp asserts).
- */
-void
-printShardBreakdown(KVStore *store)
-{
-    auto *sharded = dynamic_cast<shard::ShardedKvStore *>(store);
-    if (sharded == nullptr) {
-        printf("  (unsharded store: no per-shard breakdown)\n");
-        return;
-    }
-    TableReporter tbl("Per-shard counters (facade `scans` counts "
-                      "user-facing calls, shard `scans` the fan-out)",
-                      {"shard", "puts", "gets", "scans", "snapshots",
-                       "flushes", "zero-copy", "lazy-copy"});
-    for (int i = 0; i < sharded->numShards(); i++) {
-        const StatsSnapshot s =
-            snapshotOf(sharded->shardAt(i).stats());
-        tbl.addRow({std::to_string(i), std::to_string(s.puts),
-                    std::to_string(s.gets), std::to_string(s.scans),
-                    std::to_string(s.snapshots_live),
-                    std::to_string(s.flush_count),
-                    std::to_string(s.zero_copy_merges),
-                    std::to_string(s.lazy_copy_merges)});
-    }
-    const StatsSnapshot agg = snapshotOf(sharded->stats());
-    tbl.addRow({"sum", std::to_string(agg.puts),
-                std::to_string(agg.gets), std::to_string(agg.scans),
-                std::to_string(agg.snapshots_live),
-                std::to_string(agg.flush_count),
-                std::to_string(agg.zero_copy_merges),
-                std::to_string(agg.lazy_copy_merges)});
-    tbl.print();
-}
+// --stats now routes through the shared per-shard breakdown in
+// benchutil/shard_stats.h (one table shape across every bench).
 
 void
 writeJson(const std::string &path, const BenchConfig &base,
@@ -198,7 +165,7 @@ main(int argc, char **argv)
                 if (want_stats) {
                     printf("\n-- %s shards=%d max_len=%d\n",
                            row.store.c_str(), shards, max_len);
-                    printShardBreakdown(bundle.store.get());
+                    printShardStats(bundle.store.get());
                 }
                 if (row.snapshots_live_end != 0) {
                     fprintf(stderr,

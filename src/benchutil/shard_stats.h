@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared `--stats` helper: per-shard counter breakdown for stores
+ * behind the ShardedKvStore facade. The facade's stats() is the
+ * fieldwise sum of its shards, which hides skew -- this prints one
+ * row per shard (plus the aggregate) so a bench run can show how
+ * evenly the router spread work and where value-log traffic landed.
+ */
+#ifndef MIO_BENCHUTIL_SHARD_STATS_H_
+#define MIO_BENCHUTIL_SHARD_STATS_H_
+
+#include "kv/kv_store.h"
+
+namespace mio::bench {
+
+/**
+ * Print a per-shard breakdown table for @p store: core op/flush/merge
+ * counters plus the vlog_* family (appends, deref reads, GC passes,
+ * relocated/reclaimed bytes, live segments). Prints a one-line note
+ * instead when @p store is not sharded.
+ */
+void printShardStats(KVStore *store);
+
+} // namespace mio::bench
+
+#endif // MIO_BENCHUTIL_SHARD_STATS_H_

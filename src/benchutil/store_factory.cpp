@@ -68,6 +68,12 @@ BenchConfig::fromFlags(const Flags &flags)
         flags.getInt("scrub_interval_ms", c.scrub_interval_ms);
     c.write_stall_timeout_ms = flags.getInt("write_stall_timeout_ms",
                                             c.write_stall_timeout_ms);
+    c.value_separation_threshold = flags.getSize(
+        "value_separation_threshold", c.value_separation_threshold);
+    c.vlog_segment_bytes =
+        flags.getSize("vlog_segment_bytes", c.vlog_segment_bytes);
+    c.vlog_gc_trigger_ratio = flags.getDouble("vlog_gc_trigger_ratio",
+                                              c.vlog_gc_trigger_ratio);
     c.shards = static_cast<int>(flags.getInt("shards", c.shards));
     return c;
 }
@@ -109,6 +115,9 @@ miodbOptionsFrom(const BenchConfig &config)
     o.write_stall_timeout_ms = config.write_stall_timeout_ms;
     o.use_ssd_repository = config.ssd_mode;
     o.ssd_lsm = scaledLsmOptions(config);
+    o.value_separation_threshold = config.value_separation_threshold;
+    o.vlog_segment_bytes = config.vlog_segment_bytes;
+    o.vlog_gc_trigger_ratio = config.vlog_gc_trigger_ratio;
     return o;
 }
 

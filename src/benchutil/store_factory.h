@@ -69,6 +69,11 @@ struct BenchConfig {
     // backpressure from any bench binary.
     uint64_t scrub_interval_ms = 0;
     uint64_t write_stall_timeout_ms = 1000;
+    // Key-value separation knobs (MioDB only; DESIGN.md Sec. 5i).
+    // 0 disables separation; bench/micro_vlog sweeps both modes.
+    size_t value_separation_threshold = 512;
+    size_t vlog_segment_bytes = 4u << 20;
+    double vlog_gc_trigger_ratio = 0.5;
     /**
      * Horizontal shards behind one ShardedKvStore facade (DESIGN.md
      * Sec. 5g). 1 (the default) takes the exact unsharded code path.

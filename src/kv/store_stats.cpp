@@ -48,6 +48,15 @@ snapshotOf(const StatsCounters &c)
     s.wal_corrupt_frames = get(c.wal_corrupt_frames);
     s.snapshots_live = get(c.snapshots_live);
     s.snapshots_pinned_manifests = get(c.snapshots_pinned_manifests);
+    s.vlog_appends = get(c.vlog_appends);
+    s.vlog_appended_bytes = get(c.vlog_appended_bytes);
+    s.vlog_deref_reads = get(c.vlog_deref_reads);
+    s.vlog_gc_passes = get(c.vlog_gc_passes);
+    s.vlog_gc_relocated_bytes = get(c.vlog_gc_relocated_bytes);
+    s.vlog_gc_reclaimed_bytes = get(c.vlog_gc_reclaimed_bytes);
+    s.vlog_segments_created = get(c.vlog_segments_created);
+    s.vlog_segments_unlinked = get(c.vlog_segments_unlinked);
+    s.vlog_segments_live = get(c.vlog_segments_live);
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         s.sched_submitted[j] = get(c.sched_submitted[j]);
         s.sched_completed[j] = get(c.sched_completed[j]);
@@ -109,6 +118,19 @@ statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
     // than a meaningless difference.
     d.snapshots_live = a.snapshots_live;
     d.snapshots_pinned_manifests = a.snapshots_pinned_manifests;
+    d.vlog_appends = a.vlog_appends - b.vlog_appends;
+    d.vlog_appended_bytes = a.vlog_appended_bytes - b.vlog_appended_bytes;
+    d.vlog_deref_reads = a.vlog_deref_reads - b.vlog_deref_reads;
+    d.vlog_gc_passes = a.vlog_gc_passes - b.vlog_gc_passes;
+    d.vlog_gc_relocated_bytes =
+        a.vlog_gc_relocated_bytes - b.vlog_gc_relocated_bytes;
+    d.vlog_gc_reclaimed_bytes =
+        a.vlog_gc_reclaimed_bytes - b.vlog_gc_reclaimed_bytes;
+    d.vlog_segments_created =
+        a.vlog_segments_created - b.vlog_segments_created;
+    d.vlog_segments_unlinked =
+        a.vlog_segments_unlinked - b.vlog_segments_unlinked;
+    d.vlog_segments_live = a.vlog_segments_live;  // gauge
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         d.sched_submitted[j] = a.sched_submitted[j] - b.sched_submitted[j];
         d.sched_completed[j] = a.sched_completed[j] - b.sched_completed[j];
@@ -166,6 +188,15 @@ statsAdd(StatsSnapshot *acc, const StatsSnapshot &b)
     acc->wal_corrupt_frames += b.wal_corrupt_frames;
     acc->snapshots_live += b.snapshots_live;
     acc->snapshots_pinned_manifests += b.snapshots_pinned_manifests;
+    acc->vlog_appends += b.vlog_appends;
+    acc->vlog_appended_bytes += b.vlog_appended_bytes;
+    acc->vlog_deref_reads += b.vlog_deref_reads;
+    acc->vlog_gc_passes += b.vlog_gc_passes;
+    acc->vlog_gc_relocated_bytes += b.vlog_gc_relocated_bytes;
+    acc->vlog_gc_reclaimed_bytes += b.vlog_gc_reclaimed_bytes;
+    acc->vlog_segments_created += b.vlog_segments_created;
+    acc->vlog_segments_unlinked += b.vlog_segments_unlinked;
+    acc->vlog_segments_live += b.vlog_segments_live;
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         acc->sched_submitted[j] += b.sched_submitted[j];
         acc->sched_completed[j] += b.sched_completed[j];
@@ -223,6 +254,15 @@ loadInto(const StatsSnapshot &s, StatsCounters *out)
     set(out->wal_corrupt_frames, s.wal_corrupt_frames);
     set(out->snapshots_live, s.snapshots_live);
     set(out->snapshots_pinned_manifests, s.snapshots_pinned_manifests);
+    set(out->vlog_appends, s.vlog_appends);
+    set(out->vlog_appended_bytes, s.vlog_appended_bytes);
+    set(out->vlog_deref_reads, s.vlog_deref_reads);
+    set(out->vlog_gc_passes, s.vlog_gc_passes);
+    set(out->vlog_gc_relocated_bytes, s.vlog_gc_relocated_bytes);
+    set(out->vlog_gc_reclaimed_bytes, s.vlog_gc_reclaimed_bytes);
+    set(out->vlog_segments_created, s.vlog_segments_created);
+    set(out->vlog_segments_unlinked, s.vlog_segments_unlinked);
+    set(out->vlog_segments_live, s.vlog_segments_live);
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         set(out->sched_submitted[j], s.sched_submitted[j]);
         set(out->sched_completed[j], s.sched_completed[j]);
@@ -279,12 +319,28 @@ StatsSnapshot::toString() const
                      snapshots_pinned_manifests));
         out += buf;
     }
+    if (vlog_appends > 0 || vlog_segments_live > 0) {
+        snprintf(buf, sizeof(buf),
+                 "\nvlog: appends=%llu appended_bytes=%llu derefs=%llu "
+                 "segments=%llu/%llu live=%llu gc_passes=%llu "
+                 "relocated=%llu reclaimed=%llu",
+                 static_cast<unsigned long long>(vlog_appends),
+                 static_cast<unsigned long long>(vlog_appended_bytes),
+                 static_cast<unsigned long long>(vlog_deref_reads),
+                 static_cast<unsigned long long>(vlog_segments_created),
+                 static_cast<unsigned long long>(vlog_segments_unlinked),
+                 static_cast<unsigned long long>(vlog_segments_live),
+                 static_cast<unsigned long long>(vlog_gc_passes),
+                 static_cast<unsigned long long>(vlog_gc_relocated_bytes),
+                 static_cast<unsigned long long>(vlog_gc_reclaimed_bytes));
+        out += buf;
+    }
     uint64_t total_jobs = 0;
     for (int j = 0; j < StatsCounters::kJobClasses; j++)
         total_jobs += sched_submitted[j];
     if (total_jobs > 0) {
         static const char *kClassNames[StatsCounters::kJobClasses] = {
-            "flush", "lcm", "zcm", "ssd", "walrec", "scrub"};
+            "flush", "lcm", "zcm", "ssd", "walrec", "scrub", "vloggc"};
         snprintf(buf, sizeof(buf), "\nsched: escalations=%llu",
                  static_cast<unsigned long long>(sched_escalations));
         out += buf;

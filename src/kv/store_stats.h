@@ -93,9 +93,27 @@ struct StatsCounters {
     /** Level manifests (and table sets) pinned by live snapshots. */
     std::atomic<uint64_t> snapshots_pinned_manifests{0};
 
+    // -- value log (key-value separation) --
+    /** Values separated into the NVM value log at write time. */
+    std::atomic<uint64_t> vlog_appends{0};
+    /** Payload bytes appended to the value log (user + GC traffic). */
+    std::atomic<uint64_t> vlog_appended_bytes{0};
+    /** Pointer dereferences served by the value log on reads/scans. */
+    std::atomic<uint64_t> vlog_deref_reads{0};
+    /** GC passes that examined at least one victim segment. */
+    std::atomic<uint64_t> vlog_gc_passes{0};
+    /** Live bytes GC re-appended to the head segment. */
+    std::atomic<uint64_t> vlog_gc_relocated_bytes{0};
+    /** Segment capacity returned to the device by GC unlinks. */
+    std::atomic<uint64_t> vlog_gc_reclaimed_bytes{0};
+    std::atomic<uint64_t> vlog_segments_created{0};
+    std::atomic<uint64_t> vlog_segments_unlinked{0};
+    /** Gauge: segments currently holding data. */
+    std::atomic<uint64_t> vlog_segments_live{0};
+
     // -- background scheduler (per-job-class observability) --
-    /** Job classes: flush, lcm, zcm, ssd, wal-recycle, scrub. */
-    static constexpr int kJobClasses = 6;
+    /** Job classes: flush, lcm, zcm, ssd, wal-recycle, scrub, vloggc. */
+    static constexpr int kJobClasses = 7;
     /** Decade latency buckets: <1us, <10us, ..., <1s, >=1s. */
     static constexpr int kSchedLatBuckets = 8;
     std::atomic<uint64_t> sched_submitted[kJobClasses]{};
@@ -174,6 +192,15 @@ struct StatsSnapshot {
     uint64_t wal_corrupt_frames = 0;
     uint64_t snapshots_live = 0;
     uint64_t snapshots_pinned_manifests = 0;
+    uint64_t vlog_appends = 0;
+    uint64_t vlog_appended_bytes = 0;
+    uint64_t vlog_deref_reads = 0;
+    uint64_t vlog_gc_passes = 0;
+    uint64_t vlog_gc_relocated_bytes = 0;
+    uint64_t vlog_gc_reclaimed_bytes = 0;
+    uint64_t vlog_segments_created = 0;
+    uint64_t vlog_segments_unlinked = 0;
+    uint64_t vlog_segments_live = 0;
     uint64_t sched_submitted[StatsCounters::kJobClasses] = {};
     uint64_t sched_completed[StatsCounters::kJobClasses] = {};
     uint64_t sched_dropped[StatsCounters::kJobClasses] = {};

@@ -75,6 +75,12 @@ class DBIterator
 
     Slice key() const { return Slice(user_key_); }
     Slice value() const { return Slice(value_); }
+    /**
+     * Type of the current entry (kValue, or kValuePointer when the
+     * value is an encoded value-log handle the caller must resolve;
+     * never kDeletion -- tombstones are skipped).
+     */
+    EntryType entryType() const { return type_; }
 
   private:
     /**
@@ -114,6 +120,7 @@ class DBIterator
             }
             user_key_ = parsed.user_key.toString();
             value_ = base_->value().toString();
+            type_ = parsed.type;
             valid_ = true;
             return;
         }
@@ -126,6 +133,7 @@ class DBIterator
     bool valid_ = false;
     std::string user_key_;
     std::string value_;
+    EntryType type_ = EntryType::kValue;
 };
 
 } // namespace mio::lsm

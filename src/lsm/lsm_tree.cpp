@@ -138,8 +138,11 @@ LsmTree::writeTables(KVIterator *iter, bool drop_tombstones,
         if (!parseInternalKey(iter->key(), &parsed))
             return Status::corruption("bad internal key in compaction");
         // Keep only the newest version of each user key.
-        if (has_last && parsed.user_key == Slice(last_user_key))
+        if (has_last && parsed.user_key == Slice(last_user_key)) {
+            if (drop_notify_)
+                drop_notify_(parsed.type, iter->value());
             continue;
+        }
         last_user_key.assign(parsed.user_key.data(),
                              parsed.user_key.size());
         has_last = true;

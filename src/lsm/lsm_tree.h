@@ -129,6 +129,18 @@ class LsmTree
     void rebindStats(StatsCounters *stats) { stats_ = stats; }
 
     /**
+     * Hook invoked with (type, value) for every entry the table
+     * writer discards (older duplicate versions, dropped tombstones).
+     * The owner uses it to decay value-log liveness when separated
+     * value pointers fall out of the tree. nullptr detaches.
+     */
+    void
+    setDropNotify(std::function<void(EntryType, const Slice &)> fn)
+    {
+        drop_notify_ = std::move(fn);
+    }
+
+    /**
      * Re-point the tree at a new external scheduler, or detach it
      * (nullptr). The tree's durable state (NvmState in MioDB's SSD
      * mode) outlives the store instance whose scheduler it borrows, so
@@ -183,6 +195,8 @@ class LsmTree
     /** A failpoint (sim::SimCrash) froze this tree's compactions: no
      *  further jobs are submitted, and waitIdle returns immediately. */
     std::atomic<bool> crashed_{false};
+    /** See setDropNotify. */
+    std::function<void(EntryType, const Slice &)> drop_notify_;
 };
 
 } // namespace mio::lsm

@@ -111,8 +111,13 @@ PmRepository::mergeTable(PMTable *src, uint64_t keep_seq)
         bool shadowed = false;
         for (SkipList::Node *v : run) {
             MIO_FAILPOINT("lcm.publish_node");
-            if (shadowed)
+            if (shadowed) {
+                // Shadowed for every live snapshot: never copied in,
+                // reclaimed with the source arena.
+                if (drop_notify_)
+                    drop_notify_(v->entryType(), v->value());
                 continue;
+            }
             bool shadows_rest = v->seq <= keep_seq;
             if (shadows_rest)
                 shadowed = true;
@@ -159,6 +164,10 @@ PmRepository::mergeTable(PMTable *src, uint64_t keep_seq)
                 drop.push_back(d);
             if (d->seq <= keep_seq)
                 shadowed = true;
+        }
+        if (drop_notify_) {
+            for (SkipList::Node *d : drop)
+                drop_notify_(d->entryType(), d->value());
         }
         pointer_stores +=
             unlinkShadowed(list_.get(), key, &splice, drop);

@@ -21,6 +21,7 @@
 #include "kv/store_stats.h"
 #include "lsm/lsm_tree.h"
 #include "miodb/pmtable.h"
+#include "miodb/zero_copy_merge.h"
 #include "sstable/internal_key.h"
 
 namespace mio::miodb {
@@ -133,6 +134,14 @@ class Repository
      * adoption protocol; call it before recoverAfterCrash.
      */
     virtual void rebindScheduler(sched::BackgroundScheduler *) {}
+
+    /**
+     * Install the drop-notification hook (see DropNotify): invoked
+     * for every version this repository's compaction discards, so the
+     * owning store can decay value-log liveness accounting. Re-set on
+     * adoption alongside rebindStats; pass nullptr to detach.
+     */
+    virtual void setDropNotify(DropNotify fn) { (void)fn; }
 };
 
 /** Huge persistent skip list in NVM (the paper's primary design). */
@@ -157,6 +166,11 @@ class PmRepository : public Repository
     }
     void rebindStats(StatsCounters *stats) override { stats_ = stats; }
     ScrubReport scrub() override;
+    void
+    setDropNotify(DropNotify fn) override
+    {
+        drop_notify_ = std::move(fn);
+    }
 
     const SkipList &list() const { return *list_; }
     size_t memoryUsage() const { return arena_.memoryUsage(); }
@@ -169,6 +183,7 @@ class PmRepository : public Repository
     ChunkedNvmArena arena_;
     std::unique_ptr<SkipList> list_;
     uint64_t garbage_bytes_ = 0;
+    DropNotify drop_notify_;
 };
 
 /** SSD-mode repository: a leveled LSM of SSTables (paper Sec. 5.4). */
@@ -208,6 +223,11 @@ class SsdRepository : public Repository
     rebindScheduler(sched::BackgroundScheduler *sched) override
     {
         lsm_.rebindScheduler(sched);
+    }
+    void
+    setDropNotify(DropNotify fn) override
+    {
+        lsm_.setDropNotify(std::move(fn));
     }
 
     lsm::LsmTree &lsm() { return lsm_; }

@@ -46,6 +46,11 @@ MioDB::backgroundWorkerCount() const
         n += 1;
     if (options_.use_ssd_repository)
         n += std::max(1, options_.ssd_lsm.compaction_threads);
+    // A vlog GC relocation commit can park its worker briefly on a
+    // memtable rotation; keep a slot of headroom so the flush that
+    // rotation waits for always finds a free worker.
+    if (options_.value_separation_threshold > 0)
+        n += 1;
     return n;
 }
 
@@ -313,8 +318,17 @@ MioDB::compactLevelOnce(int level)
         }
         return CompactResult::kNoWork;
     }
+    // Every version a merge drops decays the value log's live-bytes
+    // estimate for the segment its pointer targets (GC trigger input).
+    const DropNotify drop_hook =
+        state_->vlog != nullptr
+            ? DropNotify([this](EntryType t, const Slice &v) {
+                  noteDropped(t, v);
+              })
+            : DropNotify();
     if (options_.zero_copy_merge) {
-        zeroCopyMerge(op.get(), nvm_, &stats_, nullptr, keep_seq);
+        zeroCopyMerge(op.get(), nvm_, &stats_, nullptr, keep_seq,
+                      drop_hook);
         // Publish the result downstream before retiring the merge so
         // readers never lose sight of the data.
         state_->levels.level(level + 1).push(op->oldt);
@@ -323,11 +337,12 @@ MioDB::compactLevelOnce(int level)
         uint64_t table_id = state_->next_table_id.fetch_add(1);
         auto result = copyingMerge(op->newt, op->oldt, nvm_, &stats_,
                                    table_id, options_.bits_per_key,
-                                   keep_seq);
+                                   keep_seq, drop_hook);
         if (result == nullptr) {
             // The NVM budget denied the copy target; degrade to the
             // allocation-free zero-copy merge instead of failing.
-            zeroCopyMerge(op.get(), nvm_, &stats_, nullptr, keep_seq);
+            zeroCopyMerge(op.get(), nvm_, &stats_, nullptr, keep_seq,
+                          drop_hook);
             state_->levels.level(level + 1).push(op->oldt);
             bl.finishMerge(op);
             return CompactResult::kWorked;
@@ -374,6 +389,209 @@ MioDB::kickMaintenance()
     if (pending)
         scheduleFlush();
     kickCompaction();
+    scheduleVlogGc();
+}
+
+void
+MioDB::noteDropped(EntryType type, const Slice &value)
+{
+    if (type != EntryType::kValuePointer || state_->vlog == nullptr)
+        return;
+    ValuePointer vp;
+    if (!ValuePointer::decode(value, &vp))
+        return;
+    state_->vlog->noteDead(vp);
+    scheduleVlogGc();
+}
+
+void
+MioDB::scheduleVlogGc()
+{
+    if (sched_ == nullptr || crashed_.load() || shutting_down_.load())
+        return;
+    if (!vlog_gc_enabled_.load(std::memory_order_acquire))
+        return;
+    if (state_->vlog == nullptr || options_.vlog_gc_trigger_ratio <= 0)
+        return;
+    // Only queue a job when it has something to do: a victim past the
+    // trigger ratio, or a fully-relocated segment awaiting its
+    // snapshot gate. Keeps idle stores from cycling no-op jobs.
+    bool has_pending;
+    {
+        std::lock_guard<std::mutex> gl(vlog_gc_mu_);
+        has_pending = !vlog_pending_unlinks_.empty();
+    }
+    if (!has_pending &&
+        !state_->vlog->hasGcCandidate(options_.vlog_gc_trigger_ratio))
+        return;
+    if (vlog_gc_scheduled_.exchange(true))
+        return;
+    sched_->submit(
+        sched::JobClass::kVlogGc, [this] { vlogGcJob(); },
+        [this] { vlog_gc_scheduled_.store(false); });
+}
+
+void
+MioDB::vlogGcJob()
+{
+    ValueLog *vlog = state_->vlog.get();
+    if (vlog == nullptr || shutting_down_.load() || crashed_.load()) {
+        vlog_gc_scheduled_.store(false);
+        sched_->notifyEvent();
+        return;
+    }
+
+    // Unlink segments whose gate has passed: every snapshot that could
+    // still resolve a pre-relocation pointer (bound < gc_seq) is gone.
+    auto processPendingUnlinks = [&] {
+        const uint64_t oldest = oldestSnapshotSeq();
+        std::vector<uint64_t> ready;
+        {
+            std::lock_guard<std::mutex> gl(vlog_gc_mu_);
+            auto it = vlog_pending_unlinks_.begin();
+            while (it != vlog_pending_unlinks_.end()) {
+                if (oldest >= it->gc_seq) {
+                    ready.push_back(it->segment_id);
+                    it = vlog_pending_unlinks_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        for (uint64_t id : ready) {
+            // A crash here loses only the unlink: the segment's
+            // records are all dead (index moved past them), so the
+            // reopened store's GC probes re-discover and re-unlink it.
+            MIO_FAILPOINT("vlog.gc.before_unlink");
+            vlog->unlinkSegment(id);
+        }
+    };
+    processPendingUnlinks();
+
+    const uint64_t victim =
+        options_.vlog_gc_trigger_ratio > 0
+            ? vlog->pickGcVictim(options_.vlog_gc_trigger_ratio)
+            : 0;
+    bool aborted = false;
+    bool deferred = false;
+    if (victim != 0 && !shutting_down_.load() && !crashed_.load()) {
+        stats_.vlog_gc_passes.fetch_add(1, std::memory_order_relaxed);
+        std::vector<ValueLog::Record> records;
+        if (vlog->collectRecords(victim, &records)) {
+            for (const ValueLog::Record &rec : records) {
+                if (shutting_down_.load() || crashed_.load()) {
+                    aborted = true;
+                    break;
+                }
+                // Liveness probe: the record is live iff the key's
+                // newest committed entry is a pointer at exactly this
+                // record. A corrupt probe means liveness is unknown --
+                // never unlink over it.
+                std::string cur;
+                EntryType t = EntryType::kValue;
+                bool corrupt = false;
+                bool found = findNewestRaw(Slice(rec.key), &cur, &t,
+                                           nullptr, &corrupt);
+                if (corrupt) {
+                    aborted = true;
+                    break;
+                }
+                ValuePointer curp;
+                if (!found || t != EntryType::kValuePointer ||
+                    !ValuePointer::decode(Slice(cur), &curp) ||
+                    !(curp == rec.ptr)) {
+                    continue;  // dead record: nothing to move
+                }
+                MIO_FAILPOINT("vlog.gc.relocate");
+                std::string payload;
+                Status rs = vlog->read(rec.ptr, &payload);
+                if (!rs.isOk()) {
+                    aborted = true;  // damaged or racing: keep segment
+                    break;
+                }
+                // Copy first, then swing the index. A crash between
+                // the two leaves an orphan copy that a later pass
+                // finds dead and reclaims with its segment.
+                ValuePointer np;
+                Status as = vlog->append(Slice(rec.key), Slice(payload),
+                                         &np);
+                if (!as.isOk()) {
+                    aborted = true;  // NVM budget denied: retry later
+                    break;
+                }
+                stats_.vlog_gc_relocated_bytes.fetch_add(
+                    payload.size(), std::memory_order_relaxed);
+                std::string encoded = np.encode();
+                Writer w;
+                w.key = Slice(rec.key);
+                w.value = Slice(encoded);
+                w.type = EntryType::kValuePointer;
+                w.relocation = true;
+                w.expected_ptr = rec.ptr;
+                w.payload_bytes = rec.key.size() + encoded.size();
+                Status ws = writeImpl(&w);
+                if (!ws.isOk()) {
+                    // Queue contention (busy) or a frozen store: the
+                    // fresh copy was never indexed, so it is garbage.
+                    vlog->noteDead(np);
+                    aborted = true;
+                    deferred = ws.isBusy();
+                    break;
+                }
+                if (w.relocation_outcome.isOk()) {
+                    // Applied; the old copy died with the install.
+                } else if (w.relocation_outcome.isNotFound()) {
+                    // A user write superseded us between probe and
+                    // commit: our copy was never indexed.
+                    vlog->noteDead(np);
+                } else {
+                    // Corrupt re-probe under leadership: liveness of
+                    // the remaining records is unknowable.
+                    vlog->noteDead(np);
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        if (!aborted) {
+            // Every record is dead or relocated. The unlink waits for
+            // snapshots captured before this instant to drain; new
+            // snapshots (bound >= gc_seq) see the relocated pointers.
+            const uint64_t gc_seq =
+                visible_seq_.load(std::memory_order_acquire);
+            // Pull the victim out of GC candidacy first, or the next
+            // pass re-picks it and spins re-probing its (all-dead)
+            // records for as long as a pinned snapshot holds the gate.
+            vlog->markGcQueued(victim);
+            std::lock_guard<std::mutex> gl(vlog_gc_mu_);
+            vlog_pending_unlinks_.push_back(
+                PendingUnlink{victim, gc_seq});
+        }
+    }
+
+    // With no snapshots pinned the gate passes immediately; take the
+    // freshly-emptied victim down in this same pass so waitIdle
+    // converges without another kick.
+    processPendingUnlinks();
+
+    if (deferred && !shutting_down_.load() && !crashed_.load() &&
+        vlog_gc_enabled_.load(std::memory_order_acquire)) {
+        // Writer-queue contention: keep the token and retry after a
+        // backoff (mirrors the flush/compaction retry pattern).
+        sched_->submitAfter(
+            sched::JobClass::kVlogGc, 10, [this] { vlogGcJob(); },
+            [this] {
+                vlog_gc_scheduled_.store(false);
+                sched_->notifyEvent();
+            });
+        return;
+    }
+    vlog_gc_scheduled_.store(false);
+    sched_->notifyEvent();
+    if (!shutting_down_.load() && !crashed_.load() &&
+        vlog->hasGcCandidate(options_.vlog_gc_trigger_ratio)) {
+        scheduleVlogGc();
+    }
 }
 
 void
@@ -413,7 +631,17 @@ MioDB::recoverInterruptedCompactions()
         BufferLevel &bl = state_->levels.level(i);
         BufferLevel::Snapshot snap = bl.snapshot();
         if (snap.merge) {
-            resumeZeroCopyMerge(snap.merge.get(), nvm_, &stats_);
+            // No snapshots can be live this early in reopen, so the
+            // default keep_seq (drop everything shadowed) is safe.
+            // Dropped pointers still decay the vlog estimate.
+            const DropNotify drop_hook =
+                state_->vlog != nullptr
+                    ? DropNotify([this](EntryType t, const Slice &v) {
+                          noteDropped(t, v);
+                      })
+                    : DropNotify();
+            resumeZeroCopyMerge(snap.merge.get(), nvm_, &stats_,
+                                nullptr, kMaxSequence, drop_hook);
             if (i + 1 < state_->levels.numLevels()) {
                 state_->levels.level(i + 1).push(snap.merge->oldt);
                 bl.finishMerge(snap.merge);
@@ -451,6 +679,12 @@ MioDB::applyBufferCap()
                options_.nvm_buffer_cap_bytes;
     };
     if (!overCap())
+        return;
+    // A job's own write (vlog GC relocation) in deterministic mode
+    // must not park here: nested waitUntil on a job thread cannot
+    // assist-run the merges that would shrink the buffer.
+    if (sched_->deterministic() &&
+        sched::BackgroundScheduler::inJob())
         return;
     // Elastic-buffer ceiling reached: throttle until migration makes
     // room (counted as a cumulative stall, like the baselines').
@@ -656,8 +890,18 @@ MioDB::scrubNow()
     // pacing debt after the fact (the burst is one repository scan).
     pace(repo.bytes);
 
+    // Value-log leg: re-verify every segment's frame CRCs. scrub()
+    // bumps corruptions_detected itself, so its mismatches join the
+    // return value only after the counter add below.
+    uint64_t vlog_bytes = 0;
+    uint64_t vlog_mismatches = 0;
+    if (state_->vlog != nullptr) {
+        vlog_mismatches = state_->vlog->scrub(&vlog_bytes);
+        pace(vlog_bytes);
+    }
+
     stats_.scrub_passes.fetch_add(1, std::memory_order_relaxed);
-    stats_.scrub_bytes.fetch_add(pm_bytes + repo.bytes,
+    stats_.scrub_bytes.fetch_add(pm_bytes + repo.bytes + vlog_bytes,
                                  std::memory_order_relaxed);
     stats_.tables_quarantined.fetch_add(repo.quarantined,
                                         std::memory_order_relaxed);
@@ -666,7 +910,7 @@ MioDB::scrubNow()
         stats_.corruptions_detected.fetch_add(
             corruptions, std::memory_order_relaxed);
     }
-    return corruptions;
+    return corruptions + vlog_mismatches;
 }
 
 void
@@ -698,6 +942,13 @@ MioDB::waitIdle()
             (!state_->levels.quiescent() ||
              !idle(sched::JobClass::kZeroCopyMerge) ||
              !idle(sched::JobClass::kLazyCopyMerge)))
+            return false;
+        // Vlog GC converges: each job processes ripe unlinks and at
+        // most one victim, resubmitting only while another victim
+        // exists. Snapshot-gated unlinks do NOT hold waitIdle open --
+        // they can only ripen once the caller releases its pins.
+        if (!idle(sched::JobClass::kVlogGc) ||
+            vlog_gc_scheduled_.load())
             return false;
         // Housekeeping counts: callers rely on waitIdle meaning every
         // flushed segment's WAL has been recycled (the old flusher did

@@ -74,6 +74,22 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
         }
     }
 
+    // Key-value separation: adopt the surviving value log (pointers in
+    // the adopted PMTables/SSTables must stay resolvable) or create a
+    // fresh one when separation is enabled. The drop hook decays
+    // segment liveness as merges discard pointer versions.
+    if (state_->vlog != nullptr) {
+        state_->vlog->rebind(nvm_, &stats_);
+        state_->vlog->recoverAfterCrash();
+    } else if (options_.value_separation_threshold > 0) {
+        state_->vlog = std::make_unique<ValueLog>(
+            nvm_, &stats_, options_.vlog_segment_bytes);
+    }
+    if (state_->vlog != nullptr) {
+        state_->repo->setDropNotify(
+            [this](EntryType t, const Slice &v) { noteDropped(t, v); });
+    }
+
     // NvmState outlives any single MioDB instance, so per-instance
     // plumbing must be rebound on every open (like rebindStats above):
     // retired manifests route through THIS instance's reader epoch,
@@ -112,12 +128,32 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
 
     replayWal();
     // Prime the pipeline: an adopted image (or the replay) may have
-    // left flushable immutables and mergeable levels behind.
+    // left flushable immutables and mergeable levels behind. Vlog GC
+    // unlocks only now -- its relocations need the commit path.
+    vlog_gc_enabled_.store(true, std::memory_order_release);
     kickMaintenance();
 }
 
 MioDB::~MioDB()
 {
+    // GC relocations write through the commit path; stop new GC
+    // submissions and drain any in-flight job BEFORE the active
+    // MemTable/WAL handles are torn down below.
+    vlog_gc_enabled_.store(false, std::memory_order_release);
+    if (!crashed_.load() && state_->vlog != nullptr) {
+        sched::WaitOptions wo;
+        wo.kick = [this] { sched_->notifyEvent(); };
+        wo.tick_ms = 2;
+        sched_->waitUntil(
+            [this] {
+                return (!vlog_gc_scheduled_.load() &&
+                        sched_->queued(sched::JobClass::kVlogGc) == 0 &&
+                        sched_->running(sched::JobClass::kVlogGc) ==
+                            0) ||
+                       crashed_.load() || sched_->frozen();
+            },
+            wo);
+    }
     if (!crashed_.load()) {
         // Clean shutdown: persist the active MemTable and drain.
         {
@@ -167,15 +203,18 @@ MioDB::~MioDB()
         wo.tick_ms = 2;
         sched_->waitUntil(
             [&] {
-                if (flush_scheduled_.load())
+                if (flush_scheduled_.load() ||
+                    vlog_gc_scheduled_.load()) {
                     return false;
+                }
                 for (int i = 0; i < options_.elastic_levels; i++) {
                     if (compact_scheduled_[i].load())
                         return false;
                 }
                 return idle(sched::JobClass::kScrub) &&
                        idle(sched::JobClass::kSsdCompaction) &&
-                       idle(sched::JobClass::kWalRecycle);
+                       idle(sched::JobClass::kWalRecycle) &&
+                       idle(sched::JobClass::kVlogGc);
             },
             wo);
     }
@@ -187,6 +226,7 @@ MioDB::~MioDB()
     // repository from the pool that just went away.
     for (int i = 0; i < state_->levels.numLevels(); i++)
         state_->levels.level(i).setRetireCallback(nullptr);
+    state_->repo->setDropNotify(nullptr);
     state_->repo->rebindScheduler(nullptr);
     if (!crashed_.load() && options_.enable_wal && mem_wal_)
         registry_->remove(walName(mem_wal_id_));
@@ -396,6 +436,15 @@ MioDB::writeImpl(Writer *w)
     if (crashed_.load())
         return Status::ioError("simulated crash: store is frozen");
     std::unique_lock<std::mutex> lock(write_mu_);
+    if (w->relocation && !writers_.empty()) {
+        // A GC relocation never parks on the writer queue: a parked
+        // GC job pins its pool worker while the queue's leader may be
+        // waiting on a flush that needs that very worker -- a cycle on
+        // small pools (and a guaranteed deadlock when the job runs
+        // inline on the leader's own thread in deterministic mode).
+        // Contention just means "retry later".
+        return Status::busy("vlog gc: writer queue busy");
+    }
     writers_.push_back(w);
     while (!w->done && w != writers_.front())
         w->cv.wait(lock);
@@ -472,8 +521,48 @@ MioDB::commitGroup(const std::vector<Writer *> &group,
     std::vector<OpRef> ops;
     ops.reserve(total_ops);
     size_t user_bytes = 0;
-    for (const Writer *m : group) {
-        if (m->batch != nullptr) {
+    for (Writer *m : group) {
+        if (m->relocation) {
+            // GC relocation: apply only while the key's newest
+            // committed entry still carries the pointer being
+            // replaced. Leadership serializes commits, so the probe
+            // below cannot race another group; an earlier op of THIS
+            // group writing the same key wins instead (it is not yet
+            // visible to the probe).
+            bool superseded = false;
+            for (const OpRef &prior : ops) {
+                if (prior.key == m->key) {
+                    superseded = true;
+                    break;
+                }
+            }
+            if (!superseded) {
+                std::string cur;
+                EntryType t = EntryType::kValue;
+                bool corrupt = false;
+                bool found =
+                    findNewestRaw(m->key, &cur, &t, nullptr, &corrupt);
+                if (corrupt) {
+                    // Unknown liveness: GC must not treat the old
+                    // copy as dead (and must not unlink its segment).
+                    m->relocation_outcome = Status::corruption(m->key);
+                    continue;
+                }
+                ValuePointer vp;
+                superseded = !found ||
+                             t != EntryType::kValuePointer ||
+                             !ValuePointer::decode(Slice(cur), &vp) ||
+                             vp != m->expected_ptr;
+            }
+            if (superseded) {
+                m->relocation_outcome = Status::notFound(m->key);
+                continue;  // reserved seq stays unused -- benign gap
+            }
+            m->relocation_outcome = Status::ok();
+            ops.push_back(
+                OpRef{EntryType::kValuePointer, m->key, m->value});
+            // Not a user write: no user_bytes (WA stays honest).
+        } else if (m->batch != nullptr) {
             for (const WriteBatch::Op &op : m->batch->ops()) {
                 ops.push_back(
                     OpRef{op.type, Slice(op.key), Slice(op.value)});
@@ -482,6 +571,31 @@ MioDB::commitGroup(const std::vector<Writer *> &group,
         } else {
             ops.push_back(OpRef{m->type, m->key, m->value});
             user_bytes += m->key.size() + m->value.size();
+        }
+    }
+
+    // Key-value separation: large values leave the group here, before
+    // the WAL record -- each is appended (and persisted) to the value
+    // log once, and the index path below carries only the fixed-size
+    // encoded pointer. A crash between a vlog append and the WAL
+    // record leaves an orphan log record; it is never indexed, so GC
+    // reclaims it as dead. The deque keeps encodings stable while the
+    // MemTable inserts below alias them.
+    std::deque<std::string> pointer_arena;
+    if (state_->vlog != nullptr &&
+        options_.value_separation_threshold > 0) {
+        for (OpRef &op : ops) {
+            if (op.type != EntryType::kValue ||
+                op.value.size() < options_.value_separation_threshold) {
+                continue;
+            }
+            ValuePointer vp;
+            Status vs = state_->vlog->append(op.key, op.value, &vp);
+            if (!vs.isOk())
+                return vs;  // nothing logged/applied: clean failure
+            pointer_arena.emplace_back(vp.encode());
+            op.type = EntryType::kValuePointer;
+            op.value = Slice(pointer_arena.back());
         }
     }
 
@@ -582,7 +696,14 @@ MioDB::rotateMemTable(const std::function<void()> &relog)
     // One-piece flushing is fast, but if the flusher falls behind the
     // writer must wait: this is the only stall MioDB can experience
     // (an interval stall in the paper's terminology).
-    if (backlogged) {
+    // A rotation driven by a job's own write (vlog GC relocation) in
+    // deterministic mode cannot wait on the flush: nested waitUntil
+    // on a job thread never assist-runs, so the backlog would not
+    // drain. Proceed over the limit; the next user group absorbs it.
+    const bool can_wait =
+        !(sched_->deterministic() &&
+          sched::BackgroundScheduler::inJob());
+    if (backlogged && can_wait) {
         ScopedTimer stall(&stats_.interval_stall_ns);
         // flush_blocked_ escape: a flusher parked on NVM allocation
         // failure cannot drain the backlog, so waiting would deadlock
@@ -764,12 +885,11 @@ MioDB::lookupBufferAndRepo(const Slice &key, std::string *value,
                              options_.verify_read_checksums, corrupt);
 }
 
-Status
-MioDB::get(const Slice &key, std::string *value)
+bool
+MioDB::findNewestRaw(const Slice &key, std::string *value,
+                     EntryType *type, uint64_t *seq, bool *corrupt)
 {
-    stats_.gets.fetch_add(1, std::memory_order_relaxed);
     ReadGuard guard(this);
-
     std::shared_ptr<lsm::MemTable> mem;
     std::vector<std::shared_ptr<lsm::MemTable>> imms;
     {
@@ -779,29 +899,55 @@ MioDB::get(const Slice &key, std::string *value)
         for (auto it = imms_.rbegin(); it != imms_.rend(); ++it)
             imms.push_back(it->mem);
     }
-
-    EntryType type;
-    if (mem && mem->get(key, value, &type)) {
-        return type == EntryType::kValue ? Status::ok()
-                                         : Status::notFound(key);
-    }
+    if (mem && mem->get(key, value, type, seq))
+        return true;
     for (const auto &imm : imms) {
-        if (imm->get(key, value, &type)) {
-            return type == EntryType::kValue ? Status::ok()
-                                             : Status::notFound(key);
+        if (imm->get(key, value, type, seq))
+            return true;
+    }
+    return lookupBufferAndRepo(key, value, type, seq, corrupt);
+}
+
+Status
+MioDB::get(const Slice &key, std::string *value)
+{
+    stats_.gets.fetch_add(1, std::memory_order_relaxed);
+    // The bounded retry covers one narrow race: a GC unlink can
+    // retire a value-log segment between the index lookup and the
+    // dereference. Relocations commit before their segment is
+    // unlinked, so the re-run lookup always finds the moved pointer.
+    for (int attempt = 0; attempt < 3; attempt++) {
+        EntryType type = EntryType::kValue;
+        bool corrupt = false;
+        bool found = findNewestRaw(key, value, &type, nullptr, &corrupt);
+        if (corrupt) {
+            stats_.corruptions_detected.fetch_add(
+                1, std::memory_order_relaxed);
+            return Status::corruption(key);
         }
+        if (!found || type == EntryType::kDeletion)
+            return Status::notFound(key);
+        if (type != EntryType::kValuePointer)
+            return Status::ok();
+
+        ValuePointer vp;
+        if (state_->vlog == nullptr ||
+            !ValuePointer::decode(Slice(*value), &vp)) {
+            stats_.corruptions_detected.fetch_add(
+                1, std::memory_order_relaxed);
+            return Status::corruption(key);
+        }
+        Status vs = state_->vlog->read(vp, value);
+        if (vs.isOk())
+            return vs;
+        if (vs.isCorruption()) {
+            stats_.corruptions_detected.fetch_add(
+                1, std::memory_order_relaxed);
+            return vs;
+        }
+        stats_.read_retries.fetch_add(1, std::memory_order_relaxed);
     }
-    bool corrupt = false;
-    if (lookupBufferAndRepo(key, value, &type, nullptr, &corrupt)) {
-        return type == EntryType::kValue ? Status::ok()
-                                         : Status::notFound(key);
-    }
-    if (corrupt) {
-        stats_.corruptions_detected.fetch_add(
-            1, std::memory_order_relaxed);
-        return Status::corruption(key);
-    }
-    return Status::notFound(key);
+    return Status::ioError("value-log dereference retry limit");
 }
 
 Status
@@ -880,6 +1026,15 @@ MioDB::releaseSnapshot(Snapshot *snapshot)
     stats_.snapshots_pinned_manifests.fetch_sub(
         snap->manifests.size(), std::memory_order_relaxed);
     delete snap;
+    // The released bound may have been the one gating a value-log
+    // segment unlink; let GC re-check its pending retirements.
+    bool unlinks_pending = false;
+    {
+        std::lock_guard<std::mutex> gl(vlog_gc_mu_);
+        unlinks_pending = !vlog_pending_unlinks_.empty();
+    }
+    if (unlinks_pending)
+        scheduleVlogGc();
 }
 
 uint64_t
@@ -981,8 +1136,27 @@ MioDB::scanAt(const Snapshot *snapshot, const Slice &start_key,
     for (iter.seek(start_key); iter.valid() &&
                                static_cast<int>(out->size()) < count;
          iter.next()) {
-        out->emplace_back(iter.key().toString(),
-                          iter.value().toString());
+        std::string val = iter.value().toString();
+        if (iter.entryType() == EntryType::kValuePointer) {
+            // Lazy pointer resolution. The snapshot's bound gates GC
+            // segment unlinks (oldestSnapshotSeq), so every pointer
+            // this view can surface stays resolvable until release --
+            // a failure here is real damage, not a race.
+            ValuePointer vp;
+            Status vs =
+                (state_->vlog != nullptr &&
+                 ValuePointer::decode(Slice(val), &vp))
+                    ? state_->vlog->read(vp, &val)
+                    : Status::corruption(iter.key());
+            if (!vs.isOk()) {
+                stats_.corruptions_detected.fetch_add(
+                    1, std::memory_order_relaxed);
+                return vs.isCorruption()
+                           ? vs
+                           : Status::corruption(iter.key());
+            }
+        }
+        out->emplace_back(iter.key().toString(), std::move(val));
     }
     if (!iter.status().isOk()) {
         stats_.corruptions_detected.fetch_add(

@@ -33,6 +33,7 @@
 #include "miodb/lazy_copy_merge.h"
 #include "miodb/level_manager.h"
 #include "miodb/options.h"
+#include "miodb/value_log.h"
 #include "miodb/zero_copy_merge.h"
 #include "sched/background_scheduler.h"
 #include "sim/storage_medium.h"
@@ -57,6 +58,14 @@ struct NvmState {
     /** SSD-mode only: the medium the repository's SSTables live on. */
     std::unique_ptr<sim::StorageMedium> ssd_medium;
     std::unique_ptr<Repository> repo;  //!< destroyed before the medium
+    /**
+     * Key-value separation: the NVM value log the index structures'
+     * kValuePointer entries dereference into. Created when
+     * value_separation_threshold > 0; lives here because pointers in
+     * surviving PMTables/SSTables must stay resolvable across
+     * close/reopen and crash adoption.
+     */
+    std::unique_ptr<ValueLog> vlog;
     std::atomic<uint64_t> next_table_id{1};
 };
 
@@ -216,6 +225,19 @@ class MioDB : public KVStore
         EntryType type = EntryType::kValue;
         size_t op_count = 1;
         size_t payload_bytes = 0;  //!< approximate WAL payload share
+        /**
+         * GC relocation: value is a pre-encoded kValuePointer to an
+         * already-relocated payload, applied only if the key's newest
+         * committed entry still equals expected_ptr when the leader
+         * commits (re-verified under leadership -- a user write may
+         * have raced ahead). Skipped relocations complete with
+         * notFound; they are never WAL-logged or applied.
+         */
+        bool relocation = false;
+        ValuePointer expected_ptr;
+        /** ok = applied; notFound = superseded (new copy is garbage);
+         *  corruption = probe hit damage (liveness unknown). */
+        Status relocation_outcome;
         Status status;
         bool done = false;
         std::condition_variable cv;
@@ -321,6 +343,28 @@ class MioDB : public KVStore
     bool lookupBufferAndRepo(const Slice &key, std::string *value,
                              EntryType *type, uint64_t *seq,
                              bool *corrupt);
+
+    /**
+     * Newest version of @p key across every structure WITHOUT
+     * dereferencing value pointers (GC's liveness probe): a
+     * kValuePointer hit returns the encoded pointer bytes in
+     * @p value. No read-stats bumps.
+     */
+    bool findNewestRaw(const Slice &key, std::string *value,
+                       EntryType *type, uint64_t *seq, bool *corrupt);
+
+    // ---- value log (key-value separation) ----
+
+    /**
+     * Merge drop hook: when a dropped version is a kValuePointer,
+     * decay the owning segment's live-bytes estimate and kick GC if a
+     * segment crossed the trigger ratio.
+     */
+    void noteDropped(EntryType type, const Slice &value);
+    /** Ensure a vlog GC job is queued (token-deduplicated). */
+    void scheduleVlogGc();
+    /** Job body: process gated unlinks, relocate one victim segment. */
+    void vlogGcJob();
 
     /**
      * Quiescent-state reclamation for merged PMTable chains. Zero-copy
@@ -474,6 +518,26 @@ class MioDB : public KVStore
     std::function<void()> crash_hook_;
     std::atomic<bool> flush_scheduled_{false};
     std::unique_ptr<std::atomic<bool>[]> compact_scheduled_;
+    std::atomic<bool> vlog_gc_scheduled_{false};
+    /**
+     * GC jobs write through the normal commit path, so none may be
+     * submitted until the constructor has the WAL/MemTable machinery
+     * up (recovery's merge drop hooks fire well before that).
+     */
+    std::atomic<bool> vlog_gc_enabled_{false};
+    /**
+     * Segments whose live records were all relocated, awaiting the
+     * snapshot gate: the segment is only unlinked once every snapshot
+     * captured before the relocations committed (bound < gc_seq) has
+     * been released -- such a snapshot may still resolve the old
+     * pointers. Guarded by vlog_gc_mu_.
+     */
+    struct PendingUnlink {
+        uint64_t segment_id;
+        uint64_t gc_seq;
+    };
+    std::mutex vlog_gc_mu_;
+    std::vector<PendingUnlink> vlog_pending_unlinks_;
     uint64_t scrub_job_id_ = 0;  //!< periodic registration handle
     std::atomic<bool> shutting_down_{false};
     std::atomic<bool> crashed_{false};

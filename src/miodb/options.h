@@ -151,6 +151,34 @@ struct MioOptions {
     double nvm_hard_watermark = 0.95;
     uint64_t write_slowdown_micros = 100;
     uint64_t write_stall_timeout_ms = 1000;
+
+    // ---- key-value separation (see DESIGN.md Sec. 5i) --------------
+
+    /**
+     * Values of at least this many bytes are appended once to the
+     * NVM value log at write time; the index structures (MemTable,
+     * PMTables, SSTables) then carry a fixed-size ValuePointer instead
+     * of the bytes, so flushes and compactions move pointers, not
+     * payloads. 0 disables separation entirely (values stay inline).
+     */
+    size_t value_separation_threshold = 512;
+
+    /**
+     * Capacity of one value-log segment. Appends fill the head
+     * segment and seal it when full; GC reclaims whole sealed
+     * segments. Smaller segments reclaim at finer granularity but
+     * cost more region allocations.
+     */
+    size_t vlog_segment_bytes = 4u << 20;
+
+    /**
+     * Garbage-collect a sealed segment once its live fraction
+     * (live_bytes / segment_bytes) drops below this ratio. Surviving
+     * values are relocated to the head segment; the emptied segment
+     * is unlinked once no pinned snapshot can still reach it.
+     * <= 0 disables GC.
+     */
+    double vlog_gc_trigger_ratio = 0.5;
 };
 
 } // namespace mio::miodb

@@ -26,13 +26,20 @@ using Splice = SkipList::Splice;
 bool
 mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
           const MergeThrottle &throttle, Node *pending,
-          uint64_t keep_seq)
+          uint64_t keep_seq, const DropNotify &drop_notify)
 {
     SkipList &src = op->newt->list();
     SkipList &dst = op->oldt->list();
 
     uint64_t moved = 0;
     size_t pointer_stores = 0;
+
+    auto notify_dropped = [&](const std::vector<Node *> &drop) {
+        if (!drop_notify)
+            return;
+        for (Node *d : drop)
+            drop_notify(d->entryType(), d->value());
+    };
 
     auto flush_charges = [&]() {
         if (pointer_stores > 0) {
@@ -73,6 +80,8 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
             // A newer version visible to the oldest pinned snapshot
             // already landed (stale resume): the node stays detached,
             // its memory reclaimed with the absorbed arenas.
+            if (drop_notify)
+                drop_notify(n->entryType(), n->value());
             return;
         }
         dst.linkNode(n, &splice);
@@ -86,6 +95,7 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
                                ? succ0
                                : n;
         auto drop = shadowedVersions(first_same, n->key(), keep_seq);
+        notify_dropped(drop);
         pointer_stores += unlinkShadowed(&dst, n->key(), &splice, drop);
     };
 
@@ -108,6 +118,7 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
         // and flow through the mark protocol as their own steps.
         auto drop = shadowedVersions(n, n->key(), keep_seq);
         if (!drop.empty()) {
+            notify_dropped(drop);
             Splice head_splice;
             for (int level = 0; level < SkipList::kMaxHeight; level++)
                 head_splice.prev[level] = src.head();
@@ -152,20 +163,23 @@ mergeLoop(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
 
 bool
 zeroCopyMerge(MergeOp *op, sim::NvmDevice *device, StatsCounters *stats,
-              const MergeThrottle &throttle, uint64_t keep_seq)
+              const MergeThrottle &throttle, uint64_t keep_seq,
+              const DropNotify &drop_notify)
 {
     ScopedTimer timer(&stats->compaction_ns);
-    return mergeLoop(op, device, stats, throttle, nullptr, keep_seq);
+    return mergeLoop(op, device, stats, throttle, nullptr, keep_seq,
+                     drop_notify);
 }
 
 bool
 resumeZeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
                     StatsCounters *stats, const MergeThrottle &throttle,
-                    uint64_t keep_seq)
+                    uint64_t keep_seq, const DropNotify &drop_notify)
 {
     ScopedTimer timer(&stats->compaction_ns);
     Node *pending = op->mark.load(std::memory_order_acquire);
-    return mergeLoop(op, device, stats, throttle, pending, keep_seq);
+    return mergeLoop(op, device, stats, throttle, pending, keep_seq,
+                     drop_notify);
 }
 
 bool
@@ -189,7 +203,7 @@ mergeAwareGet(const MergeOp *op, const Slice &key, std::string *value,
         *type = marked->entryType();
         if (seq != nullptr)
             *seq = marked->seq;
-        if (marked->entryType() == EntryType::kValue) {
+        if (marked->entryType() != EntryType::kDeletion) {
             value->assign(marked->value().data(),
                           marked->value().size());
         }
@@ -204,7 +218,8 @@ std::shared_ptr<PMTable>
 copyingMerge(const std::shared_ptr<PMTable> &newt,
              const std::shared_ptr<PMTable> &oldt,
              sim::NvmDevice *device, StatsCounters *stats,
-             uint64_t table_id, int bits_per_key, uint64_t keep_seq)
+             uint64_t table_id, int bits_per_key, uint64_t keep_seq,
+             const DropNotify &drop_notify)
 {
     (void)bits_per_key;  // geometry comes from the inputs' filters
     ScopedTimer timer(&stats->compaction_ns);
@@ -229,8 +244,12 @@ copyingMerge(const std::shared_ptr<PMTable> &newt,
     auto emit = [&](const Slice &key, uint64_t seq, EntryType type,
                     const Slice &val) {
         if (has_last && key == Slice(last_key)) {
-            if (last_shadowed)
-                return;  // older duplicate no pinned snapshot needs
+            if (last_shadowed) {
+                // Older duplicate no pinned snapshot needs.
+                if (drop_notify)
+                    drop_notify(type, val);
+                return;
+            }
         } else {
             last_shadowed = false;
         }

@@ -30,6 +30,15 @@ namespace mio::miodb {
 using MergeThrottle = std::function<bool(uint64_t nodes_moved)>;
 
 /**
+ * Reclamation hook: invoked with (type, value) for every version a
+ * merge drops (shadowed by a newer version, or a tombstone collapsing
+ * at the bottom). MioDB uses it to decay value-log live-bytes
+ * accounting when a dropped entry is a kValuePointer. Must be cheap
+ * and must not call back into the merging structures. May be null.
+ */
+using DropNotify = std::function<void(EntryType, const Slice &)>;
+
+/**
  * Run the zero-copy merge of op->newt into op->oldt.
  *
  * On completion op->oldt contains every live entry of both tables
@@ -48,7 +57,8 @@ using MergeThrottle = std::function<bool(uint64_t nodes_moved)>;
 bool zeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
                    StatsCounters *stats,
                    const MergeThrottle &throttle = nullptr,
-                   uint64_t keep_seq = kMaxSequence);
+                   uint64_t keep_seq = kMaxSequence,
+                   const DropNotify &drop_notify = nullptr);
 
 /**
  * Crash-recovery entry: finish an interrupted merge. Per the paper's
@@ -59,7 +69,8 @@ bool zeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
 bool resumeZeroCopyMerge(MergeOp *op, sim::NvmDevice *device,
                          StatsCounters *stats,
                          const MergeThrottle &throttle = nullptr,
-                         uint64_t keep_seq = kMaxSequence);
+                         uint64_t keep_seq = kMaxSequence,
+                         const DropNotify &drop_notify = nullptr);
 
 /**
  * Ablation baseline: merge by physically copying every live entry of
@@ -73,7 +84,8 @@ copyingMerge(const std::shared_ptr<PMTable> &newt,
              const std::shared_ptr<PMTable> &oldt,
              sim::NvmDevice *device, StatsCounters *stats,
              uint64_t table_id, int bits_per_key,
-             uint64_t keep_seq = kMaxSequence);
+             uint64_t keep_seq = kMaxSequence,
+             const DropNotify &drop_notify = nullptr);
 
 /**
  * Query a merging pair with the paper's three-step protocol:

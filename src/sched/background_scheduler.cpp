@@ -20,6 +20,12 @@ constexpr auto kFarFuture = std::chrono::steady_clock::time_point::max();
 
 } // namespace
 
+bool
+BackgroundScheduler::inJob()
+{
+    return tl_in_job;
+}
+
 const char *
 jobClassName(JobClass c)
 {
@@ -30,6 +36,7 @@ jobClassName(JobClass c)
     case JobClass::kSsdCompaction: return "ssd";
     case JobClass::kWalRecycle: return "walrec";
     case JobClass::kScrub: return "scrub";
+    case JobClass::kVlogGc: return "vloggc";
     }
     return "?";
 }

@@ -65,6 +65,7 @@ enum class JobClass : int {
     kSsdCompaction = 3, //!< SSD-tier SSTable compaction
     kWalRecycle = 4,    //!< removing WAL segments of flushed tables
     kScrub = 5,         //!< periodic integrity verification
+    kVlogGc = 6,        //!< value-log segment garbage collection
 };
 
 inline constexpr int kNumJobClasses = StatsCounters::kJobClasses;
@@ -217,6 +218,14 @@ class BackgroundScheduler
     uint64_t busyJobs() const;
     bool deterministic() const { return deterministic_; }
     int workerCount() const { return static_cast<int>(workers_.size()); }
+    /**
+     * True on a thread currently executing a job of ANY scheduler
+     * (the reentrancy guard is thread-local, not per-pool). A
+     * deterministic-mode waitUntil on such a thread cannot assist-run
+     * further jobs; waits that depend on another job making progress
+     * must check this and bail instead of parking forever.
+     */
+    static bool inJob();
 
   private:
     struct Job {

@@ -89,6 +89,10 @@ inline constexpr const char *kCrashPoints[] = {
     "group.before_wal",
     "group.after_wal",
     "group.apply_op",
+    // value log: append framing, GC relocation, segment retirement
+    "vlog.append",
+    "vlog.gc.relocate",
+    "vlog.gc.before_unlink",
 };
 
 /**

@@ -237,7 +237,7 @@ SkipList::get(const Slice &key, std::string *value, EntryType *type,
     *type = n->entryType();
     if (seq != nullptr)
         *seq = n->seq;
-    if (n->entryType() == EntryType::kValue)
+    if (n->entryType() != EntryType::kDeletion)
         value->assign(n->value().data(), n->value().size());
     return true;
 }

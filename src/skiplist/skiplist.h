@@ -31,10 +31,16 @@
 
 namespace mio {
 
-/** Kind of a KV entry; deletions are tombstones that shadow older data. */
+/**
+ * Kind of a KV entry; deletions are tombstones that shadow older data.
+ * kValuePointer entries carry an encoded miodb::ValuePointer instead of
+ * the value bytes: the payload lives in the NVM value log and the
+ * pointer flows through flushes/merges/SSTables like any small value.
+ */
 enum class EntryType : uint8_t {
     kDeletion = 0,
     kValue = 1,
+    kValuePointer = 2,
 };
 
 class SkipList

@@ -169,7 +169,7 @@ TableReader::get(const Slice &user_key, std::string *value, EntryType *type,
     *type = parsed.type;
     if (seq != nullptr)
         *seq = parsed.seq;
-    if (parsed.type == EntryType::kValue)
+    if (parsed.type != EntryType::kDeletion)
         value->assign(data_iter.value().data(), data_iter.value().size());
     return Status::ok();
 }

@@ -1,7 +1,10 @@
 #include "ycsb/runner.h"
 
 #include <cstring>
+#include <thread>
+#include <vector>
 
+#include "shard/sharded_kv_store.h"
 #include "util/clock.h"
 
 namespace mio::ycsb {
@@ -30,74 +33,147 @@ Runner::valueFor(uint64_t key_index)
 }
 
 RunResult
-Runner::load(uint64_t record_count)
+Runner::load(uint64_t record_count, int threads)
 {
     RunResult result;
     result.workload = "Load";
     result.operations = record_count;
-    if (record_timeline_)
-        result.timeline.reserve(record_count);
 
-    Stopwatch total;
-    for (uint64_t i = 0; i < record_count; i++) {
-        Stopwatch op;
-        store_->put(makeKey(i), valueFor(i));
-        double us = op.elapsedMicros();
-        result.latency_us.add(us);
-        if (record_timeline_) {
-            result.timeline.add(
-                static_cast<uint64_t>(total.elapsedMicros()), us);
+    if (threads <= 1) {
+        if (record_timeline_)
+            result.timeline.reserve(record_count);
+        Stopwatch total;
+        for (uint64_t i = 0; i < record_count; i++) {
+            Stopwatch op;
+            store_->put(makeKey(i), valueFor(i));
+            double us = op.elapsedMicros();
+            result.latency_us.add(us);
+            if (record_timeline_) {
+                result.timeline.add(
+                    static_cast<uint64_t>(total.elapsedMicros()), us);
+            }
         }
+        result.seconds = total.elapsedSeconds();
+        return result;
     }
+
+    // Shard-affine when thread count matches the facade's shard
+    // count: thread t walks the whole key range but only puts the
+    // keys that route to shard t, so no two threads ever contend on
+    // one shard's writer queue.
+    auto *sharded = dynamic_cast<shard::ShardedKvStore *>(store_);
+    const bool affine =
+        sharded != nullptr && threads == sharded->numShards();
+    std::vector<Histogram> hists(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    Stopwatch total;
+    for (int t = 0; t < threads; t++) {
+        workers.emplace_back([&, t] {
+            for (uint64_t i = 0; i < record_count; i++) {
+                std::string key = makeKey(i);
+                if (affine) {
+                    if (sharded->router().shardOf(key) != t)
+                        continue;
+                } else if (i % static_cast<uint64_t>(threads) !=
+                           static_cast<uint64_t>(t)) {
+                    continue;
+                }
+                Stopwatch op;
+                store_->put(key, valueFor(i));
+                hists[t].add(op.elapsedMicros());
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
     result.seconds = total.elapsedSeconds();
+    for (const Histogram &h : hists)
+        result.latency_us.merge(h);
     return result;
 }
 
 RunResult
 Runner::run(const WorkloadSpec &spec, uint64_t record_count,
-            uint64_t op_count)
+            uint64_t op_count, int threads)
 {
     RunResult result;
     result.workload = spec.name;
     result.operations = op_count;
-    if (record_timeline_)
-        result.timeline.reserve(op_count);
 
-    WorkloadGenerator gen(spec, record_count, seed_);
-    std::string value;
-    std::vector<std::pair<std::string, std::string>> scan_out;
+    // One client's op loop; shared by the serial and threaded paths.
+    auto runClient = [&](WorkloadGenerator &gen, uint64_t ops,
+                         Histogram *hist, Stopwatch *total,
+                         LatencyTimeline *timeline) {
+        std::string value;
+        std::vector<std::pair<std::string, std::string>> scan_out;
+        for (uint64_t i = 0; i < ops; i++) {
+            auto op = gen.next();
+            std::string key = makeKey(op.key_index);
+            Stopwatch op_timer;
+            switch (op.type) {
+              case OpType::kRead:
+                store_->get(key, &value);
+                break;
+              case OpType::kUpdate:
+                store_->put(key, valueFor(op.key_index));
+                break;
+              case OpType::kInsert:
+                store_->put(key, valueFor(op.key_index));
+                break;
+              case OpType::kScan:
+                store_->scan(key, op.scan_length, &scan_out);
+                break;
+              case OpType::kReadModifyWrite:
+                store_->get(key, &value);
+                store_->put(key, valueFor(op.key_index));
+                break;
+            }
+            double us = op_timer.elapsedMicros();
+            hist->add(us);
+            if (timeline != nullptr) {
+                timeline->add(
+                    static_cast<uint64_t>(total->elapsedMicros()), us);
+            }
+        }
+    };
 
-    Stopwatch total;
-    for (uint64_t i = 0; i < op_count; i++) {
-        auto op = gen.next();
-        std::string key = makeKey(op.key_index);
-        Stopwatch op_timer;
-        switch (op.type) {
-          case OpType::kRead:
-            store_->get(key, &value);
-            break;
-          case OpType::kUpdate:
-            store_->put(key, valueFor(op.key_index));
-            break;
-          case OpType::kInsert:
-            store_->put(key, valueFor(op.key_index));
-            break;
-          case OpType::kScan:
-            store_->scan(key, op.scan_length, &scan_out);
-            break;
-          case OpType::kReadModifyWrite:
-            store_->get(key, &value);
-            store_->put(key, valueFor(op.key_index));
-            break;
-        }
-        double us = op_timer.elapsedMicros();
-        result.latency_us.add(us);
-        if (record_timeline_) {
-            result.timeline.add(
-                static_cast<uint64_t>(total.elapsedMicros()), us);
-        }
+    if (threads <= 1) {
+        if (record_timeline_)
+            result.timeline.reserve(op_count);
+        WorkloadGenerator gen(spec, record_count, seed_);
+        Stopwatch total;
+        runClient(gen, op_count, &result.latency_us, &total,
+                  record_timeline_ ? &result.timeline : nullptr);
+        result.seconds = total.elapsedSeconds();
+        return result;
     }
+
+    // Multi-client: independent generators (distinct seeds) preserve
+    // the request distribution per thread; histograms merge at the
+    // end. op_count splits evenly with the remainder on thread 0.
+    std::vector<Histogram> hists(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const uint64_t per = op_count / static_cast<uint64_t>(threads);
+    Stopwatch total;
+    for (int t = 0; t < threads; t++) {
+        const uint64_t ops =
+            per + (t == 0 ? op_count % static_cast<uint64_t>(threads)
+                          : 0);
+        workers.emplace_back([&, t, ops] {
+            WorkloadGenerator gen(
+                spec, record_count,
+                seed_ + static_cast<uint64_t>(t) * 7919);
+            Stopwatch client_total;
+            runClient(gen, ops, &hists[t], &client_total, nullptr);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
     result.seconds = total.elapsedSeconds();
+    for (const Histogram &h : hists)
+        result.latency_us.merge(h);
     return result;
 }
 

@@ -39,12 +39,28 @@ class Runner
     Runner(KVStore *store, size_t value_size, uint64_t seed = 42,
            bool record_timeline = false);
 
-    /** Insert keys [0, record_count) in order; returns load result. */
-    RunResult load(uint64_t record_count);
+    /**
+     * Insert keys [0, record_count) with @p threads writer threads.
+     * Single-threaded (the default) loads in key order. With more
+     * threads against a ShardedKvStore facade whose shard count
+     * equals @p threads, each thread feeds exactly the keys that
+     * route to "its" shard, so the N per-shard write pipelines (WAL
+     * group commit, MemTable, flush) run uncontended; any other
+     * combination falls back to a strided partition of the key space.
+     * The latency timeline is only recorded single-threaded (per-op
+     * interleavings across threads are not one series).
+     */
+    RunResult load(uint64_t record_count, int threads = 1);
 
-    /** Execute @p op_count operations of @p spec. */
+    /**
+     * Execute @p op_count operations of @p spec across @p threads
+     * client threads (standard YCSB multi-client shape: each thread
+     * draws from its own generator over the full key space, so the
+     * request distribution is preserved and sharded stores see
+     * concurrent per-shard traffic).
+     */
     RunResult run(const WorkloadSpec &spec, uint64_t record_count,
-                  uint64_t op_count);
+                  uint64_t op_count, int threads = 1);
 
   private:
     std::string valueFor(uint64_t key_index);

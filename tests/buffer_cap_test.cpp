@@ -16,6 +16,9 @@ TEST(BufferCapTest, CapThrottlesAndBoundsFootprint)
     o.memtable_size = 16 << 10;
     o.elastic_levels = 2;
     o.nvm_buffer_cap_bytes = 64 << 10;  // 4 memtables worth
+    // The cap throttles the elastic buffer; keep the 1 KiB values
+    // inline so they actually land there instead of the value log.
+    o.value_separation_threshold = 0;
     MioDB db(o, &nvm);
 
     std::string value(1024, 'c');
@@ -45,6 +48,7 @@ TEST(BufferCapTest, DeepBufferDrainsUnderCapPressure)
     o.memtable_size = 16 << 10;
     o.elastic_levels = 8;
     o.nvm_buffer_cap_bytes = 48 << 10;  // 3 memtables worth
+    o.value_separation_threshold = 0;  // keep values in the buffer
     MioDB db(o, &nvm);
 
     std::string value(1024, 'd');

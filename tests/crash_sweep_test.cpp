@@ -39,6 +39,12 @@ sweepOptions(bool ssd_mode)
     o.memtable_size = 8 << 10;  // rotate + flush often
     o.elastic_levels = 2;       // L0 merges, L1 migrates
     o.max_immutable_memtables = 4;
+    // Key-value separation tuned so the sweep's 24-48 byte values
+    // separate, segments turn over fast, and almost any dead byte
+    // makes a GC victim -- the vlog.* failpoints must be reachable.
+    o.value_separation_threshold = 16;
+    o.vlog_segment_bytes = 4 << 10;
+    o.vlog_gc_trigger_ratio = 0.95;
     // MIO_CRASH_DETERMINISTIC=1: run maintenance on the scheduler's
     // deterministic inline mode -- no worker threads, jobs execute in
     // strict priority order on this thread inside waitUntil()/drain().
@@ -472,12 +478,24 @@ sweepOnePointPinned(const char *point, uint64_t nth, bool ssd_mode,
                              std::to_string(nth));
 }
 
+/**
+ * Segment unlinks are gated on the oldest snapshot: with the test's
+ * pin held for the whole armed phase, the gate (correctly) never
+ * opens, so the point cannot be required to fire here. The unpinned
+ * sweeps assert its reachability.
+ */
+bool
+pinnedMustFire(const char *point)
+{
+    return std::string(point) != "vlog.gc.before_unlink";
+}
+
 TEST(CrashSweepTest, PinnedSnapshotDeterministicSweep)
 {
     for (const char *point : pmModePoints()) {
         SCOPED_TRACE(point);
         sweepOnePointPinned(point, /*nth=*/1, /*ssd_mode=*/false,
-                            /*require_fire=*/true);
+                            pinnedMustFire(point));
         if (::testing::Test::HasFatalFailure())
             return;
     }
@@ -488,7 +506,7 @@ TEST(CrashSweepTest, PinnedSnapshotSsdModeSweep)
     for (const char *point : ssdModePoints()) {
         SCOPED_TRACE(point);
         sweepOnePointPinned(point, /*nth=*/1, /*ssd_mode=*/true,
-                            /*require_fire=*/true);
+                            pinnedMustFire(point));
         if (::testing::Test::HasFatalFailure())
             return;
     }
