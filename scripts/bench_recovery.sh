@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Instant-recovery record: build and run bench/micro_recovery
+# (open-to-first-get after a crash with the whole dataset pending WAL
+# replay, full replay vs instant recovery, plus a sharded leg), then
+# emit BENCH_recovery.json at the repo root.
+#
+# Usage:
+#   scripts/bench_recovery.sh [extra micro_recovery flags...]
+#
+# The default backlog is 64 MB -- large enough that the acceptance
+# ratio is stable, small enough for CI. The paper-scale acceptance bar
+# (>= 256 MB WAL, open-to-first-get >= 10x better with instant
+# recovery) runs with:
+#   scripts/bench_recovery.sh --wal_bytes=268435456
+#
+# Latency is noisy on shared machines, so the sweep runs
+# MIO_BENCH_REPS times (default 3) and the output keeps each mode's
+# row from the rep with the lowest open_to_first_get_ms (best-of-N,
+# same convention as bench_scan.sh / bench_vlog.sh).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+REPS="${MIO_BENCH_REPS:-3}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target micro_recovery >/dev/null
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+for rep in $(seq 1 "$REPS"); do
+    build/bench/micro_recovery --wal_bytes=67108864 \
+        --json="$WORK/recovery.$rep.json" "$@" >/dev/null
+done
+
+python3 - "$WORK/recovery" "$REPS" <<'EOF'
+import json, sys
+prefix, reps = sys.argv[1], int(sys.argv[2])
+docs = [json.load(open(f"{prefix}.{r}.json")) for r in range(1, reps + 1)]
+best = docs[0]
+cells = {}
+for d in docs:
+    for row in d["runs"]:
+        if (row["mode"] not in cells or
+                row["open_to_first_get_ms"] <
+                cells[row["mode"]]["open_to_first_get_ms"]):
+            cells[row["mode"]] = row
+best["runs"] = [cells[r["mode"]] for r in docs[0]["runs"]]
+json.dump(best, open("BENCH_recovery.json", "w"), indent=1)
+
+rows = {r["mode"]: r for r in best["runs"]}
+full, inst = rows["full"], rows["instant"]
+ratio = (full["open_to_first_get_ms"] / inst["open_to_first_get_ms"]
+         if inst["open_to_first_get_ms"] else 0.0)
+for mode in rows:
+    r = rows[mode]
+    print(f'  {mode:>15}  open {r["open_ms"]:9.2f} ms  '
+          f'first get {r["first_get_ms"]:7.3f} ms  '
+          f'drain {r["drain_ms"]:9.2f} ms')
+print(f'  open-to-first-get: full {full["open_to_first_get_ms"]:.2f} ms'
+      f' vs instant {inst["open_to_first_get_ms"]:.2f} ms'
+      f' ({ratio:.1f}x; acceptance at >=256 MB requires >=10x)')
+EOF
+echo "wrote BENCH_recovery.json (best of $REPS reps per mode)"

@@ -17,7 +17,7 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # assertion needs the writer to outrun background migration, which
 # TSan's slowdown prevents (no race involved -- it runs in the
 # normal-build suite).
-TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test|fault_soak_test|sched_test|sharded_store_test|snapshot_iterator_test|value_log_test}"
+TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test|fault_soak_test|sched_test|sharded_store_test|snapshot_iterator_test|value_log_test|instant_recovery_test}"
 
 if [ "${1:-}" != "--tsan-only" ]; then
     echo "=== tier-1: build + full test suite"
@@ -42,6 +42,10 @@ if [ "${1:-}" != "--tsan-only" ]; then
     (cd build && ctest --output-on-failure -L vlog)
     echo "=== vlog bench smoke (keeps bench/micro_vlog honest)"
     build/bench/micro_vlog --smoke
+    echo "=== recovery suite (instant recovery: serve while replaying)"
+    (cd build && ctest --output-on-failure -L recovery)
+    echo "=== recovery bench smoke (keeps bench/micro_recovery honest)"
+    build/bench/micro_recovery --smoke
     echo "=== debug-build leg (snapshot pin-leak assertions are NDEBUG-gated)"
     cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
     cmake --build build-debug -j "$JOBS" \

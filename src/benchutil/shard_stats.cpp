@@ -27,7 +27,12 @@ statsRow(const std::string &label, const StatsSnapshot &s)
             std::to_string(s.vlog_segments_live),
             std::to_string(s.vlog_gc_passes),
             std::to_string(s.vlog_gc_relocated_bytes),
-            std::to_string(s.vlog_gc_reclaimed_bytes)};
+            std::to_string(s.vlog_gc_reclaimed_bytes),
+            std::to_string(s.wal_frames_replayed),
+            std::to_string(s.wal_frames_on_demand),
+            std::to_string(s.recovery_pending_segments),
+            std::to_string(s.recovery_ms_to_ready),
+            std::to_string(s.recovery_ms_to_drained)};
 }
 
 } // namespace
@@ -42,12 +47,15 @@ printShardStats(KVStore *store)
     }
     // Facade `scans` counts user-facing calls, shard `scans` the
     // N-way fan-out, so the scans column's sum row exceeds the
-    // facade's own counter by design.
+    // facade's own counter by design. The recovery *_ms columns
+    // aggregate by MAX, not sum (the machine is ready/drained when
+    // its slowest shard is); rec_pend is a live gauge.
     TableReporter tbl(
         "Per-shard counters (sum row = facade aggregate)",
         {"shard", "puts", "gets", "scans", "flushes", "zcm", "lcm",
          "vl_app", "vl_deref", "vl_segs", "vl_gc", "vl_reloc",
-         "vl_reclaim"});
+         "vl_reclaim", "replayed", "ondemand", "rec_pend", "ready_ms",
+         "drain_ms"});
     for (int i = 0; i < sharded->numShards(); i++) {
         tbl.addRow(statsRow(std::to_string(i),
                             snapshotOf(sharded->shardAt(i).stats())));

@@ -1,5 +1,6 @@
 #include "kv/store_stats.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace mio {
@@ -57,6 +58,11 @@ snapshotOf(const StatsCounters &c)
     s.vlog_segments_created = get(c.vlog_segments_created);
     s.vlog_segments_unlinked = get(c.vlog_segments_unlinked);
     s.vlog_segments_live = get(c.vlog_segments_live);
+    s.wal_frames_replayed = get(c.wal_frames_replayed);
+    s.wal_frames_on_demand = get(c.wal_frames_on_demand);
+    s.recovery_pending_segments = get(c.recovery_pending_segments);
+    s.recovery_ms_to_ready = get(c.recovery_ms_to_ready);
+    s.recovery_ms_to_drained = get(c.recovery_ms_to_drained);
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         s.sched_submitted[j] = get(c.sched_submitted[j]);
         s.sched_completed[j] = get(c.sched_completed[j]);
@@ -131,6 +137,13 @@ statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
     d.vlog_segments_unlinked =
         a.vlog_segments_unlinked - b.vlog_segments_unlinked;
     d.vlog_segments_live = a.vlog_segments_live;  // gauge
+    d.wal_frames_replayed = a.wal_frames_replayed - b.wal_frames_replayed;
+    d.wal_frames_on_demand =
+        a.wal_frames_on_demand - b.wal_frames_on_demand;
+    d.recovery_pending_segments = a.recovery_pending_segments;  // gauge
+    // Open-relative timestamps, not phase counters: carry the reading.
+    d.recovery_ms_to_ready = a.recovery_ms_to_ready;
+    d.recovery_ms_to_drained = a.recovery_ms_to_drained;
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         d.sched_submitted[j] = a.sched_submitted[j] - b.sched_submitted[j];
         d.sched_completed[j] = a.sched_completed[j] - b.sched_completed[j];
@@ -197,6 +210,15 @@ statsAdd(StatsSnapshot *acc, const StatsSnapshot &b)
     acc->vlog_segments_created += b.vlog_segments_created;
     acc->vlog_segments_unlinked += b.vlog_segments_unlinked;
     acc->vlog_segments_live += b.vlog_segments_live;
+    acc->wal_frames_replayed += b.wal_frames_replayed;
+    acc->wal_frames_on_demand += b.wal_frames_on_demand;
+    acc->recovery_pending_segments += b.recovery_pending_segments;
+    // A machine is ready/drained when its LAST shard is: aggregate
+    // the per-shard timestamps with max, not sum.
+    acc->recovery_ms_to_ready =
+        std::max(acc->recovery_ms_to_ready, b.recovery_ms_to_ready);
+    acc->recovery_ms_to_drained =
+        std::max(acc->recovery_ms_to_drained, b.recovery_ms_to_drained);
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         acc->sched_submitted[j] += b.sched_submitted[j];
         acc->sched_completed[j] += b.sched_completed[j];
@@ -263,6 +285,11 @@ loadInto(const StatsSnapshot &s, StatsCounters *out)
     set(out->vlog_segments_created, s.vlog_segments_created);
     set(out->vlog_segments_unlinked, s.vlog_segments_unlinked);
     set(out->vlog_segments_live, s.vlog_segments_live);
+    set(out->wal_frames_replayed, s.wal_frames_replayed);
+    set(out->wal_frames_on_demand, s.wal_frames_on_demand);
+    set(out->recovery_pending_segments, s.recovery_pending_segments);
+    set(out->recovery_ms_to_ready, s.recovery_ms_to_ready);
+    set(out->recovery_ms_to_drained, s.recovery_ms_to_drained);
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         set(out->sched_submitted[j], s.sched_submitted[j]);
         set(out->sched_completed[j], s.sched_completed[j]);
@@ -335,12 +362,27 @@ StatsSnapshot::toString() const
                  static_cast<unsigned long long>(vlog_gc_reclaimed_bytes));
         out += buf;
     }
+    if (wal_frames_replayed > 0 || recovery_pending_segments > 0 ||
+        recovery_ms_to_ready > 0) {
+        snprintf(buf, sizeof(buf),
+                 "\nrecovery: frames=%llu on_demand=%llu "
+                 "pending_segs=%llu ready_ms=%llu drained_ms=%llu",
+                 static_cast<unsigned long long>(wal_frames_replayed),
+                 static_cast<unsigned long long>(wal_frames_on_demand),
+                 static_cast<unsigned long long>(
+                     recovery_pending_segments),
+                 static_cast<unsigned long long>(recovery_ms_to_ready),
+                 static_cast<unsigned long long>(
+                     recovery_ms_to_drained));
+        out += buf;
+    }
     uint64_t total_jobs = 0;
     for (int j = 0; j < StatsCounters::kJobClasses; j++)
         total_jobs += sched_submitted[j];
     if (total_jobs > 0) {
         static const char *kClassNames[StatsCounters::kJobClasses] = {
-            "flush", "lcm", "zcm", "ssd", "walrec", "scrub", "vloggc"};
+            "flush", "lcm",   "zcm",    "ssd",
+            "walrec", "scrub", "vloggc", "walrep"};
         snprintf(buf, sizeof(buf), "\nsched: escalations=%llu",
                  static_cast<unsigned long long>(sched_escalations));
         out += buf;

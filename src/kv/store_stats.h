@@ -111,9 +111,23 @@ struct StatsCounters {
     /** Gauge: segments currently holding data. */
     std::atomic<uint64_t> vlog_segments_live{0};
 
+    // -- instant recovery (WAL replay after open) --
+    /** WAL frames applied by replay (background + on-demand). */
+    std::atomic<uint64_t> wal_frames_replayed{0};
+    /** Frames replayed synchronously to answer a blocked get/scan. */
+    std::atomic<uint64_t> wal_frames_on_demand{0};
+    /** Gauge: pre-crash segments still holding unreplayed frames. */
+    std::atomic<uint64_t> recovery_pending_segments{0};
+    /** open() -> store serving (full-replay opens: includes replay). */
+    std::atomic<uint64_t> recovery_ms_to_ready{0};
+    /** open() -> last pending frame applied (== ready when instant
+     *  recovery is off or the WAL was empty). */
+    std::atomic<uint64_t> recovery_ms_to_drained{0};
+
     // -- background scheduler (per-job-class observability) --
-    /** Job classes: flush, lcm, zcm, ssd, wal-recycle, scrub, vloggc. */
-    static constexpr int kJobClasses = 7;
+    /** Job classes: flush, lcm, zcm, ssd, wal-recycle, scrub, vloggc,
+     *  wal-replay. */
+    static constexpr int kJobClasses = 8;
     /** Decade latency buckets: <1us, <10us, ..., <1s, >=1s. */
     static constexpr int kSchedLatBuckets = 8;
     std::atomic<uint64_t> sched_submitted[kJobClasses]{};
@@ -201,6 +215,11 @@ struct StatsSnapshot {
     uint64_t vlog_segments_created = 0;
     uint64_t vlog_segments_unlinked = 0;
     uint64_t vlog_segments_live = 0;
+    uint64_t wal_frames_replayed = 0;
+    uint64_t wal_frames_on_demand = 0;
+    uint64_t recovery_pending_segments = 0;
+    uint64_t recovery_ms_to_ready = 0;
+    uint64_t recovery_ms_to_drained = 0;
     uint64_t sched_submitted[StatsCounters::kJobClasses] = {};
     uint64_t sched_completed[StatsCounters::kJobClasses] = {};
     uint64_t sched_dropped[StatsCounters::kJobClasses] = {};

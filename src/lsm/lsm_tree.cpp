@@ -220,7 +220,8 @@ LsmTree::mergeIntoLevel(int level, KVIterator *iter, const Slice &lo_user,
 
     MergingIterator merged(std::move(children));
     bool bottom = (level >= versions_.lastPopulatedLevel()) &&
-                  options_.drop_tombstones_at_bottom;
+                  options_.drop_tombstones_at_bottom &&
+                  tombstone_reclaim_.load(std::memory_order_acquire);
     std::vector<std::shared_ptr<FileMeta>> outputs;
     Status s = writeTables(&merged, bottom, &outputs);
     if (!s.isOk())
@@ -410,6 +411,23 @@ LsmTree::runCompactionJob(const CompactionJob &job)
 }
 
 void
+LsmTree::rebindStats(StatsCounters *stats)
+{
+    stats_ = stats;
+    // Cached readers hold a raw pointer into the previous owner's
+    // counters; leave none behind or their next block read writes
+    // into freed memory.
+    std::atomic<uint64_t> *sink =
+        stats != nullptr ? &stats->deserialization_ns : nullptr;
+    for (const auto &level : versions_.allLevelFiles()) {
+        for (const auto &file : level) {
+            if (file->reader != nullptr)
+                file->reader->rebindDeserTimer(sink);
+        }
+    }
+}
+
+void
 LsmTree::rebindScheduler(sched::BackgroundScheduler *sched)
 {
     assert(owned_sched_ == nullptr &&
@@ -483,7 +501,8 @@ LsmTree::doCompaction(const CompactionJob &job)
     MergingIterator merged(std::move(children));
     int out_level = std::min(job.level + 1, versions_.numLevels() - 1);
     bool bottom = options_.drop_tombstones_at_bottom &&
-                  out_level >= versions_.lastPopulatedLevel();
+                  out_level >= versions_.lastPopulatedLevel() &&
+                  tombstone_reclaim_.load(std::memory_order_acquire);
 
     std::vector<std::shared_ptr<FileMeta>> outputs;
     Status s = writeTables(&merged, bottom, &outputs);

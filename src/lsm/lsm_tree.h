@@ -125,8 +125,16 @@ class LsmTree
     const LsmOptions &options() const { return options_; }
     sim::StorageMedium *medium() { return medium_; }
 
-    /** Re-point the stats sink (adopting owner changed). */
-    void rebindStats(StatsCounters *stats) { stats_ = stats; }
+    /**
+     * Re-point the stats sink (adopting owner changed). Also
+     * re-points the deserialization timer of every cached
+     * TableReader: readers live inside FileMeta, which the version
+     * set carries across store generations via NvmState, so without
+     * this they would keep charging block-read time into the dead
+     * previous owner's counters (a use-after-free write). Same
+     * quiesced-adoption protocol as rebindScheduler.
+     */
+    void rebindStats(StatsCounters *stats);
 
     /**
      * Hook invoked with (type, value) for every entry the table
@@ -138,6 +146,21 @@ class LsmTree
     setDropNotify(std::function<void(EntryType, const Slice &)> fn)
     {
         drop_notify_ = std::move(fn);
+    }
+
+    /**
+     * Allow or forbid dropping tombstones at the bottom level. On by
+     * default (a tombstone with nothing below it deletes nothing).
+     * MioDB's instant recovery forbids it while WAL frames are still
+     * pending replay: a pending frame may re-insert an older version
+     * of the deleted key, which a prematurely dropped tombstone would
+     * resurrect. Only consulted where options.drop_tombstones_at_bottom
+     * is set.
+     */
+    void
+    setTombstoneReclaim(bool on)
+    {
+        tombstone_reclaim_.store(on, std::memory_order_release);
     }
 
     /**
@@ -195,6 +218,8 @@ class LsmTree
     /** A failpoint (sim::SimCrash) froze this tree's compactions: no
      *  further jobs are submitted, and waitIdle returns immediately. */
     std::atomic<bool> crashed_{false};
+    /** See setTombstoneReclaim. */
+    std::atomic<bool> tombstone_reclaim_{true};
     /** See setDropNotify. */
     std::function<void(EntryType, const Slice &)> drop_notify_;
 };

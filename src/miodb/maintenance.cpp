@@ -51,6 +51,11 @@ MioDB::backgroundWorkerCount() const
     // rotation waits for always finds a free worker.
     if (options_.value_separation_threshold > 0)
         n += 1;
+    // Instant recovery runs WAL replay as a background stream that
+    // competes with foreground-triggered flushes; give it its own slot
+    // so a long replay never starves the pipeline that drains it.
+    if (options_.instant_recovery)
+        n += 1;
     return n;
 }
 
@@ -80,6 +85,10 @@ MioDB::startScheduler(sched::BackgroundScheduler *shared)
                                 pressed);
         sched_->setUrgencyProbe(sched::JobClass::kZeroCopyMerge,
                                 pressed);
+        // A foreground op blocked on un-replayed frames escalates the
+        // replay stream the same way memory pressure escalates merges.
+        sched_->setUrgencyProbe(sched::JobClass::kWalReplay,
+                                [this] { return replayUrgent(); });
     }
     compact_scheduled_ =
         std::make_unique<std::atomic<bool>[]>(options_.elastic_levels);
@@ -390,6 +399,7 @@ MioDB::kickMaintenance()
         scheduleFlush();
     kickCompaction();
     scheduleVlogGc();
+    scheduleWalReplay();
 }
 
 void
@@ -595,6 +605,86 @@ MioDB::vlogGcJob()
 }
 
 void
+MioDB::scheduleWalReplay()
+{
+    if (sched_ == nullptr || crashed_.load() || shutting_down_.load())
+        return;
+    if (replay_paused_.load(std::memory_order_acquire))
+        return;
+    if (recovery_pending_frames_.load(std::memory_order_acquire) == 0)
+        return;
+    if (replay_scheduled_.exchange(true))
+        return;
+    sched_->submit(
+        sched::JobClass::kWalReplay, [this] { walReplayJob(); },
+        [this] {
+            replay_scheduled_.store(false);
+            sched_->notifyEvent();
+        });
+}
+
+void
+MioDB::walReplayJob()
+{
+    while (!shutting_down_.load() && !crashed_.load() &&
+           !replay_paused_.load(std::memory_order_acquire) &&
+           recovery_pending_frames_.load(std::memory_order_acquire) >
+               0) {
+        Writer w;
+        w.replay = ReplayKind::kBatch;
+        w.op_count = 0;
+        w.payload_bytes = 0;
+        Status s;
+        try {
+            s = writeImpl(&w);
+        } catch (const sim::SimCrash &crash) {
+            onSimCrash();
+            break;
+        }
+        if (s.isBusy()) {
+            // Foreground writers hold the queue; their commits (and
+            // any on-demand replay they trigger) make progress. Keep
+            // the token and retry after a backoff, like vlog GC.
+            sched_->submitAfter(
+                sched::JobClass::kWalReplay, 10,
+                [this] { walReplayJob(); },
+                [this] {
+                    replay_scheduled_.store(false);
+                    sched_->notifyEvent();
+                });
+            return;
+        }
+        if (!s.isOk())
+            break;
+        // One batch landed; whoever was waiting is past its frames.
+        replay_urgent_.store(false, std::memory_order_release);
+    }
+    replay_scheduled_.store(false);
+    sched_->notifyEvent();
+    // Un-pause or late frames: don't strand pending work without a
+    // queued job (mirrors the vlog GC tail re-check).
+    if (!shutting_down_.load() && !crashed_.load())
+        scheduleWalReplay();
+}
+
+bool
+MioDB::replayUrgent() const
+{
+    return replay_urgent_.load(std::memory_order_acquire) &&
+           recovery_pending_frames_.load(std::memory_order_acquire) > 0;
+}
+
+void
+MioDB::pauseBackgroundReplayForTesting(bool paused)
+{
+    replay_paused_.store(paused, std::memory_order_release);
+    if (!paused)
+        scheduleWalReplay();
+    else if (sched_ != nullptr)
+        sched_->notifyEvent();
+}
+
+void
 MioDB::simulateCrash()
 {
     onSimCrash();
@@ -631,8 +721,10 @@ MioDB::recoverInterruptedCompactions()
         BufferLevel &bl = state_->levels.level(i);
         BufferLevel::Snapshot snap = bl.snapshot();
         if (snap.merge) {
-            // No snapshots can be live this early in reopen, so the
-            // default keep_seq (drop everything shadowed) is safe.
+            // No snapshots can be live this early in reopen. Without
+            // instant recovery the default keep_seq (drop everything
+            // shadowed) is safe; with it, recoveryKeepSeq() floors
+            // retention below every un-replayed frame's sequences.
             // Dropped pointers still decay the vlog estimate.
             const DropNotify drop_hook =
                 state_->vlog != nullptr
@@ -641,16 +733,16 @@ MioDB::recoverInterruptedCompactions()
                       })
                     : DropNotify();
             resumeZeroCopyMerge(snap.merge.get(), nvm_, &stats_,
-                                nullptr, kMaxSequence, drop_hook);
+                                nullptr, recoveryKeepSeq(), drop_hook);
             if (i + 1 < state_->levels.numLevels()) {
                 state_->levels.level(i + 1).push(snap.merge->oldt);
                 bl.finishMerge(snap.merge);
             } else {
-                Status ms =
-                    state_->repo->mergeTable(snap.merge->oldt.get());
+                Status ms = state_->repo->mergeTable(
+                    snap.merge->oldt.get(), recoveryKeepSeq());
                 for (int retry = 0; !ms.isOk() && retry < 3; retry++) {
                     ms = state_->repo->mergeTable(
-                        snap.merge->oldt.get());
+                        snap.merge->oldt.get(), recoveryKeepSeq());
                 }
                 // On persistent failure leave the merge published:
                 // readers still reach oldt through the manifest, so
@@ -660,7 +752,8 @@ MioDB::recoverInterruptedCompactions()
             }
         }
         if (snap.migrating) {
-            Status ms = state_->repo->mergeTable(snap.migrating.get());
+            Status ms = state_->repo->mergeTable(snap.migrating.get(),
+                                                 recoveryKeepSeq());
             // On failure the migration stays in flight (still
             // readable); compactLevelOnce retries it once jobs run.
             if (ms.isOk())
@@ -950,6 +1043,17 @@ MioDB::waitIdle()
         if (!idle(sched::JobClass::kVlogGc) ||
             vlog_gc_scheduled_.load())
             return false;
+        // Instant recovery: idle means replay drained too (callers
+        // compare against fully-recovered state). A paused replay is
+        // excluded -- tests pause it precisely to observe the store
+        // mid-recovery, and waiting would deadlock.
+        if (!replay_paused_.load(std::memory_order_acquire) &&
+            recovery_pending_frames_.load(std::memory_order_acquire) >
+                0)
+            return false;
+        if (!idle(sched::JobClass::kWalReplay) ||
+            replay_scheduled_.load())
+            return false;
         // Housekeeping counts: callers rely on waitIdle meaning every
         // flushed segment's WAL has been recycled (the old flusher did
         // it synchronously), e.g. when measuring NVM occupancy.
@@ -968,7 +1072,10 @@ MioDB::waitIdle()
                    std::memory_order_relaxed) +
                stats_.zero_copy_merges.load(
                    std::memory_order_relaxed) +
-               stats_.lazy_copy_merges.load(std::memory_order_relaxed);
+               stats_.lazy_copy_merges.load(
+                   std::memory_order_relaxed) +
+               stats_.wal_frames_replayed.load(
+                   std::memory_order_relaxed);
     };
     wo.denials = [this] {
         return nvm_->faultMeters().alloc_failures;

@@ -101,10 +101,13 @@ ValueLog::append(const Slice &key, const Slice &value, ValuePointer *out)
         }
         seg = head_;
         off = seg->used.load(std::memory_order_relaxed);
-        // Reserve the range under the lock; the bytes become visible
-        // to scans only through the release store below, after the
-        // frame contents are in place.
-        seg->used.store(off + frame_len, std::memory_order_relaxed);
+        // Reserve the range under the lock. The frame bytes are
+        // written outside the lock, so the writer mark goes up first:
+        // a scrubber that observes the new tail (release/acquire on
+        // `used`) is guaranteed to also observe inflight != 0 and
+        // keep off the segment until the persist below lands.
+        seg->inflight.fetch_add(1, std::memory_order_relaxed);
+        seg->used.store(off + frame_len, std::memory_order_release);
         seg->payload_bytes.fetch_add(value.size(),
                                      std::memory_order_relaxed);
         seg->live_bytes.fetch_add(value.size(),
@@ -118,6 +121,7 @@ ValueLog::append(const Slice &key, const Slice &value, ValuePointer *out)
     // recovery rescan truncates the tail at the bad frame CRC.
     MIO_FAILPOINT("vlog.append");
     nvm_->persist(seg->base + off, frame_len);
+    seg->inflight.fetch_sub(1, std::memory_order_release);
 
     out->segment_id = seg->id;
     out->offset = off + kFrameHeader + key.size();
@@ -342,6 +346,9 @@ ValueLog::recoverAfterCrash()
         // The pending-unlink list was in-memory and is gone; a queued
         // segment must become pickable again to be re-discovered.
         seg->gc_queued = false;
+        // An append interrupted by the crash never dropped its writer
+        // mark; clear it or the scrubber shuns the segment forever.
+        seg->inflight.store(0, std::memory_order_relaxed);
     }
     head_ = nullptr;
 }
@@ -361,7 +368,14 @@ ValueLog::scrub(uint64_t *bytes_verified) const
     uint64_t mismatches = 0;
     uint64_t scanned = 0;
     for (const auto &seg : segs) {
+        // Bound first, writer check second: any append reserved below
+        // this bound either still holds its writer mark (segment
+        // skipped) or has release-decremented it after the persist
+        // (its bytes are visible to the acquire load). Appends
+        // starting later write past the bound, outside this scan.
         const size_t used = seg->used.load(std::memory_order_acquire);
+        if (seg->inflight.load(std::memory_order_acquire) != 0)
+            continue;  // hot tail: next pass gets it
         nvm_->chargeRead(used);
         size_t off = 0;
         while (off + kFrameHeader <= used) {

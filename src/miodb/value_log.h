@@ -189,6 +189,14 @@ class ValueLog
         size_t capacity = 0;
         /** Bytes of valid frames (append order, persist-covered). */
         std::atomic<size_t> used{0};
+        /**
+         * Appends holding a reserved range whose frame bytes are not
+         * yet persist-covered. Incremented before the reservation is
+         * published (so a scrubber that sees the new tail also sees
+         * the writer), decremented with release after the persist;
+         * the scrubber skips the segment while non-zero.
+         */
+        std::atomic<int> inflight{0};
         /** Payload bytes ever appended (GC-ratio denominator). */
         std::atomic<uint64_t> payload_bytes{0};
         /** Payload bytes presumed still referenced. */

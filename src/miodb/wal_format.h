@@ -1,0 +1,135 @@
+/**
+ * @file
+ * WAL record encoding shared by the commit path (miodb.cpp) and the
+ * instant-recovery index scan (recovery_index.cpp).
+ *
+ * Three record kinds, distinguished by the leading tag byte:
+ *
+ *   kWalTagSingle  [tag][fixed64 seq][type][lp key][lp value]
+ *   kWalTagBatch   [tag][fixed64 first_seq][varint32 count]
+ *                  ([type][lp key][lp value])*
+ *   kWalTagDigest  [tag][lp min_key][lp max_key][varint32 op_count]
+ *                  [inner single/batch record]
+ *
+ * The digest wrapper is what makes open() O(segment-scan) under
+ * instant recovery: the frame's key range and op count sit in a short
+ * prefix, so the RecoveryIndex learns which frames cover which keys
+ * without materializing any value bytes. New stores always write the
+ * wrapper; replay still accepts bare single/batch records, so logs
+ * written before this format version recover unchanged (they just
+ * index as "covers every key").
+ */
+#ifndef MIO_MIODB_WAL_FORMAT_H_
+#define MIO_MIODB_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace mio::miodb {
+
+inline constexpr char kWalTagSingle = 1;
+inline constexpr char kWalTagBatch = 2;
+inline constexpr char kWalTagDigest = 3;
+
+/**
+ * The digest header of one WAL record, plus the inner (single/batch)
+ * record it wraps. For a bare pre-digest record, unbounded is set and
+ * min/max are empty: the frame must be assumed to cover every key.
+ * All slices alias the parsed record's storage.
+ */
+struct WalDigest {
+    Slice min_key;
+    Slice max_key;
+    uint32_t op_count = 0;
+    uint64_t first_seq = 0;
+    bool unbounded = false;  //!< legacy frame without a digest header
+    Slice inner;             //!< the wrapped single/batch record
+    size_t header_bytes = 0; //!< bytes the digest parse consumed
+};
+
+/**
+ * Append a digest record to @p dst: the header computed over
+ * [min_key, max_key] x op_count followed by @p inner verbatim.
+ */
+inline void
+appendWalDigest(std::string *dst, const Slice &min_key,
+                const Slice &max_key, uint32_t op_count,
+                const Slice &inner)
+{
+    dst->reserve(dst->size() + min_key.size() + max_key.size() +
+                 inner.size() + 12);
+    dst->push_back(kWalTagDigest);
+    putLengthPrefixedSlice(dst, min_key);
+    putLengthPrefixedSlice(dst, max_key);
+    putVarint32(dst, op_count);
+    dst->append(inner.data(), inner.size());
+}
+
+/**
+ * Parse the digest view of @p record without touching any value bytes
+ * beyond the inner record's fixed seq prefix. Accepts all three tags;
+ * bare single records report op_count = 1 and a tight [key, key]
+ * range (the key is right there in the prefix), bare batch records
+ * report their count but an unbounded range (their keys are scattered
+ * through the payload, which an index scan must not walk).
+ *
+ * @return false on a malformed record (truncated header / unknown
+ * tag); such a frame is unreplayable and counts as corrupt.
+ */
+inline bool
+parseWalDigest(const Slice &record, WalDigest *out)
+{
+    Slice input = record;
+    if (input.size() < 10)
+        return false;
+    const char tag = input[0];
+    if (tag == kWalTagDigest) {
+        input.removePrefix(1);
+        if (!getLengthPrefixedSlice(&input, &out->min_key) ||
+            !getLengthPrefixedSlice(&input, &out->max_key) ||
+            !getVarint32(&input, &out->op_count)) {
+            return false;
+        }
+        out->unbounded = false;
+        out->inner = input;
+        out->header_bytes = record.size() - input.size();
+        if (input.size() < 9)
+            return false;
+        out->first_seq = decodeFixed64(input.data() + 1);
+        const char inner_tag = input[0];
+        return inner_tag == kWalTagSingle || inner_tag == kWalTagBatch;
+    }
+    out->inner = record;
+    out->header_bytes = 0;
+    out->first_seq = decodeFixed64(input.data() + 1);
+    if (tag == kWalTagSingle) {
+        Slice rest = input;
+        rest.removePrefix(10);  // tag + seq + type
+        Slice key;
+        if (!getLengthPrefixedSlice(&rest, &key))
+            return false;
+        out->min_key = key;
+        out->max_key = key;
+        out->op_count = 1;
+        out->unbounded = false;
+        return true;
+    }
+    if (tag == kWalTagBatch) {
+        Slice rest = input;
+        rest.removePrefix(9);  // tag + seq
+        if (!getVarint32(&rest, &out->op_count))
+            return false;
+        out->min_key = Slice();
+        out->max_key = Slice();
+        out->unbounded = true;
+        return true;
+    }
+    return false;
+}
+
+} // namespace mio::miodb
+
+#endif // MIO_MIODB_WAL_FORMAT_H_

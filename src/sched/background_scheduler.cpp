@@ -37,6 +37,7 @@ jobClassName(JobClass c)
     case JobClass::kWalRecycle: return "walrec";
     case JobClass::kScrub: return "scrub";
     case JobClass::kVlogGc: return "vloggc";
+    case JobClass::kWalReplay: return "walrep";
     }
     return "?";
 }

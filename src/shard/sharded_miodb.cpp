@@ -1,6 +1,8 @@
 #include "shard/sharded_miodb.h"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -63,6 +65,15 @@ ShardedMioDB::ShardedMioDB(const miodb::MioOptions &shard_options,
     };
     sched->setUrgencyProbe(sched::JobClass::kLazyCopyMerge, pressed);
     sched->setUrgencyProbe(sched::JobClass::kZeroCopyMerge, pressed);
+    // Same aggregation for replay urgency: escalate the pool's replay
+    // stream while ANY shard has a foreground op blocked on frames.
+    sched->setUrgencyProbe(sched::JobClass::kWalReplay, [this] {
+        for (auto &s : shards_) {
+            if (static_cast<miodb::MioDB *>(s.get())->replayUrgent())
+                return true;
+        }
+        return false;
+    });
 
     registerExtraStats(&sched_stats);
 
@@ -104,20 +115,79 @@ ShardedMioDB::buildShards(const miodb::MioOptions &shard_options,
     so.on_crash = [this] { propagateCrash(); };
     sched = std::make_unique<sched::BackgroundScheduler>(so);
 
-    std::vector<std::unique_ptr<KVStore>> shards;
-    shards.reserve(num_shards);
-    try {
+    // Shard construction (segment-directory scan, interrupted-
+    // compaction completion, recovery indexing or full WAL replay) is
+    // independent per shard, so open all shards concurrently on the
+    // pool just built for them. Each slot is written by exactly one
+    // job; a failed slot stays null. Deterministic mode (0 workers)
+    // builds serially -- a constructor may park on the scheduler, and
+    // nested assist-running inside waitUntil is not supported.
+    std::vector<std::unique_ptr<KVStore>> shards(num_shards);
+    auto buildOne = [&](int i) {
+        miodb::MioOptions per = shard_options;
+        per.shard_tag = "s" + std::to_string(i) + "/";
+        auto shard = std::make_unique<miodb::MioDB>(
+            per, nvm, ssd, set_state->wals[i].get(),
+            set_state->shards[i], sched.get());
+        if (fresh)
+            set_state->shards[i] = shard->nvmState();
+        shards[i] = std::move(shard);
+    };
+    std::exception_ptr first_error;
+    std::mutex err_mu;
+    const bool parallel =
+        so.num_workers > 1 && num_shards > 1;
+    if (parallel) {
+        std::atomic<int> remaining{num_shards};
         for (int i = 0; i < num_shards; i++) {
-            miodb::MioOptions per = shard_options;
-            per.shard_tag = "s" + std::to_string(i) + "/";
-            auto shard = std::make_unique<miodb::MioDB>(
-                per, nvm, ssd, set_state->wals[i].get(),
-                set_state->shards[i], sched.get());
-            if (fresh)
-                set_state->shards[i] = shard->nvmState();
-            shards.push_back(std::move(shard));
+            sched->submit(
+                sched::JobClass::kWalReplay,
+                [&, i] {
+                    try {
+                        buildOne(i);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> el(err_mu);
+                        if (!first_error)
+                            first_error = std::current_exception();
+                    }
+                    remaining.fetch_sub(1,
+                                        std::memory_order_acq_rel);
+                    sched->notifyEvent();
+                },
+                // Dropped (another shard's failpoint froze the pool):
+                // the slot stays null; the serial backfill below
+                // handles it exactly like the old serial open did on
+                // a frozen pool.
+                [&] {
+                    remaining.fetch_sub(1,
+                                        std::memory_order_acq_rel);
+                    sched->notifyEvent();
+                });
         }
-    } catch (...) {
+        sched::WaitOptions wo;
+        wo.kick = [this] { sched->notifyEvent(); };
+        wo.tick_ms = 2;
+        sched->waitUntil(
+            [&] {
+                return remaining.load(std::memory_order_acquire) == 0;
+            },
+            wo);
+    }
+    // Serial path, plus backfill of slots whose job was dropped by a
+    // mid-construction freeze (the historical serial semantics: a
+    // background failpoint freezes the pool but construction itself
+    // carries on; the facade constructor tail finishes the fan-out).
+    if (!first_error) {
+        try {
+            for (int i = 0; i < num_shards; i++) {
+                if (shards[i] == nullptr)
+                    buildOne(i);
+            }
+        } catch (...) {
+            first_error = std::current_exception();
+        }
+    }
+    if (first_error) {
         // A shard's recovery hit a failpoint (sim::SimCrash) or its
         // constructor failed outright. The base class was never
         // constructed, so nobody else will clean up: crash the shards
@@ -125,10 +195,12 @@ ShardedMioDB::buildShards(const miodb::MioOptions &shard_options,
         // pool before any of their memory goes away, and let the
         // vector unwind. set_state still holds every durable image.
         crashed.store(true, std::memory_order_release);
-        for (auto &s : shards)
-            static_cast<miodb::MioDB *>(s.get())->simulateCrash();
+        for (auto &s : shards) {
+            if (s != nullptr)
+                static_cast<miodb::MioDB *>(s.get())->simulateCrash();
+        }
         sched->shutdown(false);
-        throw;
+        std::rethrow_exception(first_error);
     }
     return shards;
 }
@@ -139,6 +211,7 @@ ShardedMioDB::~ShardedMioDB()
     // ShardedKvStore base starts destroying shards under a live pool.
     sched->setUrgencyProbe(sched::JobClass::kLazyCopyMerge, nullptr);
     sched->setUrgencyProbe(sched::JobClass::kZeroCopyMerge, nullptr);
+    sched->setUrgencyProbe(sched::JobClass::kWalReplay, nullptr);
 
     if (crashed.load(std::memory_order_acquire)) {
         // Power failure: the pool is frozen but a worker may still be
@@ -155,6 +228,32 @@ miodb::MioDB &
 ShardedMioDB::mioShard(int i)
 {
     return *static_cast<miodb::MioDB *>(shards_[i].get());
+}
+
+uint64_t
+ShardedMioDB::recoveryPendingFrames() const
+{
+    uint64_t pending = 0;
+    for (const auto &s : shards_) {
+        pending += static_cast<const miodb::MioDB *>(s.get())
+                       ->recoveryPendingFrames();
+    }
+    return pending;
+}
+
+bool
+ShardedMioDB::recoveryDrained() const
+{
+    return recoveryPendingFrames() == 0;
+}
+
+void
+ShardedMioDB::pauseBackgroundReplayForTesting(bool paused)
+{
+    for (auto &s : shards_) {
+        static_cast<miodb::MioDB *>(s.get())
+            ->pauseBackgroundReplayForTesting(paused);
+    }
 }
 
 void

@@ -48,6 +48,18 @@ class TableReader
 
     uint64_t numEntries() const { return num_entries_; }
     const std::string &name() const { return name_; }
+
+    /**
+     * Re-point the deserialization-time sink. Readers are cached in
+     * FileMeta and outlive the store that opened them when NvmState
+     * is adopted by a successor, so the adopting store must call this
+     * (via LsmTree::rebindStats) or block reads keep charging time
+     * into the dead owner's counters. Only valid while quiesced.
+     */
+    void rebindDeserTimer(std::atomic<uint64_t> *deser_time_ns)
+    {
+        deser_time_ns_ = deser_time_ns;
+    }
     Slice smallestKey() const;
     Slice largestKey() const;
 

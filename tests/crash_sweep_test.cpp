@@ -45,6 +45,12 @@ sweepOptions(bool ssd_mode)
     o.value_separation_threshold = 16;
     o.vlog_segment_bytes = 4 << 10;
     o.vlog_gc_trigger_ratio = 0.95;
+    // Every reopen in the sweep recovers through the instant-recovery
+    // path (index build + on-demand replay driven by the model
+    // verification's gets), so the whole crash-consistency battery
+    // exercises it. The dedicated recovery legs below additionally
+    // crash INSIDE that path.
+    o.instant_recovery = true;
     // MIO_CRASH_DETERMINISTIC=1: run maintenance on the scheduler's
     // deterministic inline mode -- no worker threads, jobs execute in
     // strict priority order on this thread inside waitUntil()/drain().
@@ -289,13 +295,27 @@ sweepOnePoint(const char *point, uint64_t nth, bool ssd_mode,
     }
 }
 
+/**
+ * Recovery-path points only fire while a reopen has pending frames;
+ * the workload-phase sweeps (armed on a freshly opened store) can
+ * never reach them, so they get dedicated legs instead.
+ */
+bool
+recoveryOnlyPoint(const char *p)
+{
+    const std::string s(p);
+    return s == "recovery.index.build" || s == "recovery.on_demand" ||
+           s == "wal.replay.frame";
+}
+
 /** Canonical points that fire in the PM (in-memory repository) mode. */
 std::vector<const char *>
 pmModePoints()
 {
     std::vector<const char *> points;
     for (const char *p : sim::kCrashPoints) {
-        if (std::string(p).rfind("ssd.", 0) != 0)
+        if (std::string(p).rfind("ssd.", 0) != 0 &&
+            !recoveryOnlyPoint(p))
             points.push_back(p);
     }
     return points;
@@ -307,10 +327,108 @@ ssdModePoints()
 {
     std::vector<const char *> points;
     for (const char *p : sim::kCrashPoints) {
-        if (std::string(p) != "lcm.publish_node")  // PmRepository-only
+        if (std::string(p) != "lcm.publish_node" &&  // PmRepository-only
+            !recoveryOnlyPoint(p))
             points.push_back(p);
     }
     return points;
+}
+
+/**
+ * Crash INSIDE instant recovery: run a workload, power-fail with WAL
+ * segments still pending, then reopen with a recovery-path point
+ * armed. The crash lands in the recovery-index scan (constructor
+ * throws), or in on-demand/background frame replay (the verification
+ * gets drive it). The doubly-crashed image must still recover to the
+ * acked model on a third open -- duplicate frame replays dedup by
+ * sequence, un-replayed segments stay durable.
+ */
+void
+sweepRecoveryPoint(const char *point, uint64_t nth, bool ssd_mode)
+{
+    auto &fp = sim::FailpointRegistry::instance();
+    fp.disarmAll();
+
+    sim::NvmDevice nvm;
+    nvm.setCrashShadow(true);
+    sim::SsdDevice ssd;
+    wal::WalRegistry registry;
+    std::shared_ptr<NvmState> state;
+    const MioOptions opts = sweepOptions(ssd_mode);
+
+    auto workload = makeWorkload(/*seed=*/0xC0FFEE, 500, 150);
+    const std::set<std::string> keys = touchedKeys(workload);
+    ExecResult run;
+    {
+        MioDB db(opts, &nvm, ssd_mode ? &ssd : nullptr, &registry);
+        state = db.nvmState();
+        run = runWorkload(&db, workload);
+        ASSERT_EQ(run.inflight, nullptr)
+            << point << ": clean phase crashed";
+        db.simulateCrash();
+    }
+    nvm.discardUnpersisted();
+
+    // Deterministic scheduling on the reopen: background replay only
+    // assist-runs inside waitIdle, so the Nth hit of the armed point
+    // is a pure function of the verification gets below.
+    MioOptions ropts = opts;
+    ropts.deterministic_background = true;
+    fp.armCrash(point, nth);
+    bool point_fired = false;
+    {
+        std::unique_ptr<MioDB> db2;
+        try {
+            db2 = std::make_unique<MioDB>(ropts, &nvm,
+                                          ssd_mode ? &ssd : nullptr,
+                                          &registry, state);
+        } catch (const sim::SimCrash &) {
+            // recovery.index.build fired during the directory scan.
+        }
+        if (db2 != nullptr) {
+            std::string v;
+            for (const auto &key : keys) {
+                db2->get(Slice(key), &v);
+                if (fp.fired(point))
+                    break;
+            }
+            if (!fp.fired(point))
+                db2->waitIdle();  // background replay hits
+            // Capture before disarmAll: it clears the fire record.
+            point_fired = fp.fired(point);
+            fp.disarmAll();
+            db2->simulateCrash();
+        } else {
+            point_fired = fp.fired(point);
+        }
+    }
+    if (nth == 1)
+        ASSERT_TRUE(point_fired) << point << " never fired";
+    fp.disarmAll();
+    nvm.discardUnpersisted();
+
+    MioDB db3(opts, &nvm, ssd_mode ? &ssd : nullptr, &registry, state);
+    expectRecoveredState(&db3, run, keys,
+                         std::string("recovery ") + point + "@" +
+                             std::to_string(nth));
+}
+
+TEST(CrashSweepTest, RecoveryPathSweep)
+{
+    const char *points[] = {"recovery.index.build",
+                            "recovery.on_demand", "wal.replay.frame"};
+    for (bool ssd_mode : {false, true}) {
+        for (uint64_t nth : {1u, 4u, 40u}) {
+            for (const char *point : points) {
+                SCOPED_TRACE(std::string(point) + "@" +
+                             std::to_string(nth) +
+                             (ssd_mode ? " ssd" : " pm"));
+                sweepRecoveryPoint(point, nth, ssd_mode);
+                if (::testing::Test::HasFatalFailure())
+                    return;
+            }
+        }
+    }
 }
 
 TEST(CrashSweepTest, DeterministicSweepFirstHit)
@@ -374,6 +492,35 @@ TEST(CrashSweepTest, TrackingDryRunCoversCanonicalList)
             runWorkload(&db, workload);
             db.waitIdle();
         }
+        for (const auto &p : fp.seenPoints())
+            seen.insert(p);
+        fp.disarmAll();
+    }
+    // The recovery.* points only fire on a reopen with pending WAL
+    // frames: crash mid-workload, reopen with instant recovery, and
+    // drive on-demand replay with gets before draining the rest.
+    {
+        fp.disarmAll();
+        fp.setTracking(true);
+        sim::NvmDevice nvm;
+        nvm.setCrashShadow(true);
+        wal::WalRegistry registry;
+        std::shared_ptr<NvmState> state;
+        auto workload = makeWorkload(0xC0FFEE, 300, 150);
+        {
+            MioDB db(sweepOptions(false), &nvm, nullptr, &registry);
+            state = db.nvmState();
+            runWorkload(&db, workload);
+            db.simulateCrash();
+        }
+        nvm.discardUnpersisted();
+        MioOptions ropts = sweepOptions(false);
+        ropts.deterministic_background = true;
+        MioDB db2(ropts, &nvm, nullptr, &registry, state);
+        std::string v;
+        for (const auto &key : touchedKeys(workload))
+            db2.get(Slice(key), &v);
+        db2.waitIdle();
         for (const auto &p : fp.seenPoints())
             seen.insert(p);
         fp.disarmAll();
