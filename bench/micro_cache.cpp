@@ -1,0 +1,263 @@
+/**
+ * @file
+ * DRAM-split micro-benchmark for the memory governor (DESIGN.md
+ * Sec. 5k): one fixed DRAM budget is divided between the write
+ * MemTable and the read cache, and the same phased workload is run
+ * at every static split plus the adaptive kMemTuner policy.
+ *
+ * The workload is three phases over the same keyspace:
+ *   A  read-heavy scrambled zipfian around hotspot 0
+ *   B  write-heavy overwrite burst (zipfian victims)
+ *   C  read-heavy again, hotspot shifted a third of the keyspace
+ * A static split is a compromise across the phases; the tuner can
+ * grow the cache during A/C and give DRAM back to the MemTable when
+ * the write burst stalls, so it should match or beat every static
+ * point of the grid (scripts/bench_cache.sh records the comparison
+ * in BENCH_cache.json).
+ *
+ * Runs deterministic_background so the measured thread pays for its
+ * own maintenance (identical schedules across modes); the periodic
+ * kMemTuner job never self-fires there, so the bench drives
+ * memTunerPass() on the production cadence boundary itself (every
+ * --tuner_every ops). The Optane-like NVM perf model is ON by
+ * default (--perf_model=0 to disable): the cache exists to keep hot
+ * reads on DRAM, so charged NVM time is the effect under test.
+ *
+ * --json=<path> emits machine-readable results; --smoke is a fast
+ * sanity mode wired into scripts/check.sh.
+ */
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchutil/reporter.h"
+#include "mem/memory_governor.h"
+#include "miodb/miodb.h"
+#include "util/clock.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/zipfian.h"
+
+using namespace mio;
+using namespace mio::bench;
+using namespace mio::miodb;
+
+namespace {
+
+struct BenchParams {
+    uint64_t keys = 4000;
+    uint64_t ops = 60000;        //!< total, split evenly over 3 phases
+    size_t value_size = 256;
+    size_t dram_bytes = 256u << 10; //!< MemTable + cache, all modes
+    uint64_t tuner_every = 1000; //!< ops per kMemTuner window
+    uint64_t seed = 42;
+    /** Charge Optane-like NVM time: the cache exists to keep hot
+     *  reads on DRAM, so the hybrid-memory cost model is the point
+     *  of the experiment (unlike micro_readpath, which isolates the
+     *  software path with the zero-cost model). */
+    bool perf_model = true;
+};
+
+struct Mode {
+    std::string name;
+    double cache_frac; //!< share of dram_bytes given to the cache
+    bool adaptive;
+};
+
+struct RunResult {
+    std::string mode;
+    uint64_t ops = 0;
+    double kiops = 0;
+    double hit_rate = 0; //!< cache hits / (hits + misses)
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t flush_count = 0;
+    uint64_t write_stalls = 0;
+    uint64_t tuner_moves = 0;
+    uint64_t final_cache_bytes = 0;
+};
+
+std::string
+makeKey(uint64_t i)
+{
+    char buf[20];
+    snprintf(buf, sizeof(buf), "user%012llu",
+             static_cast<unsigned long long>(i));
+    return std::string(buf);
+}
+
+RunResult
+runMode(const BenchParams &p, const Mode &mode)
+{
+    sim::NvmDevice nvm(p.perf_model
+                           ? sim::MemoryPerfModel::optaneDefault()
+                           : sim::MemoryPerfModel::none());
+    MioOptions o;
+    o.deterministic_background = true;
+    o.elastic_levels = 4;
+    const auto cache_bytes = static_cast<size_t>(
+        static_cast<double>(p.dram_bytes) * mode.cache_frac);
+    o.read_cache_bytes = cache_bytes;
+    o.memtable_size = p.dram_bytes - cache_bytes;
+    o.adaptive_memory = mode.adaptive;
+    // Values live in the NVM value log; an uncached read pays the
+    // pointer dereference (charged NVM time) that a cache hit skips,
+    // which is exactly the DRAM-vs-NVM trade the split controls.
+    o.value_separation_threshold = p.value_size / 2;
+    MioDB db(o, &nvm);
+
+    // Load phase (untimed): dataset resident below DRAM.
+    std::string value(p.value_size, 'v');
+    for (uint64_t i = 0; i < p.keys; i++) {
+        if (!db.put(Slice(makeKey(i)), Slice(value)).isOk()) {
+            fprintf(stderr, "load failed\n");
+            abort();
+        }
+    }
+    db.waitIdle();
+
+    // Identical op sequence in every mode: same generators, same
+    // seeds, only the DRAM split differs.
+    ScrambledZipfianGenerator zipf(p.keys, 0.99, p.seed + 13);
+    Random rng(p.seed * 977 + 5);
+    const uint64_t phase_ops = p.ops / 3;
+    std::string got;
+    RunResult r;
+    r.mode = mode.name;
+    r.ops = phase_ops * 3;
+
+    Stopwatch timer;
+    for (int phase = 0; phase < 3; phase++) {
+        // Phase B is the overwrite burst; A and C are read-heavy
+        // with C's hotspot displaced a third of the keyspace.
+        const uint32_t put_pct = phase == 1 ? 60 : 5;
+        const uint64_t hot_shift = phase == 2 ? p.keys / 3 : 0;
+        for (uint64_t i = 0; i < phase_ops; i++) {
+            const uint64_t idx = (zipf.next() + hot_shift) % p.keys;
+            const std::string key = makeKey(idx);
+            if (rng.uniform(100) < put_pct) {
+                if (!db.put(Slice(key), Slice(value)).isOk()) {
+                    fprintf(stderr, "put failed\n");
+                    abort();
+                }
+            } else if (!db.get(Slice(key), &got).isOk()) {
+                fprintf(stderr, "get missed a loaded key\n");
+                abort();
+            }
+            if (mode.adaptive &&
+                (i + 1) % p.tuner_every == 0) {
+                db.memTunerPass();
+            }
+        }
+    }
+    r.kiops = static_cast<double>(r.ops) /
+              timer.elapsedSeconds() / 1000.0;
+
+    const StatsSnapshot s = snapshotOf(db.stats());
+    r.cache_hits = s.cache_hits;
+    r.cache_misses = s.cache_misses;
+    const uint64_t probes = s.cache_hits + s.cache_misses;
+    r.hit_rate = probes == 0
+                     ? 0.0
+                     : static_cast<double>(s.cache_hits) /
+                           static_cast<double>(probes);
+    r.flush_count = s.flush_count;
+    r.write_stalls = s.write_stalls;
+    r.tuner_moves = db.governor().tunerMoves();
+    r.final_cache_bytes =
+        db.governor().limit(mem::SubBudget::kReadCacheDram);
+    if (!db.memoryAccountingConsistent()) {
+        fprintf(stderr, "memory accounting drifted in mode %s\n",
+                mode.name.c_str());
+        abort();
+    }
+    return r;
+}
+
+void
+writeJson(const std::string &path, const BenchParams &p,
+          const std::vector<RunResult> &runs)
+{
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"micro_cache\",\n";
+    out << "  \"config\": {\"keys\": " << p.keys << ", \"ops\": "
+        << p.ops << ", \"value_size\": " << p.value_size
+        << ", \"dram_bytes\": " << p.dram_bytes
+        << ", \"tuner_every\": " << p.tuner_every << ", \"seed\": "
+        << p.seed << "},\n  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); i++) {
+        const RunResult &r = runs[i];
+        char line[512];
+        snprintf(line, sizeof(line),
+                 "    {\"mode\": \"%s\", \"ops\": %llu, "
+                 "\"kiops\": %.1f, \"hit_rate\": %.4f, "
+                 "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                 "\"flush_count\": %llu, \"write_stalls\": %llu, "
+                 "\"tuner_moves\": %llu, "
+                 "\"final_cache_bytes\": %llu}%s\n",
+                 r.mode.c_str(),
+                 static_cast<unsigned long long>(r.ops), r.kiops,
+                 r.hit_rate,
+                 static_cast<unsigned long long>(r.cache_hits),
+                 static_cast<unsigned long long>(r.cache_misses),
+                 static_cast<unsigned long long>(r.flush_count),
+                 static_cast<unsigned long long>(r.write_stalls),
+                 static_cast<unsigned long long>(r.tuner_moves),
+                 static_cast<unsigned long long>(r.final_cache_bytes),
+                 i + 1 < runs.size() ? "," : "");
+        out << line;
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    const bool smoke = flags.getBool("smoke", false);
+
+    BenchParams p;
+    p.keys = flags.getInt("keys", smoke ? 2000 : 4000);
+    p.ops = flags.getInt("ops", smoke ? 6000 : 60000);
+    p.value_size = flags.getSize("value_size", 256);
+    p.dram_bytes = flags.getSize("dram_bytes", 256u << 10);
+    p.tuner_every = flags.getInt("tuner_every", smoke ? 200 : 1000);
+    p.seed = flags.getInt("seed", 42);
+    p.perf_model = flags.getBool("perf_model", p.perf_model);
+
+    // The static grid shares one DRAM budget; "adaptive" starts at
+    // the even split and lets kMemTuner move it.
+    std::vector<Mode> modes = {
+        {"nocache", 0.0, false},     {"static25", 0.25, false},
+        {"static50", 0.50, false},   {"static75", 0.75, false},
+        {"adaptive", 0.50, true},
+    };
+
+    std::vector<RunResult> runs;
+    TableReporter tbl(
+        "DRAM split sweep (one budget, MemTable vs read cache)",
+        {"mode", "kiops", "hit %", "flushes", "stalls", "tuner",
+         "cache KiB"});
+    for (const Mode &m : modes) {
+        RunResult r = runMode(p, m);
+        runs.push_back(r);
+        tbl.addRow({r.mode, TableReporter::num(r.kiops, 1),
+                    TableReporter::num(100.0 * r.hit_rate, 1),
+                    std::to_string(r.flush_count),
+                    std::to_string(r.write_stalls),
+                    std::to_string(r.tuner_moves),
+                    std::to_string(r.final_cache_bytes >> 10)});
+    }
+    tbl.print();
+
+    const std::string json = flags.getString("json", "");
+    if (!json.empty()) {
+        writeJson(json, p, runs);
+        printf("wrote %s\n", json.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# DRAM-split sweep: build and run bench/micro_cache (static
+# MemTable/cache splits vs the adaptive kMemTuner policy on one DRAM
+# budget), then emit BENCH_cache.json at the repo root.
+#
+# Usage:
+#   scripts/bench_cache.sh [extra micro_cache flags...]
+#
+# Each mode's row is the best KIOPS over MIO_BENCH_REPS runs (default
+# 3): single runs are noisy on small/shared machines, and best-of-N
+# estimates the throughput ceiling a configuration can sustain. The
+# merged file also records a "verdict" block comparing the adaptive
+# tuner against the best static split -- the acceptance gate is that
+# adaptive matches (within 3%) or beats every static point.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+REPS="${MIO_BENCH_REPS:-3}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target micro_cache >/dev/null
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+for rep in $(seq 1 "$REPS"); do
+    build/bench/micro_cache --json="$WORK/run.$rep.json" \
+        ${@:+"$@"} >/dev/null
+done
+
+python3 - "$WORK/run" "$REPS" <<'EOF' > BENCH_cache.json
+import json, sys
+prefix, reps = sys.argv[1], int(sys.argv[2])
+docs = [json.load(open(f"{prefix}.{r}.json")) for r in range(1, reps + 1)]
+best = docs[0]
+rows = {}
+for d in docs:
+    for row in d["runs"]:
+        if row["mode"] not in rows or row["kiops"] > rows[row["mode"]]["kiops"]:
+            rows[row["mode"]] = row
+best["runs"] = [rows[r["mode"]] for r in docs[0]["runs"]]
+adaptive = rows["adaptive"]["kiops"]
+statics = {m: r["kiops"] for m, r in rows.items() if m != "adaptive"}
+best_mode, best_static = max(statics.items(), key=lambda kv: kv[1])
+best["verdict"] = {
+    "adaptive_kiops": adaptive,
+    "best_static_mode": best_mode,
+    "best_static_kiops": best_static,
+    "tolerance": 0.03,
+    "adaptive_matches_or_beats_grid": adaptive >= best_static * 0.97,
+}
+json.dump(best, sys.stdout, indent=1)
+print()
+EOF
+
+python3 - <<'EOF'
+import json
+v = json.load(open("BENCH_cache.json"))["verdict"]
+print(f"adaptive {v['adaptive_kiops']:.1f} KIOPS vs best static "
+      f"({v['best_static_mode']}) {v['best_static_kiops']:.1f} KIOPS")
+if not v["adaptive_matches_or_beats_grid"]:
+    raise SystemExit("FAIL: adaptive tuner lost to a static split")
+print("OK: adaptive matches or beats every static split")
+EOF
+echo "wrote BENCH_cache.json (best of $REPS reps per mode)"

@@ -17,7 +17,7 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # assertion needs the writer to outrun background migration, which
 # TSan's slowdown prevents (no race involved -- it runs in the
 # normal-build suite).
-TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test|fault_soak_test|sched_test|sharded_store_test|snapshot_iterator_test|value_log_test|instant_recovery_test}"
+TSAN_TESTS="${MIO_TSAN_TESTS:-group_commit_test|miodb_concurrency_test|multiwriter_test|miodb_recovery_test|failpoint_test|bloom_summary_test|fault_soak_test|sched_test|sharded_store_test|snapshot_iterator_test|value_log_test|instant_recovery_test|read_cache_test}"
 
 if [ "${1:-}" != "--tsan-only" ]; then
     echo "=== tier-1: build + full test suite"
@@ -46,12 +46,17 @@ if [ "${1:-}" != "--tsan-only" ]; then
     (cd build && ctest --output-on-failure -L recovery)
     echo "=== recovery bench smoke (keeps bench/micro_recovery honest)"
     build/bench/micro_recovery --smoke
-    echo "=== debug-build leg (snapshot pin-leak assertions are NDEBUG-gated)"
+    echo "=== cache suite (memory governor + DRAM read cache)"
+    (cd build && ctest --output-on-failure -L cache)
+    echo "=== cache bench smoke (keeps bench/micro_cache honest)"
+    build/bench/micro_cache --smoke
+    echo "=== debug-build leg (pin-leak + governor-ledger asserts are NDEBUG-gated)"
     cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
     cmake --build build-debug -j "$JOBS" \
-          --target edge_case_test snapshot_iterator_test
+          --target edge_case_test snapshot_iterator_test read_cache_test
     (cd build-debug &&
-         ctest --output-on-failure -R "edge_case_test|snapshot_iterator_test")
+         ctest --output-on-failure \
+               -R "edge_case_test|snapshot_iterator_test|read_cache_test")
     echo "=== no bare sleep-polling on background control paths"
     if grep -rn "sleep_for" src/sched src/miodb src/lsm src/shard; then
         echo "error: background paths must wait on the scheduler" >&2

@@ -63,6 +63,17 @@ snapshotOf(const StatsCounters &c)
     s.recovery_pending_segments = get(c.recovery_pending_segments);
     s.recovery_ms_to_ready = get(c.recovery_ms_to_ready);
     s.recovery_ms_to_drained = get(c.recovery_ms_to_drained);
+    s.cache_hits = get(c.cache_hits);
+    s.cache_misses = get(c.cache_misses);
+    s.cache_evictions = get(c.cache_evictions);
+    s.cache_invalidations = get(c.cache_invalidations);
+    s.tuner_moves = get(c.tuner_moves);
+    s.gov_memtable_bytes = get(c.gov_memtable_bytes);
+    s.gov_cache_bytes = get(c.gov_cache_bytes);
+    s.gov_nvm_buffer_bytes = get(c.gov_nvm_buffer_bytes);
+    s.gov_vlog_bytes = get(c.gov_vlog_bytes);
+    s.gov_memtable_limit = get(c.gov_memtable_limit);
+    s.gov_cache_limit = get(c.gov_cache_limit);
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         s.sched_submitted[j] = get(c.sched_submitted[j]);
         s.sched_completed[j] = get(c.sched_completed[j]);
@@ -144,6 +155,19 @@ statsDelta(const StatsSnapshot &a, const StatsSnapshot &b)
     // Open-relative timestamps, not phase counters: carry the reading.
     d.recovery_ms_to_ready = a.recovery_ms_to_ready;
     d.recovery_ms_to_drained = a.recovery_ms_to_drained;
+    d.cache_hits = a.cache_hits - b.cache_hits;
+    d.cache_misses = a.cache_misses - b.cache_misses;
+    d.cache_evictions = a.cache_evictions - b.cache_evictions;
+    d.cache_invalidations =
+        a.cache_invalidations - b.cache_invalidations;
+    d.tuner_moves = a.tuner_moves - b.tuner_moves;
+    // Governor gauges: carry the current reading.
+    d.gov_memtable_bytes = a.gov_memtable_bytes;
+    d.gov_cache_bytes = a.gov_cache_bytes;
+    d.gov_nvm_buffer_bytes = a.gov_nvm_buffer_bytes;
+    d.gov_vlog_bytes = a.gov_vlog_bytes;
+    d.gov_memtable_limit = a.gov_memtable_limit;
+    d.gov_cache_limit = a.gov_cache_limit;
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         d.sched_submitted[j] = a.sched_submitted[j] - b.sched_submitted[j];
         d.sched_completed[j] = a.sched_completed[j] - b.sched_completed[j];
@@ -219,6 +243,20 @@ statsAdd(StatsSnapshot *acc, const StatsSnapshot &b)
         std::max(acc->recovery_ms_to_ready, b.recovery_ms_to_ready);
     acc->recovery_ms_to_drained =
         std::max(acc->recovery_ms_to_drained, b.recovery_ms_to_drained);
+    acc->cache_hits += b.cache_hits;
+    acc->cache_misses += b.cache_misses;
+    acc->cache_evictions += b.cache_evictions;
+    acc->cache_invalidations += b.cache_invalidations;
+    acc->tuner_moves += b.tuner_moves;
+    // Governor gauges live in exactly one sink per governor (the
+    // facade's counters for a shared governor, the store's own
+    // otherwise), so summing never multiply-counts a budget.
+    acc->gov_memtable_bytes += b.gov_memtable_bytes;
+    acc->gov_cache_bytes += b.gov_cache_bytes;
+    acc->gov_nvm_buffer_bytes += b.gov_nvm_buffer_bytes;
+    acc->gov_vlog_bytes += b.gov_vlog_bytes;
+    acc->gov_memtable_limit += b.gov_memtable_limit;
+    acc->gov_cache_limit += b.gov_cache_limit;
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         acc->sched_submitted[j] += b.sched_submitted[j];
         acc->sched_completed[j] += b.sched_completed[j];
@@ -290,6 +328,17 @@ loadInto(const StatsSnapshot &s, StatsCounters *out)
     set(out->recovery_pending_segments, s.recovery_pending_segments);
     set(out->recovery_ms_to_ready, s.recovery_ms_to_ready);
     set(out->recovery_ms_to_drained, s.recovery_ms_to_drained);
+    set(out->cache_hits, s.cache_hits);
+    set(out->cache_misses, s.cache_misses);
+    set(out->cache_evictions, s.cache_evictions);
+    set(out->cache_invalidations, s.cache_invalidations);
+    set(out->tuner_moves, s.tuner_moves);
+    set(out->gov_memtable_bytes, s.gov_memtable_bytes);
+    set(out->gov_cache_bytes, s.gov_cache_bytes);
+    set(out->gov_nvm_buffer_bytes, s.gov_nvm_buffer_bytes);
+    set(out->gov_vlog_bytes, s.gov_vlog_bytes);
+    set(out->gov_memtable_limit, s.gov_memtable_limit);
+    set(out->gov_cache_limit, s.gov_cache_limit);
     for (int j = 0; j < StatsCounters::kJobClasses; j++) {
         set(out->sched_submitted[j], s.sched_submitted[j]);
         set(out->sched_completed[j], s.sched_completed[j]);
@@ -376,13 +425,41 @@ StatsSnapshot::toString() const
                      recovery_ms_to_drained));
         out += buf;
     }
+    if (cache_hits > 0 || cache_misses > 0 || gov_cache_limit > 0 ||
+        tuner_moves > 0) {
+        snprintf(buf, sizeof(buf),
+                 "\ncache: hits=%llu misses=%llu evictions=%llu "
+                 "invalidations=%llu hit_rate=%.3f",
+                 static_cast<unsigned long long>(cache_hits),
+                 static_cast<unsigned long long>(cache_misses),
+                 static_cast<unsigned long long>(cache_evictions),
+                 static_cast<unsigned long long>(cache_invalidations),
+                 cache_hits + cache_misses > 0
+                     ? static_cast<double>(cache_hits) /
+                           static_cast<double>(cache_hits +
+                                               cache_misses)
+                     : 0.0);
+        out += buf;
+        snprintf(
+            buf, sizeof(buf),
+            "\ngovernor: memtable=%llu/%llu cache=%llu/%llu "
+            "nvmbuf=%llu vlog=%llu tuner_moves=%llu",
+            static_cast<unsigned long long>(gov_memtable_bytes),
+            static_cast<unsigned long long>(gov_memtable_limit),
+            static_cast<unsigned long long>(gov_cache_bytes),
+            static_cast<unsigned long long>(gov_cache_limit),
+            static_cast<unsigned long long>(gov_nvm_buffer_bytes),
+            static_cast<unsigned long long>(gov_vlog_bytes),
+            static_cast<unsigned long long>(tuner_moves));
+        out += buf;
+    }
     uint64_t total_jobs = 0;
     for (int j = 0; j < StatsCounters::kJobClasses; j++)
         total_jobs += sched_submitted[j];
     if (total_jobs > 0) {
         static const char *kClassNames[StatsCounters::kJobClasses] = {
-            "flush", "lcm",   "zcm",    "ssd",
-            "walrec", "scrub", "vloggc", "walrep"};
+            "flush", "lcm",   "zcm",    "ssd",    "walrec",
+            "scrub", "vloggc", "walrep", "memtune"};
         snprintf(buf, sizeof(buf), "\nsched: escalations=%llu",
                  static_cast<unsigned long long>(sched_escalations));
         out += buf;

@@ -124,10 +124,29 @@ struct StatsCounters {
      *  recovery is off or the WAL was empty). */
     std::atomic<uint64_t> recovery_ms_to_drained{0};
 
+    // -- memory governor + DRAM read cache --
+    /** Read-cache probes answered from DRAM. */
+    std::atomic<uint64_t> cache_hits{0};
+    /** Read-cache probes that fell through to the levels/repo. */
+    std::atomic<uint64_t> cache_misses{0};
+    /** Entries evicted by LRU pressure (capacity, not staleness). */
+    std::atomic<uint64_t> cache_evictions{0};
+    /** Invalidation events (flush installs, quarantine clears). */
+    std::atomic<uint64_t> cache_invalidations{0};
+    /** Tuner decisions that changed a budget or watermark. */
+    std::atomic<uint64_t> tuner_moves{0};
+    // Gauges published by the MemoryGovernor (point-in-time bytes).
+    std::atomic<uint64_t> gov_memtable_bytes{0};
+    std::atomic<uint64_t> gov_cache_bytes{0};
+    std::atomic<uint64_t> gov_nvm_buffer_bytes{0};
+    std::atomic<uint64_t> gov_vlog_bytes{0};
+    std::atomic<uint64_t> gov_memtable_limit{0};
+    std::atomic<uint64_t> gov_cache_limit{0};
+
     // -- background scheduler (per-job-class observability) --
     /** Job classes: flush, lcm, zcm, ssd, wal-recycle, scrub, vloggc,
-     *  wal-replay. */
-    static constexpr int kJobClasses = 8;
+     *  wal-replay, memtune. */
+    static constexpr int kJobClasses = 9;
     /** Decade latency buckets: <1us, <10us, ..., <1s, >=1s. */
     static constexpr int kSchedLatBuckets = 8;
     std::atomic<uint64_t> sched_submitted[kJobClasses]{};
@@ -220,6 +239,17 @@ struct StatsSnapshot {
     uint64_t recovery_pending_segments = 0;
     uint64_t recovery_ms_to_ready = 0;
     uint64_t recovery_ms_to_drained = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_evictions = 0;
+    uint64_t cache_invalidations = 0;
+    uint64_t tuner_moves = 0;
+    uint64_t gov_memtable_bytes = 0;
+    uint64_t gov_cache_bytes = 0;
+    uint64_t gov_nvm_buffer_bytes = 0;
+    uint64_t gov_vlog_bytes = 0;
+    uint64_t gov_memtable_limit = 0;
+    uint64_t gov_cache_limit = 0;
     uint64_t sched_submitted[StatsCounters::kJobClasses] = {};
     uint64_t sched_completed[StatsCounters::kJobClasses] = {};
     uint64_t sched_dropped[StatsCounters::kJobClasses] = {};

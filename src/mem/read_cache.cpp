@@ -1,0 +1,248 @@
+#include "mem/read_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mio::mem {
+
+namespace {
+
+/** FNV-1a; stripe selection only, no adversarial resistance needed. */
+uint64_t
+hashBytes(const char *data, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; i++) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+ReadCache::ReadCache(size_t capacity_bytes,
+                     std::shared_ptr<MemoryGovernor> governor,
+                     StatsCounters *stats, int stripes)
+    : stripes_n_(std::max(1, stripes)),
+      stripes_(new Stripe[static_cast<size_t>(std::max(1, stripes))]),
+      governor_(std::move(governor)), stats_(stats),
+      capacity_(capacity_bytes)
+{
+}
+
+ReadCache::~ReadCache()
+{
+    // Return every charge before the governor's books close.
+    if (governor_ != nullptr) {
+        for (int i = 0; i < stripes_n_; i++) {
+            Stripe &s = stripes_[i];
+            std::lock_guard<std::mutex> lock(s.mu);
+            if (s.bytes > 0)
+                governor_->release(SubBudget::kReadCacheDram, s.bytes);
+            s.bytes = 0;
+        }
+    }
+}
+
+ReadCache::Stripe &
+ReadCache::stripeFor(const Slice &key)
+{
+    uint64_t h = hashBytes(key.data(), key.size());
+    return stripes_[h % static_cast<uint64_t>(stripes_n_)];
+}
+
+size_t
+ReadCache::stripeShare() const
+{
+    return capacity_.load(std::memory_order_relaxed) /
+           static_cast<size_t>(stripes_n_);
+}
+
+void
+ReadCache::bump(std::atomic<uint64_t> StatsCounters::*field)
+{
+    StatsCounters *s = stats_.load(std::memory_order_acquire);
+    if (s != nullptr)
+        (s->*field).fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+ReadCache::lookup(const Slice &key, std::string *value,
+                  uint64_t *epoch_out)
+{
+    Stripe &s = stripeFor(key);
+    std::string k(key.data(), key.size());
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto it = s.map.find(k);
+        if (it != s.map.end()) {
+            *value = it->second.value;
+            s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+            bump(&StatsCounters::cache_hits);
+            return true;
+        }
+        if (epoch_out != nullptr)
+            *epoch_out = s.epoch;
+    }
+    bump(&StatsCounters::cache_misses);
+    return false;
+}
+
+void
+ReadCache::insert(const Slice &key, const Slice &value, uint64_t epoch)
+{
+    size_t share = stripeShare();
+    size_t charge = entryCharge(key.size(), value.size());
+    if (charge > share)
+        return; // never let one entry own a whole stripe
+    Stripe &s = stripeFor(key);
+    std::string k(key.data(), key.size());
+    size_t released = 0, charged = 0;
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.epoch != epoch)
+            return; // an invalidation ran since the miss: stale fill
+        size_t before = s.bytes;
+        auto it = s.map.find(k);
+        if (it != s.map.end()) {
+            // A racing fill of the same key landed first; refresh.
+            s.bytes -= entryCharge(k.size(), it->second.value.size());
+            it->second.value.assign(value.data(), value.size());
+            s.bytes += charge;
+            s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+        } else {
+            s.lru.push_front(k);
+            Entry e;
+            e.value.assign(value.data(), value.size());
+            e.lru_it = s.lru.begin();
+            s.map.emplace(std::move(k), std::move(e));
+            s.bytes += charge;
+        }
+        trimLocked(&s, share);
+        if (s.bytes > before)
+            charged = s.bytes - before;
+        else
+            released = before - s.bytes;
+    }
+    if (governor_ != nullptr) {
+        if (charged > 0)
+            governor_->charge(SubBudget::kReadCacheDram, charged);
+        if (released > 0)
+            governor_->release(SubBudget::kReadCacheDram, released);
+    }
+}
+
+void
+ReadCache::invalidate(const Slice &key)
+{
+    Stripe &s = stripeFor(key);
+    std::string k(key.data(), key.size());
+    size_t released = 0;
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.epoch++;
+        auto it = s.map.find(k);
+        if (it == s.map.end())
+            return;
+        released = entryCharge(k.size(), it->second.value.size());
+        s.bytes -= released;
+        s.lru.erase(it->second.lru_it);
+        s.map.erase(it);
+    }
+    bump(&StatsCounters::cache_invalidations);
+    if (governor_ != nullptr && released > 0)
+        governor_->release(SubBudget::kReadCacheDram, released);
+}
+
+void
+ReadCache::clear()
+{
+    for (int i = 0; i < stripes_n_; i++) {
+        Stripe &s = stripes_[i];
+        size_t released = 0;
+        {
+            std::lock_guard<std::mutex> lock(s.mu);
+            s.epoch++;
+            released = s.bytes;
+            s.bytes = 0;
+            s.map.clear();
+            s.lru.clear();
+        }
+        if (governor_ != nullptr && released > 0)
+            governor_->release(SubBudget::kReadCacheDram, released);
+    }
+    bump(&StatsCounters::cache_invalidations);
+}
+
+void
+ReadCache::setCapacity(size_t bytes)
+{
+    capacity_.store(bytes, std::memory_order_relaxed);
+    size_t share = stripeShare();
+    for (int i = 0; i < stripes_n_; i++) {
+        Stripe &s = stripes_[i];
+        size_t released = 0;
+        {
+            std::lock_guard<std::mutex> lock(s.mu);
+            size_t before = s.bytes;
+            trimLocked(&s, share);
+            released = before - s.bytes;
+        }
+        if (governor_ != nullptr && released > 0)
+            governor_->release(SubBudget::kReadCacheDram, released);
+    }
+}
+
+size_t
+ReadCache::capacity() const
+{
+    return capacity_.load(std::memory_order_relaxed);
+}
+
+size_t
+ReadCache::bytesUsed() const
+{
+    size_t total = 0;
+    for (int i = 0; i < stripes_n_; i++) {
+        Stripe &s = stripes_[i];
+        std::lock_guard<std::mutex> lock(s.mu);
+        total += s.bytes;
+    }
+    return total;
+}
+
+uint64_t
+ReadCache::entryCount() const
+{
+    uint64_t total = 0;
+    for (int i = 0; i < stripes_n_; i++) {
+        Stripe &s = stripes_[i];
+        std::lock_guard<std::mutex> lock(s.mu);
+        total += s.map.size();
+    }
+    return total;
+}
+
+void
+ReadCache::setStats(StatsCounters *stats)
+{
+    stats_.store(stats, std::memory_order_release);
+}
+
+void
+ReadCache::trimLocked(Stripe *s, size_t share)
+{
+    while (s->bytes > share && !s->lru.empty()) {
+        const std::string &victim = s->lru.back();
+        auto it = s->map.find(victim);
+        assert(it != s->map.end());
+        s->bytes -=
+            entryCharge(victim.size(), it->second.value.size());
+        s->map.erase(it);
+        s->lru.pop_back();
+        bump(&StatsCounters::cache_evictions);
+    }
+}
+
+} // namespace mio::mem

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ReadCache: a sharded, lock-striped DRAM cache for values whose
+ * authoritative copy lives below the DRAM write path (NVM buffer
+ * levels, the data repository, the value log). MioDB's read path
+ * probes it after missing the MemTable and immutables and before
+ * descending the buffer levels, so DRAM answers repeat reads of
+ * NVM/SSD-resident keys at DRAM latency -- the read half of the
+ * hybrid-memory split the MemoryGovernor arbitrates.
+ *
+ * Staleness safety is epoch-based. Each stripe carries an epoch that
+ * every invalidation bumps. A reader that misses captures the stripe
+ * epoch *under the stripe lock, before* descending to the levels;
+ * the later insert() is dropped if the epoch moved. Combined with
+ * the store's invalidation discipline -- every key of a flushed
+ * MemTable is invalidated after the L0 install and before the
+ * immutable is retired from the read path -- a fill can never bury a
+ * newer version: either the reader's descent saw the new L0 table,
+ * or the invalidation ran after the epoch capture and the insert
+ * aborts. Merges conserve versions and GC relocations are
+ * byte-identical, so neither needs invalidation (DESIGN.md Sec. 5k
+ * carries the full argument); quarantine events clear the whole
+ * cache instead, because corruption makes "which keys?" unanswerable.
+ *
+ * Eviction is per-stripe LRU and does NOT bump the epoch (evicting
+ * can't create staleness). Capacity is divided evenly across
+ * stripes; setCapacity() retargets and trims eagerly, which is how
+ * the governor's tuner moves take effect.
+ */
+#ifndef MIO_MEM_READ_CACHE_H_
+#define MIO_MEM_READ_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "kv/store_stats.h"
+#include "mem/memory_governor.h"
+#include "util/slice.h"
+
+namespace mio::mem {
+
+class ReadCache
+{
+  public:
+    /**
+     * @param governor charged for kReadCacheDram bytes (may be null).
+     * @param stats hit/miss/eviction sink (may be null).
+     */
+    ReadCache(size_t capacity_bytes,
+              std::shared_ptr<MemoryGovernor> governor,
+              StatsCounters *stats, int stripes = 16);
+    ~ReadCache();
+
+    ReadCache(const ReadCache &) = delete;
+    ReadCache &operator=(const ReadCache &) = delete;
+
+    /**
+     * Probe for @p key. On a hit, copies the value and returns true.
+     * On a miss, captures the stripe epoch into @p epoch_out (under
+     * the stripe lock) for the later insert() -- callers MUST take
+     * the epoch from here, not read it separately, or the
+     * capture-before-descent ordering breaks.
+     */
+    bool lookup(const Slice &key, std::string *value,
+                uint64_t *epoch_out);
+
+    /**
+     * Install @p key -> @p value if the stripe epoch still equals
+     * @p epoch (from the miss that started this fill). Silently
+     * dropped otherwise, or when the entry alone exceeds the stripe
+     * share. Evicts LRU entries to fit.
+     */
+    void insert(const Slice &key, const Slice &value, uint64_t epoch);
+
+    /** Drop @p key and bump its stripe epoch (aborts racing fills). */
+    void invalidate(const Slice &key);
+
+    /** Drop everything and bump every stripe epoch. */
+    void clear();
+
+    /** Retarget capacity (tuner moves); trims stripes eagerly. */
+    void setCapacity(size_t bytes);
+    size_t capacity() const;
+
+    size_t bytesUsed() const;
+    uint64_t entryCount() const;
+
+    void setStats(StatsCounters *stats);
+
+  private:
+    struct Entry {
+        std::string value;
+        std::list<std::string>::iterator lru_it;
+    };
+    struct Stripe {
+        std::mutex mu;
+        uint64_t epoch = 0;
+        std::list<std::string> lru; //!< front = most recent; holds keys
+        std::unordered_map<std::string, Entry> map;
+        size_t bytes = 0;
+    };
+
+    /** Map-node + LRU-node + bookkeeping overhead per entry. */
+    static constexpr size_t kEntryOverhead = 64;
+
+    static size_t
+    entryCharge(size_t key_len, size_t value_len)
+    {
+        return 2 * key_len + value_len + kEntryOverhead;
+    }
+
+    Stripe &stripeFor(const Slice &key);
+    size_t stripeShare() const;
+    /** Evict from @p s's LRU tail until bytes <= share (holds mu). */
+    void trimLocked(Stripe *s, size_t share);
+    void bump(std::atomic<uint64_t> StatsCounters::*field);
+
+    const int stripes_n_;
+    std::unique_ptr<Stripe[]> stripes_;
+    std::shared_ptr<MemoryGovernor> governor_;
+    std::atomic<StatsCounters *> stats_;
+    std::atomic<size_t> capacity_;
+};
+
+} // namespace mio::mem
+
+#endif // MIO_MEM_READ_CACHE_H_

@@ -257,6 +257,15 @@ LevelManager::quiescent() const
     return true;
 }
 
+bool
+LevelManager::anyLevelBusy() const
+{
+    for (const auto &level : levels_)
+        if (level.busy())
+            return true;
+    return false;
+}
+
 size_t
 LevelManager::totalTables() const
 {

@@ -207,6 +207,14 @@ class LevelManager
     /** True when every level is empty and no merge is in flight. */
     bool quiescent() const;
 
+    /**
+     * True while any level has a merge or migration in flight. Used
+     * to gate exact accounting comparisons: an in-flight zero-copy
+     * merge's absorb() co-owns arenas, so totalArenaBytes()
+     * transiently double-counts until the merge finishes.
+     */
+    bool anyLevelBusy() const;
+
     /** Total resident PMTables across levels. */
     size_t totalTables() const;
     size_t totalArenaBytes() const;

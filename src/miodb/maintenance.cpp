@@ -56,6 +56,10 @@ MioDB::backgroundWorkerCount() const
     // so a long replay never starves the pipeline that drains it.
     if (options_.instant_recovery)
         n += 1;
+    // The kMemTuner pass is cheap but periodic; a dedicated slot keeps
+    // its cadence steady when every other worker is busy compacting.
+    if (options_.adaptive_memory)
+        n += 1;
     return n;
 }
 
@@ -99,10 +103,13 @@ MioDB::startScheduler(sched::BackgroundScheduler *shared)
 bool
 MioDB::underMemoryPressure() const
 {
+    // The governor's kNvmBuffer mirror instead of walking every
+    // level: this probe runs at every dispatch (urgency) and on the
+    // write path, and the mirror is exact at install boundaries --
+    // precise enough for a pressure threshold.
     return nvmOverSoftWatermark() ||
            (options_.nvm_buffer_cap_bytes != 0 &&
-            state_->levels.totalArenaBytes() >
-                options_.nvm_buffer_cap_bytes);
+            nvmBufferCharged() > options_.nvm_buffer_cap_bytes);
 }
 
 void
@@ -162,8 +169,17 @@ MioDB::flushJob()
         // after the push, replay of the same segment merely
         // re-inserts entries that sequence-number dedup discards.
         MIO_FAILPOINT("flush.before_publish");
+        const size_t table_bytes = table->arenaBytes();
         state_->levels.level(0).push(std::move(table));
         MIO_FAILPOINT("flush.after_publish");
+        chargeNvmBuffer(table_bytes);
+        assert(governor_->chargesConsistent());
+        // Invalidate cached entries the flushed table shadows, after
+        // the L0 publish and before the imm leaves the queue: until
+        // the pop every read still stops at the imm (never probing the
+        // cache), and after the invalidation a re-fill reads through
+        // the published L0 table. No window serves the stale value.
+        invalidateCacheFor(*imm.mem);
         {
             std::lock_guard<std::mutex> il(imm_mu_);
             if (!imms_.empty())
@@ -304,7 +320,10 @@ MioDB::compactLevelOnce(int level)
         MIO_FAILPOINT("lcm.before_reclaim");
         // Reclaim the whole arena chain (the lazy memory-freeing step
         // of Sec. 4.4) -- deferred past any in-flight readers.
+        const size_t victim_bytes = victim->arenaBytes();
         retireTable(std::move(victim));
+        releaseNvmBuffer(victim_bytes);
+        assert(governor_->chargesConsistent());
         return CompactResult::kWorked;
     }
 
@@ -335,6 +354,19 @@ MioDB::compactLevelOnce(int level)
                   noteDropped(t, v);
               })
             : DropNotify();
+    // kNvmBuffer accounting at the merge boundary is a before/after
+    // delta over the surviving table(s): absorb() co-owns arenas, so
+    // asking the inputs afterwards would double-count, and a copying
+    // merge's output is a fresh arena whose inputs die at finishMerge.
+    const size_t before_bytes =
+        op->newt->arenaBytes() + op->oldt->arenaBytes();
+    auto settleMergeDelta = [this](size_t before, size_t after) {
+        if (after >= before)
+            chargeNvmBuffer(after - before);
+        else
+            releaseNvmBuffer(before - after);
+        assert(governor_->chargesConsistent());
+    };
     if (options_.zero_copy_merge) {
         zeroCopyMerge(op.get(), nvm_, &stats_, nullptr, keep_seq,
                       drop_hook);
@@ -342,6 +374,7 @@ MioDB::compactLevelOnce(int level)
         // readers never lose sight of the data.
         state_->levels.level(level + 1).push(op->oldt);
         bl.finishMerge(op);
+        settleMergeDelta(before_bytes, op->oldt->arenaBytes());
     } else {
         uint64_t table_id = state_->next_table_id.fetch_add(1);
         auto result = copyingMerge(op->newt, op->oldt, nvm_, &stats_,
@@ -354,10 +387,13 @@ MioDB::compactLevelOnce(int level)
                           drop_hook);
             state_->levels.level(level + 1).push(op->oldt);
             bl.finishMerge(op);
+            settleMergeDelta(before_bytes, op->oldt->arenaBytes());
             return CompactResult::kWorked;
         }
+        const size_t after_bytes = result->arenaBytes();
         state_->levels.level(level + 1).push(std::move(result));
         bl.finishMerge(op);
+        settleMergeDelta(before_bytes, after_bytes);
     }
     return CompactResult::kWorked;
 }
@@ -768,8 +804,7 @@ MioDB::applyBufferCap()
     if (options_.nvm_buffer_cap_bytes == 0)
         return;
     auto overCap = [this] {
-        return state_->levels.totalArenaBytes() >
-               options_.nvm_buffer_cap_bytes;
+        return nvmBufferCharged() > options_.nvm_buffer_cap_bytes;
     };
     if (!overCap())
         return;
@@ -801,8 +836,11 @@ MioDB::nvmOverSoftWatermark() const
     uint64_t cap = nvm_->capacityBytes();
     if (cap == 0)
         return false;
+    // Live governor value, not the option: the tuner lowers the soft
+    // watermark under sustained write stalls so migration starts
+    // freeing NVM earlier.
     return static_cast<double>(nvm_->meters().bytes_allocated) >
-           options_.nvm_soft_watermark * static_cast<double>(cap);
+           governor_->nvmSoftWatermark() * static_cast<double>(cap);
 }
 
 Status
@@ -827,14 +865,16 @@ MioDB::applyNvmWatermarks()
         return static_cast<int>(imms_.size()) >
                options_.max_immutable_memtables;
     };
+    const double soft_wm = governor_->nvmSoftWatermark();
+    const double hard_wm = governor_->nvmHardWatermark();
     double u = usage();
-    if (u < options_.nvm_soft_watermark && !flushWedged())
+    if (u < soft_wm && !flushWedged())
         return Status::ok();
     // Urgency boost: migration toward the repository is what frees
     // NVM. Kicking schedules the merge jobs; the urgency probes lift
     // them ahead of everything else while pressure lasts.
     kickMaintenance();
-    if (u < options_.nvm_hard_watermark && !flushWedged()) {
+    if (u < hard_wm && !flushWedged()) {
         stats_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
         ScopedTimer stall(&stats_.cumulative_stall_ns);
         sched_->waitFor(
@@ -856,8 +896,7 @@ MioDB::applyNvmWatermarks()
     wo.tick_ms = 1;
     bool drained = sched_->waitUntil(
         [&] {
-            return (usage() < options_.nvm_hard_watermark &&
-                    !flushWedged()) ||
+            return (usage() < hard_wm && !flushWedged()) ||
                    shutting_down_.load() || crashed_.load();
         },
         wo);
@@ -1003,7 +1042,85 @@ MioDB::scrubNow()
         stats_.corruptions_detected.fetch_add(
             corruptions, std::memory_order_relaxed);
     }
+    // Media damage found anywhere invalidates the read cache whole:
+    // a value cached before its source table was quarantined would
+    // keep masking the corruption that reads must now surface.
+    if (read_cache_ != nullptr &&
+        (corruptions + vlog_mismatches > 0 || repo.quarantined > 0)) {
+        read_cache_->clear();
+    }
     return corruptions + vlog_mismatches;
+}
+
+void
+MioDB::invalidateCacheFor(const lsm::MemTable &mem)
+{
+    if (read_cache_ == nullptr)
+        return;
+    for (const SkipList::Node *n = mem.list().first(); n != nullptr;
+         n = n->next(0)) {
+        read_cache_->invalidate(n->key());
+    }
+}
+
+bool
+MioDB::memoryAccountingConsistent() const
+{
+    // The drift witness holds at every instant (a mid-flight charge
+    // can only make the sub-budget sum read low, never high).
+    if (!governor_->chargesConsistent())
+        return false;
+    // Exact cross-checks against ground truth only make sense at
+    // quiescence: an in-flight zero-copy merge's absorb() co-owns
+    // arenas (totalArenaBytes transiently double-counts), and a
+    // shared governor aggregates every shard's charges.
+    if (sched_ == nullptr || sched_->busyJobs() != 0 ||
+        state_->levels.anyLevelBusy())
+        return true;
+    if (nvm_buffer_bytes_.load(std::memory_order_relaxed) !=
+        state_->levels.totalArenaBytes())
+        return false;
+    if (governor_->memtableChargers() == 1) {
+        if (state_->vlog != nullptr &&
+            governor_->charged(mem::SubBudget::kVlog) !=
+                state_->vlog->capacityBytes())
+            return false;
+        if (read_cache_ != nullptr &&
+            governor_->charged(mem::SubBudget::kReadCacheDram) !=
+                read_cache_->bytesUsed())
+            return false;
+    }
+    return true;
+}
+
+void
+MioDB::memTunerPass()
+{
+    mem::MemoryGovernor::TunerSignals s;
+    s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+    s.cache_misses =
+        stats_.cache_misses.load(std::memory_order_relaxed);
+    s.cache_evictions =
+        stats_.cache_evictions.load(std::memory_order_relaxed);
+    s.write_stalls =
+        stats_.write_stalls.load(std::memory_order_relaxed);
+    s.write_slowdowns =
+        stats_.write_slowdowns.load(std::memory_order_relaxed);
+    s.busy_rejections =
+        stats_.busy_rejections.load(std::memory_order_relaxed);
+    s.flush_count = stats_.flush_count.load(std::memory_order_relaxed);
+    const uint64_t cap = nvm_->capacityBytes();
+    if (cap != 0) {
+        s.nvm_usage =
+            static_cast<double>(nvm_->meters().bytes_allocated) /
+            static_cast<double>(cap);
+    }
+    if (governor_->tunerPass(s) && read_cache_ != nullptr) {
+        // The cache retargets immediately (shrinks evict at once);
+        // the MemTable side is picked up by the next rotation.
+        read_cache_->setCapacity(
+            governor_->limit(mem::SubBudget::kReadCacheDram));
+    }
 }
 
 void

@@ -23,7 +23,9 @@ namespace mio::miodb {
 MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
              sim::SsdDevice *ssd, wal::WalRegistry *wal_registry,
              std::shared_ptr<NvmState> state,
-             sched::BackgroundScheduler *shared_scheduler)
+             sched::BackgroundScheduler *shared_scheduler,
+             std::shared_ptr<mem::MemoryGovernor> governor,
+             std::shared_ptr<mem::ReadCache> shared_cache)
     : options_(options), nvm_(nvm), ssd_(ssd)
 {
     open_start_ns_ = nowNanos();
@@ -41,6 +43,35 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
         state_ = std::move(state);
     } else {
         state_ = std::make_shared<NvmState>(options_.elastic_levels);
+    }
+
+    // Memory governor: adopt the facade's (sharded mode -- it runs
+    // the tuner and owns the stats sink) or build a private one.
+    // Every charger below -- memtable rotation, buffer-arena install
+    // boundaries, value-log segments, the read cache -- reserves from
+    // it instead of keeping private counters.
+    if (governor != nullptr) {
+        governor_ = std::move(governor);
+    } else {
+        mem::MemoryGovernor::Config gc;
+        gc.memtable_bytes = options_.memtable_size;
+        gc.read_cache_bytes = options_.read_cache_bytes;
+        gc.nvm_buffer_bytes = options_.nvm_buffer_cap_bytes;
+        gc.vlog_budget_bytes = options_.vlog_budget_bytes;
+        gc.nvm_soft_watermark = options_.nvm_soft_watermark;
+        gc.nvm_hard_watermark = options_.nvm_hard_watermark;
+        gc.adaptive = options_.adaptive_memory;
+        gc.dram_floor_fraction = options_.dram_floor_fraction;
+        gc.tuner_interval_ms = options_.mem_tuner_interval_ms;
+        governor_ = std::make_shared<mem::MemoryGovernor>(gc, &stats_);
+        owns_governor_ = true;
+    }
+    governor_->registerMemtableCharger();
+    if (shared_cache != nullptr) {
+        read_cache_ = std::move(shared_cache);
+    } else if (options_.read_cache_bytes > 0) {
+        read_cache_ = std::make_shared<mem::ReadCache>(
+            options_.read_cache_bytes, governor_, &stats_);
     }
 
     // The scheduler exists before the repository: in SSD mode the
@@ -88,6 +119,15 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
             nvm_, &stats_, options_.vlog_segment_bytes);
     }
     if (state_->vlog != nullptr) {
+        // Re-pointing the governor primes kVlog with the adopted
+        // segments' capacity (and releases from a previous owner).
+        // Pass shared ownership: if this ctor later throws (failpoint
+        // crash mid-recovery), the dtor's detach never runs, and this
+        // reference is all that keeps the charged governor alive for
+        // the next open's rebind to drain.
+        state_->vlog->rebindGovernor(governor_);
+    }
+    if (state_->vlog != nullptr) {
         state_->repo->setDropNotify(
             [this](EntryType t, const Slice &v) { noteDropped(t, v); });
     }
@@ -106,8 +146,7 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
         bl.enableBloomSummary(options_.bits_per_key > 0);
     }
 
-    mem_ = std::make_shared<lsm::MemTable>(options_.memtable_size,
-                                           /*rng_seed=*/0x11);
+    mem_ = makeMemTable(/*rng_seed=*/0x11);
     if (options_.enable_wal) {
         mem_wal_id_ = state_->next_table_id.fetch_add(1);
         first_own_wal_id_ = mem_wal_id_;
@@ -128,12 +167,28 @@ MioDB::MioDB(const MioOptions &options, sim::NvmDevice *nvm,
     // SimCrash here propagates out of the constructor as before.
     recoverInterruptedCompactions();
 
+    // Prime the buffer sub-budget with the adopted image's footprint
+    // (now stable: interrupted merges are resolved, and replay below
+    // charges its flushes incrementally). A fresh store charges 0.
+    chargeNvmBuffer(state_->levels.totalArenaBytes());
+
     if (options_.scrub_interval_ms > 0) {
         scrub_job_id_ = sched_->submitPeriodic(
             sched::JobClass::kScrub, options_.scrub_interval_ms,
             [this] {
                 if (!shutting_down_.load() && !crashed_.load())
                     scrubNow();
+            });
+    }
+
+    // Self-tuning memory split (standalone mode only: a shared
+    // governor's facade runs one tuner over aggregated signals).
+    if (owns_governor_ && options_.adaptive_memory) {
+        tuner_job_id_ = sched_->submitPeriodic(
+            sched::JobClass::kMemTuner, options_.mem_tuner_interval_ms,
+            [this] {
+                if (!shutting_down_.load() && !crashed_.load())
+                    memTunerPass();
             });
     }
 
@@ -236,6 +291,8 @@ MioDB::~MioDB()
     sched_->notifyEvent();
     if (scrub_job_id_ != 0)
         sched_->cancelPeriodic(scrub_job_id_);
+    if (tuner_job_id_ != 0)
+        sched_->cancelPeriodic(tuner_job_id_);
     if (owned_sched_ != nullptr) {
         // Clean shutdown runs the already-queued jobs (flush/compaction
         // bodies see shutting_down_ and finish fast; WAL recycling runs
@@ -285,6 +342,10 @@ MioDB::~MioDB()
         state_->levels.level(i).setRetireCallback(nullptr);
     state_->repo->setDropNotify(nullptr);
     state_->repo->rebindScheduler(nullptr);
+    // The value log survives in NvmState; this instance's governor
+    // does not. Detach (releasing kVlog) before the books close.
+    if (state_->vlog != nullptr)
+        state_->vlog->rebindGovernor(nullptr);
     if (!crashed_.load() && options_.enable_wal && mem_wal_)
         registry_->remove(walName(mem_wal_id_));
 #ifndef NDEBUG
@@ -1045,13 +1106,49 @@ MioDB::rotateMemTable(const std::function<void()> &relog)
         });
     }
     il.lock();
-    mem_ = std::make_shared<lsm::MemTable>(
-        options_.memtable_size, /*rng_seed=*/state_->next_table_id.load() * 7 + 1);
+    mem_ = makeMemTable(
+        /*rng_seed=*/state_->next_table_id.load() * 7 + 1);
     il.unlock();
     // The old segment still holds the rotated MemTable's records (it
     // is only removed after the flush lands), so a crash here simply
     // replays from both segments.
     MIO_FAILPOINT("wal.rotate.after_open");
+}
+
+std::shared_ptr<lsm::MemTable>
+MioDB::makeMemTable(uint64_t seed)
+{
+    size_t cap = options_.memtable_size;
+    if (options_.adaptive_memory)
+        cap = governor_->memtableTargetBytes();
+    // The deleter owns a governor reference: pinned snapshots can keep
+    // a MemTable alive past this store object, and the charge must
+    // follow the arena's actual lifetime, not the store's.
+    auto gov = governor_;
+    gov->charge(mem::SubBudget::kMemtableDram, cap);
+    return std::shared_ptr<lsm::MemTable>(
+        new lsm::MemTable(cap, seed), [gov, cap](lsm::MemTable *p) {
+            delete p;
+            gov->release(mem::SubBudget::kMemtableDram, cap);
+        });
+}
+
+void
+MioDB::chargeNvmBuffer(size_t bytes)
+{
+    if (bytes == 0)
+        return;
+    nvm_buffer_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    governor_->charge(mem::SubBudget::kNvmBuffer, bytes);
+}
+
+void
+MioDB::releaseNvmBuffer(size_t bytes)
+{
+    if (bytes == 0)
+        return;
+    nvm_buffer_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    governor_->release(mem::SubBudget::kNvmBuffer, bytes);
 }
 
 Status
@@ -1209,7 +1306,8 @@ MioDB::lookupBufferAndRepo(const Slice &key, std::string *value,
 
 bool
 MioDB::findNewestRaw(const Slice &key, std::string *value,
-                     EntryType *type, uint64_t *seq, bool *corrupt)
+                     EntryType *type, uint64_t *seq, bool *corrupt,
+                     CacheProbe *probe)
 {
     ReadGuard guard(this);
     std::shared_ptr<lsm::MemTable> mem;
@@ -1226,6 +1324,20 @@ MioDB::findNewestRaw(const Slice &key, std::string *value,
     for (const auto &imm : imms) {
         if (imm->get(key, value, type, seq))
             return true;
+    }
+    // Cache probe sits BETWEEN the DRAM write path and the buffer
+    // descent: everything newer than the cached copy is either in the
+    // tables probed above (miss here is authoritative for them) or
+    // was installed by a flush -- whose invalidation walk runs before
+    // its immutable leaves the read path, so it either bumped the
+    // epoch we capture here or its table was still probed above.
+    if (probe != nullptr && read_cache_ != nullptr) {
+        if (read_cache_->lookup(key, value, &probe->epoch)) {
+            probe->hit = true;
+            *type = EntryType::kValue;
+            return true;
+        }
+        probe->fillable = true;
     }
     return lookupBufferAndRepo(key, value, type, seq, corrupt);
 }
@@ -1246,7 +1358,9 @@ MioDB::get(const Slice &key, std::string *value)
     for (int attempt = 0; attempt < 3; attempt++) {
         EntryType type = EntryType::kValue;
         bool corrupt = false;
-        bool found = findNewestRaw(key, value, &type, nullptr, &corrupt);
+        CacheProbe probe;
+        bool found =
+            findNewestRaw(key, value, &type, nullptr, &corrupt, &probe);
         if (corrupt) {
             stats_.corruptions_detected.fetch_add(
                 1, std::memory_order_relaxed);
@@ -1254,8 +1368,13 @@ MioDB::get(const Slice &key, std::string *value)
         }
         if (!found || type == EntryType::kDeletion)
             return Status::notFound(key);
-        if (type != EntryType::kValuePointer)
+        if (type != EntryType::kValuePointer) {
+            // Fill only below-DRAM results (probe.fillable means the
+            // MemTables missed), never a value the cache answered.
+            if (probe.fillable && !probe.hit && read_cache_ != nullptr)
+                read_cache_->insert(key, Slice(*value), probe.epoch);
             return Status::ok();
+        }
 
         ValuePointer vp;
         if (state_->vlog == nullptr ||
@@ -1265,8 +1384,13 @@ MioDB::get(const Slice &key, std::string *value)
             return Status::corruption(key);
         }
         Status vs = state_->vlog->read(vp, value);
-        if (vs.isOk())
+        if (vs.isOk()) {
+            // Cache the MATERIALIZED value: a hit skips the whole
+            // descent and the pointer dereference.
+            if (probe.fillable && read_cache_ != nullptr)
+                read_cache_->insert(key, Slice(*value), probe.epoch);
             return vs;
+        }
         if (vs.isCorruption()) {
             stats_.corruptions_detected.fetch_add(
                 1, std::memory_order_relaxed);

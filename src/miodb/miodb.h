@@ -30,6 +30,8 @@
 
 #include "kv/kv_store.h"
 #include "lsm/memtable.h"
+#include "mem/memory_governor.h"
+#include "mem/read_cache.h"
 #include "miodb/lazy_copy_merge.h"
 #include "miodb/level_manager.h"
 #include "miodb/options.h"
@@ -93,12 +95,22 @@ class MioDB : public KVStore
      *        crash the owner must shutdown(false) the pool before
      *        destroying it (a frozen pool's running job may still
      *        reference shard memory).
+     * @param governor an externally-owned memory governor (ShardedMioDB
+     *        shares one across all shards); nullptr builds a private
+     *        one from the options. A shared governor's owner runs the
+     *        kMemTuner job; this instance only charges budgets.
+     * @param shared_cache the machine-wide DRAM read cache when the
+     *        governor is shared (shard key spaces are disjoint, so one
+     *        cache is safe); nullptr builds a private cache iff
+     *        options.read_cache_bytes > 0.
      */
     MioDB(const MioOptions &options, sim::NvmDevice *nvm,
           sim::SsdDevice *ssd = nullptr,
           wal::WalRegistry *wal_registry = nullptr,
           std::shared_ptr<NvmState> state = nullptr,
-          sched::BackgroundScheduler *shared_scheduler = nullptr);
+          sched::BackgroundScheduler *shared_scheduler = nullptr,
+          std::shared_ptr<mem::MemoryGovernor> governor = nullptr,
+          std::shared_ptr<mem::ReadCache> shared_cache = nullptr);
     ~MioDB() override;
 
     Status put(const Slice &key, const Slice &value) override;
@@ -130,7 +142,15 @@ class MioDB : public KVStore
                   std::vector<std::pair<std::string, std::string>> *out)
         override;
     void waitIdle() override;
-    const StatsCounters &stats() const override { return stats_; }
+    // Gauges are pull-published: refresh the governor's gov_* gauges
+    // into its sink (this store's counters, or the facade's shared
+    // sink in sharded mode) so every reader sees current charges.
+    const StatsCounters &
+    stats() const override
+    {
+        governor_->publishGauges();
+        return stats_;
+    }
     std::string
     name() const override
     {
@@ -192,6 +212,24 @@ class MioDB : public KVStore
 
     /** The store's maintenance executor (tests/benches introspect). */
     sched::BackgroundScheduler &scheduler() { return *sched_; }
+
+    /** The memory-budget authority (never null after construction). */
+    mem::MemoryGovernor &governor() { return *governor_; }
+    /** The DRAM read cache; nullptr when read_cache_bytes == 0. */
+    mem::ReadCache *readCache() { return read_cache_.get(); }
+
+    /**
+     * Drift witness for the crash sweep's post-recovery validation
+     * and debug asserts: the governor's internal sum-vs-total
+     * invariant always, plus -- when nothing is reshaping the buffer
+     * (no busy jobs, no in-flight merge/migration) -- exact equality
+     * of each sub-budget charge against its ground truth (buffer
+     * arena bytes, cache bytes, value-log segment capacity).
+     */
+    bool memoryAccountingConsistent() const;
+
+    /** One tuner window (the kMemTuner job body; tests call direct). */
+    void memTunerPass();
 
     /**
      * True while the elastic buffer exceeds its cap or NVM usage sits
@@ -432,13 +470,47 @@ class MioDB : public KVStore
                              bool *corrupt);
 
     /**
+     * Read-cache interaction of one get(): set by findNewestRaw when
+     * a probe pointer is passed (get() only -- GC liveness probes and
+     * snapshot reads must never be answered from, or fill, the
+     * cache).
+     */
+    struct CacheProbe {
+        bool hit = false;      //!< the cache answered (type kValue)
+        bool fillable = false; //!< missed; epoch captured for insert()
+        uint64_t epoch = 0;
+    };
+
+    /**
      * Newest version of @p key across every structure WITHOUT
      * dereferencing value pointers (GC's liveness probe): a
      * kValuePointer hit returns the encoded pointer bytes in
-     * @p value. No read-stats bumps.
+     * @p value. No read-stats bumps. With @p probe set, the read
+     * cache is consulted after the MemTable/immutables miss and
+     * before the buffer descent (the probe captures the stripe epoch
+     * there, closing the fill-vs-invalidate race).
      */
     bool findNewestRaw(const Slice &key, std::string *value,
-                       EntryType *type, uint64_t *seq, bool *corrupt);
+                       EntryType *type, uint64_t *seq, bool *corrupt,
+                       CacheProbe *probe = nullptr);
+
+    // ---- memory governor ----
+
+    /** New MemTable at the governor's current target capacity,
+     *  charged to kMemtableDram until the table's last owner drops. */
+    std::shared_ptr<lsm::MemTable> makeMemTable(uint64_t seed);
+    /** Account buffer-arena bytes (this shard's share + governor). */
+    void chargeNvmBuffer(size_t bytes);
+    void releaseNvmBuffer(size_t bytes);
+    /** This shard's live kNvmBuffer charge (cap/pressure checks). */
+    uint64_t
+    nvmBufferCharged() const
+    {
+        return nvm_buffer_bytes_.load(std::memory_order_relaxed);
+    }
+    /** Every key of @p table dropped from the read cache (run after
+     *  the L0 install, before the immutable leaves the read path). */
+    void invalidateCacheFor(const lsm::MemTable &table);
 
     // ---- value log (key-value separation) ----
 
@@ -543,6 +615,17 @@ class MioDB : public KVStore
     sim::NvmDevice *nvm_;
     sim::SsdDevice *ssd_;
     StatsCounters stats_;
+
+    // Memory governor + read cache. owns_governor_ marks standalone
+    // mode (private governor/cache, this instance runs the tuner);
+    // shared mode leaves the tuner to the facade. nvm_buffer_bytes_
+    // is this shard's slice of the governor's kNvmBuffer charge (the
+    // per-shard cap and pressure checks compare against it).
+    std::shared_ptr<mem::MemoryGovernor> governor_;
+    std::shared_ptr<mem::ReadCache> read_cache_;
+    bool owns_governor_ = false;
+    uint64_t tuner_job_id_ = 0;
+    std::atomic<uint64_t> nvm_buffer_bytes_{0};
 
     std::unique_ptr<wal::WalRegistry> owned_registry_;
     wal::WalRegistry *registry_;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "mem/memory_governor.h"
 #include "sim/failpoint.h"
 #include "util/coding.h"
 #include "util/hash.h"
@@ -51,9 +52,17 @@ ValueLog::newSegmentLocked(size_t min_bytes)
     size_t cap = segment_bytes_;
     if (cap < min_bytes)
         cap = min_bytes;  // one oversized record gets its own segment
+    // Budget admission before touching the device: the governor's
+    // kVlog limit is the vlog_budget_bytes ceiling, and denial here
+    // surfaces as Status::busy from append, same as device exhaustion.
+    if (governor_ != nullptr &&
+        governor_->wouldExceed(mem::SubBudget::kVlog, cap))
+        return nullptr;
     char *base = nvm_->allocateRegion(cap);
     if (base == nullptr)
         return nullptr;
+    if (governor_ != nullptr)
+        governor_->charge(mem::SubBudget::kVlog, cap);
     auto seg = std::make_shared<Segment>();
     seg->id = next_segment_id_++;
     seg->base = base;
@@ -265,6 +274,8 @@ ValueLog::unlinkSegment(uint64_t segment_id)
         segments_.erase(it);
         if (head_ == seg)
             head_ = nullptr;
+        if (governor_ != nullptr)
+            governor_->release(mem::SubBudget::kVlog, seg->capacity);
     }
     stats_->vlog_segments_unlinked.fetch_add(1,
                                              std::memory_order_relaxed);
@@ -305,6 +316,41 @@ ValueLog::rebind(sim::NvmDevice *nvm, StatsCounters *stats)
     }
     // The gauge lives in the (new) stats sink now; reinstate it there.
     stats_->vlog_segments_live.store(live, std::memory_order_relaxed);
+}
+
+void
+ValueLog::rebindGovernor(std::shared_ptr<mem::MemoryGovernor> governor)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (governor_ == governor)
+        return;
+    uint64_t cap = 0;
+    for (const auto &[id, seg] : segments_) {
+        (void)id;
+        cap += seg->capacity;
+    }
+    // Move the outstanding reservation, not just the pointer: the log
+    // (and its segments) outlives store objects inside NvmState. The
+    // shared_ptr hand-off here is what makes a torn open safe -- if
+    // the previous ctor threw mid-recovery, its governor only survived
+    // (with this charge still on its books) because we held it.
+    if (governor_ != nullptr)
+        governor_->release(mem::SubBudget::kVlog, cap);
+    governor_ = std::move(governor);
+    if (governor_ != nullptr)
+        governor_->charge(mem::SubBudget::kVlog, cap);
+}
+
+uint64_t
+ValueLog::capacityBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t cap = 0;
+    for (const auto &[id, seg] : segments_) {
+        (void)id;
+        cap += seg->capacity;
+    }
+    return cap;
 }
 
 void

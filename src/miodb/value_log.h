@@ -43,6 +43,10 @@
 #include "util/slice.h"
 #include "util/status.h"
 
+namespace mio::mem {
+class MemoryGovernor;
+}
+
 namespace mio::miodb {
 
 /**
@@ -164,6 +168,26 @@ class ValueLog
     void rebind(sim::NvmDevice *nvm, StatsCounters *stats);
 
     /**
+     * Attach (or with nullptr detach) the memory governor. Segment
+     * capacity is charged to SubBudget::kVlog on open and released on
+     * unlink; adoption moves the whole outstanding charge from the old
+     * governor to the new one, so a log surviving close/reopen in
+     * NvmState never leaks its reservation. When the governor's kVlog
+     * limit is set, appends that would open a segment beyond it fail
+     * with Status::busy.
+     *
+     * Shared ownership is required, not a convenience: a store ctor
+     * that crashes mid-recovery (failpoint SimCrash) unwinds without
+     * running the dtor's detach, so this reference is what keeps the
+     * torn instance's governor -- and the kVlog charge parked on it --
+     * alive until the next open's rebind moves the charge over.
+     */
+    void rebindGovernor(std::shared_ptr<mem::MemoryGovernor> governor);
+
+    /** Sum of all segment capacities (the kVlog accounting truth). */
+    uint64_t capacityBytes() const;
+
+    /**
      * Post-power-failure pass: every segment is rescanned from the
      * start, the first record with a bad frame CRC truncates the tail
      * (the crash shadow rolled back an unpersisted append), all
@@ -221,6 +245,7 @@ class ValueLog
 
     sim::NvmDevice *nvm_;
     StatsCounters *stats_;
+    std::shared_ptr<mem::MemoryGovernor> governor_;  //!< guarded by mu_
     const size_t segment_bytes_;
 
     mutable std::mutex mu_;

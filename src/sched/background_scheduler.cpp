@@ -38,6 +38,7 @@ jobClassName(JobClass c)
     case JobClass::kScrub: return "scrub";
     case JobClass::kVlogGc: return "vloggc";
     case JobClass::kWalReplay: return "walrep";
+    case JobClass::kMemTuner: return "memtune";
     }
     return "?";
 }

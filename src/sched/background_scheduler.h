@@ -67,6 +67,7 @@ enum class JobClass : int {
     kScrub = 5,         //!< periodic integrity verification
     kVlogGc = 6,        //!< value-log segment garbage collection
     kWalReplay = 7,     //!< instant recovery: incremental WAL replay
+    kMemTuner = 8,      //!< memory-governor self-tuning pass
 };
 
 inline constexpr int kNumJobClasses = StatsCounters::kJobClasses;

@@ -45,6 +45,10 @@ sweepOptions(bool ssd_mode)
     o.value_separation_threshold = 16;
     o.vlog_segment_bytes = 4 << 10;
     o.vlog_gc_trigger_ratio = 0.95;
+    // A small DRAM read cache so every crash point also exercises the
+    // install-boundary invalidation and the post-recovery governor
+    // rebuild (expectRecoveredState sweeps the charge ledger).
+    o.read_cache_bytes = 8 << 10;
     // Every reopen in the sweep recovers through the instant-recovery
     // path (index build + on-demand replay driven by the model
     // verification's gets), so the whole crash-consistency battery
@@ -211,6 +215,12 @@ expectRecoveredState(MioDB *db, const ExecResult &run,
                      const std::set<std::string> &keys,
                      const std::string &label)
 {
+    // Post-recovery memory sweep: the charges the reopened store
+    // rebuilt (memtable arenas, NVM buffer, vlog capacity, cache)
+    // must balance against the governor's total before the
+    // user-visible state is even compared.
+    EXPECT_TRUE(db->memoryAccountingConsistent()) << label;
+
     std::string why_base;
     if (modelMatches(db, run.acked, keys, &why_base))
         return;
